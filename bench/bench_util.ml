@@ -1,0 +1,34 @@
+(* Shared helpers for the benchmark/experiment harness. *)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Prng = Tm_base.Prng
+module Measure = Tm_sim.Measure
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let row fmt = Printf.printf fmt
+
+let pp_env = function
+  | None -> "(no samples)"
+  | Some e ->
+      Printf.sprintf "[%s, %s] n=%d mean=%.3f"
+        (Rational.to_string e.Measure.min)
+        (Rational.to_string e.Measure.max)
+        e.Measure.count e.Measure.mean
+
+let pp_bounds (lo, hi) =
+  Printf.sprintf "[%s, %s]" (Time.to_string lo) (Time.to_string hi)
+
+let pp_interval iv = Interval.to_string iv
+
+let verdict ok = if ok then "OK" else "MISMATCH"
+
+let check_in iv env =
+  match env with None -> false | Some e -> Measure.within iv e
+
+(* exact (grid) bounds equal the closed-form interval? *)
+let exact_matches iv (lo, hi) =
+  Time.equal lo (Time.Fin (Interval.lo iv)) && Time.equal hi (Interval.hi iv)

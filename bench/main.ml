@@ -1,0 +1,743 @@
+(* Benchmark / experiment harness.
+
+   The paper (Lynch & Attiya 1989/PODC'90) is pure theory and has no
+   experimental tables; the experiments E1-E8 regenerate its formal
+   claims as defined in DESIGN.md / EXPERIMENTS.md:
+
+     E1  first-GRANT window of the Section 4 resource manager
+     E2  inter-GRANT window of the Section 4 resource manager
+     E3  relay delay vs line length (Section 6)
+     E4  mapping verification (Lemma 4.3 / Lemma 6.2 / Corollary 6.3)
+     E5  completeness construction (Theorem 7.1)
+     E6  zone-based exact oracle (all systems, incl. refutations)
+     E7  Bechamel microbenchmarks of the machinery
+     E8  Fischer mutual exclusion (the conclusions' future work)
+     E9  extension systems: token ring, chained trigger, failure detector
+     E10 independent exact engines (zones vs regions) and liveness
+
+   Run all:        dune exec bench/main.exe
+   Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Prng = Tm_base.Prng
+module Semantics = Tm_timed.Semantics
+module TA = Tm_core.Time_automaton
+module Tgraph = Tm_core.Tgraph
+module Mapping = Tm_core.Mapping
+module Hierarchy = Tm_core.Hierarchy
+module Completeness = Tm_core.Completeness
+module D = Tm_core.Dummify
+module Reach = Tm_zones.Reach
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+module RM = Tm_systems.Resource_manager
+module IM = Tm_systems.Interrupt_manager
+module SR = Tm_systems.Signal_relay
+module F = Tm_systems.Fischer
+module RG = Tm_systems.Request_grant
+module TS = Tm_systems.Two_stage
+module TR = Tm_systems.Token_ring
+module FD = Tm_systems.Failure_detector
+module Region = Tm_zones.Region
+module Progress = Tm_core.Progress
+open Bench_util
+
+let q = Rational.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Shared measurement machinery                                        *)
+
+let rm_measured p ~runs ~steps =
+  let impl = RM.impl p in
+  let firsts = ref [] and gaps = ref [] in
+  for seed = 0 to runs - 1 do
+    let prng = Prng.create seed in
+    let run =
+      Simulator.simulate ~steps
+        ~strategy:(Strategy.random ~prng ~denominator:4 ~cap:(q 1))
+        impl
+    in
+    let ts =
+      Measure.occurrence_times (fun a -> a = RM.Grant) (Simulator.project run)
+    in
+    (match ts with t :: _ -> firsts := t :: !firsts | [] -> ());
+    gaps := Measure.gaps ts @ !gaps
+  done;
+  (* the procrastinating adversary adds the worst-case corner *)
+  let lazy_run =
+    Simulator.simulate ~steps
+      ~strategy:
+        (Strategy.lazy_ ~prefer:(fun a -> a = RM.Else) ~cap:(q 1) ())
+      impl
+  in
+  let ts =
+    Measure.occurrence_times (fun a -> a = RM.Grant)
+      (Simulator.project lazy_run)
+  in
+  (match ts with t :: _ -> firsts := t :: !firsts | [] -> ());
+  gaps := Measure.gaps ts @ !gaps;
+  (Measure.envelope !firsts, Measure.envelope !gaps)
+
+let im_measured p ~runs ~steps =
+  let impl = IM.impl p in
+  let firsts = ref [] and gaps = ref [] in
+  for seed = 0 to runs - 1 do
+    let prng = Prng.create seed in
+    let run =
+      Simulator.simulate ~steps
+        ~strategy:(Strategy.random ~prng ~denominator:4 ~cap:(q 1))
+        impl
+    in
+    let ts =
+      Measure.occurrence_times (fun a -> a = IM.Grant) (Simulator.project run)
+    in
+    (match ts with t :: _ -> firsts := t :: !firsts | [] -> ());
+    gaps := Measure.gaps ts @ !gaps
+  done;
+  (Measure.envelope !firsts, Measure.envelope !gaps)
+
+(* ------------------------------------------------------------------ *)
+(* E1 / E2: resource manager grant windows                             *)
+
+let rm_sweep =
+  [
+    (1, 2, 3, 1);
+    (2, 2, 3, 1);
+    (3, 2, 3, 1);
+    (5, 2, 3, 1);
+    (10, 2, 3, 1);
+    (3, 3, 5, 2);
+    (5, 4, 4, 3);
+  ]
+
+let e1 () =
+  section
+    "E1: first GRANT window — paper [k*c1, k*c2+l] vs exact grid vs measured";
+  row "%-18s %-12s %-14s %-40s %s\n" "(k,c1,c2,l)" "paper" "exact(grid)"
+    "measured (random+lazy sim)" "verdict";
+  List.iter
+    (fun (k, c1, c2, l) ->
+      let p = RM.params_of_ints ~k ~c1 ~c2 ~l in
+      let iv = RM.grant_interval_first p in
+      let a =
+        Completeness.analyze ~source:(RM.impl p)
+          ~conds:[| RM.g1 p; RM.g2 p |] ()
+      in
+      let exact = Completeness.start_bounds a ~cond:0 in
+      let first_env, _ = rm_measured p ~runs:60 ~steps:(40 * k) in
+      let ok = exact_matches iv exact && check_in iv first_env in
+      row "%-18s %-12s %-14s %-40s %s\n"
+        (Printf.sprintf "(%d,%d,%d,%d)" k c1 c2 l)
+        (pp_interval iv) (pp_bounds exact) (pp_env first_env) (verdict ok))
+    rm_sweep
+
+let e2 () =
+  section
+    "E2: inter-GRANT window — paper [k*c1-l, k*c2+l] vs exact grid vs measured";
+  row "%-18s %-12s %-14s %-40s %s\n" "(k,c1,c2,l)" "paper" "exact(grid)"
+    "measured" "verdict";
+  List.iter
+    (fun (k, c1, c2, l) ->
+      let p = RM.params_of_ints ~k ~c1 ~c2 ~l in
+      let iv = RM.grant_interval_between p in
+      let a =
+        Completeness.analyze ~source:(RM.impl p)
+          ~conds:[| RM.g1 p; RM.g2 p |] ()
+      in
+      let exact =
+        match
+          Completeness.bounds_after a
+            ~trigger:(fun _ act _ -> act = RM.Grant)
+            ~cond:1
+        with
+        | Some b -> b
+        | None -> (Time.Inf, Time.Inf)
+      in
+      let _, gap_env = rm_measured p ~runs:60 ~steps:(60 * k) in
+      let ok = exact_matches iv exact && check_in iv gap_env in
+      row "%-18s %-12s %-14s %-40s %s\n"
+        (Printf.sprintf "(%d,%d,%d,%d)" k c1 c2 l)
+        (pp_interval iv) (pp_bounds exact) (pp_env gap_env) (verdict ok))
+    rm_sweep;
+  (* ablation: interrupt-driven manager (footnote 7) *)
+  row "\n-- ablation: interrupt-driven manager (footnote 7), no ELSE --\n";
+  row "%-18s %-12s %-40s %s\n" "(k,c1,c2,l)" "predicted" "measured" "verdict";
+  List.iter
+    (fun (k, c1, c2, l) ->
+      let p = IM.params_of_ints ~k ~c1 ~c2 ~l in
+      let iv = IM.grant_interval_between p in
+      let _, gap_env = im_measured p ~runs:60 ~steps:(60 * k) in
+      let ok = check_in iv gap_env in
+      row "%-18s %-12s %-40s %s\n"
+        (Printf.sprintf "(%d,%d,%d,%d)" k c1 c2 l)
+        (pp_interval iv) (pp_env gap_env) (verdict ok))
+    [ (3, 2, 3, 1); (3, 2, 3, 3); (2, 3, 4, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: relay delay vs n                                                *)
+
+let e3 () =
+  section "E3: relay delay — paper [n*d1, n*d2] vs exact grid vs measured";
+  row "%-14s %-12s %-14s %-40s %s\n" "(n,d1,d2)" "paper" "exact(grid)"
+    "measured" "verdict";
+  let exact_cutoff = 64 in
+  List.iter
+    (fun (n, d1, d2) ->
+      let p = SR.params_of_ints ~n ~d1 ~d2 in
+      let iv = SR.delay_interval p in
+      let exact_str, exact_ok =
+        if n <= exact_cutoff then begin
+          let a =
+            Completeness.analyze ~source:(SR.impl p)
+              ~conds:[| SR.u_cond p ~k:0 |] ()
+          in
+          match
+            Completeness.bounds_after a
+              ~trigger:(fun _ act _ -> act = D.Base (SR.Signal 0))
+              ~cond:0
+          with
+          | Some b -> (pp_bounds b, exact_matches iv b)
+          | None -> ("(unreachable)", false)
+        end
+        else ("(skipped: n large)", true)
+      in
+      (* measured: random runs, delays between SIGNAL_0 and SIGNAL_n *)
+      let delays = ref [] in
+      let seeds = if n >= 32 then 29 else 59 in
+      for seed = 0 to seeds do
+        let prng = Prng.create seed in
+        let run =
+          Simulator.simulate ~steps:(8 * (n + 2))
+            ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+            (SR.impl p)
+        in
+        let seq = Simulator.project run in
+        let at i =
+          Measure.occurrence_times (fun a -> a = D.Base (SR.Signal i)) seq
+        in
+        match (at 0, at n) with
+        | [ t0 ], [ tn ] -> delays := Rational.sub tn t0 :: !delays
+        | _ -> ()
+      done;
+      let env = Measure.envelope !delays in
+      let ok = exact_ok && check_in iv env in
+      row "%-14s %-12s %-14s %-40s %s\n"
+        (Printf.sprintf "(%d,%d,%d)" n d1 d2)
+        (pp_interval iv) exact_str (pp_env env) (verdict ok))
+    [ (1, 1, 2); (2, 1, 2); (4, 1, 2); (8, 1, 2); (16, 1, 2); (32, 1, 2);
+      (64, 1, 2); (4, 2, 5); (8, 3, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: mapping verification                                            *)
+
+let e4 () =
+  section "E4: strong possibilities mappings (exhaustive, discretized)";
+  row "%-44s %-10s %-10s %s\n" "mapping" "states" "edges" "verdict";
+  List.iter
+    (fun k ->
+      let p = RM.params_of_ints ~k ~c1:2 ~c2:3 ~l:1 in
+      match
+        Mapping.check_exhaustive ~source:(RM.impl p) ~target:(RM.spec p)
+          (RM.mapping p) ()
+      with
+      | Ok st ->
+          row "%-44s %-10d %-10d %s\n"
+            (Printf.sprintf "Lemma 4.3 mapping, k=%d" k)
+            st.Mapping.product_states st.Mapping.product_edges "OK"
+      | Error _ ->
+          row "%-44s %-10s %-10s %s\n"
+            (Printf.sprintf "Lemma 4.3 mapping, k=%d" k)
+            "-" "-" "FAILED")
+    [ 1; 2; 3; 5 ];
+  List.iter
+    (fun n ->
+      let p = SR.params_of_ints ~n ~d1:1 ~d2:2 in
+      match
+        Hierarchy.check_exhaustive ~source:(SR.impl p) ~levels:(SR.chain p) ()
+      with
+      | Ok st ->
+          row "%-44s %-10d %-10d %s\n"
+            (Printf.sprintf "Corollary 6.3 hierarchy (f_k chain), n=%d" n)
+            st.Mapping.product_states st.Mapping.product_edges "OK"
+      | Error e ->
+          row "%-44s %-10s %-10s FAILED at level %d\n"
+            (Printf.sprintf "Corollary 6.3 hierarchy (f_k chain), n=%d" n)
+            "-" "-" e.Hierarchy.level_index)
+    [ 1; 2; 3; 4 ];
+  List.iter
+    (fun n ->
+      let p = TR.params_of_ints ~n ~d1:1 ~d2:2 in
+      match
+        Hierarchy.check_exhaustive ~source:(TR.impl p) ~levels:(TR.chain p) ()
+      with
+      | Ok st ->
+          row "%-44s %-10d %-10d %s\n"
+            (Printf.sprintf "token-ring hierarchy, n=%d" n)
+            st.Mapping.product_states st.Mapping.product_edges "OK"
+      | Error e ->
+          row "%-44s %-10s %-10s FAILED at level %d\n"
+            (Printf.sprintf "token-ring hierarchy, n=%d" n)
+            "-" "-" e.Hierarchy.level_index)
+    [ 2; 3; 4 ];
+  (let ts = TS.params_of_ints ~p1:1 ~p2:3 ~q1:1 ~q2:2 ~r1:2 ~r2:4 in
+   match
+     Hierarchy.check_exhaustive ~source:(TS.impl ts) ~levels:(TS.chain ts) ()
+   with
+   | Ok st ->
+       row "%-44s %-10d %-10d %s\n" "chained-trigger hierarchy (Sec. 8)"
+         st.Mapping.product_states st.Mapping.product_edges "OK"
+   | Error e ->
+       row "%-44s %-10s %-10s FAILED at level %d\n"
+         "chained-trigger hierarchy (Sec. 8)" "-" "-" e.Hierarchy.level_index);
+  (* failure injection: tightening the spec breaks the mapping *)
+  let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+  let tight =
+    TA.make (RM.system p)
+      [
+        Tm_timed.Condition.make ~name:"G1"
+          ~t_start:(fun _ -> true)
+          ~bounds:(Interval.make (q 6) (Time.of_int 9))
+          ~in_pi:(fun a -> a = RM.Grant)
+          ();
+        RM.g2 p;
+      ]
+  in
+  match
+    Mapping.check_exhaustive ~source:(RM.impl p) ~target:tight (RM.mapping p)
+      ()
+  with
+  | Error _ ->
+      row "%-44s %-10s %-10s %s\n" "mutation: G1 upper 10 -> 9" "-" "-"
+        "REFUTED (expected)"
+  | Ok _ ->
+      row "%-44s %-10s %-10s %s\n" "mutation: G1 upper 10 -> 9" "-" "-"
+        "UNEXPECTED PASS"
+
+(* ------------------------------------------------------------------ *)
+(* E5: completeness                                                    *)
+
+let e5 () =
+  section "E5: Theorem 7.1 — constructed mappings re-verified";
+  row "%-44s %-10s %-10s %s\n" "system" "graph" "product" "verdict";
+  List.iter
+    (fun k ->
+      let p = RM.params_of_ints ~k ~c1:2 ~c2:3 ~l:1 in
+      let impl = RM.impl p in
+      let a =
+        Completeness.analyze ~source:impl ~conds:[| RM.g1 p; RM.g2 p |] ()
+      in
+      let f = Completeness.mapping a ~spec:(RM.spec p) in
+      match Mapping.check_exhaustive ~source:impl ~target:(RM.spec p) f () with
+      | Ok st ->
+          row "%-44s %-10d %-10d %s\n"
+            (Printf.sprintf "resource manager, k=%d" k)
+            (Tgraph.node_count (Completeness.graph a))
+            st.Mapping.product_states "OK"
+      | Error _ ->
+          row "%-44s %-10s %-10s %s\n"
+            (Printf.sprintf "resource manager, k=%d" k)
+            "-" "-" "FAILED")
+    [ 1; 2; 3 ];
+  List.iter
+    (fun n ->
+      let p = SR.params_of_ints ~n ~d1:1 ~d2:2 in
+      let impl = SR.impl p in
+      let a =
+        Completeness.analyze ~source:impl ~conds:[| SR.u_cond p ~k:0 |] ()
+      in
+      let f = Completeness.mapping a ~spec:(SR.spec p) in
+      match Mapping.check_exhaustive ~source:impl ~target:(SR.spec p) f () with
+      | Ok st ->
+          row "%-44s %-10d %-10d %s\n"
+            (Printf.sprintf "signal relay, n=%d" n)
+            (Tgraph.node_count (Completeness.graph a))
+            st.Mapping.product_states "OK"
+      | Error _ ->
+          row "%-44s %-10s %-10s %s\n"
+            (Printf.sprintf "signal relay, n=%d" n)
+            "-" "-" "FAILED")
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: zone oracle                                                     *)
+
+let e6 () =
+  section "E6: exact zone-based verification (no discretization)";
+  row "%-52s %-10s %-8s %s\n" "claim" "locations" "zones" "verdict";
+  let show name expected outcome =
+    let result, locs, zones =
+      match outcome with
+      | Reach.Verified st -> ("VERIFIED", st.Reach.locations, st.Reach.zones)
+      | Reach.Lower_violation _ -> ("LOWER-VIOLATED", 0, 0)
+      | Reach.Upper_violation _ -> ("UPPER-VIOLATED", 0, 0)
+      | Reach.Unsupported m -> ("unsupported: " ^ m, 0, 0)
+    in
+    let ok = String.equal result expected in
+    row "%-52s %-10d %-8d %s%s\n" name locs zones result
+      (if ok then "" else "  (EXPECTED " ^ expected ^ ")")
+  in
+  let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+  let sys = RM.system p and bm = RM.boundmap p in
+  show "manager G1 = [6,10]" "VERIFIED" (Reach.check_condition sys bm (RM.g1 p));
+  show "manager G2 = [5,10]" "VERIFIED" (Reach.check_condition sys bm (RM.g2 p));
+  let g1x lo hi =
+    Tm_timed.Condition.make ~name:"G1x"
+      ~t_start:(fun _ -> true)
+      ~bounds:(Interval.make lo hi)
+      ~in_pi:(fun a -> a = RM.Grant)
+      ()
+  in
+  show "manager G1 tightened to [6,9]" "UPPER-VIOLATED"
+    (Reach.check_condition sys bm (g1x (q 6) (Time.of_int 9)));
+  show "manager G1 tightened to [7,10]" "LOWER-VIOLATED"
+    (Reach.check_condition sys bm (g1x (q 7) (Time.of_int 10)));
+  let ip = IM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:3 in
+  show "interrupt manager G2 (l >= c1)" "VERIFIED"
+    (Reach.check_condition (IM.system ip) (IM.boundmap ip) (IM.g2 ip));
+  List.iter
+    (fun n ->
+      let rp = SR.params_of_ints ~n ~d1:1 ~d2:2 in
+      let u =
+        Tm_timed.Condition.make ~name:"U0n"
+          ~t_step:(fun _ a _ -> a = SR.Signal 0)
+          ~bounds:(SR.delay_interval rp)
+          ~in_pi:(fun a -> a = SR.Signal n)
+          ()
+      in
+      show
+        (Printf.sprintf "relay U(0,%d) = [%d,%d]" n n (2 * n))
+        "VERIFIED"
+        (Reach.check_condition (SR.line rp) (SR.boundmap rp) u))
+    [ 2; 4; 8; 16 ];
+  List.iter
+    (fun n ->
+      let tp = TR.params_of_ints ~n ~d1:1 ~d2:2 in
+      show
+        (Printf.sprintf "token ring rotation, n=%d = [%d,%d]" n n (2 * n))
+        "VERIFIED"
+        (Reach.check_condition (TR.system tp) (TR.boundmap tp)
+           (TR.u_rotation tp)))
+    [ 3; 6 ];
+  (let ts = TS.params_of_ints ~p1:1 ~p2:3 ~q1:1 ~q2:2 ~r1:2 ~r2:4 in
+   show "chained trigger end-to-end = [3,6]" "VERIFIED"
+     (Reach.check_condition (TS.system ts) (TS.boundmap ts)
+        (TS.u_end_to_end ts)));
+  (let fd = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2 in
+   show "failure detection window = [2,9]" "VERIFIED"
+     (Reach.check_condition (FD.system fd) (FD.boundmap fd) (FD.u_detect fd)));
+  let rgp = RG.params_of_ints ~r1:2 ~r2:5 ~w1:1 ~w2:3 in
+  show "request-grant with disabling set" "VERIFIED"
+    (Reach.check_condition (RG.system rgp) (RG.boundmap rgp)
+       (RG.u_response rgp));
+  show "request-grant without disabling set" "UPPER-VIOLATED"
+    (Reach.check_condition (RG.system rgp) (RG.boundmap rgp)
+       (RG.u_response_no_disable rgp))
+
+(* ------------------------------------------------------------------ *)
+(* E8: Fischer                                                         *)
+
+let e8 () =
+  section "E8: Fischer timed mutual exclusion";
+  row "%-52s %s\n" "claim" "verdict";
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  (match
+     Reach.check_state_invariant (F.system p) (F.boundmap p)
+       F.mutual_exclusion
+   with
+  | Ok st ->
+      row "%-52s VERIFIED (%d locations, %d zones)\n"
+        "mutual exclusion, n=2, a=1 < b=2" st.Reach.locations st.Reach.zones
+  | Error _ -> row "%-52s VIOLATED (unexpected)\n" "mutual exclusion, a < b");
+  (match
+     let bad = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:2 ~b:2 ~b2:3 ~e:2 in
+     Reach.check_state_invariant (F.system bad) (F.boundmap bad)
+       F.mutual_exclusion
+   with
+  | Error _ -> row "%-52s REFUTED (expected)\n" "mutual exclusion, a = b"
+  | Ok _ -> row "%-52s UNEXPECTED PASS\n" "mutual exclusion, a = b");
+  (match Reach.check_condition (F.system p) (F.boundmap p) (F.u_enter p) with
+  | Reach.Verified st ->
+      row "%-52s VERIFIED (%d locations, %d zones)\n"
+        "uncontended SET -> ENTER within [b, b2] = [2,3]" st.Reach.locations
+        st.Reach.zones
+  | _ -> row "%-52s FAILED\n" "uncontended SET -> ENTER within [b, b2]");
+  (* simulation statistics *)
+  let enters = ref 0 and steps_total = ref 0 in
+  for seed = 0 to 39 do
+    let prng = Prng.create seed in
+    let run =
+      Simulator.simulate ~steps:150
+        ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 1))
+        (F.impl p)
+    in
+    let seq = Simulator.project run in
+    steps_total := !steps_total + Tm_timed.Tseq.length seq;
+    enters :=
+      !enters
+      + List.length
+          (Measure.occurrence_times
+             (function F.Enter _ -> true | _ -> false)
+             seq)
+  done;
+  row "%-52s %d critical-section entries over %d simulated steps\n"
+    "random simulation, 40 seeds" !enters !steps_total
+
+(* ------------------------------------------------------------------ *)
+(* E7: Bechamel microbenchmarks                                        *)
+
+let e7 () =
+  section "E7: machinery cost (Bechamel, monotonic clock, ns/run)";
+  let open Bechamel in
+  let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+  let impl = RM.impl p in
+  let spec = RM.spec p in
+  let trace steps =
+    let prng = Prng.create 42 in
+    Simulator.simulate ~steps
+      ~strategy:(Strategy.random ~prng ~denominator:4 ~cap:(q 1))
+      impl
+  in
+  let run200 = trace 200 in
+  let seq200 = Simulator.project run200 in
+  let conds = [ RM.g1 p; RM.g2 p ] in
+  let rp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2 in
+  let tests =
+    [
+      Test.make ~name:"trace-check: satisfies, 200-step trace"
+        (Staged.stage (fun () -> Semantics.satisfies_all seq200 conds));
+      Test.make ~name:"trace-check: Def 2.1 direct, 200-step trace"
+        (Staged.stage (fun () ->
+             Semantics.is_timed_execution ~complete:false (RM.system p)
+               (RM.boundmap p) seq200));
+      Test.make ~name:"mapping: check_exec on 200-step trace"
+        (Staged.stage (fun () ->
+             Mapping.check_exec ~source:impl ~target:spec (RM.mapping p)
+               run200.Simulator.exec));
+      Test.make ~name:"mapping: exhaustive check (k=3)"
+        (Staged.stage (fun () ->
+             Mapping.check_exhaustive ~source:impl ~target:spec
+               (RM.mapping p) ()));
+      Test.make ~name:"simulate 200 steps (random strategy)"
+        (Staged.stage (fun () -> trace 200));
+      Test.make ~name:"tgraph: build discretized graph (k=3)"
+        (Staged.stage (fun () -> Tgraph.build impl));
+      Test.make ~name:"completeness: analyze (k=3)"
+        (Staged.stage (fun () ->
+             Completeness.analyze ~source:impl
+               ~conds:[| RM.g1 p; RM.g2 p |] ()));
+      Test.make ~name:"zones: verify G1 (k=3)"
+        (Staged.stage (fun () ->
+             Reach.check_condition (RM.system p) (RM.boundmap p) (RM.g1 p)));
+      Test.make ~name:"zones: verify relay U(0,3)"
+        (Staged.stage (fun () ->
+             Reach.check_condition (SR.line rp) (SR.boundmap rp)
+               (Tm_timed.Condition.make ~name:"u"
+                  ~t_step:(fun _ a _ -> a = SR.Signal 0)
+                  ~bounds:(SR.delay_interval rp)
+                  ~in_pi:(fun a -> a = SR.Signal rp.SR.n)
+                  ())));
+      Test.make ~name:"hierarchy: exhaustive chain (n=3)"
+        (Staged.stage (fun () ->
+             Hierarchy.check_exhaustive ~source:(SR.impl rp)
+               ~levels:(SR.chain rp) ()));
+      Test.make ~name:"refinement: mapping-free check (k=3)"
+        (Staged.stage (fun () ->
+             Tm_core.Refinement.check ~source:impl ~target:spec ()));
+      Test.make ~name:"regions: timed reachability (k=3)"
+        (Staged.stage (fun () ->
+             Region.reachable (RM.system p) (RM.boundmap p)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  row "%-48s %14s %10s\n" "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock result in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | Some _ | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square est with Some r -> r | None -> nan
+          in
+          row "%-48s %14.1f %10.4f\n" (Test.Elt.name elt) ns r2)
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* E9: extension systems                                               *)
+
+let e9 () =
+  section "E9: extension systems — predicted vs exact windows";
+  row "%-40s %-14s %-14s %s\n" "claim" "predicted" "exact(grid)" "verdict";
+  (* token ring rotation *)
+  List.iter
+    (fun (n, d1, d2) ->
+      let p = TR.params_of_ints ~n ~d1 ~d2 in
+      let a =
+        Completeness.analyze ~source:(TR.impl p)
+          ~conds:[| TR.u_rotation p |] ()
+      in
+      match
+        Completeness.bounds_after a
+          ~trigger:(fun _ act _ -> act = TR.Pass 0)
+          ~cond:0
+      with
+      | Some b ->
+          row "%-40s %-14s %-14s %s\n"
+            (Printf.sprintf "ring rotation (n=%d,d=[%d,%d])" n d1 d2)
+            (pp_interval (TR.rotation_interval p))
+            (pp_bounds b)
+            (verdict (exact_matches (TR.rotation_interval p) b))
+      | None ->
+          row "%-40s %-14s %-14s MISSING\n"
+            (Printf.sprintf "ring rotation (n=%d)" n)
+            (pp_interval (TR.rotation_interval p))
+            "-")
+    [ (2, 1, 2); (4, 1, 2); (6, 2, 3) ];
+  (* chained trigger *)
+  (let p = TS.params_of_ints ~p1:1 ~p2:3 ~q1:1 ~q2:2 ~r1:2 ~r2:4 in
+   let a =
+     Completeness.analyze ~source:(TS.impl p) ~conds:[| TS.u_end_to_end p |] ()
+   in
+   match
+     Completeness.bounds_after a
+       ~trigger:(fun _ act _ -> act = TS.Start)
+       ~cond:0
+   with
+   | Some b ->
+       row "%-40s %-14s %-14s %s\n" "chained trigger end-to-end"
+         (pp_interval (TS.end_to_end_interval p))
+         (pp_bounds b)
+         (verdict (exact_matches (TS.end_to_end_interval p) b))
+   | None -> row "%-40s MISSING\n" "chained trigger end-to-end");
+  (* failure detector sweep *)
+  List.iter
+    (fun (h1, h2, g1, g2, m) ->
+      let p = FD.params_of_ints ~h1 ~h2 ~g1 ~g2 ~m in
+      let a =
+        Completeness.analyze ~source:(FD.impl p) ~conds:[| FD.u_detect p |] ()
+      in
+      match
+        Completeness.bounds_after a
+          ~trigger:(fun _ act _ -> act = FD.Crash)
+          ~cond:0
+      with
+      | Some b ->
+          row "%-40s %-14s %-14s %s\n"
+            (Printf.sprintf "crash detection (h=[%d,%d],g=[%d,%d],m=%d)" h1
+               h2 g1 g2 m)
+            (pp_interval (FD.detection_interval p))
+            (pp_bounds b)
+            (verdict (exact_matches (FD.detection_interval p) b))
+      | None ->
+          row "%-40s MISSING\n"
+            (Printf.sprintf "crash detection m=%d" m))
+    [ (1, 1, 2, 3, 1); (1, 2, 2, 3, 2); (1, 2, 2, 3, 3); (1, 2, 3, 4, 2) ];
+  (* accuracy: verified in regime, refuted outside *)
+  row "\n%-52s %s\n" "failure-detector accuracy" "verdict";
+  (let good = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2 in
+   match
+     Reach.check_state_invariant (FD.system good) (FD.boundmap good)
+       FD.no_false_suspicion
+   with
+   | Ok st ->
+       row "%-52s VERIFIED (%d zones)\n" "h2 <= g1 (fast heartbeats)"
+         st.Reach.zones
+   | Error _ -> row "%-52s VIOLATED (unexpected)\n" "h2 <= g1");
+  (let bad = FD.params_of_ints ~h1:5 ~h2:8 ~g1:2 ~g2:3 ~m:2 in
+   match
+     Reach.check_state_invariant (FD.system bad) (FD.boundmap bad)
+       FD.no_false_suspicion
+   with
+   | Error _ -> row "%-52s REFUTED (expected)\n" "h2 > g1 (slow heartbeats)"
+   | Ok _ -> row "%-52s UNEXPECTED PASS\n" "h2 > g1")
+
+(* E10: independent exact engines and liveness *)
+
+let e10 () =
+  section "E10: zones vs regions (independent exact engines) and liveness";
+  row "%-36s %-18s %-18s %s\n" "system" "zones (locs/zones)"
+    "regions (locs/rgns)" "reachable sets";
+  let compare_engines (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm =
+    let zst, zs = Reach.reachable sys bm in
+    let rst, rs = Region.reachable sys bm in
+    let agree =
+      List.length zs = List.length rs
+      && List.for_all
+           (fun st -> List.exists (sys.Tm_ioa.Ioa.equal_state st) rs)
+           zs
+    in
+    row "%-36s %-18s %-18s %s\n" name
+      (Printf.sprintf "%d/%d" zst.Reach.locations zst.Reach.zones)
+      (Printf.sprintf "%d/%d" rst.Region.locations rst.Region.regions)
+      (if agree then "AGREE" else "DISAGREE")
+  in
+  (let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+   compare_engines "resource manager (k=3)" (RM.system p) (RM.boundmap p));
+  (let p = IM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:3 in
+   compare_engines "interrupt manager (l>c1)" (IM.system p) (IM.boundmap p));
+  (let p = SR.params_of_ints ~n:4 ~d1:1 ~d2:2 in
+   compare_engines "signal relay (n=4)" (SR.line p) (SR.boundmap p));
+  (let p = TR.params_of_ints ~n:4 ~d1:1 ~d2:2 in
+   compare_engines "token ring (n=4)" (TR.system p) (TR.boundmap p));
+  (let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2 in
+   compare_engines "failure detector" (FD.system p) (FD.boundmap p));
+  (let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   compare_engines "fischer (n=2)" (F.system p) (F.boundmap p));
+  row "\n%-52s %s\n" "liveness (deadlocks / Zeno traps)" "verdict";
+  let live name aut =
+    let r = Progress.analyze aut in
+    row "%-52s %s\n" name
+      (if Progress.ok r then "time can always diverge"
+       else
+         Printf.sprintf "%d deadlocked, %d Zeno-trapped"
+           (List.length r.Progress.deadlocked)
+           (List.length r.Progress.zeno_trapped))
+  in
+  live "resource manager" (RM.impl (RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1));
+  live "dummified relay" (SR.impl (SR.params_of_ints ~n:3 ~d1:1 ~d2:2));
+  live "raw relay (expect deadlocks)"
+    (TA.of_boundmap
+       (SR.line (SR.params_of_ints ~n:3 ~d1:1 ~d2:2))
+       (SR.boundmap (SR.params_of_ints ~n:3 ~d1:1 ~d2:2)));
+  live "token ring" (TR.impl (TR.params_of_ints ~n:4 ~d1:1 ~d2:2));
+  live "failure detector"
+    (FD.impl (FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2))
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested

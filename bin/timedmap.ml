@@ -1,0 +1,632 @@
+(* timedmap — command-line driver for the timed-mappings library.
+
+   Subcommands:
+     simulate   run a system under a scheduling strategy, print the trace
+     check      simulate many seeds and check the timing conditions
+     verify     exact zone-based verification of the timing conditions
+     map        check the strong possibilities mappings (paper proofs)
+     exact      exact first-occurrence windows from the discretized graph
+     progress   deadlock / Zeno-trap (time divergence) analysis
+*)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Prng = Tm_base.Prng
+module Tseq = Tm_timed.Tseq
+module Condition = Tm_timed.Condition
+module Semantics = Tm_timed.Semantics
+module TA = Tm_core.Time_automaton
+module Mapping = Tm_core.Mapping
+module Hierarchy = Tm_core.Hierarchy
+module Completeness = Tm_core.Completeness
+module D = Tm_core.Dummify
+module Reach = Tm_zones.Reach
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+module RM = Tm_systems.Resource_manager
+module IM = Tm_systems.Interrupt_manager
+module SR = Tm_systems.Signal_relay
+module F = Tm_systems.Fischer
+module RG = Tm_systems.Request_grant
+module TR = Tm_systems.Token_ring
+module FD = Tm_systems.Failure_detector
+module TS = Tm_systems.Two_stage
+module Progress = Tm_core.Progress
+
+let q = Rational.of_int
+
+(* A system instance packaged with everything the subcommands need,
+   hiding the state/action types. *)
+type instance = {
+  describe : string;
+  simulate :
+    steps:int -> strategy:string -> seed:int -> unit (* prints *) -> unit;
+  check : runs:int -> steps:int -> int (* = number of violations *);
+  verify : unit -> unit;
+  map : unit -> unit;
+  exact : unit -> unit;
+  progress : unit -> unit;
+}
+
+let make_strategy name seed denominator =
+  match name with
+  | "eager" -> Strategy.eager
+  | "lazy" -> Strategy.lazy_ ~cap:(q 1) ()
+  | "random" ->
+      Strategy.random ~prng:(Prng.create seed) ~denominator ~cap:(q 1)
+  | other -> failwith (Printf.sprintf "unknown strategy %S" other)
+
+let print_trace (type s a) (aut : (s, a) TA.t) (seq : (s, a) Tseq.t)
+    violations =
+  let base = aut.TA.base in
+  List.iter
+    (fun ((act, t), _) ->
+      Format.printf "  t=%-8s %a@." (Rational.to_string t)
+        base.Tm_ioa.Ioa.pp_action act)
+    seq.Tseq.moves;
+  if violations = [] then Format.printf "conditions: all satisfied@."
+  else
+    List.iter
+      (fun v -> Format.printf "VIOLATION: %a@." Semantics.pp_violation v)
+      violations
+
+let generic_check (type s a) (aut : (s, a) TA.t)
+    (conds : (s, a) Condition.t list) ~runs ~steps ~denominator =
+  let violations = ref 0 in
+  for seed = 0 to runs - 1 do
+    let prng = Prng.create seed in
+    let run =
+      Simulator.simulate ~steps
+        ~strategy:(Strategy.random ~prng ~denominator ~cap:(q 1))
+        aut
+    in
+    let vs = Semantics.semi_satisfies_all (Simulator.project run) conds in
+    violations := !violations + List.length vs
+  done;
+  !violations
+
+let zone_verify (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
+    (conds : (s, a) Condition.t list) =
+  List.iter
+    (fun (c : (s, a) Condition.t) ->
+      match Reach.check_condition sys bm c with
+      | Reach.Verified st ->
+          Format.printf "%s %s %s: VERIFIED (%d locations, %d zones)@." name
+            c.Condition.cname
+            (Interval.to_string c.Condition.bounds)
+            st.Reach.locations st.Reach.zones
+      | Reach.Lower_violation _ ->
+          Format.printf "%s %s: LOWER BOUND VIOLATED@." name c.Condition.cname
+      | Reach.Upper_violation _ ->
+          Format.printf "%s %s: UPPER BOUND VIOLATED@." name c.Condition.cname
+      | Reach.Unsupported m ->
+          Format.printf "%s %s: unsupported (%s)@." name c.Condition.cname m)
+    conds
+
+let show_progress (type s a) (aut : (s, a) TA.t) () =
+  Format.printf "%a@." Progress.pp_report (Progress.analyze aut)
+
+let rm_instance ~k ~c1 ~c2 ~l =
+  let p = RM.params_of_ints ~k ~c1 ~c2 ~l in
+  let impl = RM.impl p in
+  let conds = [ RM.g1 p; RM.g2 p ] in
+  {
+    describe =
+      Printf.sprintf
+        "resource manager (Section 4): k=%d c1=%d c2=%d l=%d; G1=%s G2=%s" k
+        c1 c2 l
+        (Interval.to_string (RM.grant_interval_first p))
+        (Interval.to_string (RM.grant_interval_between p));
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps
+            ~strategy:(make_strategy strategy seed 4)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq (Semantics.semi_satisfies_all seq conds));
+    check =
+      (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
+    verify = (fun () -> zone_verify "manager" (RM.system p) (RM.boundmap p) conds);
+    map =
+      (fun () ->
+        match
+          Mapping.check_exhaustive ~source:impl ~target:(RM.spec p)
+            (RM.mapping p) ()
+        with
+        | Ok st ->
+            Format.printf
+              "Lemma 4.3 mapping: OK (%d product states, %d edges)@."
+              st.Mapping.product_states st.Mapping.product_edges
+        | Error e ->
+            Format.printf "Lemma 4.3 mapping: FAILED@.  %a@."
+              (Mapping.pp_failure impl) e);
+    exact =
+      (fun () ->
+        let a =
+          Completeness.analyze ~source:impl ~conds:[| RM.g1 p; RM.g2 p |] ()
+        in
+        let lo, hi = Completeness.start_bounds a ~cond:0 in
+        Format.printf "first GRANT:      exact [%a, %a], paper %s@." Time.pp
+          lo Time.pp hi
+          (Interval.to_string (RM.grant_interval_first p));
+        match
+          Completeness.bounds_after a
+            ~trigger:(fun _ act _ -> act = RM.Grant)
+            ~cond:1
+        with
+        | Some (lo, hi) ->
+            Format.printf "between GRANTs:   exact [%a, %a], paper %s@."
+              Time.pp lo Time.pp hi
+              (Interval.to_string (RM.grant_interval_between p))
+        | None -> Format.printf "no GRANT edges reachable@.");
+    progress = show_progress impl;
+  }
+
+let im_instance ~k ~c1 ~c2 ~l =
+  let p = IM.params_of_ints ~k ~c1 ~c2 ~l in
+  let impl = IM.impl p in
+  let conds = [ IM.g1 p; IM.g2 p ] in
+  {
+    describe =
+      Printf.sprintf
+        "interrupt-driven manager (footnote 7): k=%d c1=%d c2=%d l=%d" k c1
+        c2 l;
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps
+            ~strategy:(make_strategy strategy seed 4)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq (Semantics.semi_satisfies_all seq conds));
+    check =
+      (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
+    verify =
+      (fun () -> zone_verify "interrupt" (IM.system p) (IM.boundmap p) conds);
+    map = (fun () -> Format.printf "no paper mapping for this variant@.");
+    exact =
+      (fun () ->
+        let a =
+          Completeness.analyze ~source:impl ~conds:[| IM.g1 p; IM.g2 p |] ()
+        in
+        let lo, hi = Completeness.start_bounds a ~cond:0 in
+        Format.printf "first GRANT:    exact [%a, %a], predicted %s@." Time.pp
+          lo Time.pp hi
+          (Interval.to_string (IM.grant_interval_first p));
+        match
+          Completeness.bounds_after a
+            ~trigger:(fun _ act _ -> act = IM.Grant)
+            ~cond:1
+        with
+        | Some (lo, hi) ->
+            Format.printf "between GRANTs: exact [%a, %a], predicted %s@."
+              Time.pp lo Time.pp hi
+              (Interval.to_string (IM.grant_interval_between p))
+        | None -> Format.printf "no GRANT edges reachable@.");
+    progress = show_progress impl;
+  }
+
+let relay_instance ~n ~d1 ~d2 =
+  let p = SR.params_of_ints ~n ~d1 ~d2 in
+  let impl = SR.impl p in
+  let conds = List.init n (fun k -> SR.u_cond p ~k) in
+  {
+    describe =
+      Printf.sprintf "signal relay (Section 6): n=%d d1=%d d2=%d; U(0,n)=%s"
+        n d1 d2
+        (Interval.to_string (SR.delay_interval p));
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps
+            ~strategy:(make_strategy strategy seed 2)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq (Semantics.semi_satisfies_all seq conds));
+    check =
+      (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:2);
+    verify =
+      (fun () ->
+        let u =
+          Condition.make ~name:"U(0,n)"
+            ~t_step:(fun _ a _ -> a = SR.Signal 0)
+            ~bounds:(SR.delay_interval p)
+            ~in_pi:(fun a -> a = SR.Signal n)
+            ()
+        in
+        zone_verify "relay" (SR.line p) (SR.boundmap p) [ u ]);
+    map =
+      (fun () ->
+        match Hierarchy.check_exhaustive ~source:impl ~levels:(SR.chain p) () with
+        | Ok st ->
+            Format.printf
+              "Corollary 6.3 hierarchy (%d levels): OK (%d product states)@."
+              (List.length (SR.chain p))
+              st.Mapping.product_states
+        | Error e ->
+            Format.printf "hierarchy FAILED at level %d (%s)@."
+              e.Hierarchy.level_index e.Hierarchy.level_name);
+    exact =
+      (fun () ->
+        let a =
+          Completeness.analyze ~source:impl ~conds:[| SR.u_cond p ~k:0 |] ()
+        in
+        match
+          Completeness.bounds_after a
+            ~trigger:(fun _ act _ -> act = D.Base (SR.Signal 0))
+            ~cond:0
+        with
+        | Some (lo, hi) ->
+            Format.printf "delay: exact [%a, %a], paper %s@." Time.pp lo
+              Time.pp hi
+              (Interval.to_string (SR.delay_interval p))
+        | None -> Format.printf "SIGNAL_0 unreachable@.");
+    progress = show_progress impl;
+  }
+
+let fischer_instance ~n ~a ~b =
+  let p =
+    F.params_of_ints ~n ~r:2 ~t:1 ~a ~b ~b2:(b + 1) ~e:2
+  in
+  let impl = F.impl p in
+  {
+    describe =
+      Printf.sprintf "Fischer mutual exclusion: n=%d a=%d b=%d (safe iff a<b)"
+        n a b;
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps
+            ~strategy:(make_strategy strategy seed 2)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq
+          (Semantics.semi_satisfies_all seq [ F.u_enter p ]));
+    check =
+      (fun ~runs ~steps ->
+        generic_check impl [ F.u_enter p ] ~runs ~steps ~denominator:2);
+    verify =
+      (fun () ->
+        (match
+           Reach.check_state_invariant (F.system p) (F.boundmap p)
+             F.mutual_exclusion
+         with
+        | Ok st ->
+            Format.printf "mutual exclusion: VERIFIED (%d zones)@."
+              st.Reach.zones
+        | Error s ->
+            Format.printf "mutual exclusion: VIOLATED at %a@."
+              (F.system p).Tm_ioa.Ioa.pp_state s);
+        zone_verify "fischer" (F.system p) (F.boundmap p) [ F.u_enter p ]);
+    map = (fun () -> Format.printf "no paper mapping for this system@.");
+    exact = (fun () -> Format.printf "exact analysis not wired for fischer@.");
+    progress = show_progress impl;
+  }
+
+let rg_instance ~r1 ~r2 ~w1 ~w2 =
+  let p = RG.params_of_ints ~r1 ~r2 ~w1 ~w2 in
+  let impl = RG.impl p in
+  {
+    describe =
+      Printf.sprintf
+        "request-grant (conclusions): REQ every [%d,%d], RESP within [%d,%d]"
+        r1 r2 w1 w2;
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps
+            ~strategy:(make_strategy strategy seed 2)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq
+          (Semantics.semi_satisfies_all seq [ RG.u_response p ]));
+    check =
+      (fun ~runs ~steps ->
+        generic_check impl [ RG.u_response p ] ~runs ~steps ~denominator:2);
+    verify =
+      (fun () ->
+        zone_verify "request-grant" (RG.system p) (RG.boundmap p)
+          [ RG.u_response p ];
+        match
+          Reach.check_condition (RG.system p) (RG.boundmap p)
+            (RG.u_response_no_disable p)
+        with
+        | Reach.Upper_violation _ ->
+            Format.printf
+              "without the disabling set: UPPER BOUND VIOLATED (as designed)@."
+        | Reach.Verified _ ->
+            Format.printf "without the disabling set: verified (requests are spaced out)@."
+        | _ -> Format.printf "without the disabling set: other@.");
+    map = (fun () -> Format.printf "no paper mapping for this system@.");
+    exact = (fun () -> Format.printf "exact analysis not wired for request-grant@.");
+    progress = show_progress impl;
+  }
+
+let ring_instance ~n ~d1 ~d2 =
+  let p = TR.params_of_ints ~n ~d1 ~d2 in
+  let impl = TR.impl p in
+  {
+    describe =
+      Printf.sprintf "token ring: n=%d, hop [%d,%d], rotation %s" n d1 d2
+        (Interval.to_string (TR.rotation_interval p));
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps ~strategy:(make_strategy strategy seed 2)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq
+          (Semantics.semi_satisfies_all seq [ TR.u_rotation p ]));
+    check =
+      (fun ~runs ~steps ->
+        generic_check impl [ TR.u_rotation p ] ~runs ~steps ~denominator:2);
+    verify =
+      (fun () ->
+        zone_verify "ring" (TR.system p) (TR.boundmap p) [ TR.u_rotation p ]);
+    map =
+      (fun () ->
+        match
+          Hierarchy.check_exhaustive ~source:impl ~levels:(TR.chain p) ()
+        with
+        | Ok st ->
+            Format.printf "ring hierarchy: OK (%d product states)@."
+              st.Mapping.product_states
+        | Error e ->
+            Format.printf "ring hierarchy FAILED at level %d (%s)@."
+              e.Hierarchy.level_index e.Hierarchy.level_name);
+    exact =
+      (fun () ->
+        let a =
+          Completeness.analyze ~source:impl ~conds:[| TR.u_rotation p |] ()
+        in
+        match
+          Completeness.bounds_after a
+            ~trigger:(fun _ act _ -> act = TR.Pass 0)
+            ~cond:0
+        with
+        | Some (lo, hi) ->
+            Format.printf "rotation: exact [%a, %a], predicted %s@." Time.pp
+              lo Time.pp hi
+              (Interval.to_string (TR.rotation_interval p))
+        | None -> Format.printf "no rotations reachable@.");
+    progress = show_progress impl;
+  }
+
+let fd_instance ~g1 ~g2 ~m =
+  let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1 ~g2 ~m in
+  let impl = FD.impl p in
+  {
+    describe =
+      Printf.sprintf
+        "failure detector: hb [1,2], poll [%d,%d], m=%d; detection %s%s" g1
+        g2 m
+        (Interval.to_string (FD.detection_interval p))
+        (if FD.accurate p then "" else " (INACCURATE regime)");
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps ~strategy:(make_strategy strategy seed 2)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq
+          (Semantics.semi_satisfies_all seq [ FD.u_detect p ]));
+    check =
+      (fun ~runs ~steps ->
+        generic_check impl [ FD.u_detect p ] ~runs ~steps ~denominator:2);
+    verify =
+      (fun () ->
+        (match
+           Reach.check_state_invariant (FD.system p) (FD.boundmap p)
+             FD.no_false_suspicion
+         with
+        | Ok st ->
+            Format.printf "accuracy: VERIFIED (%d zones)@." st.Reach.zones
+        | Error s ->
+            Format.printf "accuracy: false suspicion reachable at %a@."
+              (FD.system p).Tm_ioa.Ioa.pp_state s);
+        zone_verify "detector" (FD.system p) (FD.boundmap p)
+          [ FD.u_detect p ]);
+    map = (fun () -> Format.printf "no paper mapping for this system@.");
+    exact =
+      (fun () ->
+        let a =
+          Completeness.analyze ~source:impl ~conds:[| FD.u_detect p |] ()
+        in
+        match
+          Completeness.bounds_after a
+            ~trigger:(fun _ act _ -> act = FD.Crash)
+            ~cond:0
+        with
+        | Some (lo, hi) ->
+            Format.printf "detection: exact [%a, %a], predicted %s@." Time.pp
+              lo Time.pp hi
+              (Interval.to_string (FD.detection_interval p))
+        | None -> Format.printf "no crashes reachable@.");
+    progress = show_progress impl;
+  }
+
+let two_stage_instance () =
+  let p = TS.params_of_ints ~p1:1 ~p2:3 ~q1:1 ~q2:2 ~r1:2 ~r2:4 in
+  let impl = TS.impl p in
+  {
+    describe =
+      Printf.sprintf "chained trigger (Sec. 8): end-to-end %s"
+        (Interval.to_string (TS.end_to_end_interval p));
+    simulate =
+      (fun ~steps ~strategy ~seed () ->
+        let run =
+          Simulator.simulate ~steps ~strategy:(make_strategy strategy seed 2)
+            impl
+        in
+        let seq = Simulator.project run in
+        print_trace impl seq
+          (Semantics.semi_satisfies_all seq
+             [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]));
+    check =
+      (fun ~runs ~steps ->
+        generic_check impl
+          [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]
+          ~runs ~steps ~denominator:2);
+    verify =
+      (fun () ->
+        zone_verify "two-stage" (TS.system p) (TS.boundmap p)
+          [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]);
+    map =
+      (fun () ->
+        match
+          Hierarchy.check_exhaustive ~source:impl ~levels:(TS.chain p) ()
+        with
+        | Ok st ->
+            Format.printf "stage hierarchy: OK (%d product states)@."
+              st.Mapping.product_states
+        | Error e ->
+            Format.printf "stage hierarchy FAILED at level %d (%s)@."
+              e.Hierarchy.level_index e.Hierarchy.level_name);
+    exact =
+      (fun () ->
+        let a =
+          Completeness.analyze ~source:impl ~conds:[| TS.u_end_to_end p |] ()
+        in
+        match
+          Completeness.bounds_after a
+            ~trigger:(fun _ act _ -> act = TS.Start)
+            ~cond:0
+        with
+        | Some (lo, hi) ->
+            Format.printf "end-to-end: exact [%a, %a], predicted %s@."
+              Time.pp lo Time.pp hi
+              (Interval.to_string (TS.end_to_end_interval p))
+        | None -> Format.printf "no Start edges reachable@.");
+    progress = show_progress impl;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing *)
+
+open Cmdliner
+
+let system_arg =
+  let doc =
+    "System to analyze: rm (resource manager), im (interrupt-driven \
+     manager), relay, fischer, rg (request-grant), ring (token ring), fd \
+     (failure detector), two (chained trigger)."
+  in
+  Arg.(value & opt string "rm" & info [ "system"; "S" ] ~docv:"SYSTEM" ~doc)
+
+let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"ticks per grant")
+let c1_arg = Arg.(value & opt int 2 & info [ "c1" ] ~doc:"clock lower bound")
+let c2_arg = Arg.(value & opt int 3 & info [ "c2" ] ~doc:"clock upper bound")
+let l_arg = Arg.(value & opt int 1 & info [ "l" ] ~doc:"local-step bound")
+let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"line length / processes")
+let d1_arg = Arg.(value & opt int 1 & info [ "d1" ] ~doc:"per-hop lower bound")
+let d2_arg = Arg.(value & opt int 2 & info [ "d2" ] ~doc:"per-hop upper bound")
+let a_arg = Arg.(value & opt int 1 & info [ "a" ] ~doc:"fischer write deadline")
+let b_arg = Arg.(value & opt int 2 & info [ "b" ] ~doc:"fischer check delay")
+let steps_arg = Arg.(value & opt int 60 & info [ "steps" ] ~doc:"steps to simulate")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed")
+let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"number of runs")
+
+let g1_arg = Arg.(value & opt int 2 & info [ "g1" ] ~doc:"poll gap lower bound")
+let g2_arg = Arg.(value & opt int 3 & info [ "g2" ] ~doc:"poll gap upper bound")
+let m_arg = Arg.(value & opt int 2 & info [ "m" ] ~doc:"misses before suspicion")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "strategy" ] ~doc:"eager | lazy | random")
+
+let instance_term =
+  let build system k c1 c2 l n d1 d2 a b g1 g2 m =
+    match system with
+    | "rm" -> rm_instance ~k ~c1 ~c2 ~l
+    | "im" -> im_instance ~k ~c1 ~c2 ~l
+    | "relay" -> relay_instance ~n ~d1 ~d2
+    | "fischer" -> fischer_instance ~n:(max 2 (min n 3)) ~a ~b
+    | "rg" -> rg_instance ~r1:2 ~r2:5 ~w1:1 ~w2:3
+    | "ring" -> ring_instance ~n ~d1 ~d2
+    | "fd" -> fd_instance ~g1 ~g2 ~m
+    | "two" -> two_stage_instance ()
+    | other -> failwith (Printf.sprintf "unknown system %S" other)
+  in
+  Term.(
+    const build $ system_arg $ k_arg $ c1_arg $ c2_arg $ l_arg $ n_arg
+    $ d1_arg $ d2_arg $ a_arg $ b_arg $ g1_arg $ g2_arg $ m_arg)
+
+let simulate_cmd =
+  let run inst steps strategy seed =
+    Format.printf "%s@." inst.describe;
+    inst.simulate ~steps ~strategy ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a system and print the timed trace")
+    Term.(const run $ instance_term $ steps_arg $ strategy_arg $ seed_arg)
+
+let check_cmd =
+  let run inst runs steps =
+    Format.printf "%s@." inst.describe;
+    let v = inst.check ~runs ~steps in
+    Format.printf "%d runs x %d steps: %d violations@." runs steps v;
+    if v > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Simulate many seeds and check the timing conditions")
+    Term.(const run $ instance_term $ runs_arg $ steps_arg)
+
+let verify_cmd =
+  let run inst =
+    Format.printf "%s@." inst.describe;
+    inst.verify ()
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Exact zone-based verification")
+    Term.(const run $ instance_term)
+
+let map_cmd =
+  let run inst =
+    Format.printf "%s@." inst.describe;
+    inst.map ()
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Check the paper's strong possibilities mappings")
+    Term.(const run $ instance_term)
+
+let exact_cmd =
+  let run inst =
+    Format.printf "%s@." inst.describe;
+    inst.exact ()
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Exact first-occurrence windows from the discretized graph")
+    Term.(const run $ instance_term)
+
+let progress_cmd =
+  let run inst =
+    Format.printf "%s@." inst.describe;
+    inst.progress ()
+  in
+  Cmd.v
+    (Cmd.info "progress"
+       ~doc:"Deadlock and Zeno-trap (time divergence) analysis")
+    Term.(const run $ instance_term)
+
+let () =
+  let doc = "timing properties via mappings (Lynch & Attiya, PODC 1990)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "timedmap" ~version:"1.0.0" ~doc)
+          [ simulate_cmd; check_cmd; verify_cmd; map_cmd; exact_cmd;
+            progress_cmd ]))

@@ -1,0 +1,98 @@
+(* A heartbeat failure detector — timing-based distributed computing,
+   the application domain the paper's conclusions point to.
+
+   Both of its correctness properties are timing properties in the
+   paper's sense, and each is established by three independent
+   instruments: simulation envelopes, exact first-occurrence analysis
+   on the discretized graph, and zone reachability. *)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Prng = Tm_base.Prng
+module Completeness = Tm_core.Completeness
+module Progress = Tm_core.Progress
+module Reach = Tm_zones.Reach
+module Region = Tm_zones.Region
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+module FD = Tm_systems.Failure_detector
+
+let q = Rational.of_int
+
+let () =
+  let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2 in
+  let impl = FD.impl p in
+  Format.printf
+    "== Failure detector: heartbeats [1,2], polls [2,3], %d misses ==@."
+    p.FD.m;
+  Format.printf "predicted detection window: %s@.@."
+    (Interval.to_string (FD.detection_interval p));
+
+  (* accuracy, by two independent exact engines *)
+  (match
+     Reach.check_state_invariant (FD.system p) (FD.boundmap p)
+       FD.no_false_suspicion
+   with
+  | Ok st ->
+      Format.printf "accuracy (zones):   no false suspicion (%d zones)@."
+        st.Reach.zones
+  | Error _ -> Format.printf "accuracy (zones):   VIOLATED@.");
+  (match
+     Region.check_state_invariant (FD.system p) (FD.boundmap p)
+       FD.no_false_suspicion
+   with
+  | Ok st ->
+      Format.printf "accuracy (regions): no false suspicion (%d regions)@."
+        st.Region.regions
+  | Error _ -> Format.printf "accuracy (regions): VIOLATED@.");
+
+  (* completeness: the detection window, exactly *)
+  (match Reach.check_condition (FD.system p) (FD.boundmap p) (FD.u_detect p) with
+  | Reach.Verified _ -> Format.printf "detection window (zones): VERIFIED@."
+  | _ -> Format.printf "detection window (zones): FAILED@.");
+  let a = Completeness.analyze ~source:impl ~conds:[| FD.u_detect p |] () in
+  (match
+     Completeness.bounds_after a
+       ~trigger:(fun _ act _ -> act = FD.Crash)
+       ~cond:0
+   with
+  | Some (lo, hi) ->
+      Format.printf "detection window (exact grid): [%a, %a]@." Time.pp lo
+        Time.pp hi
+  | None -> Format.printf "no crash edges?!@.");
+
+  (* liveness of the model itself *)
+  Format.printf "%a@." Progress.pp_report (Progress.analyze impl);
+
+  (* measured detection latencies over random crashes *)
+  let latencies = ref [] in
+  for seed = 0 to 499 do
+    let prng = Prng.create seed in
+    let run =
+      Simulator.simulate ~steps:60
+        ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+        impl
+    in
+    let seq = Simulator.project run in
+    let crash = Measure.first_time (fun a -> a = FD.Crash) seq in
+    let detect = Measure.first_time (fun a -> a = FD.Check_suspect) seq in
+    match (crash, detect) with
+    | Some tc, Some td -> latencies := Rational.sub td tc :: !latencies
+    | _ -> ()
+  done;
+  Format.printf "measured detection latency: %s@."
+    (Measure.summary !latencies);
+
+  (* the regime boundary: slow heartbeats break accuracy *)
+  let bad = FD.params_of_ints ~h1:5 ~h2:8 ~g1:2 ~g2:3 ~m:2 in
+  match
+    Reach.check_state_invariant (FD.system bad) (FD.boundmap bad)
+      FD.no_false_suspicion
+  with
+  | Error s ->
+      Format.printf
+        "with heartbeats [5,8] slower than polls: false suspicion at %a@."
+        (FD.system bad).Tm_ioa.Ioa.pp_state s
+  | Ok _ -> Format.printf "slow heartbeats unexpectedly safe?!@."

@@ -1,0 +1,58 @@
+type 'k t = {
+  equal : 'k -> 'k -> bool;
+  hash : 'k -> int;
+  buckets : (int, (int * 'k) list) Hashtbl.t;
+  mutable keys : 'k array;
+  mutable count : int;
+}
+
+let create ~equal ~hash n =
+  { equal; hash; buckets = Hashtbl.create n; keys = [||]; count = 0 }
+
+let length t = t.count
+
+let find t k =
+  let h = t.hash k in
+  match Hashtbl.find_opt t.buckets h with
+  | None -> None
+  | Some entries ->
+      List.find_map
+        (fun (id, k') -> if t.equal k k' then Some id else None)
+        entries
+
+let add t k =
+  match find t k with
+  | Some id -> `Present id
+  | None ->
+      let id = t.count in
+      let h = t.hash k in
+      let entries =
+        match Hashtbl.find_opt t.buckets h with None -> [] | Some e -> e
+      in
+      Hashtbl.replace t.buckets h ((id, k) :: entries);
+      let cap = Array.length t.keys in
+      if id >= cap then begin
+        let ncap = if cap = 0 then 16 else cap * 2 in
+        let keys = Array.make ncap k in
+        Array.blit t.keys 0 keys 0 cap;
+        t.keys <- keys
+      end;
+      t.keys.(id) <- k;
+      t.count <- id + 1;
+      `Added id
+
+let key_of_id t id =
+  if id < 0 || id >= t.count then invalid_arg "Hstore.key_of_id";
+  t.keys.(id)
+
+let iter f t =
+  for id = 0 to t.count - 1 do
+    f id t.keys.(id)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for id = t.count - 1 downto 0 do
+    acc := t.keys.(id) :: !acc
+  done;
+  !acc

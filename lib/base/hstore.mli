@@ -1,0 +1,30 @@
+(** Polymorphic hash store with caller-supplied equality and hashing.
+
+    Automaton states come from arbitrary OCaml types whose structural
+    equality/hash functions are carried in the automaton record rather
+    than derived from the type, so [Hashtbl.Make] does not apply.  This
+    store buckets by a caller hash and resolves collisions with a
+    caller equality; each key is assigned a dense integer id on first
+    insertion (ids are handy as graph-node indices). *)
+
+type 'k t
+
+val create : equal:('k -> 'k -> bool) -> hash:('k -> int) -> int -> 'k t
+(** [create ~equal ~hash initial_size]. *)
+
+val length : 'k t -> int
+
+val find : 'k t -> 'k -> int option
+(** The id of a previously added key. *)
+
+val add : 'k t -> 'k -> [ `Added of int | `Present of int ]
+(** Insert a key; returns its fresh id, or the existing id. *)
+
+val key_of_id : 'k t -> int -> 'k
+(** @raise Invalid_argument if the id was never assigned. *)
+
+val iter : (int -> 'k -> unit) -> 'k t -> unit
+(** Iterates in id order. *)
+
+val to_list : 'k t -> 'k list
+(** Keys in id order. *)

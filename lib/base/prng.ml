@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = mix (next_int64 g) }
+
+let int g bound =
+  if bound < 1 then invalid_arg "Prng.int: bound < 1";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then go () else v
+  in
+  go ()
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g =
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let rational_in g ~denominator lo hi =
+  if denominator < 1 then invalid_arg "Prng.rational_in: denominator < 1";
+  if Rational.(hi < lo) then invalid_arg "Prng.rational_in: hi < lo";
+  let step = Rational.make 1 denominator in
+  let slots = Rational.div (Rational.sub hi lo) step in
+  let n = Rational.floor slots in
+  let i = int g (n + 1) in
+  Rational.add lo (Rational.mul_int i step)

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Simulation runs must be reproducible from a seed, independent of the
+    OCaml runtime's [Random] self-initialization; this is a small,
+    self-contained SplitMix64 implementation.  Generators are mutable;
+    use {!split} to derive independent streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** Derives an independent generator; the parent advances. *)
+
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int g bound] is uniform in [[0, bound)]. [bound >= 1]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [[0,1)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val rational_in : t -> denominator:int -> Rational.t -> Rational.t -> Rational.t
+(** [rational_in g ~denominator lo hi] draws a rational uniformly from
+    the grid [{ lo + i/denominator | 0 <= i, lo + i/denominator <= hi }].
+    Requires [lo <= hi] and [denominator >= 1]. *)

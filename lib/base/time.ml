@@ -1,0 +1,48 @@
+type t = Fin of Rational.t | Inf
+
+let fin q = Fin q
+let of_int n = Fin (Rational.of_int n)
+let zero = Fin Rational.zero
+let infinity = Inf
+let is_finite = function Fin _ -> true | Inf -> false
+
+let to_rational = function
+  | Fin q -> q
+  | Inf -> invalid_arg "Time.to_rational: infinite"
+
+let add a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (Rational.add x y)
+  | Inf, _ | _, Inf -> Inf
+
+let add_q t q = match t with Fin x -> Fin (Rational.add x q) | Inf -> Inf
+let sub_q t q = match t with Fin x -> Fin (Rational.sub x q) | Inf -> Inf
+
+let mul_int n t =
+  if n < 0 then invalid_arg "Time.mul_int: negative multiplier";
+  match t with
+  | Fin x -> Fin (Rational.mul_int n x)
+  | Inf -> if n = 0 then zero else Inf
+
+let compare a b =
+  match (a, b) with
+  | Fin x, Fin y -> Rational.compare x y
+  | Fin _, Inf -> -1
+  | Inf, Fin _ -> 1
+  | Inf, Inf -> 0
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let le_q q t = Fin q <= t
+let lt_q q t = Fin q < t
+let to_string = function Fin q -> Rational.to_string q | Inf -> "inf"
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let hash = function
+  | Fin q -> Rational.hash q
+  | Inf -> 0x7fffffff

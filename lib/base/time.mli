@@ -1,0 +1,47 @@
+(** Extended time values: a nonnegative-or-arbitrary rational, or [+∞].
+
+    Upper bounds in boundmaps and the [Lt] components of predictive
+    states range over [Fin q | Inf]; lower bounds and [Ft] components
+    are plain rationals ({!Rational.t}).  Arithmetic saturates at
+    infinity in the usual way ([Inf + q = Inf]); operations that would
+    be ill-defined ([Inf - Inf]) raise [Invalid_argument]. *)
+
+type t = Fin of Rational.t | Inf
+
+val fin : Rational.t -> t
+val of_int : int -> t
+val zero : t
+val infinity : t
+
+val is_finite : t -> bool
+
+val to_rational : t -> Rational.t
+(** @raise Invalid_argument on [Inf]. *)
+
+val add : t -> t -> t
+val add_q : t -> Rational.t -> t
+val sub_q : t -> Rational.t -> t
+(** [sub_q t q] is [t - q]; [Inf - q = Inf]. *)
+
+val mul_int : int -> t -> t
+(** [mul_int n t] for [n >= 0]; [0 * Inf = 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val le_q : Rational.t -> t -> bool
+(** [le_q q t] is [Fin q <= t]. *)
+
+val lt_q : Rational.t -> t -> bool
+(** [lt_q q t] is [Fin q < t]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

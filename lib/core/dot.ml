@@ -1,0 +1,72 @@
+module Hstore = Tm_base.Hstore
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let render ~name ~nodes ~edges ~max_nodes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" name);
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  let shown = min max_nodes (List.length nodes) in
+  List.iteri
+    (fun i label ->
+      if i < max_nodes then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"%s\"];\n" i (escape label)))
+    nodes;
+  if List.length nodes > max_nodes then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  truncated [label=\"… %d more nodes\", shape=plaintext];\n"
+         (List.length nodes - max_nodes));
+  List.iter
+    (fun (src, label, dst) ->
+      if src < shown && dst < shown then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"%s\", fontsize=9];\n" src
+             dst (escape label)))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_tgraph ?(max_nodes = 500) (g : ('s, 'a) Tgraph.t) =
+  let aut = g.Tgraph.aut in
+  let pp_state = Time_automaton.pp_state aut in
+  let nodes =
+    List.map (Format.asprintf "%a" pp_state) (Hstore.to_list g.Tgraph.nodes)
+  in
+  let edges =
+    List.map
+      (fun (src, (act, t), dst) ->
+        ( src,
+          Format.asprintf "%a @ %a"
+            aut.Time_automaton.base.Tm_ioa.Ioa.pp_action act
+            Tm_base.Rational.pp t,
+          dst ))
+      g.Tgraph.edges
+  in
+  render ~name:aut.Time_automaton.base.Tm_ioa.Ioa.name ~nodes ~edges
+    ~max_nodes
+
+let of_explore ?(max_nodes = 500) (g : ('s, 'a) Tm_ioa.Explore.graph) =
+  let aut = g.Tm_ioa.Explore.automaton in
+  let nodes =
+    List.map
+      (Format.asprintf "%a" aut.Tm_ioa.Ioa.pp_state)
+      (Hstore.to_list g.Tm_ioa.Explore.states)
+  in
+  let edges =
+    List.map
+      (fun (src, act, dst) ->
+        (src, Format.asprintf "%a" aut.Tm_ioa.Ioa.pp_action act, dst))
+      g.Tm_ioa.Explore.edges
+  in
+  render ~name:aut.Tm_ioa.Ioa.name ~nodes ~edges ~max_nodes

@@ -1,0 +1,14 @@
+(** Graphviz export of exploration graphs.
+
+    Handy for inspecting small discretized graphs and untimed
+    reachability graphs ([dot -Tsvg graph.dot > graph.svg]). *)
+
+val of_tgraph :
+  ?max_nodes:int -> ('s, 'a) Tgraph.t -> string
+(** The discretized [time(A, U)] graph: nodes are normalized predictive
+    states, edge labels are "action @ relative time".  Output is
+    truncated (with a warning node) beyond [max_nodes] (default 500). *)
+
+val of_explore :
+  ?max_nodes:int -> ('s, 'a) Tm_ioa.Explore.graph -> string
+(** An untimed reachability graph. *)

@@ -1,0 +1,63 @@
+module Ioa = Tm_ioa.Ioa
+module Condition = Tm_timed.Condition
+module Tseq = Tm_timed.Tseq
+
+type 'a action = Base of 'a | Null
+
+let null_class = "NULL"
+
+let automaton (a : ('s, 'a) Ioa.t) : ('s, 'a action) Ioa.t =
+  if List.mem null_class a.Ioa.classes then
+    invalid_arg "Dummify.automaton: class NULL already present";
+  {
+    Ioa.name = a.Ioa.name ^ "~";
+    start = a.Ioa.start;
+    alphabet = Null :: List.map (fun act -> Base act) a.Ioa.alphabet;
+    kind_of =
+      (function Null -> Ioa.Output | Base act -> a.Ioa.kind_of act);
+    delta =
+      (fun s -> function
+        | Null -> [ s ]
+        | Base act -> a.Ioa.delta s act);
+    classes = null_class :: a.Ioa.classes;
+    class_of =
+      (function Null -> Some null_class | Base act -> a.Ioa.class_of act);
+    equal_state = a.Ioa.equal_state;
+    hash_state = a.Ioa.hash_state;
+    pp_state = a.Ioa.pp_state;
+    equal_action =
+      (fun x y ->
+        match (x, y) with
+        | Null, Null -> true
+        | Base x, Base y -> a.Ioa.equal_action x y
+        | Null, Base _ | Base _, Null -> false);
+    pp_action =
+      (fun fmt -> function
+        | Null -> Format.pp_print_string fmt "NULL"
+        | Base act -> a.Ioa.pp_action fmt act);
+  }
+
+let boundmap bm ~null_bounds = Tm_timed.Boundmap.add bm null_class null_bounds
+
+let condition (c : ('s, 'a) Condition.t) : ('s, 'a action) Condition.t =
+  {
+    Condition.cname = c.Condition.cname;
+    t_start = c.Condition.t_start;
+    t_step =
+      (fun s' act s ->
+        match act with
+        | Null -> false
+        | Base act -> c.Condition.t_step s' act s);
+    bounds = c.Condition.bounds;
+    in_pi = (function Null -> false | Base act -> c.Condition.in_pi act);
+    in_s = c.Condition.in_s;
+  }
+
+let tseq (t : ('s, 'a action) Tseq.t) : ('s, 'a) Tseq.t =
+  Tseq.of_moves t.Tseq.first
+    (List.filter_map
+       (fun ((act, tm), s) ->
+         match act with
+         | Null -> None
+         | Base act -> Some ((act, tm), s))
+       t.Tseq.moves)

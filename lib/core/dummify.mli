@@ -1,0 +1,35 @@
+(** Dummification (Section 5).
+
+    Mapping proofs via Theorem 3.4 need all timed executions to be
+    infinite.  For a timed automaton with finite executions, the paper
+    composes it with a "dummy" component whose single [NULL] output is
+    always enabled (with bounds [[n1, n2]], [n2 < ∞]); then all timed
+    executions of the dummified automaton are infinite (Lemma 5.1) and
+    correspond exactly to those of the original (Lemmas 5.2/5.3,
+    Theorem 5.4).
+
+    The dummy has one state, so the composed state space is isomorphic
+    to the original's; we keep the state type and extend the action
+    type with {!action.Null}. *)
+
+type 'a action = Base of 'a | Null
+
+val null_class : string
+(** Partition-class name of the dummy ("NULL"). *)
+
+val automaton : ('s, 'a) Tm_ioa.Ioa.t -> ('s, 'a action) Tm_ioa.Ioa.t
+(** [Ã]: alphabet extended with [Null] (an output that changes no
+    state), partition extended with the {!null_class}.
+    @raise Invalid_argument if the automaton already has a class named
+    "NULL". *)
+
+val boundmap :
+  Tm_timed.Boundmap.t -> null_bounds:Tm_base.Interval.t -> Tm_timed.Boundmap.t
+(** [b̃]: the original boundmap plus bounds for the dummy class. *)
+
+val condition :
+  ('s, 'a) Tm_timed.Condition.t -> ('s, 'a action) Tm_timed.Condition.t
+(** [Ũ]: same triggers, bounds and disabling set; [Null ∉ Π(Ũ)]. *)
+
+val tseq : ('s, 'a action) Tm_timed.Tseq.t -> ('s, 'a) Tm_timed.Tseq.t
+(** [undum α̃]: remove the [Null] moves. *)

@@ -1,0 +1,138 @@
+module Rational = Tm_base.Rational
+module Hstore = Tm_base.Hstore
+module Execution = Tm_ioa.Execution
+
+type ('s, 'a) level = {
+  target : ('s, 'a) Time_automaton.t;
+  map : 's Mapping.t;
+}
+
+type ('s, 'a) chain_failure = {
+  level_index : int;
+  level_name : string;
+  failure : ('s, 'a) Mapping.failure;
+}
+
+let fail i (lv : ('s, 'a) level) failure =
+  Error { level_index = i; level_name = lv.map.Mapping.mname; failure }
+
+(* Initial witnesses, one per level: level i's witness is a start state
+   of its target containing the witness of level i-1 (level 0 contains
+   the source start state). *)
+let start_witnesses ~source ~levels s0 =
+  let rec go i prev acc = function
+    | [] -> Ok (List.rev acc)
+    | lv :: rest -> (
+        match
+          Mapping.start_witness ~source ~target:lv.target lv.map prev
+        with
+        | Error e -> fail i lv e
+        | Ok u -> go (i + 1) u (u :: acc) rest)
+  in
+  ignore source;
+  go 0 s0 [] levels
+
+(* Advance all witnesses by one move; [post] is the source post-state. *)
+let step_witnesses ~levels witnesses post (act, tm) =
+  let rec go i prev_post acc lvs ws =
+    match (lvs, ws) with
+    | [], [] -> Ok (List.rev acc)
+    | lv :: lvs, w :: ws -> (
+        match
+          Time_automaton.fire_det lv.target w act tm
+            ~base_post:post.Tstate.base
+        with
+        | None ->
+            fail i lv
+              (Mapping.Move_not_enabled
+                 {
+                   source_pre = prev_post;
+                   target_pre = w;
+                   action = act;
+                   time = tm;
+                 })
+        | Some u ->
+            if lv.map.Mapping.contains prev_post u then
+              go (i + 1) u (u :: acc) lvs ws
+            else
+              fail i lv
+                (Mapping.Image_lost
+                   {
+                     source_post = prev_post;
+                     target_post = u;
+                     action = act;
+                     time = tm;
+                   }))
+    | _ -> invalid_arg "Hierarchy: witness arity mismatch"
+  in
+  go 0 post [] levels witnesses
+
+let check_exec ~source ~levels (e : ('s, 'a) Time_automaton.texec) =
+  let ( let* ) r k = Result.bind r k in
+  let* ws = start_witnesses ~source ~levels e.Execution.first in
+  let rec go ws steps =
+    match steps with
+    | [] -> Ok ()
+    | (_, (act, tm), post) :: rest ->
+        let* ws = step_witnesses ~levels ws post (act, tm) in
+        go ws rest
+  in
+  go ws (Execution.steps e)
+
+let check_exhaustive (type s a) ?params
+    ~(source : (s, a) Time_automaton.t) ~(levels : (s, a) level list) () =
+  let params =
+    match params with Some p -> p | None -> Tgraph.default_params source
+  in
+  let eq = Time_automaton.equal_state source in
+  let hash = Time_automaton.hash_state source in
+  let eq_key (s1, ws1) (s2, ws2) =
+    eq s1 s2 && List.for_all2 eq ws1 ws2
+  in
+  let hash_key (s, ws) =
+    List.fold_left (fun h w -> (h * 31) + hash w) (hash s) ws
+  in
+  let store = Hstore.create ~equal:eq_key ~hash:hash_key 1024 in
+  let normalize st = Tstate.normalize ~clamp:params.Tgraph.clamp st in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  let truncated = ref false in
+  let exception Fail of (s, a) chain_failure in
+  let ok_or_raise = function Ok v -> v | Error e -> raise (Fail e) in
+  try
+    List.iter
+      (fun s0 ->
+        let ws = ok_or_raise (start_witnesses ~source ~levels s0) in
+        let key = (normalize s0, List.map normalize ws) in
+        match Hstore.add store key with
+        | `Added id -> Queue.add id queue
+        | `Present _ -> ())
+      source.Time_automaton.start;
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      let s, ws = Hstore.key_of_id store id in
+      List.iter
+        (fun (act, tm) ->
+          List.iter
+            (fun s_post ->
+              incr edges;
+              let ws' =
+                ok_or_raise (step_witnesses ~levels ws s_post (act, tm))
+              in
+              if Hstore.length store >= params.Tgraph.limit then
+                truncated := true
+              else
+                let key = (normalize s_post, List.map normalize ws') in
+                match Hstore.add store key with
+                | `Added id' -> Queue.add id' queue
+                | `Present _ -> ())
+            (Time_automaton.fire source s act tm))
+        (Tgraph.moves params source s)
+    done;
+    Ok
+      {
+        Mapping.product_states = Hstore.length store;
+        product_edges = !edges;
+        truncated = !truncated;
+      }
+  with Fail e -> Error e

@@ -1,0 +1,41 @@
+(** Hierarchical mapping proofs (Section 6.3).
+
+    Instead of one mapping from the assumptions automaton to the
+    requirements automaton, a proof may pass through a chain of
+    intermediate requirement automata [B_{n-1}, …, B_0, B], with a
+    strong possibilities mapping between each consecutive pair; the
+    composition of the chain is the desired mapping (Corollary 6.3).
+
+    A chain level pairs a target automaton with the mapping from the
+    previous level into it.  The checkers walk executions of the lowest
+    level, maintaining one deterministic witness per level; a chain
+    that checks at every level witnesses the composed mapping. *)
+
+type ('s, 'a) level = {
+  target : ('s, 'a) Time_automaton.t;
+  map : 's Mapping.t;  (** from the previous level's automaton *)
+}
+
+type ('s, 'a) chain_failure = {
+  level_index : int;  (** 0 = first level above the source *)
+  level_name : string;
+  failure : ('s, 'a) Mapping.failure;
+}
+
+val check_exec :
+  source:('s, 'a) Time_automaton.t ->
+  levels:('s, 'a) level list ->
+  ('s, 'a) Time_automaton.texec ->
+  (unit, ('s, 'a) chain_failure) result
+(** Verify every level's mapping simultaneously along one execution of
+    the source automaton. *)
+
+val check_exhaustive :
+  ?params:Tgraph.params ->
+  source:('s, 'a) Time_automaton.t ->
+  levels:('s, 'a) level list ->
+  unit ->
+  (Mapping.stats, ('s, 'a) chain_failure) result
+(** Exhaustive check over the discretized product of the source graph
+    with the deterministic witnesses of all levels (see {!Tgraph} for
+    the discretization caveats). *)

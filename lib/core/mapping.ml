@@ -1,0 +1,162 @@
+module Rational = Tm_base.Rational
+module Hstore = Tm_base.Hstore
+module Execution = Tm_ioa.Execution
+
+type 's t = {
+  mname : string;
+  contains : 's Tstate.t -> 's Tstate.t -> bool;
+}
+
+type ('s, 'a) failure =
+  | No_start_image of 's Tstate.t
+  | Move_not_enabled of {
+      source_pre : 's Tstate.t;
+      target_pre : 's Tstate.t;
+      action : 'a;
+      time : Rational.t;
+    }
+  | Image_lost of {
+      source_post : 's Tstate.t;
+      target_post : 's Tstate.t;
+      action : 'a;
+      time : Rational.t;
+    }
+
+let pp_failure (aut : ('s, 'a) Time_automaton.t) fmt = function
+  | No_start_image s ->
+      Format.fprintf fmt "no start-state image for %a"
+        (Time_automaton.pp_state aut) s
+  | Move_not_enabled { source_pre; target_pre; action; time } ->
+      Format.fprintf fmt
+        "move (%a, %a) from source %a not enabled in target witness %a"
+        aut.Time_automaton.base.Tm_ioa.Ioa.pp_action action Rational.pp time
+        (Time_automaton.pp_state aut) source_pre
+        (Time_automaton.pp_state aut) target_pre
+  | Image_lost { source_post; target_post; action; time } ->
+      Format.fprintf fmt
+        "after (%a, %a): target successor %a is not in the image of %a"
+        aut.Time_automaton.base.Tm_ioa.Ioa.pp_action action Rational.pp time
+        (Time_automaton.pp_state aut) target_post
+        (Time_automaton.pp_state aut) source_post
+
+let start_witness ~source ~target f s0 =
+  let eq_base = source.Time_automaton.base.Tm_ioa.Ioa.equal_state in
+  match
+    List.find_opt
+      (fun u0 ->
+        eq_base u0.Tstate.base s0.Tstate.base
+        && Rational.equal u0.Tstate.now s0.Tstate.now
+        && f.contains s0 u0)
+      target.Time_automaton.start
+  with
+  | Some u0 -> Ok u0
+  | None -> Error (No_start_image s0)
+
+let step_witness ~target f source_post target_pre (act, tm) =
+  match
+    Time_automaton.fire_det target target_pre act tm
+      ~base_post:source_post.Tstate.base
+  with
+  | None -> Error `Not_enabled
+  | Some u ->
+      if f.contains source_post u then Ok u else Error (`Image_lost u)
+
+let check_exec ~source ~target f (e : ('s, 'a) Time_automaton.texec) =
+  let ( let* ) r k = Result.bind r k in
+  let* u0 = start_witness ~source ~target f e.Execution.first in
+  let rec go u' steps =
+    match steps with
+    | [] -> Ok ()
+    | (pre, (act, tm), post) :: rest -> (
+        ignore pre;
+        match step_witness ~target f post u' (act, tm) with
+        | Ok u -> go u rest
+        | Error `Not_enabled ->
+            Error
+              (Move_not_enabled
+                 { source_pre = pre; target_pre = u'; action = act; time = tm })
+        | Error (`Image_lost u) ->
+            Error
+              (Image_lost
+                 { source_post = post; target_post = u; action = act; time = tm }))
+  in
+  go u0 (Execution.steps e)
+
+type stats = { product_states : int; product_edges : int; truncated : bool }
+
+let check_exhaustive (type s a) ?params ~(source : (s, a) Time_automaton.t)
+    ~(target : (s, a) Time_automaton.t) (f : s t) () =
+  let params =
+    match params with Some p -> p | None -> Tgraph.default_params source
+  in
+  let eq = Time_automaton.equal_state source in
+  let hash = Time_automaton.hash_state source in
+  let store =
+    Hstore.create
+      ~equal:(fun (s1, u1) (s2, u2) -> eq s1 s2 && eq u1 u2)
+      ~hash:(fun (s, u) -> (hash s * 31) + hash u)
+      1024
+  in
+  let normalize st = Tstate.normalize ~clamp:params.Tgraph.clamp st in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  let truncated = ref false in
+  let exception Fail of (s, a) failure in
+  try
+    List.iter
+      (fun s0 ->
+        match start_witness ~source ~target f s0 with
+        | Error e -> raise (Fail e)
+        | Ok u0 -> (
+            let pair = (normalize s0, normalize u0) in
+            match Hstore.add store pair with
+            | `Added id -> Queue.add id queue
+            | `Present _ -> ()))
+      source.Time_automaton.start;
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      let s, u = Hstore.key_of_id store id in
+      List.iter
+        (fun (act, tm) ->
+          List.iter
+            (fun s_post ->
+              incr edges;
+              match step_witness ~target f s_post u (act, tm) with
+              | Error `Not_enabled ->
+                  raise
+                    (Fail
+                       (Move_not_enabled
+                          {
+                            source_pre = s;
+                            target_pre = u;
+                            action = act;
+                            time = tm;
+                          }))
+              | Error (`Image_lost u_post) ->
+                  raise
+                    (Fail
+                       (Image_lost
+                          {
+                            source_post = s_post;
+                            target_post = u_post;
+                            action = act;
+                            time = tm;
+                          }))
+              | Ok u_post ->
+                  if Hstore.length store >= params.Tgraph.limit then
+                    truncated := true
+                  else
+                    let pair = (normalize s_post, normalize u_post) in
+                    (match Hstore.add store pair with
+                    | `Added id' -> Queue.add id' queue
+                    | `Present _ -> ()))
+            (Time_automaton.fire source s act tm))
+        (Tgraph.moves params source s)
+    done;
+    Ok
+      {
+        product_states = Hstore.length store;
+        product_edges = !edges;
+        truncated = !truncated;
+      }
+  with Fail e -> Error e

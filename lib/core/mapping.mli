@@ -1,0 +1,78 @@
+(** Strong possibilities mappings (Definition 3.2) and their checkers.
+
+    A strong possibilities mapping from [time(A, U)] to [time(A, V)] is
+    a multivalued map [f] such that (1) every start state of the source
+    has an [f]-image among the start states of the target, (2) steps of
+    the source from a reachable state can be matched by target steps
+    preserving membership, and (3) the map is the identity on the
+    A-state components.  By Theorem 3.4, such a mapping proves that
+    every infinite timed execution of [(A, U)] is one of [(A, V)].
+
+    Because [time(A, V)] steps are deterministic once the base step and
+    the action time are fixed, step-matching reduces to: the move must
+    be enabled on the target side, and the unique target successor must
+    be in the image of the source successor.  The checkers below verify
+    exactly this, either along a given execution (refutation on traces)
+    or exhaustively over a discretized product graph. *)
+
+type 's t = {
+  mname : string;
+  contains : 's Tstate.t -> 's Tstate.t -> bool;
+      (** [contains s u] iff [u ∈ f(s)].  Implementations should only
+          constrain the predictive components: the checkers separately
+          enforce identity of base states and of current time. *)
+}
+
+type ('s, 'a) failure =
+  | No_start_image of 's Tstate.t
+      (** a source start state with no matching target start state *)
+  | Move_not_enabled of {
+      source_pre : 's Tstate.t;
+      target_pre : 's Tstate.t;
+      action : 'a;
+      time : Tm_base.Rational.t;
+    }  (** the matched move is not enabled in the target state *)
+  | Image_lost of {
+      source_post : 's Tstate.t;
+      target_post : 's Tstate.t;
+      action : 'a;
+      time : Tm_base.Rational.t;
+    }  (** the unique target successor fell outside [f(source_post)] *)
+
+val pp_failure :
+  ('s, 'a) Time_automaton.t -> Format.formatter -> ('s, 'a) failure -> unit
+
+val start_witness :
+  source:('s, 'a) Time_automaton.t ->
+  target:('s, 'a) Time_automaton.t ->
+  's t ->
+  's Tstate.t ->
+  ('s Tstate.t, ('s, 'a) failure) result
+(** Condition 1 of Definition 3.2 for one source start state: find a
+    target start state with the same base that lies in the image. *)
+
+val check_exec :
+  source:('s, 'a) Time_automaton.t ->
+  target:('s, 'a) Time_automaton.t ->
+  's t ->
+  ('s, 'a) Time_automaton.texec ->
+  (unit, ('s, 'a) failure) result
+(** Walk an execution of the source, maintaining the deterministic
+    target witness, verifying enabledness and image membership at every
+    step.  A sound refutation check: any [Error] is a genuine
+    counterexample to the mapping (on this execution). *)
+
+type stats = { product_states : int; product_edges : int; truncated : bool }
+
+val check_exhaustive :
+  ?params:Tgraph.params ->
+  source:('s, 'a) Time_automaton.t ->
+  target:('s, 'a) Time_automaton.t ->
+  's t ->
+  unit ->
+  (stats, ('s, 'a) failure) result
+(** Exhaustive check of conditions 1–2 over the product of the
+    discretized, normalized source graph with its deterministic target
+    witnesses (see {!Tgraph} for the discretization caveats).  For a
+    finite base automaton and adequate [params], [Ok] means the mapping
+    is a strong possibilities mapping on the explored grid. *)

@@ -1,0 +1,41 @@
+(** Time divergence (non-Zenoness) and deadlock analysis.
+
+    The paper's liveness story rests on one assumption: in infinite
+    timed executions, time increases without bound (Section 1 and the
+    discussion after Theorem 3.4).  This module makes that assumption
+    checkable on the discretized graph of a [time(A, U)] automaton:
+
+    - a {b deadlock} is a reachable state with no outgoing move at all
+      (Lemma 4.2 asserts the resource manager has none; the raw signal
+      relay has plenty — hence dummification);
+    - a {b Zeno trap} is a reachable state from which time can no
+      longer diverge: every infinite continuation has bounded total
+      duration.  On the finite graph this is equivalent to not reaching
+      any strongly connected component that contains a
+      positive-duration edge.
+
+    Note that a system may admit Zeno {e executions} (the eager
+    schedule of the Section 4 manager stutters ELSE at one instant
+    forever) while having no Zeno {e traps}: the paper's semantics
+    simply excludes such executions from the set of timed executions,
+    which is harmless as long as every prefix can still be extended
+    with diverging time — exactly what this module verifies. *)
+
+type ('s, 'a) report = {
+  graph : ('s, 'a) Tgraph.t;
+  deadlocked : int list;  (** node ids with no outgoing move *)
+  zeno_trapped : int list;
+      (** node ids (deadlocks excluded) from which time cannot
+          diverge *)
+}
+
+val analyze : ?params:Tgraph.params -> ('s, 'a) Time_automaton.t ->
+  ('s, 'a) report
+
+val ok : ('s, 'a) report -> bool
+(** No deadlocks and no Zeno traps: every reachable state has an
+    extension with unbounded time, so Theorem 3.4 delivers the liveness
+    half of every upper bound. *)
+
+val pp_report :
+  Format.formatter -> ('s, 'a) report -> unit

@@ -1,0 +1,117 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Hstore = Tm_base.Hstore
+module Condition = Tm_timed.Condition
+
+type params = {
+  denominator : int;
+  cap : Rational.t;
+  clamp : Rational.t;
+  limit : int;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let default_params (aut : ('s, 'a) Time_automaton.t) =
+  let denominator =
+    Array.fold_left
+      (fun acc (c : ('s, 'a) Condition.t) ->
+        let acc = lcm acc (Interval.lo c.Condition.bounds).Rational.den in
+        match Interval.hi c.Condition.bounds with
+        | Time.Fin q -> lcm acc q.Rational.den
+        | Time.Inf -> acc)
+      1 aut.Time_automaton.conds
+  in
+  let m = Time_automaton.max_constant aut in
+  let clamp = Rational.mul_int 4 m in
+  { denominator; cap = Rational.add clamp m; clamp; limit = 500_000 }
+
+type ('s, 'a) t = {
+  aut : ('s, 'a) Time_automaton.t;
+  params : params;
+  nodes : 's Tstate.t Hstore.t;
+  edges : (int * ('a * Rational.t) * int) list;
+  truncated : bool;
+}
+
+let grid_times params lo hi =
+  (* Grid points of [lo, hi]; [lo] is included even if off-grid (it is
+     an interval endpoint and therefore semantically relevant). *)
+  let step = Rational.make 1 params.denominator in
+  let first =
+    if Rational.divides step lo then lo
+    else
+      Rational.mul_int
+        (Rational.ceil (Rational.div lo step))
+        step
+  in
+  let rec up t acc =
+    if Rational.(t > hi) then List.rev acc else up (Rational.add t step) (t :: acc)
+  in
+  let pts = up first [] in
+  if Rational.divides step lo then pts else lo :: pts
+
+let moves params (aut : ('s, 'a) Time_automaton.t) s =
+  List.concat_map
+    (fun (act, lo, hi) ->
+      let hi_capped =
+        let cap_abs = Rational.add s.Tstate.now params.cap in
+        match hi with
+        | Time.Fin q -> Rational.min q cap_abs
+        | Time.Inf -> cap_abs
+      in
+      if Rational.(hi_capped < lo) then []
+      else
+        List.map (fun t -> (act, t)) (grid_times params lo hi_capped))
+    (Time_automaton.enabled_moves aut s)
+
+let build ?params (aut : ('s, 'a) Time_automaton.t) =
+  let params =
+    match params with Some p -> p | None -> default_params aut
+  in
+  let normalize s = Tstate.normalize ~clamp:params.clamp s in
+  let store =
+    Hstore.create
+      ~equal:(Time_automaton.equal_state aut)
+      ~hash:(Time_automaton.hash_state aut)
+      1024
+  in
+  let queue = Queue.create () in
+  let edges = ref [] in
+  let truncated = ref false in
+  List.iter
+    (fun s ->
+      match Hstore.add store (normalize s) with
+      | `Added id -> Queue.add id queue
+      | `Present _ -> ())
+    aut.Time_automaton.start;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let s = Hstore.key_of_id store id in
+    List.iter
+      (fun (act, t) ->
+        List.iter
+          (fun s' ->
+            if Hstore.length store >= params.limit then truncated := true
+            else
+              let s'n = normalize s' in
+              match Hstore.add store s'n with
+              | `Added id' ->
+                  edges := (id, (act, t), id') :: !edges;
+                  Queue.add id' queue
+              | `Present id' -> edges := (id, (act, t), id') :: !edges)
+          (Time_automaton.fire aut s act t))
+      (moves params aut s)
+  done;
+  {
+    aut;
+    params;
+    nodes = store;
+    edges = List.rev !edges;
+    truncated = !truncated;
+  }
+
+let node_count g = Hstore.length g.nodes
+let edge_count g = List.length g.edges

@@ -1,0 +1,47 @@
+(** Discretized exploration of a [time(A, U)] automaton.
+
+    Action times range over the rationals, so the raw state space of
+    [time(A, U)] is uncountable.  For exhaustive checking we restrict
+    moves to a rational grid [1/denominator] (which must divide every
+    bound constant, so no interval endpoint falls between grid points),
+    cap pure waiting at [cap] beyond the current time, and work with
+    {!Tstate.normalize}d states.  For a finite base automaton the
+    resulting graph is finite; the grid/clamp assumptions are the
+    standard region-construction argument and are recorded in the
+    result. *)
+
+type params = {
+  denominator : int;  (** grid step is [1/denominator] *)
+  cap : Tm_base.Rational.t;
+      (** candidate firing times are drawn from
+          [[window lo, min (window hi) (now + cap)]] *)
+  clamp : Tm_base.Rational.t;  (** normalization floor, see {!Tstate} *)
+  limit : int;  (** maximum number of nodes *)
+}
+
+val default_params : ('s, 'a) Time_automaton.t -> params
+(** Grid from the denominators of all bound constants; [cap] and
+    [clamp] from the largest constant. *)
+
+type ('s, 'a) t = {
+  aut : ('s, 'a) Time_automaton.t;
+  params : params;
+  nodes : 's Tstate.t Tm_base.Hstore.t;  (** normalized states *)
+  edges : (int * ('a * Tm_base.Rational.t) * int) list;
+      (** (source, (action, relative time), target); the move fired at
+          time [Δt] from the source with its clock shifted to 0 *)
+  truncated : bool;
+}
+
+val moves :
+  params ->
+  ('s, 'a) Time_automaton.t ->
+  's Tstate.t ->
+  ('a * Tm_base.Rational.t) list
+(** Grid moves out of a (normalized) state: every enabled action at
+    every grid time in its (capped) window. *)
+
+val build : ?params:params -> ('s, 'a) Time_automaton.t -> ('s, 'a) t
+
+val node_count : ('s, 'a) t -> int
+val edge_count : ('s, 'a) t -> int

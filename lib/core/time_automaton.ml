@@ -1,0 +1,173 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Ioa = Tm_ioa.Ioa
+module Execution = Tm_ioa.Execution
+module Condition = Tm_timed.Condition
+module Tseq = Tm_timed.Tseq
+module Semantics = Tm_timed.Semantics
+
+type ('s, 'a) t = {
+  base : ('s, 'a) Ioa.t;
+  conds : ('s, 'a) Condition.t array;
+  cond_names : string array;
+  start : 's Tstate.t list;
+}
+
+let initial_of_base conds base_start =
+  let n = Array.length conds in
+  let ft = Array.make n Rational.zero in
+  let lt = Array.make n Time.infinity in
+  Array.iteri
+    (fun i (c : ('s, 'a) Condition.t) ->
+      if c.Condition.t_start base_start then begin
+        ft.(i) <- Interval.lo c.Condition.bounds;
+        lt.(i) <- Interval.hi c.Condition.bounds
+      end)
+    conds;
+  Tstate.make ~base:base_start ~now:Rational.zero ~ft ~lt
+
+let make base conds =
+  let conds = Array.of_list conds in
+  let cond_names = Array.map (fun c -> c.Condition.cname) conds in
+  Array.iteri
+    (fun i n ->
+      Array.iteri
+        (fun j n' ->
+          if i < j && String.equal n n' then
+            invalid_arg
+              (Printf.sprintf "Time_automaton.make: duplicate condition %S" n))
+        cond_names)
+    cond_names;
+  {
+    base;
+    conds;
+    cond_names;
+    start = List.map (initial_of_base conds) base.Ioa.start;
+  }
+
+let of_boundmap base bm =
+  (match Tm_timed.Boundmap.covers bm base with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Time_automaton.of_boundmap: " ^ m));
+  make base (Semantics.conds_of_boundmap base bm)
+
+let cond_index t name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i n -> if !found < 0 && String.equal n name then found := i)
+    t.cond_names;
+  if !found < 0 then raise Not_found else !found
+
+let window t (s : 's Tstate.t) act =
+  if not (Ioa.enabled t.base s.Tstate.base act) then None
+  else begin
+    let lo = ref s.Tstate.now in
+    let hi = ref Time.infinity in
+    Array.iteri
+      (fun i (c : ('s, 'a) Condition.t) ->
+        (* 4(a)/3(a) upper part: t <= Lt(U) for every condition *)
+        hi := Time.min !hi s.Tstate.lt.(i);
+        (* 3(a) lower part: t >= Ft(U) when pi is in Pi(U) *)
+        if c.Condition.in_pi act then lo := Rational.max !lo s.Tstate.ft.(i))
+      t.conds;
+    if Time.le_q !lo !hi then Some (!lo, !hi) else None
+  end
+
+let recompute t (s' : 's Tstate.t) act tm base_post =
+  let n = Array.length t.conds in
+  let ft = Array.make n Rational.zero in
+  let lt = Array.make n Time.infinity in
+  Array.iteri
+    (fun i (c : ('s, 'a) Condition.t) ->
+      let triggered = c.Condition.t_step s'.Tstate.base act base_post in
+      if c.Condition.in_pi act then
+        (* 3(b) / 3(c) *)
+        if triggered then begin
+          ft.(i) <- Rational.add tm (Interval.lo c.Condition.bounds);
+          lt.(i) <- Time.add_q (Interval.hi c.Condition.bounds) tm
+        end
+        else begin
+          ft.(i) <- Rational.zero;
+          lt.(i) <- Time.infinity
+        end
+      else if triggered then begin
+        (* 4(b): a new prediction, merged with any prior one *)
+        ft.(i) <- Rational.add tm (Interval.lo c.Condition.bounds);
+        lt.(i) <-
+          Time.min s'.Tstate.lt.(i)
+            (Time.add_q (Interval.hi c.Condition.bounds) tm)
+      end
+      else if c.Condition.in_s base_post then begin
+        (* 4(d): disabled, back to defaults *)
+        ft.(i) <- Rational.zero;
+        lt.(i) <- Time.infinity
+      end
+      else begin
+        (* 4(c): predictions carry over *)
+        ft.(i) <- s'.Tstate.ft.(i);
+        lt.(i) <- s'.Tstate.lt.(i)
+      end)
+    t.conds;
+  Tstate.make ~base:base_post ~now:tm ~ft ~lt
+
+let fire_det t s' act tm ~base_post =
+  match window t s' act with
+  | None -> None
+  | Some (lo, hi) ->
+      if not (Rational.(lo <= tm) && Time.le_q tm hi) then None
+      else if not (Ioa.step_exists t.base s'.Tstate.base act base_post) then
+        None
+      else Some (recompute t s' act tm base_post)
+
+let fire t s' act tm =
+  match window t s' act with
+  | None -> []
+  | Some (lo, hi) ->
+      if not (Rational.(lo <= tm) && Time.le_q tm hi) then []
+      else
+        List.map
+          (fun base_post -> recompute t s' act tm base_post)
+          (t.base.Ioa.delta s'.Tstate.base act)
+
+let check_step t s' (act, tm) s =
+  match fire_det t s' act tm ~base_post:s.Tstate.base with
+  | None -> false
+  | Some s'' -> Tstate.equal t.base.Ioa.equal_state s s''
+
+let enabled_moves t s =
+  List.filter_map
+    (fun act ->
+      match window t s act with
+      | None -> None
+      | Some (lo, hi) -> Some (act, lo, hi))
+    t.base.Ioa.alphabet
+
+type ('s, 'a) texec = ('s Tstate.t, 'a * Rational.t) Execution.t
+
+let is_execution t (e : ('s, 'a) texec) =
+  List.exists
+    (Tstate.equal t.base.Ioa.equal_state e.Execution.first)
+    t.start
+  && List.for_all
+       (fun (pre, move, post) -> check_step t pre move post)
+       (Execution.steps e)
+
+let project (e : ('s, 'a) texec) =
+  Tseq.of_moves e.Execution.first.Tstate.base
+    (List.map
+       (fun ((act, tm), s) -> ((act, tm), s.Tstate.base))
+       e.Execution.moves)
+
+let equal_state t = Tstate.equal t.base.Ioa.equal_state
+let hash_state t = Tstate.hash t.base.Ioa.hash_state
+let pp_state t = Tstate.pp ~names:t.cond_names t.base.Ioa.pp_state
+
+let max_constant t =
+  Array.fold_left
+    (fun acc (c : ('s, 'a) Condition.t) ->
+      let acc = Rational.max acc (Interval.lo c.Condition.bounds) in
+      match Interval.hi c.Condition.bounds with
+      | Time.Fin q -> Rational.max acc q
+      | Time.Inf -> acc)
+    Rational.one t.conds

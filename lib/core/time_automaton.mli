@@ -1,0 +1,96 @@
+(** The [time(A, U)] construction (Section 3.1) and its boundmap
+    special case [time(A, b)] (Section 3.2).
+
+    Given an I/O automaton [A] and timing conditions [U], [time(A, U)]
+    is an ordinary automaton over actions [(π, t)] whose states carry
+    the predictive components of {!Tstate}; the timing restrictions of
+    [U] are built into the step relation (conditions 1–4 of the
+    definition).  Because the action component [t] ranges over the
+    rationals, the action alphabet is infinite and the value is its own
+    record type rather than an {!Tm_ioa.Ioa.t}; {!window} and {!fire}
+    expose what simulation and exploration need. *)
+
+type ('s, 'a) t = private {
+  base : ('s, 'a) Tm_ioa.Ioa.t;
+  conds : ('s, 'a) Tm_timed.Condition.t array;
+  cond_names : string array;
+  start : 's Tstate.t list;
+}
+
+val make :
+  ('s, 'a) Tm_ioa.Ioa.t -> ('s, 'a) Tm_timed.Condition.t list -> ('s, 'a) t
+(** [time(A, U)].  Initial predictive components follow the paper: if
+    the start state triggers [U] then [Ft = b_l, Lt = b_u], otherwise
+    the defaults [Ft = 0, Lt = ∞].
+    @raise Invalid_argument on duplicate condition names. *)
+
+val of_boundmap :
+  ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t -> ('s, 'a) t
+(** [time(A, b)] — i.e. [make A U_b] with one [cond(C)] per partition
+    class (Section 3.2).
+    @raise Invalid_argument if the boundmap misses a class. *)
+
+val cond_index : ('s, 'a) t -> string -> int
+(** Index of a condition by name, for reading [ft]/[lt] components in
+    mapping definitions.  @raise Not_found. *)
+
+val window :
+  ('s, 'a) t ->
+  's Tstate.t ->
+  'a ->
+  (Tm_base.Rational.t * Tm_base.Time.t) option
+(** The set of times at which [π] may fire from a state, as an interval
+    [[max(now, Ft over conditions with π ∈ Π), min over all Lt]]:
+    conditions 2, 3(a) and 4(a) of the construction.  [None] when [π]
+    is not enabled in the base state or the interval is empty. *)
+
+val fire_det :
+  ('s, 'a) t ->
+  's Tstate.t ->
+  'a ->
+  Tm_base.Rational.t ->
+  base_post:'s ->
+  's Tstate.t option
+(** The unique successor for a chosen base-automaton post-state, or
+    [None] when [(π, t)] is not a legal move (conditions 1–4).  Given
+    the base step, the new [Ft]/[Lt] components are determined
+    (conditions 3(b,c) / 4(b,c,d)). *)
+
+val fire :
+  ('s, 'a) t ->
+  's Tstate.t ->
+  'a ->
+  Tm_base.Rational.t ->
+  's Tstate.t list
+(** All successors of a move, one per base post-state; [[]] when
+    illegal. *)
+
+val check_step :
+  ('s, 'a) t ->
+  's Tstate.t ->
+  'a * Tm_base.Rational.t ->
+  's Tstate.t ->
+  bool
+(** Membership test for the step relation of [time(A, U)]. *)
+
+val enabled_moves :
+  ('s, 'a) t -> 's Tstate.t -> ('a * Tm_base.Rational.t * Tm_base.Time.t) list
+(** For every base action enabled with a nonempty window, the action
+    and its window endpoints. *)
+
+type ('s, 'a) texec = ('s Tstate.t, 'a * Tm_base.Rational.t) Tm_ioa.Execution.t
+(** Executions of [time(A, U)]. *)
+
+val is_execution : ('s, 'a) t -> ('s, 'a) texec -> bool
+
+val project : ('s, 'a) texec -> ('s, 'a) Tm_timed.Tseq.t
+(** [project α]: map each [time(A,U)] state to its A-state, keeping the
+    (action, time) pairs (Section 3.1). *)
+
+val equal_state : ('s, 'a) t -> 's Tstate.t -> 's Tstate.t -> bool
+val hash_state : ('s, 'a) t -> 's Tstate.t -> int
+val pp_state : ('s, 'a) t -> Format.formatter -> 's Tstate.t -> unit
+
+val max_constant : ('s, 'a) t -> Tm_base.Rational.t
+(** Largest finite bound constant among the conditions; the natural
+    normalization clamp and exploration delay cap. *)

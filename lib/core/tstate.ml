@@ -1,0 +1,71 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+
+type 's t = {
+  base : 's;
+  now : Rational.t;
+  ft : Rational.t array;
+  lt : Time.t array;
+}
+
+let make ~base ~now ~ft ~lt =
+  if Array.length ft <> Array.length lt then
+    invalid_arg "Tstate.make: ft/lt arity mismatch";
+  { base; now; ft; lt }
+
+let n_conds s = Array.length s.ft
+
+let equal eq_base a b =
+  eq_base a.base b.base
+  && Rational.equal a.now b.now
+  && Array.length a.ft = Array.length b.ft
+  && Array.for_all2 Rational.equal a.ft b.ft
+  && Array.for_all2 Time.equal a.lt b.lt
+
+let hash hash_base s =
+  let h = ref (hash_base s.base) in
+  h := (!h * 31) + Rational.hash s.now;
+  Array.iter (fun q -> h := (!h * 31) + Rational.hash q) s.ft;
+  Array.iter (fun t -> h := (!h * 31) + Time.hash t) s.lt;
+  !h
+
+let pp ?names pp_base fmt s =
+  let name i =
+    match names with
+    | Some ns when i < Array.length ns -> ns.(i)
+    | _ -> string_of_int i
+  in
+  Format.fprintf fmt "@[<h>{%a; Ct=%a" pp_base s.base Rational.pp s.now;
+  Array.iteri
+    (fun i q ->
+      Format.fprintf fmt "; Ft(%s)=%a Lt(%s)=%a" (name i) Rational.pp q
+        (name i) Time.pp s.lt.(i))
+    s.ft;
+  Format.fprintf fmt "}@]"
+
+let shift d s =
+  {
+    s with
+    now = Rational.add s.now d;
+    ft = Array.map (fun q -> Rational.add q d) s.ft;
+    lt = Array.map (fun t -> Time.add_q t d) s.lt;
+  }
+
+let normalize ~clamp s =
+  let s = shift (Rational.neg s.now) s in
+  let floor = Rational.neg clamp in
+  {
+    s with
+    ft =
+      Array.mapi
+        (fun i q ->
+          (* A condition with no pending deadline and an already-passed
+             release point is behaviourally identical to the default
+             (0, ∞) state: collapse its ft to the floor so that such
+             conditions do not multiply the normalized state space by
+             tracking -now. *)
+          if Time.equal s.lt.(i) Time.Inf && Rational.(q <= Rational.zero)
+          then floor
+          else Rational.max q floor)
+        s.ft;
+  }

@@ -1,0 +1,45 @@
+(** States of the [time(A, U)] automaton (Section 3.1).
+
+    A state augments a base-automaton state with the current time [Ct]
+    (the time of the last preceding event) and, for each timing
+    condition [U ∈ U], predictive components [Ft(U)] and [Lt(U)] — the
+    first and last times at which an action from [Π(U)] may next
+    occur.  [Ft] is always finite ([b_l ≠ ∞]); [Lt] may be [∞]. *)
+
+type 's t = {
+  base : 's;  (** the A-state [s.As] *)
+  now : Tm_base.Rational.t;  (** [Ct] *)
+  ft : Tm_base.Rational.t array;  (** [Ft(U)], indexed by condition *)
+  lt : Tm_base.Time.t array;  (** [Lt(U)], indexed by condition *)
+}
+
+val make :
+  base:'s ->
+  now:Tm_base.Rational.t ->
+  ft:Tm_base.Rational.t array ->
+  lt:Tm_base.Time.t array ->
+  's t
+
+val n_conds : 's t -> int
+
+val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
+val hash : ('s -> int) -> 's t -> int
+
+val pp :
+  ?names:string array ->
+  (Format.formatter -> 's -> unit) ->
+  Format.formatter ->
+  's t ->
+  unit
+
+val shift : Tm_base.Rational.t -> 's t -> 's t
+(** [shift d s] adds [d] to [now] and to every deadline component:
+    the same state observed on a clock offset by [d]. *)
+
+val normalize : clamp:Tm_base.Rational.t -> 's t -> 's t
+(** Shift so that [now = 0], then clamp every (relative) [ft]
+    component below at [-clamp].  In any reachable state, a component
+    [ft <= now] only ever participates in comparisons [ft <= t] with
+    [t >= now], so clamping at a floor below [-(max constant)] does not
+    change the step relation; it makes the normalized state space
+    finite for finite base automata on a time grid. *)

@@ -1,0 +1,215 @@
+exception Incompatible of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Incompatible m)) fmt
+
+(* Deduplicate a list of actions with a given equality. *)
+let dedup equal xs =
+  List.fold_left
+    (fun acc x -> if List.exists (equal x) acc then acc else x :: acc)
+    [] xs
+  |> List.rev
+
+let check_compat name (kinds : ('a * Ioa.kind option * Ioa.kind option) list)
+    =
+  List.iter
+    (fun (_, k1, k2) ->
+      match (k1, k2) with
+      | Some Ioa.Output, Some Ioa.Output ->
+          fail "%s: action is an output of two components" name
+      | Some Ioa.Internal, Some _ | Some _, Some Ioa.Internal ->
+          fail "%s: internal action shared between components" name
+      | _ -> ())
+    kinds
+
+let binary ~name (a : ('s1, 'a) Ioa.t) (b : ('s2, 'a) Ioa.t) :
+    ('s1 * 's2, 'a) Ioa.t =
+  let equal_action = a.Ioa.equal_action in
+  let in_a act = List.exists (equal_action act) a.Ioa.alphabet in
+  let in_b act = List.exists (equal_action act) b.Ioa.alphabet in
+  let alphabet = dedup equal_action (a.Ioa.alphabet @ b.Ioa.alphabet) in
+  check_compat name
+    (List.map
+       (fun act ->
+         ( act,
+           (if in_a act then Some (a.Ioa.kind_of act) else None),
+           if in_b act then Some (b.Ioa.kind_of act) else None ))
+       alphabet);
+  List.iter
+    (fun c ->
+      if List.mem c b.Ioa.classes then
+        fail "%s: partition class %S appears in both components" name c)
+    a.Ioa.classes;
+  let kind_of act =
+    let ka = if in_a act then Some (a.Ioa.kind_of act) else None in
+    let kb = if in_b act then Some (b.Ioa.kind_of act) else None in
+    match (ka, kb) with
+    | Some Ioa.Output, _ | _, Some Ioa.Output -> Ioa.Output
+    | Some Ioa.Internal, _ -> Ioa.Internal
+    | _, Some Ioa.Internal -> Ioa.Internal
+    | _ -> Ioa.Input
+  in
+  let delta (s1, s2) act =
+    if not (in_a act || in_b act) then []
+    else
+      let post1 = if in_a act then a.Ioa.delta s1 act else [ s1 ] in
+      let post2 = if in_b act then b.Ioa.delta s2 act else [ s2 ] in
+      List.concat_map (fun p1 -> List.map (fun p2 -> (p1, p2)) post2) post1
+  in
+  let class_of act =
+    match (if in_a act then a.Ioa.class_of act else None) with
+    | Some c -> Some c
+    | None -> if in_b act then b.Ioa.class_of act else None
+  in
+  {
+    Ioa.name;
+    start =
+      List.concat_map
+        (fun s1 -> List.map (fun s2 -> (s1, s2)) b.Ioa.start)
+        a.Ioa.start;
+    alphabet;
+    kind_of;
+    delta;
+    classes = a.Ioa.classes @ b.Ioa.classes;
+    class_of;
+    equal_state =
+      (fun (x1, x2) (y1, y2) ->
+        a.Ioa.equal_state x1 y1 && b.Ioa.equal_state x2 y2);
+    hash_state =
+      (fun (x1, x2) -> (a.Ioa.hash_state x1 * 31) + b.Ioa.hash_state x2);
+    pp_state =
+      (fun fmt (x1, x2) ->
+        Format.fprintf fmt "(%a, %a)" a.Ioa.pp_state x1 b.Ioa.pp_state x2);
+    equal_action;
+    pp_action = a.Ioa.pp_action;
+  }
+
+let array ~name (components : ('s, 'a) Ioa.t array) : ('s array, 'a) Ioa.t =
+  if Array.length components = 0 then fail "%s: empty composition" name;
+  let c0 = components.(0) in
+  let equal_action = c0.Ioa.equal_action in
+  let n = Array.length components in
+  let in_comp i act =
+    List.exists (equal_action act) components.(i).Ioa.alphabet
+  in
+  let alphabet =
+    dedup equal_action
+      (List.concat_map
+         (fun c -> c.Ioa.alphabet)
+         (Array.to_list components))
+  in
+  (* Strong compatibility across the whole family. *)
+  List.iter
+    (fun act ->
+      let owners = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if in_comp i act then
+            match c.Ioa.kind_of act with
+            | Ioa.Output -> incr owners
+            | Ioa.Internal ->
+                let shared = ref 0 in
+                Array.iteri
+                  (fun j _ -> if in_comp j act then incr shared)
+                  components;
+                if !shared > 1 then
+                  fail "%s: internal action shared between components" name
+            | Ioa.Input -> ())
+        components;
+      if !owners > 1 then
+        fail "%s: action is an output of two components" name)
+    alphabet;
+  let all_classes =
+    List.concat_map (fun c -> c.Ioa.classes) (Array.to_list components)
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c then
+        fail "%s: partition class %S appears in two components" name c
+      else Hashtbl.add seen c ())
+    all_classes;
+  let kind_of act =
+    let k = ref Ioa.Input in
+    Array.iteri
+      (fun i c ->
+        if in_comp i act then
+          match c.Ioa.kind_of act with
+          | Ioa.Output -> k := Ioa.Output
+          | Ioa.Internal -> k := Ioa.Internal
+          | Ioa.Input -> ())
+      components;
+    !k
+  in
+  let delta states act =
+    if not (Array.exists (fun c ->
+                List.exists (equal_action act) c.Ioa.alphabet)
+              components)
+    then []
+    else
+      let posts =
+        Array.mapi
+          (fun i c ->
+            if in_comp i act then c.Ioa.delta states.(i) act
+            else [ states.(i) ])
+          components
+      in
+      (* Cartesian product of per-component post-state lists. *)
+      let rec cross i acc =
+        if i = n then [ Array.of_list (List.rev acc) ]
+        else
+          List.concat_map (fun p -> cross (i + 1) (p :: acc)) posts.(i)
+      in
+      cross 0 []
+  in
+  let class_of act =
+    let found = ref None in
+    Array.iteri
+      (fun i c ->
+        if !found = None && in_comp i act then
+          match c.Ioa.class_of act with
+          | Some cl -> found := Some cl
+          | None -> ())
+      components;
+    !found
+  in
+  {
+    Ioa.name;
+    start =
+      (let rec cross i acc =
+         if i = n then [ Array.of_list (List.rev acc) ]
+         else
+           List.concat_map
+             (fun s -> cross (i + 1) (s :: acc))
+             components.(i).Ioa.start
+       in
+       cross 0 []);
+    alphabet;
+    kind_of;
+    delta;
+    classes = all_classes;
+    class_of;
+    equal_state =
+      (fun xs ys ->
+        Array.length xs = Array.length ys
+        && Array.for_all2 (fun i x -> i x)
+             (Array.mapi (fun i x -> components.(i).Ioa.equal_state x) xs)
+             ys);
+    hash_state =
+      (fun xs ->
+        let h = ref 0 in
+        Array.iteri
+          (fun i x -> h := (!h * 31) + components.(i).Ioa.hash_state x)
+          xs;
+        !h);
+    pp_state =
+      (fun fmt xs ->
+        Format.fprintf fmt "[|";
+        Array.iteri
+          (fun i x ->
+            if i > 0 then Format.fprintf fmt "; ";
+            components.(i).Ioa.pp_state fmt x)
+          xs;
+        Format.fprintf fmt "|]");
+    equal_action;
+    pp_action = c0.Ioa.pp_action;
+  }

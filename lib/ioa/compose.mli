@@ -1,0 +1,18 @@
+(** Composition of strongly compatible I/O automata (Section 2.1).
+
+    Components synchronize on shared actions: every component having
+    the action in its alphabet takes a step simultaneously.  Strong
+    compatibility requires that no action is an output of two
+    components, that internal actions are unshared, and that partition
+    class names are disjoint; violations raise {!Incompatible}. *)
+
+exception Incompatible of string
+
+val binary :
+  name:string -> ('s1, 'a) Ioa.t -> ('s2, 'a) Ioa.t -> ('s1 * 's2, 'a) Ioa.t
+(** Composition of two automata over the same action type. *)
+
+val array : name:string -> ('s, 'a) Ioa.t array -> ('s array, 'a) Ioa.t
+(** Composition of a family of automata with a common state type (e.g.
+    the signal-relay line).  Components must already have pairwise
+    distinct partition-class names. *)

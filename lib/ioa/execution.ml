@@ -1,0 +1,45 @@
+type ('s, 'a) t = { first : 's; moves : ('a * 's) list }
+
+let of_states first moves = { first; moves }
+
+let last_state e =
+  match List.rev e.moves with [] -> e.first | (_, s) :: _ -> s
+
+let length e = List.length e.moves
+let states e = e.first :: List.map snd e.moves
+let append e act s = { e with moves = e.moves @ [ (act, s) ] }
+
+let prefix n e =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: take (n - 1) xs
+  in
+  { e with moves = take n e.moves }
+
+let schedule e = List.map fst e.moves
+
+let behavior (a : ('s, 'a) Ioa.t) e =
+  List.filter (fun act -> Ioa.is_external (a.Ioa.kind_of act)) (schedule e)
+
+let steps e =
+  let rec go pre = function
+    | [] -> []
+    | (act, post) :: rest -> (pre, act, post) :: go post rest
+  in
+  go e.first e.moves
+
+let is_fragment (a : ('s, 'a) Ioa.t) e =
+  List.for_all (fun (pre, act, post) -> Ioa.step_exists a pre act post)
+    (steps e)
+
+let is_execution a e =
+  List.exists (a.Ioa.equal_state e.first) a.Ioa.start && is_fragment a e
+
+let pp (a : ('s, 'a) Ioa.t) fmt e =
+  Format.fprintf fmt "@[<v>%a" a.Ioa.pp_state e.first;
+  List.iter
+    (fun (act, s) ->
+      Format.fprintf fmt "@,--%a--> %a" a.Ioa.pp_action act a.Ioa.pp_state s)
+    e.moves;
+  Format.fprintf fmt "@]"

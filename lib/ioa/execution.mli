@@ -1,0 +1,34 @@
+(** Executions, schedules and behaviours of I/O automata (Section 2.1).
+
+    An execution fragment is a start state followed by alternating
+    (action, state) moves; it is an execution when the first state is a
+    start state of the automaton. *)
+
+type ('s, 'a) t = { first : 's; moves : ('a * 's) list }
+
+val of_states : 's -> ('a * 's) list -> ('s, 'a) t
+val last_state : ('s, 'a) t -> 's
+val length : ('s, 'a) t -> int
+(** Number of moves. *)
+
+val states : ('s, 'a) t -> 's list
+(** All states, in order, including [first]. *)
+
+val append : ('s, 'a) t -> 'a -> 's -> ('s, 'a) t
+val prefix : int -> ('s, 'a) t -> ('s, 'a) t
+(** First [n] moves. *)
+
+val schedule : ('s, 'a) t -> 'a list
+val behavior : ('s, 'a) Ioa.t -> ('s, 'a) t -> 'a list
+(** External actions only. *)
+
+val is_fragment : ('s, 'a) Ioa.t -> ('s, 'a) t -> bool
+(** Every move is a step of the automaton. *)
+
+val is_execution : ('s, 'a) Ioa.t -> ('s, 'a) t -> bool
+(** [is_fragment] and the first state is a start state. *)
+
+val steps : ('s, 'a) t -> ('s * 'a * 's) list
+(** The (pre-state, action, post-state) triples, in order. *)
+
+val pp : ('s, 'a) Ioa.t -> Format.formatter -> ('s, 'a) t -> unit

@@ -1,0 +1,95 @@
+module Hstore = Tm_base.Hstore
+
+type ('s, 'a) graph = {
+  automaton : ('s, 'a) Ioa.t;
+  states : 's Hstore.t;
+  edges : (int * 'a * int) list;
+  truncated : bool;
+}
+
+let successors (a : ('s, 'a) Ioa.t) s =
+  List.concat_map
+    (fun act -> List.map (fun s' -> (act, s')) (a.Ioa.delta s act))
+    a.Ioa.alphabet
+
+let reachable ?(limit = 200_000) (a : ('s, 'a) Ioa.t) =
+  let store =
+    Hstore.create ~equal:a.Ioa.equal_state ~hash:a.Ioa.hash_state 1024
+  in
+  let queue = Queue.create () in
+  let edges = ref [] in
+  let truncated = ref false in
+  List.iter
+    (fun s ->
+      match Hstore.add store s with
+      | `Added id -> Queue.add id queue
+      | `Present _ -> ())
+    a.Ioa.start;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let s = Hstore.key_of_id store id in
+    List.iter
+      (fun (act, s') ->
+        if Hstore.length store >= limit then truncated := true
+        else
+          match Hstore.add store s' with
+          | `Added id' ->
+              edges := (id, act, id') :: !edges;
+              Queue.add id' queue
+          | `Present id' -> edges := (id, act, id') :: !edges)
+      (successors a s)
+  done;
+  { automaton = a; states = store; edges = List.rev !edges;
+    truncated = !truncated }
+
+type ('s, 'a) invariant_result =
+  | Holds of int
+  | Violated of ('s, 'a) Execution.t
+  | Limit_reached of int
+
+let check_invariant (type s a) ?(limit = 200_000) (a : (s, a) Ioa.t) pred =
+  let store =
+    Hstore.create ~equal:a.Ioa.equal_state ~hash:a.Ioa.hash_state 1024
+  in
+  (* parent.(id) = Some (parent id, action) for path reconstruction *)
+  let parents : (int, int * a) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let path_to id =
+    let rec climb id acc =
+      match Hashtbl.find_opt parents id with
+      | None -> (Hstore.key_of_id store id, acc)
+      | Some (pid, act) ->
+          climb pid ((act, Hstore.key_of_id store id) :: acc)
+    in
+    let first, moves = climb id [] in
+    Execution.of_states first moves
+  in
+  let exception Found of (s, a) Execution.t in
+  let exception Limit in
+  try
+    List.iter
+      (fun s ->
+        match Hstore.add store s with
+        | `Added id ->
+            if not (pred s) then raise (Found (path_to id));
+            Queue.add id queue
+        | `Present _ -> ())
+      a.Ioa.start;
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      let s = Hstore.key_of_id store id in
+      List.iter
+        (fun (act, s') ->
+          if Hstore.length store >= limit then raise Limit;
+          match Hstore.add store s' with
+          | `Added id' ->
+              Hashtbl.replace parents id' (id, act);
+              if not (pred s') then raise (Found (path_to id'));
+              Queue.add id' queue
+          | `Present _ -> ())
+        (successors a s)
+    done;
+    Holds (Hstore.length store)
+  with
+  | Found e -> Violated e
+  | Limit -> Limit_reached (Hstore.length store)

@@ -1,0 +1,30 @@
+(** Breadth-first reachability and invariant checking for finite-state
+    I/O automata.
+
+    Used for the "assertional reasoning" side of the paper: proving
+    state invariants such as Lemma 4.1 by exhaustive induction over the
+    reachable set (for finite or finitely discretized automata). *)
+
+type ('s, 'a) graph = {
+  automaton : ('s, 'a) Ioa.t;
+  states : 's Tm_base.Hstore.t;  (** reachable states, dense ids *)
+  edges : (int * 'a * int) list;  (** (source id, action, target id) *)
+  truncated : bool;  (** hit the state limit before exhausting *)
+}
+
+val reachable : ?limit:int -> ('s, 'a) Ioa.t -> ('s, 'a) graph
+(** BFS from the start states over the full alphabet.
+    [limit] defaults to [200_000] states. *)
+
+type ('s, 'a) invariant_result =
+  | Holds of int  (** number of reachable states checked *)
+  | Violated of ('s, 'a) Execution.t  (** a path to a violating state *)
+  | Limit_reached of int
+
+val check_invariant :
+  ?limit:int -> ('s, 'a) Ioa.t -> ('s -> bool) -> ('s, 'a) invariant_result
+(** BFS that stops at the first state violating the predicate and
+    reconstructs a counterexample execution to it. *)
+
+val successors : ('s, 'a) Ioa.t -> 's -> ('a * 's) list
+(** All one-step moves out of a state. *)

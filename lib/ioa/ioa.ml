@@ -1,0 +1,82 @@
+type kind = Input | Output | Internal
+
+let kind_to_string = function
+  | Input -> "input"
+  | Output -> "output"
+  | Internal -> "internal"
+
+let is_external = function Input | Output -> true | Internal -> false
+let is_locally_controlled = function Output | Internal -> true | Input -> false
+
+type ('s, 'a) t = {
+  name : string;
+  start : 's list;
+  alphabet : 'a list;
+  kind_of : 'a -> kind;
+  delta : 's -> 'a -> 's list;
+  classes : string list;
+  class_of : 'a -> string option;
+  equal_state : 's -> 's -> bool;
+  hash_state : 's -> int;
+  pp_state : Format.formatter -> 's -> unit;
+  equal_action : 'a -> 'a -> bool;
+  pp_action : Format.formatter -> 'a -> unit;
+}
+
+let enabled a s act = a.delta s act <> []
+let enabled_actions a s = List.filter (enabled a s) a.alphabet
+
+let class_members a c =
+  List.filter (fun act -> a.class_of act = Some c) a.alphabet
+
+let class_enabled a c s =
+  List.exists (fun act -> a.class_of act = Some c && enabled a s act) a.alphabet
+
+let step_exists a s act s' = List.exists (a.equal_state s') (a.delta s act)
+
+let external_actions a =
+  List.filter (fun act -> is_external (a.kind_of act)) a.alphabet
+
+let locally_controlled_actions a =
+  List.filter (fun act -> is_locally_controlled (a.kind_of act)) a.alphabet
+
+let input_actions a = List.filter (fun act -> a.kind_of act = Input) a.alphabet
+
+let hide a p =
+  let kind_of act =
+    match a.kind_of act with
+    | Output when p act -> Internal
+    | k -> k
+  in
+  { a with kind_of }
+
+let rename a name = { a with name }
+
+let validate a ~states =
+  let ( let* ) r f = Result.bind r f in
+  let* () = if a.start = [] then Error "no start state" else Ok () in
+  let* () =
+    List.fold_left
+      (fun acc act ->
+        let* () = acc in
+        match (a.kind_of act, a.class_of act) with
+        | Input, None -> Ok ()
+        | Input, Some _ -> Error "input action assigned a partition class"
+        | (Output | Internal), None ->
+            Error "locally controlled action without a partition class"
+        | (Output | Internal), Some c ->
+            if List.mem c a.classes then Ok ()
+            else Error (Printf.sprintf "unknown partition class %S" c))
+      (Ok ()) a.alphabet
+  in
+  let inputs = input_actions a in
+  List.fold_left
+    (fun acc s ->
+      let* () = acc in
+      match List.find_opt (fun act -> not (enabled a s act)) inputs with
+      | None -> Ok ()
+      | Some act ->
+          Error
+            (Format.asprintf "input %a not enabled in state %a" a.pp_action
+               act a.pp_state s))
+    (Ok ()) states

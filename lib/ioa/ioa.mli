@@ -1,0 +1,70 @@
+(** I/O automata (Lynch–Tuttle), Section 2.1 of the paper.
+
+    An automaton is a value of type [('s, 'a) t]: states of type ['s],
+    actions of type ['a], a finite action alphabet, a step relation
+    [delta] (nondeterministic: a list of post-states, empty when the
+    action is not enabled), and a partition of the locally controlled
+    actions into named classes.
+
+    Because states may come from arbitrary OCaml types, the record also
+    carries equality, hashing and printing for states and actions; the
+    exploration, simulation and verification layers all use these. *)
+
+type kind = Input | Output | Internal
+
+val kind_to_string : kind -> string
+val is_external : kind -> bool
+val is_locally_controlled : kind -> bool
+
+type ('s, 'a) t = {
+  name : string;
+  start : 's list;  (** nonempty *)
+  alphabet : 'a list;  (** finite action alphabet, no duplicates *)
+  kind_of : 'a -> kind;
+  delta : 's -> 'a -> 's list;
+      (** post-states of a step; [[]] iff the action is not enabled.
+          Input actions must be enabled in every state. *)
+  classes : string list;
+      (** the partition [part(A)] of locally controlled actions *)
+  class_of : 'a -> string option;
+      (** [None] exactly for input actions; [Some c] with
+          [List.mem c classes] otherwise *)
+  equal_state : 's -> 's -> bool;
+  hash_state : 's -> int;
+  pp_state : Format.formatter -> 's -> unit;
+  equal_action : 'a -> 'a -> bool;
+  pp_action : Format.formatter -> 'a -> unit;
+}
+
+val enabled : ('s, 'a) t -> 's -> 'a -> bool
+(** [enabled a s act] iff some step [(s, act, _)] exists. *)
+
+val enabled_actions : ('s, 'a) t -> 's -> 'a list
+(** All alphabet actions enabled in [s], in alphabet order. *)
+
+val class_members : ('s, 'a) t -> string -> 'a list
+(** Actions belonging to a partition class. *)
+
+val class_enabled : ('s, 'a) t -> string -> 's -> bool
+(** [class_enabled a c s]: is [s ∈ enabled(A, C)] — some action of
+    class [c] enabled in [s]? *)
+
+val step_exists : ('s, 'a) t -> 's -> 'a -> 's -> bool
+(** Membership test for the step relation. *)
+
+val external_actions : ('s, 'a) t -> 'a list
+val locally_controlled_actions : ('s, 'a) t -> 'a list
+val input_actions : ('s, 'a) t -> 'a list
+
+val hide : ('s, 'a) t -> ('a -> bool) -> ('s, 'a) t
+(** [hide a p] reclassifies output actions satisfying [p] as internal
+    (the paper's hiding operator). *)
+
+val rename : ('s, 'a) t -> string -> ('s, 'a) t
+
+val validate : ('s, 'a) t -> states:'s list -> (unit, string) result
+(** Structural sanity checks: start nonempty; class names of
+    locally-controlled actions are listed in [classes]; input actions
+    have no class; input actions are enabled in every supplied state
+    (input-enabledness can only be checked on a state sample — pass the
+    reachable set for finite automata). *)

@@ -1,0 +1,109 @@
+module Rational = Tm_base.Rational
+module Interval = Tm_base.Interval
+
+let occurrence_times pred (seq : ('s, 'a) Tm_timed.Tseq.t) =
+  List.filter_map
+    (fun ((act, tm), _) -> if pred act then Some tm else None)
+    seq.Tm_timed.Tseq.moves
+
+let first_time pred seq =
+  match occurrence_times pred seq with [] -> None | t :: _ -> Some t
+
+let gaps = function
+  | [] -> []
+  | first :: rest ->
+      let rec go prev = function
+        | [] -> []
+        | t :: ts -> Rational.sub t prev :: go t ts
+      in
+      go first rest
+
+type envelope = {
+  count : int;
+  min : Rational.t;
+  max : Rational.t;
+  mean : float;
+}
+
+let envelope = function
+  | [] -> None
+  | t :: ts ->
+      let count, mn, mx, sum =
+        List.fold_left
+          (fun (c, mn, mx, sum) t ->
+            (c + 1, Rational.min mn t, Rational.max mx t,
+             sum +. Rational.to_float t))
+          (1, t, t, Rational.to_float t)
+          ts
+      in
+      Some { count; min = mn; max = mx; mean = sum /. float_of_int count }
+
+let merge a b =
+  {
+    count = a.count + b.count;
+    min = Rational.min a.min b.min;
+    max = Rational.max a.max b.max;
+    mean =
+      ((a.mean *. float_of_int a.count) +. (b.mean *. float_of_int b.count))
+      /. float_of_int (a.count + b.count);
+  }
+
+let within iv e = Interval.mem e.min iv && Interval.mem e.max iv
+
+let pp_envelope fmt e =
+  Format.fprintf fmt "{n=%d; min=%a; max=%a; mean=%.4f}" e.count Rational.pp
+    e.min Rational.pp e.max e.mean
+
+let quantile samples p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Measure.quantile";
+  match List.sort Rational.compare samples with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        Stdlib.min (n - 1)
+          (Stdlib.max 0 (int_of_float (ceil (p *. float_of_int n)) - 1))
+      in
+      Some (List.nth sorted rank)
+
+let summary samples =
+  match envelope samples with
+  | None -> "(no samples)"
+  | Some e ->
+      let q p =
+        match quantile samples p with
+        | Some v -> Rational.to_string v
+        | None -> "-"
+      in
+      Printf.sprintf "n=%d min=%s p50=%s p90=%s max=%s" e.count
+        (Rational.to_string e.min) (q 0.5) (q 0.9)
+        (Rational.to_string e.max)
+
+type ('s, 'a) ensemble = {
+  runs : int;
+  seeds_with_events : int;
+  first : envelope option;
+  gap : envelope option;
+}
+
+let ensemble ~runs ~steps ~denominator ~cap ~event aut =
+  let firsts = ref [] and gap_samples = ref [] in
+  let seeds_with_events = ref 0 in
+  for seed = 0 to runs - 1 do
+    let prng = Tm_base.Prng.create seed in
+    let run =
+      Simulator.simulate ~steps
+        ~strategy:(Strategy.random ~prng ~denominator ~cap)
+        aut
+    in
+    let ts = occurrence_times event (Simulator.project run) in
+    if ts <> [] then incr seeds_with_events;
+    (match ts with t :: _ -> firsts := t :: !firsts | [] -> ());
+    gap_samples := gaps ts @ !gap_samples
+  done;
+  {
+    runs;
+    seeds_with_events = !seeds_with_events;
+    first = envelope !firsts;
+    gap = envelope !gap_samples;
+  }

@@ -1,0 +1,39 @@
+module Time_automaton = Tm_core.Time_automaton
+module Execution = Tm_ioa.Execution
+
+type stop_reason = Step_limit | Deadlock | Strategy_stop | Stopped
+
+type ('s, 'a) run = {
+  exec : ('s, 'a) Time_automaton.texec;
+  reason : stop_reason;
+}
+
+let simulate_from ?(stop = fun _ -> false) ~steps ~strategy aut s0 =
+  let moves_rev = ref [] in
+  let rec go s k =
+    if stop s then Stopped
+    else if k = 0 then Step_limit
+    else
+      let enabled = Time_automaton.enabled_moves aut s in
+      if enabled = [] then Deadlock
+      else
+        match strategy aut s enabled with
+        | None -> Strategy_stop
+        | Some (act, tm) -> (
+            match Time_automaton.fire aut s act tm with
+            | [] ->
+                invalid_arg
+                  "Simulator: strategy chose a move outside its window"
+            | s' :: _ ->
+                moves_rev := ((act, tm), s') :: !moves_rev;
+                go s' (k - 1))
+  in
+  let reason = go s0 steps in
+  { exec = Execution.of_states s0 (List.rev !moves_rev); reason }
+
+let simulate ?stop ~steps ~strategy aut =
+  match aut.Time_automaton.start with
+  | [] -> invalid_arg "Simulator: automaton has no start state"
+  | s0 :: _ -> simulate_from ?stop ~steps ~strategy aut s0
+
+let project r = Time_automaton.project r.exec

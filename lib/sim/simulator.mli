@@ -1,0 +1,41 @@
+(** Discrete-event simulation of [time(A, U)] automata.
+
+    The simulator executes the predictive semantics directly: at each
+    step it computes the feasible windows of all enabled actions, lets
+    a {!Strategy} choose the next move, and applies it.  Every produced
+    execution is by construction an execution of [time(A, U)], hence
+    its projection is a timed semi-execution of [(A, U)] (Lemma 3.2) —
+    which the test suite re-checks independently. *)
+
+type stop_reason =
+  | Step_limit  (** performed the requested number of steps *)
+  | Deadlock  (** no enabled move — impossible under a boundmap whose
+                  classes cover the automaton and with an always-on
+                  dummy; common for un-dummified finite systems *)
+  | Strategy_stop  (** the strategy returned [None] *)
+  | Stopped  (** the [stop] predicate fired *)
+
+type ('s, 'a) run = {
+  exec : ('s, 'a) Tm_core.Time_automaton.texec;
+  reason : stop_reason;
+}
+
+val simulate :
+  ?stop:('s Tm_core.Tstate.t -> bool) ->
+  steps:int ->
+  strategy:('s, 'a) Strategy.t ->
+  ('s, 'a) Tm_core.Time_automaton.t ->
+  ('s, 'a) run
+(** Run from the first start state.  [stop] is evaluated on every
+    reached state (including the start). *)
+
+val simulate_from :
+  ?stop:('s Tm_core.Tstate.t -> bool) ->
+  steps:int ->
+  strategy:('s, 'a) Strategy.t ->
+  ('s, 'a) Tm_core.Time_automaton.t ->
+  's Tm_core.Tstate.t ->
+  ('s, 'a) run
+
+val project : ('s, 'a) run -> ('s, 'a) Tm_timed.Tseq.t
+(** The timed sequence of the run. *)

@@ -1,0 +1,55 @@
+module Rational = Tm_base.Rational
+
+let to_string ~show schedule =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (act, t) ->
+      Buffer.add_string buf (Rational.to_string t);
+      Buffer.add_char buf '\t';
+      Buffer.add_string buf (show act);
+      Buffer.add_char buf '\n')
+    schedule;
+  Buffer.contents buf
+
+let of_string ~parse s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc (lineno + 1) rest
+        else begin
+          match String.index_opt line '\t' with
+          | None -> Error (Printf.sprintf "line %d: missing tab" lineno)
+          | Some i -> (
+              let tstr = String.sub line 0 i in
+              let astr =
+                String.sub line (i + 1) (String.length line - i - 1)
+              in
+              match (Rational.of_string tstr, parse astr) with
+              | exception Invalid_argument _ ->
+                  Error (Printf.sprintf "line %d: bad time %S" lineno tstr)
+              | _, None ->
+                  Error (Printf.sprintf "line %d: bad action %S" lineno astr)
+              | t, Some act -> go ((act, t) :: acc) (lineno + 1) rest)
+        end
+  in
+  go [] 1 lines
+
+let save ~path ~show schedule =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~show schedule))
+
+let load ~path ~parse =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          of_string ~parse (really_input_string ic n))
+
+let schedule_of_seq = Tm_timed.Tseq.timed_schedule

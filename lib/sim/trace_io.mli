@@ -1,0 +1,31 @@
+(** Timed-trace serialization.
+
+    A stable, line-oriented text format for timed schedules: one
+    [time<TAB>action] line per move, times as exact rationals.  Actions
+    are serialized through caller-provided [show]/[parse] so the format
+    is independent of the action type.  Round-tripping is exact (no
+    float involved); used for golden traces, the CLI's trace export,
+    and {!Strategy.replay}. *)
+
+val to_string :
+  show:('a -> string) -> ('a * Tm_base.Rational.t) list -> string
+(** Serialize a timed schedule. *)
+
+val of_string :
+  parse:(string -> 'a option) ->
+  string ->
+  (('a * Tm_base.Rational.t) list, string) result
+(** Parse; reports the first offending line.  Blank lines and lines
+    starting with ['#'] are ignored. *)
+
+val save :
+  path:string -> show:('a -> string) -> ('a * Tm_base.Rational.t) list ->
+  unit
+
+val load :
+  path:string ->
+  parse:(string -> 'a option) ->
+  (('a * Tm_base.Rational.t) list, string) result
+
+val schedule_of_seq : ('s, 'a) Tm_timed.Tseq.t -> ('a * Tm_base.Rational.t) list
+(** The timed schedule of a sequence (re-exported for convenience). *)

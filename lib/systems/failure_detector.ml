@@ -1,0 +1,142 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Ioa = Tm_ioa.Ioa
+module Boundmap = Tm_timed.Boundmap
+module Condition = Tm_timed.Condition
+module Time_automaton = Tm_core.Time_automaton
+
+type act = Hb | Crash | Check_ok | Check_miss | Check_suspect | Check_idle
+
+let pp_act fmt a =
+  Format.pp_print_string fmt
+    (match a with
+    | Hb -> "HB"
+    | Crash -> "CRASH"
+    | Check_ok -> "CHECK/ok"
+    | Check_miss -> "CHECK/miss"
+    | Check_suspect -> "CHECK/suspect"
+    | Check_idle -> "CHECK/idle")
+
+type state = {
+  alive : bool;
+  fresh : bool;
+  misses : int;
+  suspected : bool;
+}
+
+type params = {
+  h1 : Rational.t;
+  h2 : Rational.t;
+  g1 : Rational.t;
+  g2 : Rational.t;
+  m : int;
+}
+
+let params_of_ints ~h1 ~h2 ~g1 ~g2 ~m =
+  let chk lo hi name =
+    if lo < 0 || hi < lo || hi = 0 then
+      invalid_arg
+        (Printf.sprintf "Failure_detector.params: bad %s interval" name)
+  in
+  chk h1 h2 "heartbeat";
+  chk g1 g2 "polling";
+  if m < 1 then invalid_arg "Failure_detector.params: m < 1";
+  let f = Rational.of_int in
+  { h1 = f h1; h2 = f h2; g1 = f g1; g2 = f g2; m }
+
+let accurate p =
+  (* With h2 = g1 a heartbeat and a poll may coincide, ordered either
+     way; a single boundary coincidence already fools an m = 1
+     detector, while m >= 2 needs two consecutive stale polls, which
+     h2 <= g1 rules out. *)
+  Rational.(p.h2 < p.g1) || (Rational.(p.h2 <= p.g1) && p.m >= 2)
+let hb_class = "HB"
+let crash_class = "CRASH"
+let check_class = "CHECK"
+
+let system p : (state, act) Ioa.t =
+  let delta s = function
+    | Hb -> if s.alive then [ { s with fresh = true } ] else []
+    | Crash -> if s.alive then [ { s with alive = false } ] else []
+    | Check_ok ->
+        if (not s.suspected) && s.fresh then
+          [ { s with fresh = false; misses = 0 } ]
+        else []
+    | Check_miss ->
+        if (not s.suspected) && (not s.fresh) && s.misses + 1 < p.m then
+          [ { s with misses = s.misses + 1 } ]
+        else []
+    | Check_suspect ->
+        if (not s.suspected) && (not s.fresh) && s.misses + 1 >= p.m then
+          [ { s with misses = p.m; suspected = true } ]
+        else []
+    | Check_idle -> if s.suspected then [ s ] else []
+  in
+  {
+    Ioa.name = "failure-detector";
+    start = [ { alive = true; fresh = false; misses = 0; suspected = false } ];
+    alphabet = [ Hb; Crash; Check_ok; Check_miss; Check_suspect; Check_idle ];
+    kind_of =
+      (function
+      | Check_suspect -> Ioa.Output
+      | Hb | Crash | Check_ok | Check_miss | Check_idle -> Ioa.Internal);
+    delta;
+    classes = [ hb_class; crash_class; check_class ];
+    class_of =
+      (function
+      | Hb -> Some hb_class
+      | Crash -> Some crash_class
+      | Check_ok | Check_miss | Check_suspect | Check_idle ->
+          Some check_class);
+    equal_state = ( = );
+    hash_state =
+      (fun s ->
+        (if s.alive then 1 else 0)
+        + (if s.fresh then 2 else 0)
+        + (if s.suspected then 4 else 0)
+        + (8 * s.misses));
+    pp_state =
+      (fun fmt s ->
+        Format.fprintf fmt "{%s%s misses=%d%s}"
+          (if s.alive then "alive" else "dead")
+          (if s.fresh then "+hb" else "")
+          s.misses
+          (if s.suspected then " SUSPECTED" else ""));
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let boundmap p =
+  Boundmap.of_list
+    [
+      (hb_class, Interval.make p.h1 (Time.Fin p.h2));
+      (crash_class, Interval.unbounded_above Rational.zero);
+      (check_class, Interval.make p.g1 (Time.Fin p.g2));
+    ]
+
+let impl p = Time_automaton.of_boundmap (system p) (boundmap p)
+let no_false_suspicion s = (not s.suspected) || not s.alive
+
+let detection_interval p =
+  (* Lower bound: the first post-crash stale poll cannot occur sooner
+     than g1 - h2 after the crash (a poll at least g1 after its
+     predecessor is stale only if the crash preempted a heartbeat that
+     was due within h2 of that predecessor), then m-1 further polls at
+     least g1 apart.  Upper bound: one poll may consume a heartbeat
+     that landed just before the crash, then m missing polls, each at
+     most g2 apart. *)
+  Interval.make
+    (Rational.add
+       (Rational.mul_int (p.m - 1) p.g1)
+       (Rational.max Rational.zero (Rational.sub p.g1 p.h2)))
+    (Time.Fin (Rational.mul_int (p.m + 1) p.g2))
+
+let u_detect p =
+  Condition.make ~name:"U(detect)"
+    ~t_step:(fun _ act _ -> act = Crash)
+    ~bounds:(detection_interval p)
+    ~in_pi:(fun act -> act = Check_suspect)
+    ()
+
+let spec p = Time_automaton.make (system p) [ u_detect p ]

@@ -1,0 +1,81 @@
+(** A heartbeat failure detector, analyzed with the paper's machinery.
+
+    Timing-based failure detection is the canonical "real-time
+    computing and communication" target the conclusions point to.  A
+    sender emits heartbeats every [[h1, h2]] while alive and may crash
+    at any moment; a monitor polls every [[g1, g2]] (the same
+    tick-counting pattern as the Section 4 manager), clearing a miss
+    counter when a heartbeat arrived since the previous poll and
+    incrementing it otherwise; after [m] consecutive misses it raises a
+    suspicion.
+
+    Two properties, each a timing property in the paper's sense:
+
+    - {b accuracy} — while [h2 <= g1] (every polling gap contains a
+      heartbeat), a live sender is never suspected: the state invariant
+      [suspected => crashed], verified exactly by zone reachability and
+      refuted when heartbeats are slower than polls;
+    - {b completeness} — after a crash, suspicion is raised within
+      [[(m−1)·g1 + max(0, g1−h2), (m+1)·g2]] ({!u_detect}): at worst
+      one poll consumes a heartbeat that arrived just before the crash,
+      then [m] missing polls each at most [g2] apart; at best the crash
+      preempts a pending heartbeat and the first stale poll lands
+      [g1−h2] later, with the remaining [m−1] polls as fast as
+      possible.  Both endpoints are exactly tight — the test suite
+      checks them against the exact first-occurrence analysis. *)
+
+type act =
+  | Hb  (** heartbeat delivery *)
+  | Crash  (** the sender dies (may never happen: upper bound ∞) *)
+  | Check_ok  (** poll: heartbeat seen, counter cleared *)
+  | Check_miss  (** poll: nothing since last poll *)
+  | Check_suspect  (** poll: [m]-th consecutive miss — suspicion *)
+  | Check_idle  (** poll after suspicion (monitor keeps running) *)
+
+val pp_act : Format.formatter -> act -> unit
+
+type state = {
+  alive : bool;
+  fresh : bool;  (** heartbeat since the last poll *)
+  misses : int;
+  suspected : bool;
+}
+
+type params = {
+  h1 : Tm_base.Rational.t;  (** heartbeat spacing lower bound *)
+  h2 : Tm_base.Rational.t;  (** heartbeat spacing upper bound *)
+  g1 : Tm_base.Rational.t;  (** polling gap lower bound *)
+  g2 : Tm_base.Rational.t;  (** polling gap upper bound *)
+  m : int;  (** misses before suspicion, [>= 1] *)
+}
+
+val params_of_ints : h1:int -> h2:int -> g1:int -> g2:int -> m:int -> params
+(** Validates only interval shapes; [h2 <= g1] (the accuracy
+    assumption) is deliberately not enforced so that refutation runs
+    can violate it. *)
+
+val accurate : params -> bool
+(** The regime in which no false suspicion is possible:
+    [h2 < g1], or [h2 <= g1] with [m >= 2] (at [h2 = g1] a heartbeat
+    and a poll can coincide and be ordered poll-first, which fools a
+    single-miss detector). *)
+
+val hb_class : string
+val crash_class : string
+val check_class : string
+
+val system : params -> (state, act) Tm_ioa.Ioa.t
+val boundmap : params -> Tm_timed.Boundmap.t
+val impl : params -> (state, act) Tm_core.Time_automaton.t
+
+val no_false_suspicion : state -> bool
+(** [suspected => not alive]. *)
+
+val detection_interval : params -> Tm_base.Interval.t
+(** [[(m−1)·g1 + max(0, g1−h2), (m+1)·g2]]. *)
+
+val u_detect : params -> (state, act) Tm_timed.Condition.t
+(** Triggered by the [Crash] step; [Π = {Check_suspect}]; bounds
+    {!detection_interval}. *)
+
+val spec : params -> (state, act) Tm_core.Time_automaton.t

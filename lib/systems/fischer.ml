@@ -1,0 +1,187 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Ioa = Tm_ioa.Ioa
+module Boundmap = Tm_timed.Boundmap
+module Condition = Tm_timed.Condition
+module Time_automaton = Tm_core.Time_automaton
+
+type pc = Rem | Test | Set | Check | Crit
+
+type act =
+  | Retry of int
+  | Test_succ of int
+  | Test_fail of int
+  | Set_x of int
+  | Enter of int
+  | Fail of int
+  | Exit of int
+
+let pp_act fmt = function
+  | Retry i -> Format.fprintf fmt "retry_%d" i
+  | Test_succ i -> Format.fprintf fmt "test+_%d" i
+  | Test_fail i -> Format.fprintf fmt "test-_%d" i
+  | Set_x i -> Format.fprintf fmt "set_%d" i
+  | Enter i -> Format.fprintf fmt "enter_%d" i
+  | Fail i -> Format.fprintf fmt "fail_%d" i
+  | Exit i -> Format.fprintf fmt "exit_%d" i
+
+type params = {
+  n : int;
+  r : Rational.t;
+  t : Rational.t;
+  a : Rational.t;
+  b : Rational.t;
+  b2 : Rational.t;
+  e : Rational.t;
+}
+
+let params ~n ~r ~t ~a ~b ~b2 ~e =
+  if n < 2 then invalid_arg "Fischer.params: n < 2";
+  let pos name q =
+    if Rational.(q <= Rational.zero) then
+      invalid_arg (Printf.sprintf "Fischer.params: %s <= 0" name)
+  in
+  pos "r" r; pos "t" t; pos "a" a; pos "b2" b2; pos "e" e;
+  if Rational.(b < Rational.zero) then invalid_arg "Fischer.params: b < 0";
+  if Rational.(b2 < b) then invalid_arg "Fischer.params: b2 < b";
+  { n; r; t; a; b; b2; e }
+
+let params_of_ints ~n ~r ~t ~a ~b ~b2 ~e =
+  params ~n ~r:(Rational.of_int r) ~t:(Rational.of_int t)
+    ~a:(Rational.of_int a) ~b:(Rational.of_int b) ~b2:(Rational.of_int b2)
+    ~e:(Rational.of_int e)
+
+type state = { x : int; pcs : pc array }
+
+let retry_class i = Printf.sprintf "RETRY_%d" i
+let test_class i = Printf.sprintf "TEST_%d" i
+let set_class i = Printf.sprintf "SET_%d" i
+let check_class i = Printf.sprintf "CHECK_%d" i
+let crit_class i = Printf.sprintf "CRIT_%d" i
+
+let proc_of = function
+  | Retry i | Test_succ i | Test_fail i | Set_x i | Enter i | Fail i
+  | Exit i ->
+      i
+
+let class_of = function
+  | Retry i -> retry_class i
+  | Test_succ i | Test_fail i -> test_class i
+  | Set_x i -> set_class i
+  | Enter i | Fail i -> check_class i
+  | Exit i -> crit_class i
+
+let with_pc s i pc =
+  let pcs = Array.copy s.pcs in
+  pcs.(i - 1) <- pc;
+  { s with pcs }
+
+let pc_of s i = s.pcs.(i - 1)
+
+let system p : (state, act) Ioa.t =
+  let procs = List.init p.n (fun i -> i + 1) in
+  let alphabet =
+    List.concat_map
+      (fun i ->
+        [ Retry i; Test_succ i; Test_fail i; Set_x i; Enter i; Fail i;
+          Exit i ])
+      procs
+  in
+  let delta s act =
+    let i = proc_of act in
+    match (act, pc_of s i) with
+    | Retry _, Rem -> [ with_pc s i Test ]
+    | Test_succ _, Test when s.x = 0 -> [ with_pc s i Set ]
+    | Test_fail _, Test when s.x <> 0 -> [ with_pc s i Test ]
+    | Set_x _, Set -> [ { (with_pc s i Check) with x = i } ]
+    | Enter _, Check when s.x = i -> [ with_pc s i Crit ]
+    | Fail _, Check when s.x <> i -> [ with_pc s i Rem ]
+    | Exit _, Crit -> [ { (with_pc s i Rem) with x = 0 } ]
+    | ( ( Retry _ | Test_succ _ | Test_fail _ | Set_x _ | Enter _
+        | Fail _ | Exit _ ),
+        _ ) ->
+        []
+  in
+  {
+    Ioa.name = Printf.sprintf "fischer-%d" p.n;
+    start = [ { x = 0; pcs = Array.make p.n Rem } ];
+    alphabet;
+    kind_of =
+      (function
+      | Enter _ | Exit _ -> Ioa.Output
+      | Retry _ | Test_succ _ | Test_fail _ | Set_x _ | Fail _ ->
+          Ioa.Internal);
+    delta;
+    classes =
+      List.concat_map
+        (fun i ->
+          [ retry_class i; test_class i; set_class i; check_class i;
+            crit_class i ])
+        procs;
+    class_of = (fun act -> Some (class_of act));
+    equal_state =
+      (fun s1 s2 ->
+        s1.x = s2.x
+        && Array.for_all2 (fun a b -> a = b) s1.pcs s2.pcs);
+    hash_state =
+      (fun s ->
+        Array.fold_left
+          (fun h pc ->
+            (h * 7)
+            + match pc with Rem -> 0 | Test -> 1 | Set -> 2 | Check -> 3
+              | Crit -> 4)
+          s.x s.pcs);
+    pp_state =
+      (fun fmt s ->
+        Format.fprintf fmt "x=%d[" s.x;
+        Array.iter
+          (fun pc ->
+            Format.pp_print_string fmt
+              (match pc with
+              | Rem -> "R" | Test -> "T" | Set -> "S" | Check -> "C"
+              | Crit -> "!"))
+          s.pcs;
+        Format.fprintf fmt "]");
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let boundmap p =
+  Boundmap.of_list
+    (List.concat_map
+       (fun i ->
+         [
+           (retry_class i, Interval.make Rational.zero (Time.Fin p.r));
+           (test_class i, Interval.make Rational.zero (Time.Fin p.t));
+           (set_class i, Interval.make Rational.zero (Time.Fin p.a));
+           (check_class i, Interval.make p.b (Time.Fin p.b2));
+           (crit_class i, Interval.make Rational.zero (Time.Fin p.e));
+         ])
+       (List.init p.n (fun i -> i + 1)))
+
+let impl p = Time_automaton.of_boundmap (system p) (boundmap p)
+
+let mutual_exclusion s =
+  Array.fold_left (fun c pc -> c + if pc = Crit then 1 else 0) 0 s.pcs <= 1
+
+let u_enter p =
+  Condition.make ~name:"U_enter"
+    ~t_step:(fun s' act _s ->
+      match act with
+      | Set_x i ->
+          let uncontended = ref true in
+          Array.iteri
+            (fun j pc -> if j <> i - 1 && pc = Set then uncontended := false)
+            s'.pcs;
+          !uncontended
+      | Retry _ | Test_succ _ | Test_fail _ | Enter _ | Fail _ | Exit _ ->
+          false)
+    ~bounds:(Interval.make p.b (Time.Fin p.b2))
+    ~in_pi:(function
+      | Enter _ -> true
+      | Retry _ | Test_succ _ | Test_fail _ | Set_x _ | Fail _ | Exit _ ->
+          false)
+    ()
+
+let spec p = Time_automaton.make (system p) [ u_enter p ]

@@ -1,0 +1,110 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Ioa = Tm_ioa.Ioa
+module Compose = Tm_ioa.Compose
+module Boundmap = Tm_timed.Boundmap
+module Condition = Tm_timed.Condition
+module Time_automaton = Tm_core.Time_automaton
+
+type act = Tick | Grant
+
+let pp_act fmt a =
+  Format.pp_print_string fmt (match a with Tick -> "TICK" | Grant -> "GRANT")
+
+type params = { k : int; c1 : Rational.t; c2 : Rational.t; l : Rational.t }
+
+let params ~k ~c1 ~c2 ~l =
+  if k <= 0 then invalid_arg "Interrupt_manager.params: k <= 0";
+  if Rational.(c1 <= Rational.zero) then
+    invalid_arg "Interrupt_manager.params: c1 <= 0";
+  if Rational.(c2 < c1) then invalid_arg "Interrupt_manager.params: c2 < c1";
+  if Rational.(l <= Rational.zero) then
+    invalid_arg "Interrupt_manager.params: l <= 0";
+  { k; c1; c2; l }
+
+let params_of_ints ~k ~c1 ~c2 ~l =
+  params ~k ~c1:(Rational.of_int c1) ~c2:(Rational.of_int c2)
+    ~l:(Rational.of_int l)
+
+type state = unit * int
+
+let tick_class = "TICK"
+let local_class = "LOCAL"
+
+let clock : (unit, act) Ioa.t =
+  {
+    Ioa.name = "clock";
+    start = [ () ];
+    alphabet = [ Tick ];
+    kind_of = (fun _ -> Ioa.Output);
+    delta = (fun () act -> match act with Tick -> [ () ] | Grant -> []);
+    classes = [ tick_class ];
+    class_of = (function Tick -> Some tick_class | Grant -> None);
+    equal_state = (fun () () -> true);
+    hash_state = (fun () -> 0);
+    pp_state = (fun fmt () -> Format.pp_print_string fmt "·");
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let manager p : (int, act) Ioa.t =
+  {
+    Ioa.name = "interrupt-manager";
+    start = [ p.k ];
+    alphabet = [ Tick; Grant ];
+    kind_of = (function Tick -> Ioa.Input | Grant -> Ioa.Output);
+    delta =
+      (fun timer -> function
+        | Tick -> [ timer - 1 ]
+        | Grant -> if timer <= 0 then [ p.k ] else []);
+    classes = [ local_class ];
+    class_of = (function Tick -> None | Grant -> Some local_class);
+    equal_state = Int.equal;
+    hash_state = Fun.id;
+    pp_state = (fun fmt t -> Format.fprintf fmt "TIMER=%d" t);
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let system p =
+  let composed =
+    Compose.binary ~name:"interrupt-resource-manager" clock (manager p)
+  in
+  Ioa.hide composed (fun act -> act = Tick)
+
+let boundmap p =
+  Boundmap.of_list
+    [
+      (tick_class, Interval.make p.c1 (Time.Fin p.c2));
+      (local_class, Interval.make Rational.zero (Time.Fin p.l));
+    ]
+
+let grant_interval_first p =
+  Interval.make
+    (Rational.mul_int p.k p.c1)
+    (Time.Fin (Rational.add (Rational.mul_int p.k p.c2) p.l))
+
+let grant_interval_between p =
+  Interval.make
+    (Rational.max
+       (Rational.sub (Rational.mul_int p.k p.c1) p.l)
+       (Rational.mul_int (p.k - 1) p.c1))
+    (Time.Fin (Rational.add (Rational.mul_int p.k p.c2) p.l))
+
+let g1 p =
+  Condition.make ~name:"G1"
+    ~t_start:(fun _ -> true)
+    ~bounds:(grant_interval_first p)
+    ~in_pi:(fun act -> act = Grant)
+    ()
+
+let g2 p =
+  Condition.make ~name:"G2"
+    ~t_step:(fun _ act _ -> act = Grant)
+    ~bounds:(grant_interval_between p)
+    ~in_pi:(fun act -> act = Grant)
+    ()
+
+let impl p = Time_automaton.of_boundmap (system p) (boundmap p)
+let spec p = Time_automaton.make (system p) [ g1 p; g2 p ]

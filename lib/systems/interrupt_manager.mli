@@ -1,0 +1,56 @@
+(** The interrupt-driven manager variant of Section 4, footnote 7.
+
+    The paper notes an alternative modelling in which the manager is
+    interrupt-driven: the idling [ELSE] action is omitted, so the
+    [LOCAL] class (now just [{GRANT}]) is enabled only when the TIMER
+    has expired, and the [GRANT] occurs within [l] of that moment.
+
+    The footnote observes the two automata have slightly different
+    timing properties; this module makes the difference concrete
+    (confirmed by the exact zone/graph analyses in the test suite):
+
+    - first GRANT: [[k·c1, k·c2 + l]] — unchanged;
+    - between GRANTs: [[max(k·c1 − l, (k−1)·c1), k·c2 + l]];
+    - the [c1 > l] assumption of Section 4 is not needed: the paper's
+      analysis of the polling manager relies on Lemma 4.1
+      ([TIMER >= 0]), which fails when [l >= c1], whereas the
+      interrupt-driven manager is analyzable for any [l > 0].  When
+      [c1 > l] the two variants have identical bounds; when [l >= c1]
+      the inter-GRANT lower bound degrades to [(k−1)·c1].
+
+    The benchmark harness uses this system as an ablation of the
+    polling design. *)
+
+type act = Tick | Grant
+
+val pp_act : Format.formatter -> act -> unit
+
+type params = {
+  k : int;
+  c1 : Tm_base.Rational.t;
+  c2 : Tm_base.Rational.t;
+  l : Tm_base.Rational.t;
+}
+
+val params : k:int -> c1:Tm_base.Rational.t -> c2:Tm_base.Rational.t ->
+  l:Tm_base.Rational.t -> params
+
+val params_of_ints : k:int -> c1:int -> c2:int -> l:int -> params
+
+type state = unit * int
+
+val system : params -> (state, act) Tm_ioa.Ioa.t
+val boundmap : params -> Tm_timed.Boundmap.t
+
+val g1 : params -> (state, act) Tm_timed.Condition.t
+(** First GRANT in [[k·c1, k·c2 + l]]. *)
+
+val g2 : params -> (state, act) Tm_timed.Condition.t
+(** Consecutive GRANTs separated by a time in
+    [[max(k·c1 − l, (k−1)·c1), k·c2 + l]]. *)
+
+val impl : params -> (state, act) Tm_core.Time_automaton.t
+val spec : params -> (state, act) Tm_core.Time_automaton.t
+
+val grant_interval_first : params -> Tm_base.Interval.t
+val grant_interval_between : params -> Tm_base.Interval.t

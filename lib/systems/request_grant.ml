@@ -1,0 +1,116 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Ioa = Tm_ioa.Ioa
+module Compose = Tm_ioa.Compose
+module Boundmap = Tm_timed.Boundmap
+module Condition = Tm_timed.Condition
+module Time_automaton = Tm_core.Time_automaton
+
+type act = Req | Resp
+
+let pp_act fmt a =
+  Format.pp_print_string fmt (match a with Req -> "REQ" | Resp -> "RESP")
+
+type params = {
+  r1 : Rational.t;
+  r2 : Rational.t;
+  w1 : Rational.t;
+  w2 : Rational.t;
+}
+
+let params ~r1 ~r2 ~w1 ~w2 =
+  if Rational.(r1 < Rational.zero) then
+    invalid_arg "Request_grant.params: r1 < 0";
+  if Rational.(r2 < r1) then invalid_arg "Request_grant.params: r2 < r1";
+  if Rational.(r2 <= Rational.zero) then
+    invalid_arg "Request_grant.params: r2 <= 0";
+  if Rational.(w1 < Rational.zero) then
+    invalid_arg "Request_grant.params: w1 < 0";
+  if Rational.(w2 < w1) then invalid_arg "Request_grant.params: w2 < w1";
+  if Rational.(w2 <= Rational.zero) then
+    invalid_arg "Request_grant.params: w2 <= 0";
+  { r1; r2; w1; w2 }
+
+let params_of_ints ~r1 ~r2 ~w1 ~w2 =
+  params ~r1:(Rational.of_int r1) ~r2:(Rational.of_int r2)
+    ~w1:(Rational.of_int w1) ~w2:(Rational.of_int w2)
+
+type server = { pending : bool; overloaded : bool }
+type state = unit * server
+
+let req_class = "REQ"
+let resp_class = "RESP"
+
+let requester : (unit, act) Ioa.t =
+  {
+    Ioa.name = "requester";
+    start = [ () ];
+    alphabet = [ Req ];
+    kind_of = (fun _ -> Ioa.Output);
+    delta = (fun () act -> match act with Req -> [ () ] | Resp -> []);
+    classes = [ req_class ];
+    class_of = (function Req -> Some req_class | Resp -> None);
+    equal_state = (fun () () -> true);
+    hash_state = (fun () -> 0);
+    pp_state = (fun fmt () -> Format.pp_print_string fmt "·");
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let server_aut : (server, act) Ioa.t =
+  {
+    Ioa.name = "server";
+    start = [ { pending = false; overloaded = false } ];
+    alphabet = [ Req; Resp ];
+    kind_of = (function Req -> Ioa.Input | Resp -> Ioa.Output);
+    delta =
+      (fun s -> function
+        | Req ->
+            if s.pending then
+              (* overload: drop the pending request *)
+              [ { pending = false; overloaded = true } ]
+            else [ { pending = true; overloaded = false } ]
+        | Resp ->
+            if s.pending then [ { s with pending = false } ] else []);
+    classes = [ resp_class ];
+    class_of = (function Resp -> Some resp_class | Req -> None);
+    equal_state = (fun a b -> a = b);
+    hash_state =
+      (fun s ->
+        (if s.pending then 1 else 0) + if s.overloaded then 2 else 0);
+    pp_state =
+      (fun fmt s ->
+        Format.fprintf fmt "%s%s"
+          (if s.pending then "pending" else "idle")
+          (if s.overloaded then "+overloaded" else ""));
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let system _p = Compose.binary ~name:"request-grant" requester server_aut
+
+let boundmap p =
+  Boundmap.of_list
+    [
+      (req_class, Interval.make p.r1 (Time.Fin p.r2));
+      (resp_class, Interval.make p.w1 (Time.Fin p.w2));
+    ]
+
+let impl p = Time_automaton.of_boundmap (system p) (boundmap p)
+
+let make_response p ~name ~in_s =
+  Condition.make ~name
+    ~t_step:(fun (_, s') act _ ->
+      act = Req && (not s'.pending) && not s'.overloaded)
+    ~bounds:(Interval.make p.w1 (Time.Fin p.w2))
+    ~in_pi:(fun act -> act = Resp)
+    ~in_s ()
+
+let u_response p =
+  make_response p ~name:"U_response" ~in_s:(fun (_, s) -> s.overloaded)
+
+let u_response_no_disable p =
+  make_response p ~name:"U_response_noS" ~in_s:(fun _ -> false)
+
+let spec p = Time_automaton.make (system p) [ u_response p ]

@@ -1,0 +1,57 @@
+(** A request–response manager exercising disabling sets.
+
+    The conclusions of the paper discuss requirements like "the manager
+    responds to requests as long as they do not arrive too close
+    together" (the "cement mixer" example of [FG89]).  This system
+    makes the disabling-set component [S] of timing conditions do real
+    work:
+
+    - a requester emits [REQ] forever, with bounds [[r1, r2]];
+    - the server, when idle, accepts a [REQ] and must emit [RESP]
+      within [[w1, w2]];
+    - a second [REQ] arriving while one is pending *overloads* the
+      server: the pending request is dropped ([RESP] becomes disabled)
+      until a later [REQ] restarts service.
+
+    The timing condition {!u_response} — "[RESP] follows within
+    [[w1, w2]] of a [REQ] accepted from the idle state" — holds only
+    thanks to its disabling set (overloaded states); with [S = ∅]
+    ({!u_response_no_disable}) it is refutably false whenever
+    [r1 < w2] (a second request can beat the response).  The test
+    suite checks both, making this the failure-injection fixture for
+    the [S] machinery. *)
+
+type act = Req | Resp
+
+val pp_act : Format.formatter -> act -> unit
+
+type params = {
+  r1 : Tm_base.Rational.t;  (** request spacing lower bound *)
+  r2 : Tm_base.Rational.t;  (** request spacing upper bound *)
+  w1 : Tm_base.Rational.t;  (** service lower bound *)
+  w2 : Tm_base.Rational.t;  (** service upper bound *)
+}
+
+val params :
+  r1:Tm_base.Rational.t -> r2:Tm_base.Rational.t ->
+  w1:Tm_base.Rational.t -> w2:Tm_base.Rational.t -> params
+
+val params_of_ints : r1:int -> r2:int -> w1:int -> w2:int -> params
+
+type server = { pending : bool; overloaded : bool }
+type state = unit * server
+
+val system : params -> (state, act) Tm_ioa.Ioa.t
+val boundmap : params -> Tm_timed.Boundmap.t
+val impl : params -> (state, act) Tm_core.Time_automaton.t
+
+val u_response : params -> (state, act) Tm_timed.Condition.t
+(** Triggered by [REQ] steps from an idle, non-overloaded server;
+    [Π = {RESP}]; [S] = overloaded states; bounds [[w1, w2]]. *)
+
+val u_response_no_disable : params -> (state, act) Tm_timed.Condition.t
+(** The same condition with an empty disabling set — false whenever a
+    second request can arrive before the response. *)
+
+val spec : params -> (state, act) Tm_core.Time_automaton.t
+(** [time(A, {u_response})]. *)

@@ -1,0 +1,151 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Ioa = Tm_ioa.Ioa
+module Compose = Tm_ioa.Compose
+module Boundmap = Tm_timed.Boundmap
+module Condition = Tm_timed.Condition
+module Time_automaton = Tm_core.Time_automaton
+module Tstate = Tm_core.Tstate
+module Mapping = Tm_core.Mapping
+
+type act = Tick | Grant | Else
+
+let pp_act fmt a =
+  Format.pp_print_string fmt
+    (match a with Tick -> "TICK" | Grant -> "GRANT" | Else -> "ELSE")
+
+type params = { k : int; c1 : Rational.t; c2 : Rational.t; l : Rational.t }
+
+let params ~k ~c1 ~c2 ~l =
+  if k <= 0 then invalid_arg "Resource_manager.params: k <= 0";
+  if Rational.(c1 <= Rational.zero) then
+    invalid_arg "Resource_manager.params: c1 <= 0";
+  if Rational.(c2 < c1) then invalid_arg "Resource_manager.params: c2 < c1";
+  if Rational.(l <= Rational.zero) then
+    invalid_arg "Resource_manager.params: l <= 0 (boundmap upper bounds are nonzero)";
+  if Rational.(c1 <= l) then
+    invalid_arg "Resource_manager.params: the analysis assumes c1 > l";
+  { k; c1; c2; l }
+
+let params_of_ints ~k ~c1 ~c2 ~l =
+  params ~k ~c1:(Rational.of_int c1) ~c2:(Rational.of_int c2)
+    ~l:(Rational.of_int l)
+
+type state = unit * int
+
+let timer ((), t) = t
+let tick_class = "TICK"
+let local_class = "LOCAL"
+
+let clock : (unit, act) Ioa.t =
+  {
+    Ioa.name = "clock";
+    start = [ () ];
+    alphabet = [ Tick ];
+    kind_of = (fun _ -> Ioa.Output);
+    delta = (fun () act -> match act with Tick -> [ () ] | _ -> []);
+    classes = [ tick_class ];
+    class_of = (function Tick -> Some tick_class | _ -> None);
+    equal_state = (fun () () -> true);
+    hash_state = (fun () -> 0);
+    pp_state = (fun fmt () -> Format.pp_print_string fmt "·");
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let manager p : (int, act) Ioa.t =
+  {
+    Ioa.name = "manager";
+    start = [ p.k ];
+    alphabet = [ Tick; Grant; Else ];
+    kind_of =
+      (function Tick -> Ioa.Input | Grant -> Ioa.Output | Else -> Ioa.Internal);
+    delta =
+      (fun timer -> function
+        | Tick -> [ timer - 1 ]
+        | Grant -> if timer <= 0 then [ p.k ] else []
+        | Else -> if timer > 0 then [ timer ] else []);
+    classes = [ local_class ];
+    class_of =
+      (function Tick -> None | Grant | Else -> Some local_class);
+    equal_state = Int.equal;
+    hash_state = Fun.id;
+    pp_state = (fun fmt t -> Format.fprintf fmt "TIMER=%d" t);
+    equal_action = ( = );
+    pp_action = pp_act;
+  }
+
+let system p =
+  let composed = Compose.binary ~name:"resource-manager" clock (manager p) in
+  Ioa.hide composed (fun act -> act = Tick)
+
+let boundmap p =
+  Boundmap.of_list
+    [
+      (tick_class, Interval.make p.c1 (Time.Fin p.c2));
+      (local_class, Interval.make Rational.zero (Time.Fin p.l));
+    ]
+
+let grant_interval_first p =
+  Interval.make
+    (Rational.mul_int p.k p.c1)
+    (Time.Fin (Rational.add (Rational.mul_int p.k p.c2) p.l))
+
+let grant_interval_between p =
+  Interval.make
+    (Rational.sub (Rational.mul_int p.k p.c1) p.l)
+    (Time.Fin (Rational.add (Rational.mul_int p.k p.c2) p.l))
+
+let g1 p =
+  Condition.make ~name:"G1"
+    ~t_start:(fun _ -> true)
+    ~bounds:(grant_interval_first p)
+    ~in_pi:(fun act -> act = Grant)
+    ()
+
+let g2 p =
+  Condition.make ~name:"G2"
+    ~t_step:(fun _ act _ -> act = Grant)
+    ~bounds:(grant_interval_between p)
+    ~in_pi:(fun act -> act = Grant)
+    ()
+
+let impl p = Time_automaton.of_boundmap (system p) (boundmap p)
+let spec p = Time_automaton.make (system p) [ g1 p; g2 p ]
+
+let mapping p =
+  (* Indices are fixed by construction: impl conditions follow the
+     class order [TICK; LOCAL]; spec conditions are [G1; G2]. *)
+  let i_tick = 0 and i_local = 1 and i_g1 = 0 and i_g2 = 1 in
+  let contains (s : state Tstate.t) (u : state Tstate.t) =
+    let min_lt_g = Time.min u.Tstate.lt.(i_g1) u.Tstate.lt.(i_g2) in
+    let max_ft_g = Rational.max u.Tstate.ft.(i_g1) u.Tstate.ft.(i_g2) in
+    let timer = timer s.Tstate.base in
+    let tm1 = timer - 1 in
+    if timer > 0 then
+      (* 1(a): min Lt(G) >= Lt(TICK) + (TIMER-1)·c2 + l *)
+      Time.(
+        min_lt_g
+        >= add_q s.Tstate.lt.(i_tick)
+             (Rational.add (Rational.mul_int tm1 p.c2) p.l))
+      (* 1(b): max Ft(G) <= Ft(TICK) + (TIMER-1)·c1 *)
+      && Rational.(
+           max_ft_g <= add s.Tstate.ft.(i_tick) (Rational.mul_int tm1 p.c1))
+    else
+      (* 2(a): min Lt(G) >= Lt(LOCAL);  2(b): max Ft(G) <= Ct *)
+      Time.(min_lt_g >= s.Tstate.lt.(i_local))
+      && Rational.(max_ft_g <= s.Tstate.now)
+  in
+  { Mapping.mname = "f: time(A,b) -> time(A,{G1,G2})"; contains }
+
+let lemma_4_1 p (impl : (state, act) Time_automaton.t)
+    (s : state Tstate.t) =
+  let i_tick = Time_automaton.cond_index impl "cond(TICK)" in
+  let i_local = Time_automaton.cond_index impl "cond(LOCAL)" in
+  let timer = timer s.Tstate.base in
+  timer >= 0
+  && (timer > 0
+     || Time.(
+          Fin s.Tstate.ft.(i_tick)
+          >= add_q s.Tstate.lt.(i_local) (Rational.sub p.c1 p.l)))

@@ -1,0 +1,76 @@
+(** The resource manager of Section 4.
+
+    A [clock] whose [TICK] output is always enabled fires with bounds
+    [[c1, c2]]; a [manager] counts [k] ticks down on a TIMER and issues
+    [GRANT] when the TIMER reaches 0 (resetting it to [k]), taking a
+    local step ([GRANT] or the idling [ELSE]) with bounds [[0, l]],
+    where [c1 > l > 0].  The system is their composition with [TICK]
+    hidden; [GRANT] is the only external action.
+
+    Proved timing behaviour (Theorem 4.4): the first [GRANT] occurs at
+    a time in [[k·c1, k·c2 + l]] (condition [G1]) and consecutive
+    [GRANT]s are separated by a time in [[k·c1 − l, k·c2 + l]]
+    (condition [G2]). *)
+
+type act = Tick | Grant | Else
+
+val pp_act : Format.formatter -> act -> unit
+
+type params = {
+  k : int;  (** ticks per grant, [k > 0] *)
+  c1 : Tm_base.Rational.t;  (** clock lower bound, [0 < c1 <= c2] *)
+  c2 : Tm_base.Rational.t;  (** clock upper bound *)
+  l : Tm_base.Rational.t;  (** local-step upper bound, [0 < l < c1] *)
+}
+
+val params : k:int -> c1:Tm_base.Rational.t -> c2:Tm_base.Rational.t ->
+  l:Tm_base.Rational.t -> params
+(** @raise Invalid_argument when the side conditions fail. *)
+
+val params_of_ints : k:int -> c1:int -> c2:int -> l:int -> params
+
+type state = unit * int
+(** (clock state, manager TIMER). *)
+
+val timer : state -> int
+
+val tick_class : string
+val local_class : string
+
+val clock : (unit, act) Tm_ioa.Ioa.t
+val manager : params -> (int, act) Tm_ioa.Ioa.t
+val system : params -> (state, act) Tm_ioa.Ioa.t
+(** The composition, with [TICK] hidden. *)
+
+val boundmap : params -> Tm_timed.Boundmap.t
+
+val g1 : params -> (state, act) Tm_timed.Condition.t
+(** Time to the first [GRANT]: triggered by every start state, bounds
+    [[k·c1, k·c2 + l]], [Π = {GRANT}], no disabling. *)
+
+val g2 : params -> (state, act) Tm_timed.Condition.t
+(** Time between consecutive [GRANT]s: triggered by [GRANT] steps,
+    bounds [[k·c1 − l, k·c2 + l]]. *)
+
+val impl : params -> (state, act) Tm_core.Time_automaton.t
+(** The assumptions automaton [time(A, b)]. *)
+
+val spec : params -> (state, act) Tm_core.Time_automaton.t
+(** The requirements automaton [B = time(A, {G1, G2})]. *)
+
+val mapping : params -> state Tm_core.Mapping.t
+(** The strong possibilities mapping of Section 4.3: a conjunction of
+    inequalities bounding the spec deadlines by expressions over the
+    implementation's predictive state. *)
+
+val lemma_4_1 :
+  params -> (state, act) Tm_core.Time_automaton.t -> state Tm_core.Tstate.t
+  -> bool
+(** The invariant of Lemma 4.1: [TIMER >= 0], and when [TIMER = 0],
+    [Ft(TICK) >= Lt(LOCAL) + c1 - l]. *)
+
+val grant_interval_first : params -> Tm_base.Interval.t
+(** [[k·c1, k·c2 + l]]. *)
+
+val grant_interval_between : params -> Tm_base.Interval.t
+(** [[k·c1 − l, k·c2 + l]]. *)

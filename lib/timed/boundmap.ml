@@ -1,0 +1,50 @@
+module Interval = Tm_base.Interval
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+
+type t = (string * Interval.t) list
+
+let of_list entries =
+  List.iteri
+    (fun i (c, _) ->
+      List.iteri
+        (fun j (c', _) ->
+          if i < j && String.equal c c' then
+            invalid_arg
+              (Printf.sprintf "Boundmap.of_list: duplicate class %S" c))
+        entries)
+    entries;
+  entries
+
+let find t c = List.assoc c t
+let lower t c = Interval.lo (find t c)
+let upper t c = Interval.hi (find t c)
+let classes t = List.map fst t
+
+let covers t (a : ('s, 'a) Tm_ioa.Ioa.t) =
+  match
+    List.find_opt (fun c -> not (List.mem_assoc c t)) a.Tm_ioa.Ioa.classes
+  with
+  | None -> Ok ()
+  | Some c -> Error (Printf.sprintf "class %S has no bounds" c)
+
+let add t c iv =
+  if List.mem_assoc c t then
+    invalid_arg (Printf.sprintf "Boundmap.add: class %S already bound" c)
+  else (c, iv) :: t
+
+let max_constant t =
+  List.fold_left
+    (fun acc (_, iv) ->
+      let acc = Rational.max acc (Interval.lo iv) in
+      match Interval.hi iv with
+      | Time.Fin q -> Rational.max acc q
+      | Time.Inf -> acc)
+    Rational.zero t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (c, iv) -> Format.fprintf fmt "%s -> %a@," c Interval.pp iv)
+    t;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** Boundmaps (Section 2.2).
+
+    A boundmap assigns to each partition class of an I/O automaton a
+    closed interval [[b_l(C), b_u(C)]] with finite lower bound and
+    nonzero upper bound: the range of possible lengths of time between
+    successive chances for the class to perform an action.  A timed
+    automaton is a pair of an automaton and a boundmap. *)
+
+type t
+
+val of_list : (string * Tm_base.Interval.t) list -> t
+(** @raise Invalid_argument on duplicate class names. *)
+
+val find : t -> string -> Tm_base.Interval.t
+(** @raise Not_found if the class has no bounds assigned. *)
+
+val lower : t -> string -> Tm_base.Rational.t
+(** [b_l(C)]. *)
+
+val upper : t -> string -> Tm_base.Time.t
+(** [b_u(C)]. *)
+
+val classes : t -> string list
+
+val covers : t -> ('s, 'a) Tm_ioa.Ioa.t -> (unit, string) result
+(** Every partition class of the automaton has an interval. *)
+
+val add : t -> string -> Tm_base.Interval.t -> t
+(** @raise Invalid_argument if the class is already bound. *)
+
+val max_constant : t -> Tm_base.Rational.t
+(** The largest finite endpoint appearing in the map (used to pick
+    normalization clamps and zone extrapolation constants). *)
+
+val pp : Format.formatter -> t -> unit

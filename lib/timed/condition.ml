@@ -1,0 +1,33 @@
+module Interval = Tm_base.Interval
+module Time = Tm_base.Time
+
+type ('s, 'a) t = {
+  cname : string;
+  t_start : 's -> bool;
+  t_step : 's -> 'a -> 's -> bool;
+  bounds : Interval.t;
+  in_pi : 'a -> bool;
+  in_s : 's -> bool;
+}
+
+let make ~name ?(t_start = fun _ -> false) ?(t_step = fun _ _ _ -> false)
+    ~bounds ~in_pi ?(in_s = fun _ -> false) () =
+  { cname = name; t_start; t_step; bounds; in_pi; in_s }
+
+let well_formed_on c ~starts ~steps =
+  match List.find_opt (fun s -> c.t_start s && c.in_s s) starts with
+  | Some _ ->
+      Error
+        (Printf.sprintf "condition %S: a trigger start state is in S" c.cname)
+  | None -> (
+      match
+        List.find_opt
+          (fun (s', a, s) -> c.t_step s' a s && c.in_s s)
+          steps
+      with
+      | Some _ ->
+          Error
+            (Printf.sprintf "condition %S: a trigger step ends in S" c.cname)
+      | None -> Ok ())
+
+let upper_bounded c = Time.is_finite (Interval.hi c.bounds)

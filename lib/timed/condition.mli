@@ -1,0 +1,41 @@
+(** Timing conditions (Section 2.3).
+
+    A timing condition [(T_start, T_step, b, Π, S)] specifies upper and
+    lower bounds on the time until the next occurrence of an action in
+    [Π], measured from triggering start states and triggering steps;
+    the measurement is abandoned if a state in the disabling set [S]
+    intervenes.  Trigger sets and [Π]/[S] are represented as
+    predicates. *)
+
+type ('s, 'a) t = {
+  cname : string;
+  t_start : 's -> bool;  (** trigger start states [T_start] *)
+  t_step : 's -> 'a -> 's -> bool;  (** trigger steps [T_step] *)
+  bounds : Tm_base.Interval.t;  (** [b = [b_l, b_u]] *)
+  in_pi : 'a -> bool;  (** membership in the action set [Π] *)
+  in_s : 's -> bool;  (** membership in the disabling set [S] *)
+}
+
+val make :
+  name:string ->
+  ?t_start:('s -> bool) ->
+  ?t_step:('s -> 'a -> 's -> bool) ->
+  bounds:Tm_base.Interval.t ->
+  in_pi:('a -> bool) ->
+  ?in_s:('s -> bool) ->
+  unit ->
+  ('s, 'a) t
+(** Omitted trigger components default to empty sets; [in_s] defaults
+    to the empty disabling set. *)
+
+val well_formed_on :
+  ('s, 'a) t ->
+  starts:'s list ->
+  steps:('s * 'a * 's) list ->
+  (unit, string) result
+(** Checks the two technical requirements of Section 2.3 on a sample:
+    no trigger start state lies in [S], and no trigger step ends in
+    [S]. *)
+
+val upper_bounded : ('s, 'a) t -> bool
+(** [b_u < ∞]. *)

@@ -1,0 +1,229 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Ioa = Tm_ioa.Ioa
+module Execution = Tm_ioa.Execution
+
+type which = Lower | Upper
+
+type 'a violation = {
+  vcond : string;
+  vwhich : which;
+  vtrigger : int;
+  vtrigger_time : Rational.t;
+  vdeadline : Time.t;
+  voffender : int option;
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s bound of %S violated (trigger at event %d, t=%a, deadline %a%s)"
+    (match v.vwhich with Lower -> "lower" | Upper -> "upper")
+    v.vcond v.vtrigger Rational.pp v.vtrigger_time Time.pp v.vdeadline
+    (match v.voffender with
+    | None -> ""
+    | Some j -> Printf.sprintf ", offending event %d" j)
+
+(* Unpacked view of a timed sequence: [states.(i)] for i in 0..m,
+   [acts.(j-1)] / [times.(j-1)] for events j in 1..m. *)
+type ('s, 'a) view = {
+  m : int;
+  state : int -> 's;
+  act : int -> 'a;  (* event index 1..m *)
+  time : int -> Rational.t;  (* event index 1..m *)
+}
+
+let view (seq : ('s, 'a) Tseq.t) =
+  let states = Array.of_list (Tseq.states seq) in
+  let moves = Array.of_list seq.Tseq.moves in
+  {
+    m = Array.length moves;
+    state = (fun i -> states.(i));
+    act = (fun j -> fst (fst moves.(j - 1)));
+    time = (fun j -> snd (fst moves.(j - 1)));
+  }
+
+(* Triggering points of a condition in a sequence: event index (0 for
+   the start-state trigger) paired with the trigger time. *)
+let triggers (c : ('s, 'a) Condition.t) v =
+  let from_start =
+    if c.Condition.t_start (v.state 0) then [ (0, Rational.zero) ] else []
+  in
+  let rec steps j acc =
+    if j > v.m then List.rev acc
+    else
+      let acc =
+        if c.Condition.t_step (v.state (j - 1)) (v.act j) (v.state j) then
+          (j, v.time j) :: acc
+        else acc
+      in
+      steps (j + 1) acc
+  in
+  from_start @ steps 1 []
+
+let check_upper ~complete (c : ('s, 'a) Condition.t) v (i, ti) =
+  match Interval.hi c.Condition.bounds with
+  | Time.Inf -> None
+  | Time.Fin bu ->
+      let deadline = Rational.add ti bu in
+      let viol () =
+        Some
+          {
+            vcond = c.Condition.cname;
+            vwhich = Upper;
+            vtrigger = i;
+            vtrigger_time = ti;
+            vdeadline = Time.Fin deadline;
+            voffender = None;
+          }
+      in
+      let rec scan j =
+        if j > v.m then if complete then viol () else None
+        else if Rational.(v.time j > deadline) then viol ()
+        else if
+          c.Condition.in_pi (v.act j) || c.Condition.in_s (v.state j)
+        then None
+        else scan (j + 1)
+      in
+      scan (i + 1)
+
+let check_lower (c : ('s, 'a) Condition.t) v (i, ti) =
+  let bl = Interval.lo c.Condition.bounds in
+  if Rational.(bl = Rational.zero) then None
+  else
+    let deadline = Rational.add ti bl in
+    let rec scan j seen_s =
+      if j > v.m then None
+      else if Rational.(v.time j >= deadline) then None
+      else if c.Condition.in_pi (v.act j) && not seen_s then
+        Some
+          {
+            vcond = c.Condition.cname;
+            vwhich = Lower;
+            vtrigger = i;
+            vtrigger_time = ti;
+            vdeadline = Time.Fin deadline;
+            voffender = Some j;
+          }
+      else scan (j + 1) (seen_s || c.Condition.in_s (v.state j))
+    in
+    scan (i + 1) false
+
+let check ~complete seq c =
+  let v = view seq in
+  List.filter_map
+    (fun tr ->
+      match check_upper ~complete c v tr with
+      | Some viol -> Some viol
+      | None -> check_lower c v tr)
+    (triggers c v)
+
+let satisfies seq c = check ~complete:true seq c
+let semi_satisfies seq c = check ~complete:false seq c
+let satisfies_all seq cs = List.concat_map (satisfies seq) cs
+let semi_satisfies_all seq cs = List.concat_map (semi_satisfies seq) cs
+
+let cond_of_class (a : ('s, 'a) Ioa.t) bm cl =
+  let enabled s = Ioa.class_enabled a cl s in
+  let is_start s = List.exists (a.Ioa.equal_state s) a.Ioa.start in
+  let in_class act = a.Ioa.class_of act = Some cl in
+  Condition.make ~name:("cond(" ^ cl ^ ")")
+    ~t_start:(fun s -> is_start s && enabled s)
+    ~t_step:(fun s' act s ->
+      enabled s && ((not (enabled s')) || in_class act))
+    ~bounds:(Boundmap.find bm cl) ~in_pi:in_class
+    ~in_s:(fun s -> not (enabled s))
+    ()
+
+let conds_of_boundmap a bm =
+  List.map (cond_of_class a bm) a.Ioa.classes
+
+(* Direct implementation of Definition 2.1. *)
+let is_timed_execution ~complete (a : ('s, 'a) Ioa.t) bm seq =
+  if not (Tseq.times_ok seq) then Error "times are not nondecreasing"
+  else if not (Execution.is_execution a (Tseq.ord seq)) then
+    Error "ord(alpha) is not an execution of A"
+  else begin
+    let v = view seq in
+    let violations = ref [] in
+    List.iter
+      (fun cl ->
+        let enabled s = Ioa.class_enabled a cl s in
+        let in_class act = a.Ioa.class_of act = Some cl in
+        let bounds = Boundmap.find bm cl in
+        (* Trigger indices per Definition 2.1: s_i enabled, and i = 0 or
+           s_{i-1} disabled or pi_i in C. *)
+        let trigger_points =
+          let pts = ref [] in
+          for i = v.m downto 0 do
+            if
+              enabled (v.state i)
+              && (i = 0
+                 || (not (enabled (v.state (i - 1))))
+                 || in_class (v.act i))
+            then
+              pts :=
+                (i, if i = 0 then Rational.zero else v.time i) :: !pts
+          done;
+          !pts
+        in
+        List.iter
+          (fun (i, ti) ->
+            (match Interval.hi bounds with
+            | Time.Inf -> ()
+            | Time.Fin bu ->
+                let deadline = Rational.add ti bu in
+                let rec scan j =
+                  if j > v.m then begin
+                    if complete then
+                      violations :=
+                        {
+                          vcond = "class " ^ cl;
+                          vwhich = Upper;
+                          vtrigger = i;
+                          vtrigger_time = ti;
+                          vdeadline = Time.Fin deadline;
+                          voffender = None;
+                        }
+                        :: !violations
+                  end
+                  else if Rational.(v.time j > deadline) then
+                    violations :=
+                      {
+                        vcond = "class " ^ cl;
+                        vwhich = Upper;
+                        vtrigger = i;
+                        vtrigger_time = ti;
+                        vdeadline = Time.Fin deadline;
+                        voffender = None;
+                      }
+                      :: !violations
+                  else if in_class (v.act j) || not (enabled (v.state j))
+                  then ()
+                  else scan (j + 1)
+                in
+                scan (i + 1));
+            let bl = Interval.lo bounds in
+            if Rational.(bl > Rational.zero) then begin
+              let deadline = Rational.add ti bl in
+              let rec scan j =
+                if j > v.m then ()
+                else if Rational.(v.time j >= deadline) then ()
+                else if in_class (v.act j) then
+                  violations :=
+                    {
+                      vcond = "class " ^ cl;
+                      vwhich = Lower;
+                      vtrigger = i;
+                      vtrigger_time = ti;
+                      vdeadline = Time.Fin deadline;
+                      voffender = Some j;
+                    }
+                    :: !violations
+                else scan (j + 1)
+              in
+              scan (i + 1)
+            end)
+          trigger_points)
+      a.Ioa.classes;
+    Ok (List.rev !violations)
+  end

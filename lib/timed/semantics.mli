@@ -1,0 +1,66 @@
+(** Satisfaction of timing conditions by timed sequences.
+
+    Implements, as executable checks over finite timed sequences:
+    - Definition 2.1 — timed executions of a timed automaton [(A, b)];
+    - Definition 2.2 — a timed sequence satisfies a timing condition;
+    - Definition 3.1 — semi-satisfaction (the safety part only: an
+      upper bound is excused when the sequence ends before the
+      deadline);
+    - the boundmap conditions [U_b = { cond(C) }] of Section 2.3, whose
+      equivalence with Definition 2.1 is Lemma 2.1 / Corollary 2.2.
+
+    A finite sequence checked with {!satisfies} is treated as complete:
+    a pending deadline with no later event is a violation.  Use
+    {!semi_satisfies} for prefixes of ongoing executions. *)
+
+type which = Lower | Upper
+
+type 'a violation = {
+  vcond : string;  (** name of the violated condition *)
+  vwhich : which;
+  vtrigger : int;  (** index of the triggering event (0 = start state) *)
+  vtrigger_time : Tm_base.Rational.t;
+  vdeadline : Tm_base.Time.t;
+      (** absolute bound that was crossed: [t_i + b_u] or [t_i + b_l] *)
+  voffender : int option;
+      (** for lower-bound violations, the index of the too-early [Π]
+          event *)
+}
+
+val pp_violation : Format.formatter -> 'a violation -> unit
+
+val satisfies :
+  ('s, 'a) Tseq.t -> ('s, 'a) Condition.t -> 'a violation list
+(** Definition 2.2 on a finite sequence treated as complete; empty list
+    means the condition holds. *)
+
+val semi_satisfies :
+  ('s, 'a) Tseq.t -> ('s, 'a) Condition.t -> 'a violation list
+(** Definition 3.1. *)
+
+val satisfies_all :
+  ('s, 'a) Tseq.t -> ('s, 'a) Condition.t list -> 'a violation list
+
+val semi_satisfies_all :
+  ('s, 'a) Tseq.t -> ('s, 'a) Condition.t list -> 'a violation list
+
+val cond_of_class :
+  ('s, 'a) Tm_ioa.Ioa.t -> Boundmap.t -> string -> ('s, 'a) Condition.t
+(** [cond(C)] from Section 2.3: triggers are start-or-(re)enabling
+    points of class [C], [Π = C], [S = disabled(A, C)]. *)
+
+val conds_of_boundmap :
+  ('s, 'a) Tm_ioa.Ioa.t -> Boundmap.t -> ('s, 'a) Condition.t list
+(** The set [U_b]: one condition per partition class. *)
+
+val is_timed_execution :
+  complete:bool ->
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  Boundmap.t ->
+  ('s, 'a) Tseq.t ->
+  ('a violation list, string) result
+(** Direct implementation of Definition 2.1.  Checks that [ord α] is an
+    execution of [A] (otherwise [Error]), then checks both bound
+    conditions per class.  [complete = false] excuses upper bounds that
+    are still pending at the end of the sequence (the Definition 3.1
+    reading), which is the right notion for prefixes. *)

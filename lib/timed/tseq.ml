@@ -1,0 +1,63 @@
+module Rational = Tm_base.Rational
+
+type ('s, 'a) t = {
+  first : 's;
+  moves : (('a * Rational.t) * 's) list;
+}
+
+let of_moves first moves = { first; moves }
+let length t = List.length t.moves
+
+let last_state t =
+  match List.rev t.moves with [] -> t.first | (_, s) :: _ -> s
+
+let t_end t =
+  match List.rev t.moves with
+  | [] -> Rational.zero
+  | ((_, tm), _) :: _ -> tm
+
+let times_ok t =
+  let rec go prev = function
+    | [] -> true
+    | ((_, tm), _) :: rest -> Rational.(prev <= tm) && go tm rest
+  in
+  go Rational.zero t.moves
+
+let ord t =
+  Tm_ioa.Execution.of_states t.first
+    (List.map (fun ((act, _), s) -> (act, s)) t.moves)
+
+let timed_schedule t = List.map fst t.moves
+
+let timed_behavior (a : ('s, 'a) Tm_ioa.Ioa.t) t =
+  List.filter
+    (fun (act, _) -> Tm_ioa.Ioa.is_external (a.Tm_ioa.Ioa.kind_of act))
+    (timed_schedule t)
+
+let append t act tm s = { t with moves = t.moves @ [ ((act, tm), s) ] }
+
+let prefix n t =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: take (n - 1) xs
+  in
+  { t with moves = take n t.moves }
+
+let states t = t.first :: List.map snd t.moves
+
+let events t =
+  let rec go pre = function
+    | [] -> []
+    | ((act, tm), post) :: rest -> (pre, act, tm, post) :: go post rest
+  in
+  go t.first t.moves
+
+let pp (a : ('s, 'a) Tm_ioa.Ioa.t) fmt t =
+  Format.fprintf fmt "@[<v>%a" a.Tm_ioa.Ioa.pp_state t.first;
+  List.iter
+    (fun ((act, tm), s) ->
+      Format.fprintf fmt "@,--(%a @@ %a)--> %a" a.Tm_ioa.Ioa.pp_action act
+        Rational.pp tm a.Tm_ioa.Ioa.pp_state s)
+    t.moves;
+  Format.fprintf fmt "@]"

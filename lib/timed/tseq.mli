@@ -1,0 +1,40 @@
+(** Timed sequences (Section 2.2): alternating states and
+    (action, time) pairs with nondecreasing times, starting at time 0.
+
+    A finite timed sequence is represented like an execution whose
+    moves carry occurrence times.  [ord] strips the times, recovering
+    the underlying ordinary execution fragment. *)
+
+type ('s, 'a) t = {
+  first : 's;
+  moves : (('a * Tm_base.Rational.t) * 's) list;
+}
+
+val of_moves : 's -> (('a * Tm_base.Rational.t) * 's) list -> ('s, 'a) t
+val length : ('s, 'a) t -> int
+val last_state : ('s, 'a) t -> 's
+
+val t_end : ('s, 'a) t -> Tm_base.Rational.t
+(** Time of the last event, or 0 for an event-free sequence. *)
+
+val times_ok : ('s, 'a) t -> bool
+(** Times are nonnegative and nondecreasing. *)
+
+val ord : ('s, 'a) t -> ('s, 'a) Tm_ioa.Execution.t
+(** The "ordinary part": the sequence with time components removed. *)
+
+val timed_schedule : ('s, 'a) t -> ('a * Tm_base.Rational.t) list
+
+val timed_behavior :
+  ('s, 'a) Tm_ioa.Ioa.t -> ('s, 'a) t -> ('a * Tm_base.Rational.t) list
+(** The subsequence of (action, time) pairs with external actions. *)
+
+val append : ('s, 'a) t -> 'a -> Tm_base.Rational.t -> 's -> ('s, 'a) t
+val prefix : int -> ('s, 'a) t -> ('s, 'a) t
+val states : ('s, 'a) t -> 's list
+
+val events : ('s, 'a) t -> ('s * 'a * Tm_base.Rational.t * 's) list
+(** (pre-state, action, time, post-state) per move, in order. *)
+
+val pp :
+  ('s, 'a) Tm_ioa.Ioa.t -> Format.formatter -> ('s, 'a) t -> unit

@@ -1,0 +1,251 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Hstore = Tm_base.Hstore
+module Ioa = Tm_ioa.Ioa
+module Boundmap = Tm_timed.Boundmap
+module Condition = Tm_timed.Condition
+
+type stats = { locations : int; zones : int; edges : int }
+
+type outcome =
+  | Verified of stats
+  | Lower_violation of stats
+  | Upper_violation of stats
+  | Unsupported of string
+
+exception Open_system = Clock_enc.Open_system
+
+type phase = Idle | Armed
+
+(* The zone engine's view of the encoding: the shared class clocks of
+   {!Clock_enc} (DBM indices 1..n, index 0 is the reference), plus an
+   optional observer clock. *)
+type ('s, 'a) enc = {
+  cenc : ('s, 'a) Clock_enc.t;
+  nclocks : int;  (** DBM dimension *)
+  y : int option;  (** observer clock *)
+  max_const : Rational.t;
+}
+
+let make_enc a bm ~with_observer ~cond_bounds =
+  let cenc = Clock_enc.make a bm in
+  let max_const =
+    match cond_bounds with
+    | None -> cenc.Clock_enc.max_const
+    | Some iv -> (
+        let m = Rational.max cenc.Clock_enc.max_const (Interval.lo iv) in
+        match Interval.hi iv with
+        | Time.Fin q -> Rational.max m q
+        | Time.Inf -> m)
+  in
+  let nreal = cenc.Clock_enc.nclasses in
+  {
+    cenc;
+    nclocks = nreal + 1 + (if with_observer then 1 else 0);
+    y = (if with_observer then Some (nreal + 1) else None);
+    max_const;
+  }
+
+let apply_invariant enc s z =
+  List.fold_left
+    (fun z (x, q) -> Dbm.constrain z x 0 (Dbm.Le q))
+    z
+    (Clock_enc.invariant enc.cenc s)
+
+let apply_ops z ops =
+  List.fold_left
+    (fun z op ->
+      match op with
+      | Clock_enc.Reset x -> Dbm.reset z x
+      | Clock_enc.Free x -> Dbm.free z x)
+    z ops
+
+let guard enc act z =
+  match Clock_enc.guard enc.cenc act with
+  | None -> z
+  | Some (x, bl) -> Dbm.constrain z 0 x (Dbm.Le (Rational.neg bl))
+
+(* Generic exploration.  [observe] sees each discrete step and the
+   guard-constrained zone and returns the observer phase transition
+   plus the operation on the observer clock ([`Reset], [`Free] while it
+   is not being read, or [`Keep]); [inspect] sees every stored
+   (state, phase, zone). *)
+let explore (type s a) ?(limit = 200_000) (enc : (s, a) enc)
+    ~(initial_phase : s -> phase)
+    ~(observe :
+       phase -> s -> a -> s -> Dbm.t
+       -> (phase * [ `Reset | `Free | `Keep ], string) result)
+    ~(inspect : phase -> s -> Dbm.t -> unit) =
+  let a = enc.cenc.Clock_enc.aut in
+  let store =
+    Hstore.create
+      ~equal:(fun (s1, p1) (s2, p2) -> p1 = p2 && a.Ioa.equal_state s1 s2)
+      ~hash:(fun (s, p) ->
+        (a.Ioa.hash_state s * 2) + match p with Idle -> 0 | Armed -> 1)
+      256
+  in
+  let zones : (int, Dbm.t list ref) Hashtbl.t = Hashtbl.create 256 in
+  let edges = ref 0 in
+  let zone_count = ref 0 in
+  let queue = Queue.create () in
+  let exception Unsupported_shape of string in
+  let exception Limit in
+  let add s p z =
+    if Dbm.is_empty z then ()
+    else begin
+      let id =
+        match Hstore.add store (s, p) with `Added i | `Present i -> i
+      in
+      let cell =
+        match Hashtbl.find_opt zones id with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add zones id c;
+            c
+      in
+      if not (List.exists (fun z' -> Dbm.includes z' z) !cell) then begin
+        cell := z :: List.filter (fun z' -> not (Dbm.includes z z')) !cell;
+        incr zone_count;
+        if !zone_count > limit then raise Limit;
+        inspect p s z;
+        Queue.add (s, p, z) queue
+      end
+    end
+  in
+  let result =
+    try
+      List.iter
+        (fun s0 ->
+          let z0 = Dbm.zero enc.nclocks in
+          let z0 = apply_ops z0 (Clock_enc.start_ops enc.cenc s0) in
+          let p0 = initial_phase s0 in
+          let z0 =
+            match enc.y with
+            | Some y when p0 = Idle -> Dbm.free z0 y
+            | Some _ | None -> z0
+          in
+          let z0 = Dbm.up z0 in
+          let z0 = apply_invariant enc s0 z0 in
+          let z0 = Dbm.extrapolate enc.max_const z0 in
+          add s0 p0 z0)
+        a.Ioa.start;
+      while not (Queue.is_empty queue) do
+        let s, p, z = Queue.pop queue in
+        List.iter
+          (fun act ->
+            List.iter
+              (fun s' ->
+                incr edges;
+                let zg = guard enc act z in
+                if not (Dbm.is_empty zg) then begin
+                  match observe p s act s' zg with
+                  | Error m -> raise (Unsupported_shape m)
+                  | Ok (p', y_op) ->
+                      let zr =
+                        apply_ops zg (Clock_enc.step_ops enc.cenc s act s')
+                      in
+                      let zr =
+                        match (enc.y, y_op) with
+                        | Some y, `Reset -> Dbm.reset zr y
+                        | Some y, `Free -> Dbm.free zr y
+                        | Some _, `Keep | None, _ -> zr
+                      in
+                      let zu = Dbm.up zr in
+                      let zi = apply_invariant enc s' zu in
+                      let ze = Dbm.extrapolate enc.max_const zi in
+                      add s' p' ze
+                end)
+              (a.Ioa.delta s act))
+          a.Ioa.alphabet
+      done;
+      Ok
+        {
+          locations = Hstore.length store;
+          zones = !zone_count;
+          edges = !edges;
+        }
+    with
+    | Unsupported_shape m -> Error (`Unsupported m)
+    | Limit -> Error (`Unsupported "zone limit exceeded")
+  in
+  result
+
+let reachable ?limit (a : ('s, 'a) Ioa.t) bm =
+  let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
+  let seen = ref [] in
+  let inspect _ s _ =
+    if not (List.exists (a.Ioa.equal_state s) !seen) then seen := s :: !seen
+  in
+  match
+    explore ?limit enc
+      ~initial_phase:(fun _ -> Idle)
+      ~observe:(fun p _ _ _ _ -> Ok (p, `Keep))
+      ~inspect
+  with
+  | Ok stats -> (stats, List.rev !seen)
+  | Error (`Unsupported m) -> raise (Open_system m)
+
+let check_state_invariant ?limit (a : ('s, 'a) Ioa.t) bm pred =
+  let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
+  let bad = ref None in
+  let exception Found in
+  match
+    explore ?limit enc
+      ~initial_phase:(fun _ -> Idle)
+      ~observe:(fun p _ _ _ _ -> Ok (p, `Keep))
+      ~inspect:(fun _ s _ ->
+        if not (pred s) then begin
+          bad := Some s;
+          raise Found
+        end)
+  with
+  | exception Found -> (
+      match !bad with Some s -> Error s | None -> assert false)
+  | Ok stats -> Ok stats
+  | Error (`Unsupported m) -> raise (Open_system m)
+
+let check_condition ?limit (a : ('s, 'a) Ioa.t) bm
+    (c : ('s, 'a) Condition.t) =
+  let enc =
+    make_enc a bm ~with_observer:true ~cond_bounds:(Some c.Condition.bounds)
+  in
+  let y = match enc.y with Some y -> y | None -> assert false in
+  let bl = Interval.lo c.Condition.bounds in
+  let bu = Interval.hi c.Condition.bounds in
+  let exception Lower in
+  let exception Upper in
+  let observe p s act s' zg =
+    let triggered = c.Condition.t_step s act s' in
+    let pi = c.Condition.in_pi act in
+    match p with
+    | Armed when pi ->
+        (* Occurrence: too early iff the zone admits y < b_l. *)
+        if Rational.sign bl > 0 && Dbm.sat zg y 0 (Dbm.Lt bl) then raise Lower;
+        if triggered then Ok (Armed, `Reset) else Ok (Idle, `Free)
+    | Armed when triggered ->
+        Error
+          "trigger fired while armed with a non-Pi action (needs deadline \
+           merge)"
+    | Armed ->
+        if c.Condition.in_s s' then Ok (Idle, `Free) else Ok (Armed, `Keep)
+    | Idle -> if triggered then Ok (Armed, `Reset) else Ok (Idle, `Free)
+  in
+  let inspect p _s z =
+    match (p, bu) with
+    | Armed, Time.Fin q ->
+        (* Violation iff time can pass the deadline while still armed:
+           the zone admits y > q, i.e. 0 − y < −q is satisfiable. *)
+        if Dbm.sat z 0 y (Dbm.Lt (Rational.neg q)) then raise Upper
+    | Armed, Time.Inf | Idle, _ -> ()
+  in
+  match
+    explore ?limit enc
+      ~initial_phase:(fun s0 -> if c.Condition.t_start s0 then Armed else Idle)
+      ~observe ~inspect
+  with
+  | Ok stats -> Verified stats
+  | Error (`Unsupported m) -> Unsupported m
+  | exception Lower -> Lower_violation { locations = 0; zones = 0; edges = 0 }
+  | exception Upper -> Upper_violation { locations = 0; zones = 0; edges = 0 }

@@ -1,0 +1,66 @@
+(** Zone-graph reachability for boundmap timed automata, with
+    timing-condition monitors.
+
+    This is the classic MMT-automaton encoding into a (diagonal-free)
+    clock automaton: one clock per partition class, reset whenever the
+    class fires or becomes (re-)enabled; an action of class [C] is
+    guarded by [x_C >= b_l(C)]; every location carries the invariant
+    [x_C <= b_u(C)] for each enabled class.  Zones are explored as
+    DBMs with max-constant extrapolation and inclusion subsumption —
+    exact verification, no time discretization.
+
+    A timing condition is checked by an observer with one extra clock
+    [y], armed by the condition's triggers and disarmed by [Π]-actions
+    and [S]-states:
+    - a reachable armed zone admitting [y > b_u] witnesses an
+      upper-bound violation;
+    - a [Π]-transition from an armed zone admitting [y < b_l] (with no
+      intervening disarm) witnesses a lower-bound violation.
+
+    Supported condition shapes: a trigger step that fires while the
+    observer is already armed must itself be a [Π]-action (then the
+    observer re-arms); other overlapping-trigger shapes would need the
+    paper's [min] merge of deadlines and are reported as
+    [Unsupported].  Both example systems and all conditions in this
+    repository are of the supported shape. *)
+
+type stats = {
+  locations : int;  (** distinct (state, observer-phase) pairs *)
+  zones : int;  (** zones stored after subsumption *)
+  edges : int;  (** symbolic transitions processed *)
+}
+
+type outcome =
+  | Verified of stats
+  | Lower_violation of stats
+  | Upper_violation of stats
+  | Unsupported of string
+
+exception Open_system of string
+(** Raised when the automaton has input actions (the encoding needs a
+    closed system) or a locally controlled action without bounds. *)
+
+val reachable :
+  ?limit:int -> ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t ->
+  stats * 's list
+(** Timed reachability: explored stats and the base states reachable
+    under the timing assumptions (a subset of the untimed reachable
+    set). [limit] bounds stored zones, default [200_000]. *)
+
+val check_state_invariant :
+  ?limit:int ->
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  Tm_timed.Boundmap.t ->
+  ('s -> bool) ->
+  (stats, 's) result
+(** [Error s] returns a reachable (under timing) state violating the
+    predicate. *)
+
+val check_condition :
+  ?limit:int ->
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  Tm_timed.Boundmap.t ->
+  ('s, 'a) Tm_timed.Condition.t ->
+  outcome
+(** Exact verification that every timed execution of [(A, b)] satisfies
+    the condition. *)

@@ -1,0 +1,64 @@
+(** The Alur–Dill region construction, as a second exact engine.
+
+    Regions are the classic finite time-abstract bisimulation quotient
+    for timed automata: each clock keeps its integer part up to a
+    maximum constant (beyond which only "large" matters) and whether
+    its fractional part is zero, plus the relative order of the nonzero
+    fractional parts.  The region graph is exact for reachability, like
+    the zone graph of {!Reach}, but built from a completely different
+    abstraction — the test suite uses the two as independent oracles
+    that must agree.
+
+    Rational bound constants are handled by scaling all constants (and
+    hence clock valuations) by the lcm of their denominators.
+
+    Scope: timed reachability and state-invariant checking for boundmap
+    (MMT) automata; condition observers live in {!Reach}. *)
+
+type t
+(** A region over a fixed clock set. *)
+
+val initial : nclocks:int -> max_const:int -> t
+(** All clocks exactly 0.  [nclocks] counts real clocks (the reference
+    is implicit); [max_const] is the (scaled, integer) ceiling. *)
+
+val reset : t -> int -> t
+(** Clock index is 0-based over the real clocks. *)
+
+val free : t -> int -> t
+(** Forget a clock (activity reduction): modelled as "large". *)
+
+val time_successor : t -> t
+(** The immediate time successor; the region with all clocks large is
+    its own successor. *)
+
+val sat_ge : t -> int -> int -> bool
+(** [sat_ge r x c]: does (every valuation of) the region satisfy
+    [x >= c]?  ([c <= max_const].) *)
+
+val sat_le : t -> int -> int -> bool
+(** [sat_le r x c]: does the region satisfy [x <= c]? *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+type stats = { locations : int; regions : int; edges : int }
+
+val reachable :
+  ?limit:int ->
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  Tm_timed.Boundmap.t ->
+  stats * 's list
+(** Region-graph reachability for a closed boundmap automaton, with the
+    same clock encoding as {!Reach} (one clock per class, reset on
+    (re-)enabling and firing, guards [x_C >= b_l], invariants
+    [x_C <= b_u], inactive clocks freed).
+    @raise Reach.Open_system as in {!Reach}. *)
+
+val check_state_invariant :
+  ?limit:int ->
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  Tm_timed.Boundmap.t ->
+  ('s -> bool) ->
+  (stats, 's) result

@@ -1,0 +1,52 @@
+(* Shared QCheck generators and Alcotest testables. *)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+
+let rational : Rational.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Rational.make n d)
+      (int_range (-200) 200) (int_range 1 12))
+
+let pos_rational : Rational.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map2 (fun n d -> Rational.make n d) (int_range 1 200) (int_range 1 12))
+
+let nonneg_rational : Rational.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map2 (fun n d -> Rational.make n d) (int_range 0 200) (int_range 1 12))
+
+let time : Time.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    frequency
+      [ (6, map (fun q -> Time.Fin q) rational); (1, return Time.Inf) ])
+
+let interval : Interval.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    bind nonneg_rational (fun lo ->
+        frequency
+          [
+            ( 4,
+              map
+                (fun w ->
+                  Interval.make lo (Time.Fin (Rational.add lo w)))
+                pos_rational );
+            (1, return (Interval.unbounded_above lo));
+          ]))
+
+let print_rational = Rational.to_string
+let print_time = Time.to_string
+
+(* Alcotest testables *)
+let rational_t = Alcotest.testable Rational.pp Rational.equal
+let time_t = Alcotest.testable Time.pp Time.equal
+let interval_t = Alcotest.testable Interval.pp Interval.equal
+
+let q = Rational.of_int
+let qq n d = Rational.make n d
+
+let check_holds name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

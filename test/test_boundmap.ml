@@ -1,0 +1,65 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Boundmap = Tm_timed.Boundmap
+module RM = Tm_systems.Resource_manager
+open Gen
+
+let bm =
+  Boundmap.of_list
+    [ ("A", Interval.of_ints 1 2); ("B", Interval.unbounded_above (q 3)) ]
+
+let test_find () =
+  Alcotest.(check interval_t) "A" (Interval.of_ints 1 2) (Boundmap.find bm "A");
+  Alcotest.(check rational_t) "lower B" (q 3) (Boundmap.lower bm "B");
+  Alcotest.(check time_t) "upper B" Time.Inf (Boundmap.upper bm "B");
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Boundmap.find bm "Z"))
+
+let test_duplicate () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (match
+       Boundmap.of_list
+         [ ("A", Interval.of_ints 1 2); ("A", Interval.of_ints 1 3) ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_classes () =
+  Alcotest.(check (list string)) "classes" [ "A"; "B" ] (Boundmap.classes bm)
+
+let test_covers () =
+  let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1 in
+  (match Boundmap.covers (RM.boundmap p) (RM.system p) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  match Boundmap.covers bm (RM.system p) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "should not cover TICK/LOCAL"
+
+let test_add () =
+  let bm2 = Boundmap.add bm "C" (Interval.of_ints 0 1) in
+  Alcotest.(check interval_t) "added" (Interval.of_ints 0 1)
+    (Boundmap.find bm2 "C");
+  Alcotest.(check bool) "re-add rejected" true
+    (match Boundmap.add bm "A" (Interval.of_ints 0 1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_max_constant () =
+  Alcotest.(check rational_t) "max constant" (q 3) (Boundmap.max_constant bm);
+  let bm3 =
+    Boundmap.of_list [ ("X", Interval.make (qq 1 2) (Time.Fin (qq 7 3))) ]
+  in
+  Alcotest.(check rational_t) "fractional max" (qq 7 3)
+    (Boundmap.max_constant bm3)
+
+let suite =
+  [
+    Alcotest.test_case "find/lower/upper" `Quick test_find;
+    Alcotest.test_case "duplicates" `Quick test_duplicate;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "covers" `Quick test_covers;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "max_constant" `Quick test_max_constant;
+  ]

@@ -1,0 +1,128 @@
+module Ioa = Tm_ioa.Ioa
+module Compose = Tm_ioa.Compose
+module Execution = Tm_ioa.Execution
+module RM = Tm_systems.Resource_manager
+module SR = Tm_systems.Signal_relay
+
+let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1
+
+let test_binary_structure () =
+  let sys = Compose.binary ~name:"rm" RM.clock (RM.manager p) in
+  Alcotest.(check int) "alphabet union" 3 (List.length sys.Ioa.alphabet);
+  Alcotest.(check (list string)) "classes" [ "TICK"; "LOCAL" ]
+    sys.Ioa.classes;
+  Alcotest.(check bool) "TICK output of composition" true
+    (sys.Ioa.kind_of RM.Tick = Ioa.Output);
+  Alcotest.(check int) "one start state" 1 (List.length sys.Ioa.start)
+
+let test_binary_sync () =
+  let sys = Compose.binary ~name:"rm" RM.clock (RM.manager p) in
+  (* TICK synchronizes: clock steps and manager decrements *)
+  match sys.Ioa.delta ((), 2) RM.Tick with
+  | [ ((), 1) ] -> ()
+  | _ -> Alcotest.fail "tick should decrement the manager timer"
+
+let test_binary_local () =
+  let sys = Compose.binary ~name:"rm" RM.clock (RM.manager p) in
+  (* GRANT involves only the manager *)
+  (match sys.Ioa.delta ((), 0) RM.Grant with
+  | [ ((), 2) ] -> ()
+  | _ -> Alcotest.fail "grant should reset the timer");
+  Alcotest.(check bool) "grant disabled when timer positive" true
+    (sys.Ioa.delta ((), 1) RM.Grant = [])
+
+let test_duplicate_output_rejected () =
+  match Compose.binary ~name:"cc" RM.clock RM.clock with
+  | exception Compose.Incompatible _ -> ()
+  | _ -> Alcotest.fail "two TICK outputs must be incompatible"
+
+let test_duplicate_class_rejected () =
+  (* same class name in both components, different actions *)
+  let a = { RM.clock with Ioa.name = "c1" } in
+  let b =
+    {
+      (RM.manager p) with
+      Ioa.classes = [ "TICK" ];
+      class_of =
+        (function RM.Tick -> None | RM.Grant | RM.Else -> Some "TICK");
+      kind_of =
+        (function
+        | RM.Tick -> Ioa.Input
+        | RM.Grant -> Ioa.Output
+        | RM.Else -> Ioa.Internal);
+    }
+  in
+  match Compose.binary ~name:"dup" a b with
+  | exception Compose.Incompatible _ -> ()
+  | _ -> Alcotest.fail "duplicate class must be rejected"
+
+let test_array_relay () =
+  let rp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2 in
+  let line = SR.line rp in
+  Alcotest.(check int) "alphabet" 4 (List.length line.Ioa.alphabet);
+  Alcotest.(check int) "classes" 4 (List.length line.Ioa.classes);
+  (match line.Ioa.start with
+  | [ flags ] ->
+      Alcotest.(check bool) "P0 flag set" true flags.(0);
+      Alcotest.(check bool) "P1 flag clear" false flags.(1)
+  | _ -> Alcotest.fail "one start state expected");
+  (* SIGNAL_0 clears P0 and sets P1 *)
+  let s0 = List.hd line.Ioa.start in
+  (match line.Ioa.delta s0 (SR.Signal 0) with
+  | [ flags ] ->
+      Alcotest.(check bool) "P0 cleared" false flags.(0);
+      Alcotest.(check bool) "P1 set" true flags.(1)
+  | _ -> Alcotest.fail "one successor expected");
+  (* SIGNAL_1 disabled before it is received *)
+  Alcotest.(check bool) "SIGNAL_1 disabled initially" true
+    (line.Ioa.delta s0 (SR.Signal 1) = [])
+
+let test_array_full_propagation () =
+  let rp = SR.params_of_ints ~n:2 ~d1:1 ~d2:2 in
+  let line = SR.line rp in
+  let s0 = List.hd line.Ioa.start in
+  let step s act =
+    match line.Ioa.delta s act with
+    | [ s' ] -> s'
+    | _ -> Alcotest.fail "expected exactly one successor"
+  in
+  let s1 = step s0 (SR.Signal 0) in
+  let s2 = step s1 (SR.Signal 1) in
+  let s3 = step s2 (SR.Signal 2) in
+  Alcotest.(check bool) "all flags clear at end" true
+    (Array.for_all not s3);
+  Alcotest.(check bool) "deadlocked" true
+    (List.for_all (fun a -> line.Ioa.delta s3 a = []) line.Ioa.alphabet)
+
+let test_hidden_signals () =
+  let rp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2 in
+  let line = SR.line rp in
+  Alcotest.(check bool) "SIGNAL_1 internal" true
+    (line.Ioa.kind_of (SR.Signal 1) = Ioa.Internal);
+  Alcotest.(check bool) "SIGNAL_0 external" true
+    (Ioa.is_external (line.Ioa.kind_of (SR.Signal 0)));
+  Alcotest.(check bool) "SIGNAL_3 external" true
+    (Ioa.is_external (line.Ioa.kind_of (SR.Signal 3)))
+
+let test_input_enabledness_of_composition () =
+  (* the composed relay has no input actions (closed system) *)
+  let rp = SR.params_of_ints ~n:2 ~d1:1 ~d2:2 in
+  let line = SR.line rp in
+  Alcotest.(check int) "no inputs" 0 (List.length (Ioa.input_actions line))
+
+let suite =
+  [
+    Alcotest.test_case "binary structure" `Quick test_binary_structure;
+    Alcotest.test_case "binary synchronization" `Quick test_binary_sync;
+    Alcotest.test_case "binary local action" `Quick test_binary_local;
+    Alcotest.test_case "duplicate output rejected" `Quick
+      test_duplicate_output_rejected;
+    Alcotest.test_case "duplicate class rejected" `Quick
+      test_duplicate_class_rejected;
+    Alcotest.test_case "array relay structure" `Quick test_array_relay;
+    Alcotest.test_case "array full propagation" `Quick
+      test_array_full_propagation;
+    Alcotest.test_case "hidden middle signals" `Quick test_hidden_signals;
+    Alcotest.test_case "composition is closed" `Quick
+      test_input_enabledness_of_composition;
+  ]

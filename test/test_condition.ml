@@ -1,0 +1,99 @@
+module Interval = Tm_base.Interval
+module Condition = Tm_timed.Condition
+module RM = Tm_systems.Resource_manager
+open Gen
+
+let test_make_defaults () =
+  let c =
+    Condition.make ~name:"c" ~bounds:(Interval.of_ints 1 2)
+      ~in_pi:(fun (_ : int) -> true)
+      ()
+  in
+  Alcotest.(check string) "name" "c" c.Condition.cname;
+  Alcotest.(check bool) "t_start empty" false (c.Condition.t_start 0);
+  Alcotest.(check bool) "t_step empty" false (c.Condition.t_step 0 1 2);
+  Alcotest.(check bool) "in_s empty" false (c.Condition.in_s 0)
+
+let test_upper_bounded () =
+  let c1 =
+    Condition.make ~name:"c1" ~bounds:(Interval.of_ints 1 2)
+      ~in_pi:(fun (_ : int) -> true)
+      ()
+  in
+  Alcotest.(check bool) "bounded" true (Condition.upper_bounded c1);
+  let c2 =
+    Condition.make ~name:"c2" ~bounds:(Interval.unbounded_above (q 1))
+      ~in_pi:(fun (_ : int) -> true)
+      ()
+  in
+  Alcotest.(check bool) "unbounded" false (Condition.upper_bounded c2)
+
+let test_well_formed () =
+  let good =
+    Condition.make ~name:"good"
+      ~t_start:(fun s -> s = 0)
+      ~t_step:(fun _ _ s -> s = 1)
+      ~bounds:(Interval.of_ints 1 2)
+      ~in_pi:(fun (_ : int) -> true)
+      ~in_s:(fun s -> s = 9)
+      ()
+  in
+  (match
+     Condition.well_formed_on good ~starts:[ 0; 5 ]
+       ~steps:[ (0, 0, 1); (1, 0, 2) ]
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* trigger start state inside S *)
+  let bad1 =
+    Condition.make ~name:"bad1"
+      ~t_start:(fun s -> s = 9)
+      ~bounds:(Interval.of_ints 1 2)
+      ~in_pi:(fun (_ : int) -> true)
+      ~in_s:(fun s -> s = 9)
+      ()
+  in
+  (match Condition.well_formed_on bad1 ~starts:[ 9 ] ~steps:[] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "start-in-S must be rejected");
+  (* trigger step ending in S *)
+  let bad2 =
+    Condition.make ~name:"bad2"
+      ~t_step:(fun _ _ s -> s = 9)
+      ~bounds:(Interval.of_ints 1 2)
+      ~in_pi:(fun (_ : int) -> true)
+      ~in_s:(fun s -> s = 9)
+      ()
+  in
+  match Condition.well_formed_on bad2 ~starts:[] ~steps:[ (0, 0, 9) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "step-into-S must be rejected"
+
+let test_paper_conditions_well_formed () =
+  let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1 in
+  let sys = RM.system p in
+  let starts = sys.Tm_ioa.Ioa.start in
+  let steps =
+    List.concat_map
+      (fun s ->
+        List.concat_map
+          (fun a ->
+            List.map (fun s' -> (s, a, s')) (sys.Tm_ioa.Ioa.delta s a))
+          sys.Tm_ioa.Ioa.alphabet)
+      (((), 0) :: ((), 1) :: starts)
+  in
+  List.iter
+    (fun c ->
+      match Condition.well_formed_on c ~starts ~steps with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    [ RM.g1 p; RM.g2 p ]
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_make_defaults;
+    Alcotest.test_case "upper_bounded" `Quick test_upper_bounded;
+    Alcotest.test_case "well_formed_on" `Quick test_well_formed;
+    Alcotest.test_case "paper conditions well-formed" `Quick
+      test_paper_conditions_well_formed;
+  ]

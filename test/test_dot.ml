@@ -1,0 +1,55 @@
+module Dot = Tm_core.Dot
+module Tgraph = Tm_core.Tgraph
+module Explore = Tm_ioa.Explore
+module RM = Tm_systems.Resource_manager
+module SR = Tm_systems.Signal_relay
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_tgraph_dot () =
+  let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1 in
+  let g = Tgraph.build (RM.impl p) in
+  let dot = Dot.of_tgraph g in
+  Alcotest.(check bool) "digraph header" true (contains ~needle:"digraph" dot);
+  Alcotest.(check bool) "has nodes" true (contains ~needle:"n0 [label=" dot);
+  Alcotest.(check bool) "has edges" true (contains ~needle:"->" dot);
+  Alcotest.(check bool) "mentions TIMER" true (contains ~needle:"TIMER" dot)
+
+let test_tgraph_truncation () =
+  let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+  let g = Tgraph.build (RM.impl p) in
+  let dot = Dot.of_tgraph ~max_nodes:2 g in
+  Alcotest.(check bool) "truncation marker" true
+    (contains ~needle:"more nodes" dot);
+  Alcotest.(check bool) "n5 not rendered" false (contains ~needle:"n5 [" dot)
+
+let test_explore_dot () =
+  let rp = SR.params_of_ints ~n:2 ~d1:1 ~d2:2 in
+  let g = Explore.reachable (SR.line rp) in
+  let dot = Dot.of_explore g in
+  Alcotest.(check bool) "digraph header" true (contains ~needle:"digraph" dot);
+  Alcotest.(check bool) "signal edge label" true
+    (contains ~needle:"SIGNAL_0" dot)
+
+let test_escaping () =
+  (* quotes in state printing must not break the output *)
+  let dot = Dot.of_explore
+      (Explore.reachable
+         {
+           (SR.line (SR.params_of_ints ~n:1 ~d1:1 ~d2:2)) with
+           Tm_ioa.Ioa.pp_state =
+             (fun fmt _ -> Format.pp_print_string fmt "a\"b");
+         })
+  in
+  Alcotest.(check bool) "escaped quote" true (contains ~needle:"a\\\"b" dot)
+
+let suite =
+  [
+    Alcotest.test_case "tgraph dot" `Quick test_tgraph_dot;
+    Alcotest.test_case "tgraph truncation" `Quick test_tgraph_truncation;
+    Alcotest.test_case "explore dot" `Quick test_explore_dot;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+  ]

@@ -1,0 +1,137 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Prng = Tm_base.Prng
+module Ioa = Tm_ioa.Ioa
+module Tseq = Tm_timed.Tseq
+module Semantics = Tm_timed.Semantics
+module Dummify = Tm_core.Dummify
+module TA = Tm_core.Time_automaton
+module SR = Tm_systems.Signal_relay
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+open Gen
+
+let rp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2
+let line = SR.line rp
+let dsys = SR.dsystem rp
+
+let test_structure () =
+  Alcotest.(check int) "alphabet grows by one"
+    (List.length line.Ioa.alphabet + 1)
+    (List.length dsys.Ioa.alphabet);
+  Alcotest.(check bool) "NULL class present" true
+    (List.mem Dummify.null_class dsys.Ioa.classes);
+  Alcotest.(check bool) "NULL is output" true
+    (dsys.Ioa.kind_of Dummify.Null = Ioa.Output);
+  Alcotest.(check bool) "NULL always enabled" true
+    (List.for_all
+       (fun s -> Ioa.enabled dsys s Dummify.Null)
+       (line.Ioa.start
+       @ List.concat_map
+           (fun s ->
+             List.concat_map (fun a -> line.Ioa.delta s a) line.Ioa.alphabet)
+           line.Ioa.start))
+
+let test_null_identity () =
+  let s0 = List.hd dsys.Ioa.start in
+  match dsys.Ioa.delta s0 Dummify.Null with
+  | [ s ] -> Alcotest.(check bool) "state unchanged" true (dsys.Ioa.equal_state s s0)
+  | _ -> Alcotest.fail "NULL must be a self-loop"
+
+let test_double_dummify_rejected () =
+  Alcotest.(check bool) "already has NULL" true
+    (match Dummify.automaton dsys with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_boundmap_lift () =
+  let bm = SR.dboundmap rp in
+  Alcotest.(check interval_t) "null bounds" (Interval.of_ints 1 2)
+    (Tm_timed.Boundmap.find bm Dummify.null_class);
+  Alcotest.(check rational_t) "existing class kept" (q 1)
+    (Tm_timed.Boundmap.lower bm (SR.sig_class 1))
+
+let test_condition_lift () =
+  let base_cond =
+    Tm_timed.Condition.make ~name:"c"
+      ~t_step:(fun _ a _ -> a = SR.Signal 0)
+      ~bounds:(Interval.of_ints 1 2)
+      ~in_pi:(fun a -> a = SR.Signal 3)
+      ()
+  in
+  let lifted = Dummify.condition base_cond in
+  Alcotest.(check bool) "NULL not in Pi" false
+    (lifted.Tm_timed.Condition.in_pi Dummify.Null);
+  Alcotest.(check bool) "Base Pi preserved" true
+    (lifted.Tm_timed.Condition.in_pi (Dummify.Base (SR.Signal 3)));
+  let s0 = List.hd line.Ioa.start in
+  Alcotest.(check bool) "NULL never triggers" false
+    (lifted.Tm_timed.Condition.t_step s0 Dummify.Null s0);
+  Alcotest.(check bool) "Base trigger preserved" true
+    (lifted.Tm_timed.Condition.t_step s0 (Dummify.Base (SR.Signal 0)) s0)
+
+(* Lemma 5.1: dummified simulations never deadlock. *)
+let prop_no_deadlock =
+  check_holds "Lemma 5.1: dummified runs never deadlock"
+    QCheck2.Gen.(int_range 0 200)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:40
+          ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+          (SR.impl rp)
+      in
+      run.Simulator.reason = Simulator.Step_limit)
+
+(* The raw relay does deadlock. *)
+let test_raw_relay_deadlocks () =
+  let raw = TA.of_boundmap line (SR.boundmap rp) in
+  let run = Simulator.simulate ~steps:1000 ~strategy:Strategy.eager raw in
+  Alcotest.(check bool) "deadlocks" true
+    (run.Simulator.reason = Simulator.Deadlock)
+
+(* Lemma 5.2/5.3 flavour: undum of a dummified timed execution is a
+   timed execution of the original system, and satisfies the original
+   conditions iff the dummified one satisfies the lifted conditions. *)
+let prop_undum =
+  check_holds "Lemmas 5.2/5.3: undum preserves execution and conditions"
+    QCheck2.Gen.(int_range 0 200)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:50
+          ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+          (SR.impl rp)
+      in
+      let dseq = Simulator.project run in
+      let useq = Dummify.tseq dseq in
+      let cond_u k = SR.u_cond rp ~k in
+      let base_cond k =
+        Tm_timed.Condition.make ~name:"u"
+          ~t_step:(fun _ a _ -> a = SR.Signal k)
+          ~bounds:(Interval.make
+                     (Rational.mul_int (rp.SR.n - k) rp.SR.d1)
+                     (Time.Fin (Rational.mul_int (rp.SR.n - k) rp.SR.d2)))
+          ~in_pi:(fun a -> a = SR.Signal rp.SR.n)
+          ()
+      in
+      Tm_ioa.Execution.is_execution line (Tseq.ord useq)
+      && List.for_all
+           (fun k ->
+             (Semantics.semi_satisfies dseq (cond_u k) = [])
+             = (Semantics.semi_satisfies useq (base_cond k) = []))
+           [ 0; 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "NULL identity" `Quick test_null_identity;
+    Alcotest.test_case "double dummify rejected" `Quick
+      test_double_dummify_rejected;
+    Alcotest.test_case "boundmap lift" `Quick test_boundmap_lift;
+    Alcotest.test_case "condition lift" `Quick test_condition_lift;
+    Alcotest.test_case "raw relay deadlocks" `Quick test_raw_relay_deadlocks;
+    prop_no_deadlock;
+    prop_undum;
+  ]

@@ -1,0 +1,66 @@
+module Ioa = Tm_ioa.Ioa
+module Execution = Tm_ioa.Execution
+module RM = Tm_systems.Resource_manager
+
+let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1
+let m = RM.manager p
+
+(* 2 --TICK--> 1 --TICK--> 0 --GRANT--> 2 *)
+let good =
+  Execution.of_states 2 [ (RM.Tick, 1); (RM.Tick, 0); (RM.Grant, 2) ]
+
+let test_accessors () =
+  Alcotest.(check int) "length" 3 (Execution.length good);
+  Alcotest.(check int) "last" 2 (Execution.last_state good);
+  Alcotest.(check int) "last of empty" 5
+    (Execution.last_state (Execution.of_states 5 []));
+  Alcotest.(check (list int)) "states" [ 2; 1; 0; 2 ] (Execution.states good)
+
+let test_is_execution () =
+  Alcotest.(check bool) "good accepted" true (Execution.is_execution m good);
+  let bad_step =
+    Execution.of_states 2 [ (RM.Grant, 2) ] (* grant disabled at 2 *)
+  in
+  Alcotest.(check bool) "bad step rejected" false
+    (Execution.is_execution m bad_step);
+  let bad_start = Execution.of_states 0 [ (RM.Grant, 2) ] in
+  Alcotest.(check bool) "bad start rejected" false
+    (Execution.is_execution m bad_start);
+  Alcotest.(check bool) "bad start is a fragment" true
+    (Execution.is_fragment m bad_start);
+  let wrong_post = Execution.of_states 2 [ (RM.Tick, 0) ] in
+  Alcotest.(check bool) "wrong post state rejected" false
+    (Execution.is_fragment m wrong_post)
+
+let test_schedule_behavior () =
+  Alcotest.(check int) "schedule length" 3
+    (List.length (Execution.schedule good));
+  (* manager alone: TICK is input (external), GRANT output (external),
+     ELSE internal *)
+  let e = Execution.of_states 2 [ (RM.Else, 2); (RM.Tick, 1) ] in
+  Alcotest.(check int) "behavior drops internal" 1
+    (List.length (Execution.behavior m e))
+
+let test_append_prefix () =
+  let e = Execution.append good RM.Tick 1 in
+  Alcotest.(check int) "append length" 4 (Execution.length e);
+  Alcotest.(check int) "append last" 1 (Execution.last_state e);
+  let pre = Execution.prefix 2 good in
+  Alcotest.(check int) "prefix length" 2 (Execution.length pre);
+  Alcotest.(check int) "prefix last" 0 (Execution.last_state pre);
+  Alcotest.(check int) "prefix beyond end" 3
+    (Execution.length (Execution.prefix 10 good))
+
+let test_steps () =
+  match Execution.steps good with
+  | [ (2, RM.Tick, 1); (1, RM.Tick, 0); (0, RM.Grant, 2) ] -> ()
+  | _ -> Alcotest.fail "steps triples wrong"
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "is_execution" `Quick test_is_execution;
+    Alcotest.test_case "schedule/behavior" `Quick test_schedule_behavior;
+    Alcotest.test_case "append/prefix" `Quick test_append_prefix;
+    Alcotest.test_case "steps" `Quick test_steps;
+  ]

@@ -1,0 +1,154 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Semantics = Tm_timed.Semantics
+module Completeness = Tm_core.Completeness
+module Reach = Tm_zones.Reach
+module FD = Tm_systems.Failure_detector
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+open Gen
+
+let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2
+let impl = FD.impl p
+
+let test_params () =
+  Alcotest.(check bool) "accurate regime" true (FD.accurate p);
+  Alcotest.(check bool) "m=0 rejected" true
+    (match FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "inaccurate params allowed" false
+    (FD.accurate (FD.params_of_ints ~h1:5 ~h2:8 ~g1:2 ~g2:3 ~m:2))
+
+let test_protocol () =
+  let sys = FD.system p in
+  let s0 = List.hd sys.Tm_ioa.Ioa.start in
+  (* fresh heartbeat then a clean poll *)
+  (match sys.Tm_ioa.Ioa.delta s0 FD.Hb with
+  | [ s1 ] -> (
+      Alcotest.(check bool) "fresh" true s1.FD.fresh;
+      match sys.Tm_ioa.Ioa.delta s1 FD.Check_ok with
+      | [ s2 ] ->
+          Alcotest.(check bool) "cleared" false s2.FD.fresh;
+          Alcotest.(check int) "misses reset" 0 s2.FD.misses
+      | _ -> Alcotest.fail "check_ok")
+  | _ -> Alcotest.fail "hb");
+  (* no heartbeat: miss, then suspicion at the m-th *)
+  (match sys.Tm_ioa.Ioa.delta s0 FD.Check_miss with
+  | [ s1 ] -> (
+      Alcotest.(check int) "one miss" 1 s1.FD.misses;
+      match sys.Tm_ioa.Ioa.delta s1 FD.Check_suspect with
+      | [ s2 ] -> Alcotest.(check bool) "suspected" true s2.FD.suspected
+      | _ -> Alcotest.fail "suspect")
+  | _ -> Alcotest.fail "miss");
+  (* dead sender emits nothing *)
+  let dead = { s0 with FD.alive = false } in
+  Alcotest.(check bool) "no heartbeat when dead" true
+    (sys.Tm_ioa.Ioa.delta dead FD.Hb = []);
+  Alcotest.(check bool) "no double crash" true
+    (sys.Tm_ioa.Ioa.delta dead FD.Crash = [])
+
+let test_accuracy_zones () =
+  match
+    Reach.check_state_invariant (FD.system p) (FD.boundmap p)
+      FD.no_false_suspicion
+  with
+  | Ok _ -> ()
+  | Error s ->
+      Alcotest.failf "false suspicion at %a" (FD.system p).Tm_ioa.Ioa.pp_state
+        s
+
+let test_accuracy_refuted_when_slow () =
+  let bad = FD.params_of_ints ~h1:5 ~h2:8 ~g1:2 ~g2:3 ~m:2 in
+  match
+    Reach.check_state_invariant (FD.system bad) (FD.boundmap bad)
+      FD.no_false_suspicion
+  with
+  | Error s -> Alcotest.(check bool) "still alive" true s.FD.alive
+  | Ok _ -> Alcotest.fail "slow heartbeats must cause false suspicion"
+
+let test_completeness_zones () =
+  (match Reach.check_condition (FD.system p) (FD.boundmap p) (FD.u_detect p) with
+  | Reach.Verified _ -> ()
+  | _ -> Alcotest.fail "detection window should verify");
+  (* both endpoints tight *)
+  let tighten bounds = { (FD.u_detect p) with Tm_timed.Condition.bounds } in
+  (match
+     Reach.check_condition (FD.system p) (FD.boundmap p)
+       (tighten (Tm_base.Interval.of_ints 2 8))
+   with
+  | Reach.Upper_violation _ -> ()
+  | _ -> Alcotest.fail "upper endpoint must be tight");
+  match
+    Reach.check_condition (FD.system p) (FD.boundmap p)
+      (tighten (Tm_base.Interval.of_ints 3 9))
+  with
+  | Reach.Lower_violation _ -> ()
+  | _ -> Alcotest.fail "lower endpoint must be tight"
+
+let test_exact_window_sweep () =
+  List.iter
+    (fun (g1, g2, m) ->
+      let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1 ~g2 ~m in
+      QCheck2.assume (FD.accurate p);
+      let a =
+        Completeness.analyze ~source:(FD.impl p) ~conds:[| FD.u_detect p |] ()
+      in
+      match
+        Completeness.bounds_after a
+          ~trigger:(fun _ act _ -> act = FD.Crash)
+          ~cond:0
+      with
+      | Some (lo, hi) ->
+          let iv = FD.detection_interval p in
+          Alcotest.(check time_t)
+            (Printf.sprintf "lo g=(%d,%d) m=%d" g1 g2 m)
+            (Time.Fin (Tm_base.Interval.lo iv))
+            lo;
+          Alcotest.(check time_t)
+            (Printf.sprintf "hi g=(%d,%d) m=%d" g1 g2 m)
+            (Tm_base.Interval.hi iv) hi
+      | None -> Alcotest.fail "no crash edges")
+    [ (2, 3, 2); (2, 3, 3); (3, 4, 2); (3, 4, 3) ]
+
+let prop_traces_satisfy_detection =
+  check_holds "simulated traces satisfy U(detect)"
+    QCheck2.Gen.(int_range 0 300)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:80
+          ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+          impl
+      in
+      Semantics.semi_satisfies (Simulator.project run) (FD.u_detect p) = [])
+
+let prop_no_false_suspicion_simulated =
+  check_holds "no false suspicion along simulated traces"
+    QCheck2.Gen.(int_range 0 300)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:80
+          ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+          impl
+      in
+      List.for_all
+        (fun s -> FD.no_false_suspicion s.Tm_core.Tstate.base)
+        (Tm_ioa.Execution.states run.Simulator.exec))
+
+let suite =
+  [
+    Alcotest.test_case "params" `Quick test_params;
+    Alcotest.test_case "protocol" `Quick test_protocol;
+    Alcotest.test_case "accuracy (zones)" `Quick test_accuracy_zones;
+    Alcotest.test_case "accuracy refuted with slow heartbeats" `Quick
+      test_accuracy_refuted_when_slow;
+    Alcotest.test_case "detection window verified and tight" `Quick
+      test_completeness_zones;
+    Alcotest.test_case "exact windows across a sweep" `Quick
+      test_exact_window_sweep;
+    prop_traces_satisfy_detection;
+    prop_no_false_suspicion_simulated;
+  ]

@@ -1,0 +1,121 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Tstate = Tm_core.Tstate
+module Mapping = Tm_core.Mapping
+module Hierarchy = Tm_core.Hierarchy
+module SR = Tm_systems.Signal_relay
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+open Gen
+
+let rp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2
+let impl = SR.impl rp
+
+let random_exec seed steps =
+  let prng = Prng.create seed in
+  (Simulator.simulate ~steps
+     ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+     impl)
+    .Simulator.exec
+
+let test_chain_structure () =
+  (* n = 3: impl -> B2 -> B1 -> B0 -> B = 4 levels *)
+  Alcotest.(check int) "levels" 4 (List.length (SR.chain rp))
+
+let test_check_exec () =
+  for seed = 0 to 20 do
+    match
+      Hierarchy.check_exec ~source:impl ~levels:(SR.chain rp)
+        (random_exec seed 50)
+    with
+    | Ok () -> ()
+    | Error e ->
+        Alcotest.failf "seed %d failed at level %d (%s)" seed
+          e.Hierarchy.level_index e.Hierarchy.level_name
+  done
+
+let test_check_exhaustive () =
+  match Hierarchy.check_exhaustive ~source:impl ~levels:(SR.chain rp) () with
+  | Ok st ->
+      Alcotest.(check bool) "nonempty" true (st.Mapping.product_states > 0);
+      Alcotest.(check bool) "not truncated" false st.Mapping.truncated
+  | Error e ->
+      Alcotest.failf "failed at level %d (%s)" e.Hierarchy.level_index
+        e.Hierarchy.level_name
+
+let test_n1_chain () =
+  (* n = 1 degenerates to impl -> B0 -> B with no f_k levels *)
+  let rp1 = SR.params_of_ints ~n:1 ~d1:1 ~d2:2 in
+  Alcotest.(check int) "two levels" 2 (List.length (SR.chain rp1));
+  match
+    Hierarchy.check_exhaustive ~source:(SR.impl rp1) ~levels:(SR.chain rp1) ()
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "n=1 chain failed (%s)" e.Hierarchy.level_name
+
+let test_larger_n_exec () =
+  let rp6 = SR.params_of_ints ~n:6 ~d1:1 ~d2:3 in
+  let impl6 = SR.impl rp6 in
+  let prng = Prng.create 7 in
+  let e =
+    (Simulator.simulate ~steps:60
+       ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+       impl6)
+      .Simulator.exec
+  in
+  match Hierarchy.check_exec ~source:impl6 ~levels:(SR.chain rp6) e with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "n=6 failed (%s)" err.Hierarchy.level_name
+
+(* Failure injection: break one middle mapping (wrong hop count) and
+   check the failure is localized to that level. *)
+let test_broken_level_detected () =
+  let broken_f1 =
+    let good = SR.f_k rp ~k:1 in
+    {
+      good with
+      Mapping.contains =
+        (fun s u ->
+          (* claim one hop more than reality: a tighter image that the
+             real successors fall outside of *)
+          let flags = s.Tstate.base in
+          if flags.(1) then
+            Time.(
+              u.Tstate.lt.(0)
+              >= Time.add_q s.Tstate.lt.(2) (Rational.mul_int 3 rp.SR.d2))
+          else good.Mapping.contains s u);
+    }
+  in
+  let levels =
+    List.mapi
+      (fun i lv ->
+        if i = 2 then { lv with Hierarchy.map = broken_f1 } else lv)
+      (SR.chain rp)
+  in
+  match Hierarchy.check_exhaustive ~source:impl ~levels () with
+  | Error e -> Alcotest.(check int) "failure at level 2" 2 e.Hierarchy.level_index
+  | Ok _ -> Alcotest.fail "broken level must be detected"
+
+let prop_chain_on_random_traces =
+  check_holds "hierarchy holds on random traces"
+    QCheck2.Gen.(int_range 0 150)
+    (fun seed ->
+      match
+        Hierarchy.check_exec ~source:impl ~levels:(SR.chain rp)
+          (random_exec seed 40)
+      with
+      | Ok () -> true
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "chain structure" `Quick test_chain_structure;
+    Alcotest.test_case "check_exec" `Quick test_check_exec;
+    Alcotest.test_case "check_exhaustive" `Quick test_check_exhaustive;
+    Alcotest.test_case "n=1 chain" `Quick test_n1_chain;
+    Alcotest.test_case "n=6 on a trace" `Quick test_larger_n_exec;
+    Alcotest.test_case "broken level detected" `Quick
+      test_broken_level_detected;
+    prop_chain_on_random_traces;
+  ]

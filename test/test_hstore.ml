@@ -1,0 +1,68 @@
+module Hstore = Tm_base.Hstore
+
+let make () = Hstore.create ~equal:String.equal ~hash:Hashtbl.hash 4
+
+let test_add_find () =
+  let s = make () in
+  Alcotest.(check int) "empty" 0 (Hstore.length s);
+  (match Hstore.add s "a" with
+  | `Added 0 -> ()
+  | _ -> Alcotest.fail "first id should be 0");
+  (match Hstore.add s "b" with
+  | `Added 1 -> ()
+  | _ -> Alcotest.fail "second id should be 1");
+  (match Hstore.add s "a" with
+  | `Present 0 -> ()
+  | _ -> Alcotest.fail "re-add should be Present 0");
+  Alcotest.(check int) "length" 2 (Hstore.length s);
+  Alcotest.(check (option int)) "find a" (Some 0) (Hstore.find s "a");
+  Alcotest.(check (option int)) "find missing" None (Hstore.find s "zz")
+
+let test_key_of_id () =
+  let s = make () in
+  ignore (Hstore.add s "x");
+  ignore (Hstore.add s "y");
+  Alcotest.(check string) "key 0" "x" (Hstore.key_of_id s 0);
+  Alcotest.(check string) "key 1" "y" (Hstore.key_of_id s 1);
+  Alcotest.check_raises "bad id" (Invalid_argument "Hstore.key_of_id")
+    (fun () -> ignore (Hstore.key_of_id s 5))
+
+let test_iter_order () =
+  let s = make () in
+  List.iter (fun k -> ignore (Hstore.add s k)) [ "p"; "q"; "r" ];
+  Alcotest.(check (list string)) "to_list in id order" [ "p"; "q"; "r" ]
+    (Hstore.to_list s);
+  let acc = ref [] in
+  Hstore.iter (fun id k -> acc := (id, k) :: !acc) s;
+  Alcotest.(check (list (pair int string)))
+    "iter order" [ (0, "p"); (1, "q"); (2, "r") ] (List.rev !acc)
+
+let test_collisions () =
+  (* constant hash forces every key into one bucket *)
+  let s = Hstore.create ~equal:Int.equal ~hash:(fun _ -> 42) 4 in
+  for i = 0 to 99 do
+    match Hstore.add s i with
+    | `Added id when id = i -> ()
+    | _ -> Alcotest.fail "dense ids under collisions"
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check (option int)) "find under collisions" (Some i)
+      (Hstore.find s i)
+  done
+
+let test_growth () =
+  let s = make () in
+  for i = 0 to 999 do
+    ignore (Hstore.add s (string_of_int i))
+  done;
+  Alcotest.(check int) "length 1000" 1000 (Hstore.length s);
+  Alcotest.(check string) "key 999" "999" (Hstore.key_of_id s 999)
+
+let suite =
+  [
+    Alcotest.test_case "add/find" `Quick test_add_find;
+    Alcotest.test_case "key_of_id" `Quick test_key_of_id;
+    Alcotest.test_case "iter order" `Quick test_iter_order;
+    Alcotest.test_case "hash collisions" `Quick test_collisions;
+    Alcotest.test_case "growth" `Quick test_growth;
+  ]

@@ -1,0 +1,114 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Semantics = Tm_timed.Semantics
+module Completeness = Tm_core.Completeness
+module RM = Tm_systems.Resource_manager
+module IM = Tm_systems.Interrupt_manager
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+open Gen
+
+let p = IM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1
+let impl = IM.impl p
+
+let test_params () =
+  (* l >= c1 is allowed here (unlike the polling manager) *)
+  ignore (IM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:5);
+  Alcotest.(check bool) "k=0 rejected" true
+    (match IM.params_of_ints ~k:0 ~c1:2 ~c2:3 ~l:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_intervals_match_polling_when_c1_gt_l () =
+  let rp = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+  Alcotest.(check interval_t) "first identical"
+    (RM.grant_interval_first rp) (IM.grant_interval_first p);
+  Alcotest.(check interval_t) "between identical"
+    (RM.grant_interval_between rp) (IM.grant_interval_between p)
+
+let test_interval_formula_when_l_ge_c1 () =
+  let p2 = IM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:3 in
+  Alcotest.(check rational_t) "lower = (k-1) c1" (q 4)
+    (Tm_base.Interval.lo (IM.grant_interval_between p2))
+
+let test_no_else_action () =
+  let sys = IM.system p in
+  Alcotest.(check int) "two actions only" 2
+    (List.length sys.Tm_ioa.Ioa.alphabet)
+
+(* The eager strategy is NOT Zeno here: no always-enabled zero-lower
+   class exists, so grants flow. *)
+let test_eager_not_zeno () =
+  let run = Simulator.simulate ~steps:100 ~strategy:Strategy.eager impl in
+  let seq = Simulator.project run in
+  Alcotest.(check bool) "time advances" true
+    Rational.(Tm_timed.Tseq.t_end seq > q 10);
+  match Measure.occurrence_times (fun a -> a = IM.Grant) seq with
+  | t :: _ -> Alcotest.(check rational_t) "first grant at k c1" (q 6) t
+  | [] -> Alcotest.fail "no grants"
+
+let prop_traces_meet_requirements =
+  check_holds "simulated traces satisfy G1, G2"
+    QCheck2.Gen.(int_range 0 300)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:100
+          ~strategy:(Strategy.random ~prng ~denominator:3 ~cap:(q 1))
+          impl
+      in
+      Semantics.semi_satisfies_all (Simulator.project run)
+        [ IM.g1 p; IM.g2 p ]
+      = [])
+
+(* Exact windows agree with the closed forms across a sweep, including
+   the l >= c1 regime the polling manager cannot handle. *)
+let test_exact_windows_sweep () =
+  List.iter
+    (fun (k, c1, c2, l) ->
+      let p = IM.params_of_ints ~k ~c1 ~c2 ~l in
+      let a =
+        Completeness.analyze ~source:(IM.impl p)
+          ~conds:[| IM.g1 p; IM.g2 p |] ()
+      in
+      let lo, hi = Completeness.start_bounds a ~cond:0 in
+      let iv = IM.grant_interval_first p in
+      Alcotest.(check time_t)
+        (Printf.sprintf "first lo k=%d l=%d" k l)
+        (Time.Fin (Tm_base.Interval.lo iv))
+        lo;
+      Alcotest.(check time_t)
+        (Printf.sprintf "first hi k=%d l=%d" k l)
+        (Tm_base.Interval.hi iv) hi;
+      match
+        Completeness.bounds_after a
+          ~trigger:(fun _ act _ -> act = IM.Grant)
+          ~cond:1
+      with
+      | Some (lo, hi) ->
+          let iv = IM.grant_interval_between p in
+          Alcotest.(check time_t)
+            (Printf.sprintf "between lo k=%d l=%d" k l)
+            (Time.Fin (Tm_base.Interval.lo iv))
+            lo;
+          Alcotest.(check time_t)
+            (Printf.sprintf "between hi k=%d l=%d" k l)
+            (Tm_base.Interval.hi iv) hi
+      | None -> Alcotest.fail "no grants reachable")
+    [ (1, 2, 3, 1); (2, 2, 3, 1); (3, 2, 3, 3); (2, 3, 4, 5) ]
+
+let suite =
+  [
+    Alcotest.test_case "params" `Quick test_params;
+    Alcotest.test_case "intervals match polling variant (c1 > l)" `Quick
+      test_intervals_match_polling_when_c1_gt_l;
+    Alcotest.test_case "interval formula when l >= c1" `Quick
+      test_interval_formula_when_l_ge_c1;
+    Alcotest.test_case "no ELSE action" `Quick test_no_else_action;
+    Alcotest.test_case "eager not Zeno" `Quick test_eager_not_zeno;
+    Alcotest.test_case "exact windows across a sweep" `Slow
+      test_exact_windows_sweep;
+    prop_traces_meet_requirements;
+  ]

@@ -1,0 +1,82 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+open Gen
+
+let test_make_valid () =
+  let iv = Interval.of_ints 1 3 in
+  Alcotest.(check rational_t) "lo" (q 1) (Interval.lo iv);
+  Alcotest.(check time_t) "hi" (Time.of_int 3) (Interval.hi iv);
+  let unb = Interval.unbounded_above (q 2) in
+  Alcotest.(check time_t) "unbounded hi" Time.Inf (Interval.hi unb)
+
+let test_make_invalid () =
+  let ill f = Alcotest.(check bool) "raises Ill_formed" true
+      (match f () with
+      | exception Interval.Ill_formed _ -> true
+      | _ -> false)
+  in
+  ill (fun () -> Interval.make (q (-1)) (Time.of_int 1));
+  ill (fun () -> Interval.make (q 3) (Time.of_int 2));
+  ill (fun () -> Interval.make Rational.zero Time.zero)
+
+let test_special () =
+  Alcotest.(check bool) "trivial mem" true (Interval.mem (q 100) Interval.trivial);
+  Alcotest.(check time_t) "upper_only hi" (Time.of_int 5)
+    (Interval.hi (Interval.upper_only (Time.of_int 5)));
+  Alcotest.(check rational_t) "lower_only lo" (q 5)
+    (Interval.lo (Interval.lower_only (q 5)))
+
+let test_mem () =
+  let iv = Interval.of_ints 2 4 in
+  Alcotest.(check bool) "below" false (Interval.mem (q 1) iv);
+  Alcotest.(check bool) "at lo" true (Interval.mem (q 2) iv);
+  Alcotest.(check bool) "inside" true (Interval.mem (q 3) iv);
+  Alcotest.(check bool) "at hi" true (Interval.mem (q 4) iv);
+  Alcotest.(check bool) "above" false (Interval.mem (q 5) iv);
+  Alcotest.(check bool) "mem_time inf in bounded" false
+    (Interval.mem_time Time.Inf iv);
+  Alcotest.(check bool) "mem_time inf in unbounded" true
+    (Interval.mem_time Time.Inf (Interval.unbounded_above (q 0)))
+
+let test_ops () =
+  let iv = Interval.of_ints 1 3 in
+  Alcotest.(check interval_t) "shift" (Interval.of_ints 3 5)
+    (Interval.shift (q 2) iv);
+  Alcotest.(check interval_t) "scale" (Interval.of_ints 3 9)
+    (Interval.scale 3 iv);
+  Alcotest.(check time_t) "width" (Time.of_int 2) (Interval.width iv);
+  Alcotest.(check bool) "subset yes" true
+    (Interval.subset (Interval.of_ints 2 3) iv);
+  Alcotest.(check bool) "subset no" false
+    (Interval.subset (Interval.of_ints 0 3) iv)
+
+let prop_mem_endpoints =
+  check_holds "lo is always a member" interval (fun iv ->
+      Interval.mem (Interval.lo iv) iv)
+
+let prop_shift_mem =
+  check_holds "shift preserves membership"
+    QCheck2.Gen.(triple interval nonneg_rational nonneg_rational)
+    (fun (iv, t, d) ->
+      QCheck2.assume (Interval.mem t iv);
+      Interval.mem (Rational.add t d) (Interval.shift d iv))
+
+let prop_scale_lo =
+  check_holds "scale multiplies lo" QCheck2.Gen.(pair interval (int_range 1 8))
+    (fun (iv, n) ->
+      Rational.equal
+        (Interval.lo (Interval.scale n iv))
+        (Rational.mul_int n (Interval.lo iv)))
+
+let suite =
+  [
+    Alcotest.test_case "make valid" `Quick test_make_valid;
+    Alcotest.test_case "make invalid" `Quick test_make_invalid;
+    Alcotest.test_case "special constructors" `Quick test_special;
+    Alcotest.test_case "membership" `Quick test_mem;
+    Alcotest.test_case "shift/scale/width/subset" `Quick test_ops;
+    prop_mem_endpoints;
+    prop_shift_mem;
+    prop_scale_lo;
+  ]

@@ -1,0 +1,134 @@
+module Ioa = Tm_ioa.Ioa
+module RM = Tm_systems.Resource_manager
+
+(* A tiny two-state toggle used in several structural tests. *)
+type toggle_act = Flip | Ping
+
+let toggle : (bool, toggle_act) Ioa.t =
+  {
+    Ioa.name = "toggle";
+    start = [ false ];
+    alphabet = [ Flip; Ping ];
+    kind_of = (function Flip -> Ioa.Output | Ping -> Ioa.Input);
+    delta =
+      (fun s -> function
+        | Flip -> [ not s ]
+        | Ping -> [ s ]);
+    classes = [ "FLIP" ];
+    class_of = (function Flip -> Some "FLIP" | Ping -> None);
+    equal_state = Bool.equal;
+    hash_state = (fun b -> if b then 1 else 0);
+    pp_state = (fun fmt b -> Format.fprintf fmt "%B" b);
+    equal_action = ( = );
+    pp_action =
+      (fun fmt a ->
+        Format.pp_print_string fmt
+          (match a with Flip -> "flip" | Ping -> "ping"));
+  }
+
+let test_kinds () =
+  Alcotest.(check string) "input" "input" (Ioa.kind_to_string Ioa.Input);
+  Alcotest.(check bool) "input external" true (Ioa.is_external Ioa.Input);
+  Alcotest.(check bool) "internal not external" false
+    (Ioa.is_external Ioa.Internal);
+  Alcotest.(check bool) "output locally controlled" true
+    (Ioa.is_locally_controlled Ioa.Output);
+  Alcotest.(check bool) "input not locally controlled" false
+    (Ioa.is_locally_controlled Ioa.Input)
+
+let test_enabled () =
+  let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1 in
+  let m = RM.manager p in
+  Alcotest.(check bool) "grant disabled at start" false
+    (Ioa.enabled m 2 RM.Grant);
+  Alcotest.(check bool) "grant enabled at 0" true (Ioa.enabled m 0 RM.Grant);
+  Alcotest.(check bool) "else enabled at start" true
+    (Ioa.enabled m 2 RM.Else);
+  Alcotest.(check bool) "else disabled at 0" false (Ioa.enabled m 0 RM.Else);
+  Alcotest.(check int) "two actions enabled at start" 2
+    (List.length (Ioa.enabled_actions m 2))
+
+let test_classes () =
+  let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1 in
+  let m = RM.manager p in
+  Alcotest.(check int) "LOCAL members" 2
+    (List.length (Ioa.class_members m RM.local_class));
+  Alcotest.(check bool) "LOCAL enabled everywhere (grant xor else)" true
+    (List.for_all (Ioa.class_enabled m RM.local_class) [ -1; 0; 1; 2 ])
+
+let test_hide () =
+  let sys = RM.system (RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1) in
+  Alcotest.(check bool) "TICK internal after hide" true
+    (sys.Ioa.kind_of RM.Tick = Ioa.Internal);
+  Alcotest.(check bool) "GRANT still output" true
+    (sys.Ioa.kind_of RM.Grant = Ioa.Output);
+  Alcotest.(check int) "one external action" 1
+    (List.length (Ioa.external_actions sys))
+
+let test_action_sets () =
+  Alcotest.(check int) "toggle locally controlled" 1
+    (List.length (Ioa.locally_controlled_actions toggle));
+  Alcotest.(check int) "toggle inputs" 1
+    (List.length (Ioa.input_actions toggle))
+
+let test_validate_ok () =
+  match Ioa.validate toggle ~states:[ true; false ] with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_validate_bad_class () =
+  let bad = { toggle with Ioa.class_of = (fun _ -> Some "NOPE") } in
+  match Ioa.validate bad ~states:[ false ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected class error"
+
+let test_validate_input_class () =
+  let bad =
+    { toggle with Ioa.class_of = (function _ -> Some "FLIP") }
+  in
+  match Ioa.validate bad ~states:[ false ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected input-with-class error"
+
+let test_validate_input_enabled () =
+  let bad =
+    {
+      toggle with
+      Ioa.delta =
+        (fun s -> function
+          | Flip -> [ not s ]
+          | Ping -> if s then [ s ] else []);
+    }
+  in
+  match Ioa.validate bad ~states:[ false ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected input-enabledness error"
+
+let test_validate_no_start () =
+  let bad = { toggle with Ioa.start = [] } in
+  match Ioa.validate bad ~states:[] with
+  | Error "no start state" -> ()
+  | _ -> Alcotest.fail "expected no-start error"
+
+let test_step_exists () =
+  Alcotest.(check bool) "flip step" true
+    (Ioa.step_exists toggle false Flip true);
+  Alcotest.(check bool) "flip wrong post" false
+    (Ioa.step_exists toggle false Flip false)
+
+let suite =
+  [
+    Alcotest.test_case "kinds" `Quick test_kinds;
+    Alcotest.test_case "enabled/enabled_actions" `Quick test_enabled;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "hide" `Quick test_hide;
+    Alcotest.test_case "action subsets" `Quick test_action_sets;
+    Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate unknown class" `Quick test_validate_bad_class;
+    Alcotest.test_case "validate input with class" `Quick
+      test_validate_input_class;
+    Alcotest.test_case "validate input enabledness" `Quick
+      test_validate_input_enabled;
+    Alcotest.test_case "validate no start" `Quick test_validate_no_start;
+    Alcotest.test_case "step_exists" `Quick test_step_exists;
+  ]

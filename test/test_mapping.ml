@@ -1,0 +1,165 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Tstate = Tm_core.Tstate
+module TA = Tm_core.Time_automaton
+module Mapping = Tm_core.Mapping
+module RM = Tm_systems.Resource_manager
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+open Gen
+
+let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1
+let impl = RM.impl p
+let spec = RM.spec p
+let f = RM.mapping p
+
+let random_exec seed steps =
+  let prng = Prng.create seed in
+  (Simulator.simulate ~steps
+     ~strategy:(Strategy.random ~prng ~denominator:3 ~cap:(q 2))
+     impl)
+    .Simulator.exec
+
+let test_start_witness () =
+  match Mapping.start_witness ~source:impl ~target:spec f (List.hd impl.TA.start) with
+  | Ok u0 ->
+      Alcotest.(check rational_t) "witness Ct" Rational.zero u0.Tstate.now
+  | Error _ -> Alcotest.fail "start witness should exist"
+
+let test_check_exec_ok () =
+  for seed = 0 to 20 do
+    match Mapping.check_exec ~source:impl ~target:spec f (random_exec seed 60) with
+    | Ok () -> ()
+    | Error e ->
+        Alcotest.failf "seed %d: %a" seed (Mapping.pp_failure impl) e
+  done
+
+let test_check_exec_lazy_and_eager () =
+  List.iter
+    (fun strategy ->
+      let e = (Simulator.simulate ~steps:100 ~strategy impl).Simulator.exec in
+      match Mapping.check_exec ~source:impl ~target:spec f e with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%a" (Mapping.pp_failure impl) e)
+    [ Strategy.eager; Strategy.lazy_ ~cap:Rational.one () ]
+
+let test_check_exhaustive_ok () =
+  match Mapping.check_exhaustive ~source:impl ~target:spec f () with
+  | Ok st ->
+      Alcotest.(check bool) "nonempty product" true
+        (st.Mapping.product_states > 0);
+      Alcotest.(check bool) "not truncated" false st.Mapping.truncated
+  | Error e -> Alcotest.failf "%a" (Mapping.pp_failure impl) e
+
+(* Failure injection: a mapping that claims tighter deadlines than the
+   spec can honour must be rejected. *)
+let test_broken_mapping_rejected () =
+  let broken =
+    {
+      Mapping.mname = "broken";
+      contains =
+        (fun _s u ->
+          (* requires the spec to promise a grant within 1 of now —
+             false at the start state where Lt(G1) = k c2 + l *)
+          Time.(u.Tstate.lt.(0) <= Time.add_q (Time.Fin u.Tstate.now) (q 1)));
+    }
+  in
+  match Mapping.check_exhaustive ~source:impl ~target:spec broken () with
+  | Error (Mapping.No_start_image _) -> ()
+  | Error _ -> Alcotest.fail "expected a start-image failure"
+  | Ok _ -> Alcotest.fail "broken mapping must fail"
+
+(* A mapping that is fine at the start but not preserved by steps. *)
+let test_unpreserved_mapping_rejected () =
+  let i_tick = TA.cond_index impl "cond(TICK)" in
+  let shallow =
+    {
+      Mapping.mname = "unpreserved";
+      contains =
+        (fun s u ->
+          (* holds with equality at the start state but ignores the
+             TIMER, so it breaks as soon as a tick is consumed *)
+          Time.(
+            u.Tstate.lt.(0)
+            >= Time.add_q s.Tstate.lt.(i_tick)
+                 (Rational.add
+                    (Rational.mul_int (p.RM.k - 1) p.RM.c2)
+                    p.RM.l)));
+    }
+  in
+  match Mapping.check_exhaustive ~source:impl ~target:spec shallow () with
+  | Error (Mapping.Image_lost _) -> ()
+  | Error e -> Alcotest.failf "expected Image_lost, got %a" (Mapping.pp_failure impl) e
+  | Ok _ -> Alcotest.fail "unpreserved mapping must fail"
+
+(* Against a spec with a too-tight upper bound, the paper mapping must
+   fail with a Move_not_enabled or Image_lost (the property is false). *)
+let test_tight_spec_rejected () =
+  let tight =
+    TA.make (RM.system p)
+      [
+        Tm_timed.Condition.make ~name:"G1"
+          ~t_start:(fun _ -> true)
+          ~bounds:
+            (Tm_base.Interval.make
+               (Rational.mul_int p.RM.k p.RM.c1)
+               (Time.Fin (Rational.mul_int p.RM.k p.RM.c2)))
+          (* paper bound is k c2 + l; drop the + l *)
+          ~in_pi:(fun a -> a = RM.Grant)
+          ();
+        RM.g2 p;
+      ]
+  in
+  match Mapping.check_exhaustive ~source:impl ~target:tight f () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tight spec must be refuted"
+
+let test_check_exec_detects_on_trace () =
+  (* the same tight spec refuted along a lazy trace, which realizes the
+     worst-case first grant *)
+  let tight_g1 =
+    Tm_timed.Condition.make ~name:"G1"
+      ~t_start:(fun _ -> true)
+      ~bounds:
+        (Tm_base.Interval.make
+           (Rational.mul_int p.RM.k p.RM.c1)
+           (Time.Fin (Rational.mul_int p.RM.k p.RM.c2)))
+      ~in_pi:(fun a -> a = RM.Grant)
+      ()
+  in
+  let tight = TA.make (RM.system p) [ tight_g1; RM.g2 p ] in
+  let e =
+    (Simulator.simulate ~steps:60 ~strategy:(Strategy.lazy_ ~cap:Rational.one ())
+       impl)
+      .Simulator.exec
+  in
+  match Mapping.check_exec ~source:impl ~target:tight f e with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "lazy trace should refute the tight spec"
+
+let prop_random_exec_mapped =
+  check_holds "mapping holds along random executions"
+    QCheck2.Gen.(int_range 0 200)
+    (fun seed ->
+      match Mapping.check_exec ~source:impl ~target:spec f (random_exec seed 40) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "start witness" `Quick test_start_witness;
+    Alcotest.test_case "check_exec ok (random)" `Quick test_check_exec_ok;
+    Alcotest.test_case "check_exec ok (lazy/eager)" `Quick
+      test_check_exec_lazy_and_eager;
+    Alcotest.test_case "check_exhaustive ok" `Quick test_check_exhaustive_ok;
+    Alcotest.test_case "broken mapping rejected" `Quick
+      test_broken_mapping_rejected;
+    Alcotest.test_case "unpreserved mapping rejected" `Quick
+      test_unpreserved_mapping_rejected;
+    Alcotest.test_case "tight spec refuted exhaustively" `Quick
+      test_tight_spec_rejected;
+    Alcotest.test_case "tight spec refuted on a lazy trace" `Quick
+      test_check_exec_detects_on_trace;
+    prop_random_exec_mapped;
+  ]

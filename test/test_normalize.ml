@@ -1,0 +1,131 @@
+(* Soundness of the relative-deadline normalization: normalized states
+   must be behaviourally indistinguishable from their originals — same
+   firing windows (relative to now), same successors modulo
+   normalization.  The exhaustive checkers and the completeness
+   analysis all rest on this. *)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Tstate = Tm_core.Tstate
+module TA = Tm_core.Time_automaton
+module Tgraph = Tm_core.Tgraph
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module RM = Tm_systems.Resource_manager
+module SR = Tm_systems.Signal_relay
+open Gen
+
+let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1
+let impl = RM.impl p
+let clamp = (Tgraph.default_params impl).Tgraph.clamp
+
+(* a reachable state after [steps] random moves *)
+let reachable_state seed steps =
+  let prng = Prng.create seed in
+  let run =
+    Simulator.simulate ~steps
+      ~strategy:(Strategy.random ~prng ~denominator:3 ~cap:(q 1))
+      impl
+  in
+  Tm_ioa.Execution.last_state run.Simulator.exec
+
+let rel_window s (lo, hi) =
+  (Rational.sub lo s.Tstate.now, Time.sub_q hi s.Tstate.now)
+
+(* windows are preserved relative to now *)
+let prop_windows_preserved =
+  check_holds "normalize preserves firing windows"
+    QCheck2.Gen.(pair (int_range 0 200) (int_range 0 40))
+    (fun (seed, steps) ->
+      let s = reachable_state seed steps in
+      let n = Tstate.normalize ~clamp s in
+      List.for_all
+        (fun act ->
+          match (TA.window impl s act, TA.window impl n act) with
+          | None, None -> true
+          | Some w, Some w' ->
+              let rlo, rhi = rel_window s w in
+              let nlo, nhi = rel_window n w' in
+              Rational.equal rlo nlo && Time.equal rhi nhi
+          | Some _, None | None, Some _ -> false)
+        impl.TA.base.Tm_ioa.Ioa.alphabet)
+
+(* firing commutes with normalization *)
+let prop_fire_commutes =
+  check_holds "fire then normalize = normalize then fire"
+    QCheck2.Gen.(pair (int_range 0 200) (int_range 0 40))
+    (fun (seed, steps) ->
+      let s = reachable_state seed steps in
+      let n = Tstate.normalize ~clamp s in
+      List.for_all
+        (fun act ->
+          match TA.window impl s act with
+          | None -> true
+          | Some (lo, _) ->
+              let dt = Rational.sub lo s.Tstate.now in
+              let t_orig = lo in
+              let t_norm = Rational.add n.Tstate.now dt in
+              let posts_orig =
+                List.map (Tstate.normalize ~clamp)
+                  (TA.fire impl s act t_orig)
+              in
+              let posts_norm =
+                List.map (Tstate.normalize ~clamp)
+                  (TA.fire impl n act t_norm)
+              in
+              List.length posts_orig = List.length posts_norm
+              && List.for_all2 (TA.equal_state impl) posts_orig posts_norm)
+        impl.TA.base.Tm_ioa.Ioa.alphabet)
+
+(* coarser clamps refine the graph: node counts shrink or stay put as
+   the clamp grows past the adequate point *)
+let test_clamp_stability () =
+  let params = Tgraph.default_params impl in
+  let n1 =
+    Tgraph.node_count
+      (Tgraph.build ~params:{ params with Tgraph.clamp = params.Tgraph.clamp }
+         impl)
+  in
+  let n2 =
+    Tgraph.node_count
+      (Tgraph.build
+         ~params:
+           {
+             params with
+             Tgraph.clamp = Rational.mul_int 2 params.Tgraph.clamp;
+             cap = Rational.mul_int 2 params.Tgraph.cap;
+           }
+         impl)
+  in
+  (* with the collapse rule the state space is already saturated: a
+     larger clamp must not change the graph *)
+  Alcotest.(check int) "clamp-stable node count" n1 n2
+
+let test_relay_clamp_stability () =
+  let sp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2 in
+  let impl = SR.impl sp in
+  let params = Tgraph.default_params impl in
+  let n1 = Tgraph.node_count (Tgraph.build ~params impl) in
+  let n2 =
+    Tgraph.node_count
+      (Tgraph.build
+         ~params:
+           {
+             params with
+             Tgraph.clamp = Rational.mul_int 3 params.Tgraph.clamp;
+             cap = Rational.mul_int 3 params.Tgraph.cap;
+           }
+         impl)
+  in
+  Alcotest.(check int) "relay clamp-stable node count" n1 n2
+
+let suite =
+  [
+    prop_windows_preserved;
+    prop_fire_commutes;
+    Alcotest.test_case "manager graph clamp-stable" `Quick
+      test_clamp_stability;
+    Alcotest.test_case "relay graph clamp-stable" `Quick
+      test_relay_clamp_stability;
+  ]

@@ -1,0 +1,98 @@
+module Rational = Tm_base.Rational
+module Prng = Tm_base.Prng
+open Gen
+
+let test_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let test_seed_matters () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_split () =
+  let a = Prng.create 9 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.next_int64 a)
+    (Prng.next_int64 b);
+  let c = Prng.split a in
+  Alcotest.(check bool) "split stream independent-ish" true
+    (Prng.next_int64 c <> Prng.next_int64 a)
+
+let test_int_range () =
+  let g = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of range"
+  done;
+  Alcotest.check_raises "bound < 1" (Invalid_argument "Prng.int: bound < 1")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_covers () =
+  let g = Prng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range"
+  done
+
+let test_pick () =
+  let g = Prng.create 13 in
+  let xs = [ 1; 2; 3 ] in
+  for _ = 1 to 100 do
+    if not (List.mem (Prng.pick g xs) xs) then Alcotest.fail "pick not member"
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick g []))
+
+let test_rational_in () =
+  let g = Prng.create 17 in
+  let lo = qq 1 2 and hi = qq 7 2 in
+  for _ = 1 to 500 do
+    let v = Prng.rational_in g ~denominator:4 lo hi in
+    if not (Rational.(lo <= v) && Rational.(v <= hi)) then
+      Alcotest.fail "rational_in out of range";
+    if not (Rational.divides (qq 1 4) (Rational.sub v lo)) then
+      Alcotest.fail "rational_in off grid"
+  done;
+  (* degenerate interval *)
+  Alcotest.(check rational_t) "point interval" lo
+    (Prng.rational_in g ~denominator:4 lo lo)
+
+let prop_rational_in_bounds =
+  check_holds "rational_in respects bounds"
+    QCheck2.Gen.(
+      triple (int_range 0 10_000) (pair nonneg_rational pos_rational)
+        (int_range 1 8))
+    (fun (seed, (lo, w), den) ->
+      let hi = Rational.add lo w in
+      let g = Prng.create seed in
+      let v = Prng.rational_in g ~denominator:den lo hi in
+      Rational.(lo <= v) && Rational.(v <= hi))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed matters" `Quick test_seed_matters;
+    Alcotest.test_case "copy and split" `Quick test_copy_split;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int covers residues" `Quick test_int_covers;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "rational_in" `Quick test_rational_in;
+    prop_rational_in_bounds;
+  ]

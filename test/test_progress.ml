@@ -1,0 +1,88 @@
+module Progress = Tm_core.Progress
+module TA = Tm_core.Time_automaton
+module RM = Tm_systems.Resource_manager
+module IM = Tm_systems.Interrupt_manager
+module SR = Tm_systems.Signal_relay
+module TR = Tm_systems.Token_ring
+module FD = Tm_systems.Failure_detector
+module TS = Tm_systems.Two_stage
+
+(* Lemma 4.2 generalized: the running systems have neither deadlocks
+   nor Zeno traps. *)
+let test_live_systems () =
+  let check name r =
+    if not (Progress.ok r) then
+      Alcotest.failf "%s: %a" name Progress.pp_report r
+  in
+  check "resource manager"
+    (Progress.analyze (RM.impl (RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1)));
+  check "interrupt manager"
+    (Progress.analyze (IM.impl (IM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:3)));
+  check "token ring"
+    (Progress.analyze (TR.impl (TR.params_of_ints ~n:4 ~d1:1 ~d2:2)));
+  check "failure detector"
+    (Progress.analyze (FD.impl (FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2)));
+  check "two stage"
+    (Progress.analyze
+       (TS.impl (TS.params_of_ints ~p1:1 ~p2:3 ~q1:1 ~q2:2 ~r1:2 ~r2:4)));
+  check "dummified relay"
+    (Progress.analyze (SR.impl (SR.params_of_ints ~n:3 ~d1:1 ~d2:2)))
+
+(* The raw (un-dummified) relay deadlocks once the signal has passed —
+   the reason Section 5 exists. *)
+let test_raw_relay_deadlocks () =
+  let p = SR.params_of_ints ~n:2 ~d1:1 ~d2:2 in
+  let raw = TA.of_boundmap (SR.line p) (SR.boundmap p) in
+  let r = Progress.analyze raw in
+  Alcotest.(check bool) "has deadlocks" true (r.Progress.deadlocked <> []);
+  Alcotest.(check bool) "not ok" false (Progress.ok r)
+
+(* A hand-built Zeno trap: a tick that may repeat arbitrarily fast,
+   plus a condition demanding an impossible event by time 1 — after
+   that deadline every continuation is pinned at t <= 1 by 4(a), so
+   time can never diverge. *)
+let test_zeno_trap_detected () =
+  let toggle : (bool, [ `Tick ]) Tm_ioa.Ioa.t =
+    {
+      Tm_ioa.Ioa.name = "pinned";
+      start = [ false ];
+      alphabet = [ `Tick ];
+      kind_of = (fun _ -> Tm_ioa.Ioa.Internal);
+      delta = (fun s `Tick -> [ not s ]);
+      classes = [ "T" ];
+      class_of = (fun _ -> Some "T");
+      equal_state = Bool.equal;
+      hash_state = (fun b -> if b then 1 else 0);
+      pp_state = (fun fmt b -> Format.fprintf fmt "%B" b);
+      equal_action = ( = );
+      pp_action = (fun fmt _ -> Format.pp_print_string fmt "tick");
+    }
+  in
+  let impossible =
+    Tm_timed.Condition.make ~name:"impossible"
+      ~t_start:(fun _ -> true)
+      ~bounds:(Tm_base.Interval.upper_only (Tm_base.Time.of_int 1))
+      ~in_pi:(fun _ -> false)
+      ()
+  in
+  let tick_cond =
+    Tm_timed.Condition.make ~name:"tick"
+      ~t_start:(fun _ -> true)
+      ~t_step:(fun _ _ _ -> true)
+      ~bounds:(Tm_base.Interval.of_ints 0 1)
+      ~in_pi:(fun _ -> true)
+      ()
+  in
+  let aut = TA.make toggle [ tick_cond; impossible ] in
+  let r = Progress.analyze aut in
+  Alcotest.(check bool) "trap found" false (Progress.ok r);
+  Alcotest.(check bool) "specifically a Zeno trap or deadlock" true
+    (r.Progress.zeno_trapped <> [] || r.Progress.deadlocked <> [])
+
+let suite =
+  [
+    Alcotest.test_case "live systems are deadlock- and trap-free" `Quick
+      test_live_systems;
+    Alcotest.test_case "raw relay deadlocks" `Quick test_raw_relay_deadlocks;
+    Alcotest.test_case "Zeno trap detected" `Quick test_zeno_trap_detected;
+  ]

@@ -1,0 +1,142 @@
+module Rational = Tm_base.Rational
+open Gen
+
+let test_make_normalizes () =
+  Alcotest.(check rational_t) "6/4 = 3/2" (qq 3 2) (qq 6 4);
+  Alcotest.(check rational_t) "-6/4 = -3/2" (qq (-3) 2) (qq 6 (-4));
+  Alcotest.(check rational_t) "0/7 = 0" Rational.zero (qq 0 7);
+  Alcotest.(check int) "den of 6/4" 2 (qq 6 4).Rational.den;
+  Alcotest.(check int) "num of -6/4" (-3) (qq 6 (-4)).Rational.num
+
+let test_zero_den () =
+  Alcotest.check_raises "make 1 0" Rational.Division_by_zero (fun () ->
+      ignore (Rational.make 1 0));
+  Alcotest.check_raises "div by zero" Rational.Division_by_zero (fun () ->
+      ignore (Rational.div Rational.one Rational.zero));
+  Alcotest.check_raises "inv zero" Rational.Division_by_zero (fun () ->
+      ignore (Rational.inv Rational.zero))
+
+let test_arith () =
+  Alcotest.(check rational_t)
+    "1/2 + 1/3 = 5/6" (qq 5 6)
+    (Rational.add (qq 1 2) (qq 1 3));
+  Alcotest.(check rational_t)
+    "1/2 - 1/3 = 1/6" (qq 1 6)
+    (Rational.sub (qq 1 2) (qq 1 3));
+  Alcotest.(check rational_t)
+    "2/3 * 9/4 = 3/2" (qq 3 2)
+    (Rational.mul (qq 2 3) (qq 9 4));
+  Alcotest.(check rational_t)
+    "(1/2) / (3/4) = 2/3" (qq 2 3)
+    (Rational.div (qq 1 2) (qq 3 4));
+  Alcotest.(check rational_t) "3 * 5/6 = 5/2" (qq 5 2)
+    (Rational.mul_int 3 (qq 5 6))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Rational.(qq 1 3 < qq 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true Rational.(qq (-1) 2 < qq 1 3);
+  Alcotest.(check rational_t) "min" (qq 1 3) (Rational.min (qq 1 3) (qq 1 2));
+  Alcotest.(check rational_t) "max" (qq 1 2) (Rational.max (qq 1 3) (qq 1 2));
+  Alcotest.(check int) "sign neg" (-1) (Rational.sign (qq (-1) 5));
+  Alcotest.(check int) "sign zero" 0 (Rational.sign Rational.zero)
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rational.floor (qq 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rational.floor (qq (-7) 2));
+  Alcotest.(check int) "floor 4" 4 (Rational.floor (q 4));
+  Alcotest.(check int) "ceil 7/2" 4 (Rational.ceil (qq 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rational.ceil (qq (-7) 2));
+  Alcotest.(check int) "ceil -4" (-4) (Rational.ceil (q (-4)))
+
+let test_divides () =
+  Alcotest.(check bool) "1/4 divides 3/2" true (Rational.divides (qq 1 4) (qq 3 2));
+  Alcotest.(check bool) "1/3 divides 3/2 is false" false
+    (Rational.divides (qq 1 3) (qq 3 2));
+  Alcotest.(check bool) "divides 0" true (Rational.divides (qq 1 3) Rational.zero)
+
+let test_of_string () =
+  Alcotest.(check rational_t) "3" (q 3) (Rational.of_string "3");
+  Alcotest.(check rational_t) "-3" (q (-3)) (Rational.of_string "-3");
+  Alcotest.(check rational_t) "3/4" (qq 3 4) (Rational.of_string "3/4");
+  Alcotest.(check rational_t) "0.25" (qq 1 4) (Rational.of_string "0.25");
+  Alcotest.(check rational_t) "-1.5" (qq (-3) 2) (Rational.of_string "-1.5");
+  Alcotest.(check rational_t) "spaces" (q 2) (Rational.of_string " 2 ");
+  Alcotest.check_raises "garbage" (Invalid_argument "Rational.of_string: \"a/b\"")
+    (fun () -> ignore (Rational.of_string "a/b"))
+
+let test_to_string () =
+  Alcotest.(check string) "int" "5" (Rational.to_string (q 5));
+  Alcotest.(check string) "frac" "-3/2" (Rational.to_string (qq (-3) 2))
+
+let test_overflow () =
+  let big = Rational.of_int max_int in
+  Alcotest.check_raises "mul overflow" Rational.Overflow (fun () ->
+      ignore (Rational.mul big big));
+  Alcotest.check_raises "add overflow" Rational.Overflow (fun () ->
+      ignore (Rational.add big big))
+
+let prop_add_comm =
+  check_holds "add commutative" QCheck2.Gen.(pair rational rational)
+    (fun (a, b) -> Rational.(equal (add a b) (add b a)))
+
+let prop_add_assoc =
+  check_holds "add associative"
+    QCheck2.Gen.(triple rational rational rational)
+    (fun (a, b, c) ->
+      Rational.(equal (add a (add b c)) (add (add a b) c)))
+
+let prop_mul_distrib =
+  check_holds "mul distributes"
+    QCheck2.Gen.(triple rational rational rational)
+    (fun (a, b, c) ->
+      Rational.(equal (mul a (add b c)) (add (mul a b) (mul a c))))
+
+let prop_sub_inverse =
+  check_holds "a - a = 0" rational (fun a ->
+      Rational.(equal (sub a a) zero))
+
+let prop_div_inverse =
+  check_holds "a / a = 1" rational (fun a ->
+      QCheck2.assume (not (Rational.equal a Rational.zero));
+      Rational.(equal (div a a) one))
+
+let prop_compare_total =
+  check_holds "compare antisymmetric" QCheck2.Gen.(pair rational rational)
+    (fun (a, b) -> Rational.compare a b = -Rational.compare b a)
+
+let prop_floor_le =
+  check_holds "floor <= x < floor+1" rational (fun a ->
+      let f = Rational.floor a in
+      let f1 = f + 1 in
+      Rational.(of_int f <= a) && Rational.(a < of_int f1))
+
+let prop_roundtrip =
+  check_holds "of_string (to_string x) = x" rational (fun a ->
+      Rational.equal a (Rational.of_string (Rational.to_string a)))
+
+let prop_hash_equal =
+  check_holds "equal implies same hash" QCheck2.Gen.(pair rational rational)
+    (fun (a, b) ->
+      (not (Rational.equal a b)) || Rational.hash a = Rational.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "make normalizes" `Quick test_make_normalizes;
+    Alcotest.test_case "zero denominators" `Quick test_zero_den;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "compare/min/max/sign" `Quick test_compare;
+    Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+    Alcotest.test_case "divides" `Quick test_divides;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "overflow detection" `Quick test_overflow;
+    prop_add_comm;
+    prop_add_assoc;
+    prop_mul_distrib;
+    prop_sub_inverse;
+    prop_div_inverse;
+    prop_compare_total;
+    prop_floor_le;
+    prop_roundtrip;
+    prop_hash_equal;
+  ]

@@ -1,0 +1,170 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Condition = Tm_timed.Condition
+module Reach = Tm_zones.Reach
+module RM = Tm_systems.Resource_manager
+module IM = Tm_systems.Interrupt_manager
+module SR = Tm_systems.Signal_relay
+module RG = Tm_systems.Request_grant
+open Gen
+
+let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1
+let sys = RM.system p
+let bm = RM.boundmap p
+
+let is_verified = function Reach.Verified _ -> true | _ -> false
+let is_upper = function Reach.Upper_violation _ -> true | _ -> false
+let is_lower = function Reach.Lower_violation _ -> true | _ -> false
+
+let g1_with lo hi =
+  Condition.make ~name:"G1x"
+    ~t_start:(fun _ -> true)
+    ~bounds:(Interval.make lo hi)
+    ~in_pi:(fun a -> a = RM.Grant)
+    ()
+
+let test_manager_bounds_verified () =
+  Alcotest.(check bool) "G1" true
+    (is_verified (Reach.check_condition sys bm (RM.g1 p)));
+  Alcotest.(check bool) "G2" true
+    (is_verified (Reach.check_condition sys bm (RM.g2 p)))
+
+let test_manager_tight_bounds_refuted () =
+  Alcotest.(check bool) "upper 9 < 10 refuted" true
+    (is_upper (Reach.check_condition sys bm (g1_with (q 6) (Time.of_int 9))));
+  Alcotest.(check bool) "lower 7 > 6 refuted" true
+    (is_lower (Reach.check_condition sys bm (g1_with (q 7) (Time.of_int 10))))
+
+let test_manager_bounds_are_tight () =
+  (* the proved interval is exactly [6, 10]: both one-sided
+     tightenings fail, and the interval itself verifies *)
+  Alcotest.(check bool) "exact interval verifies" true
+    (is_verified
+       (Reach.check_condition sys bm (g1_with (q 6) (Time.of_int 10))));
+  Alcotest.(check bool) "cannot shave the upper" true
+    (is_upper
+       (Reach.check_condition sys bm (g1_with (q 6) (Time.Fin (qq 19 2)))));
+  Alcotest.(check bool) "cannot raise the lower" true
+    (is_lower
+       (Reach.check_condition sys bm (g1_with (qq 13 2) (Time.of_int 10))))
+
+let test_interrupt_manager () =
+  let ip = IM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+  Alcotest.(check bool) "G1 verified" true
+    (is_verified
+       (Reach.check_condition (IM.system ip) (IM.boundmap ip) (IM.g1 ip)));
+  Alcotest.(check bool) "G2 verified" true
+    (is_verified
+       (Reach.check_condition (IM.system ip) (IM.boundmap ip) (IM.g2 ip)));
+  (* l >= c1 also analyzable for the interrupt variant *)
+  let ip2 = IM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:3 in
+  Alcotest.(check bool) "G2 verified with l >= c1" true
+    (is_verified
+       (Reach.check_condition (IM.system ip2) (IM.boundmap ip2) (IM.g2 ip2)))
+
+let test_relay () =
+  let rp = SR.params_of_ints ~n:5 ~d1:1 ~d2:2 in
+  let line = SR.line rp and rbm = SR.boundmap rp in
+  let u lo hi =
+    Condition.make ~name:"U"
+      ~t_step:(fun _ a _ -> a = SR.Signal 0)
+      ~bounds:(Interval.make lo hi)
+      ~in_pi:(fun a -> a = SR.Signal rp.SR.n)
+      ()
+  in
+  Alcotest.(check bool) "[5,10] verified" true
+    (is_verified (Reach.check_condition line rbm (u (q 5) (Time.of_int 10))));
+  Alcotest.(check bool) "[5,9] refuted" true
+    (is_upper (Reach.check_condition line rbm (u (q 5) (Time.of_int 9))));
+  Alcotest.(check bool) "[6,10] refuted" true
+    (is_lower (Reach.check_condition line rbm (u (q 6) (Time.of_int 10))))
+
+let test_reachable_prunes_untimed_states () =
+  (* under timing, the polling manager TIMER never drops below 0
+     (Lemma 4.1); untimed exploration reaches negative timers *)
+  let _, states = Reach.reachable sys bm in
+  Alcotest.(check bool) "timer nonnegative in timed reachable set" true
+    (List.for_all (fun s -> RM.timer s >= 0) states)
+
+let test_state_invariant () =
+  (match Reach.check_state_invariant sys bm (fun s -> RM.timer s >= 0) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "Lemma 4.1 part 1 should hold");
+  match Reach.check_state_invariant sys bm (fun s -> RM.timer s > 0) with
+  | Error s -> Alcotest.(check int) "violated at timer 0" 0 (RM.timer s)
+  | Ok _ -> Alcotest.fail "timer reaches 0"
+
+let test_request_grant_disabling () =
+  let rgp = RG.params_of_ints ~r1:2 ~r2:5 ~w1:1 ~w2:3 in
+  let rsys = RG.system rgp and rbm = RG.boundmap rgp in
+  Alcotest.(check bool) "with S verified" true
+    (is_verified (Reach.check_condition rsys rbm (RG.u_response rgp)));
+  Alcotest.(check bool) "without S refuted" true
+    (is_upper
+       (Reach.check_condition rsys rbm (RG.u_response_no_disable rgp)));
+  (* when requests are spaced out, S is never needed *)
+  let spaced = RG.params_of_ints ~r1:4 ~r2:6 ~w1:1 ~w2:3 in
+  Alcotest.(check bool) "spaced without S verified" true
+    (is_verified
+       (Reach.check_condition (RG.system spaced) (RG.boundmap spaced)
+          (RG.u_response_no_disable spaced)))
+
+let test_open_system_rejected () =
+  (* the bare manager has TICK as an input: must be rejected *)
+  let m = RM.manager p in
+  let mbm =
+    Tm_timed.Boundmap.of_list
+      [ (RM.local_class, Interval.make Rational.zero (Time.Fin (q 1))) ]
+  in
+  Alcotest.(check bool) "open system" true
+    (match Reach.reachable m mbm with
+    | exception Reach.Open_system _ -> true
+    | _ -> false)
+
+let test_uncovered_class_rejected () =
+  let bad = Tm_timed.Boundmap.of_list [] in
+  Alcotest.(check bool) "uncovered class" true
+    (match Reach.reachable sys bad with
+    | exception Reach.Open_system _ -> true
+    | _ -> false)
+
+let test_fractional_constants () =
+  (* exactness with non-integer bounds: k=2, c1=3/2, c2=5/2, l=1/2
+     gives first grant in [3, 11/2] *)
+  let pf = RM.params ~k:2 ~c1:(qq 3 2) ~c2:(qq 5 2) ~l:(qq 1 2) in
+  let fsys = RM.system pf and fbm = RM.boundmap pf in
+  Alcotest.(check bool) "exact fractional bound verified" true
+    (is_verified (Reach.check_condition fsys fbm (RM.g1 pf)));
+  let tighter =
+    Condition.make ~name:"t"
+      ~t_start:(fun _ -> true)
+      ~bounds:(Interval.make (q 3) (Time.Fin (qq 21 4)))
+      ~in_pi:(fun a -> a = RM.Grant)
+      ()
+  in
+  Alcotest.(check bool) "21/4 < 11/2 refuted" true
+    (is_upper (Reach.check_condition fsys fbm tighter))
+
+let suite =
+  [
+    Alcotest.test_case "manager bounds verified" `Quick
+      test_manager_bounds_verified;
+    Alcotest.test_case "tight manager bounds refuted" `Quick
+      test_manager_tight_bounds_refuted;
+    Alcotest.test_case "manager bounds are tight" `Quick
+      test_manager_bounds_are_tight;
+    Alcotest.test_case "interrupt manager" `Quick test_interrupt_manager;
+    Alcotest.test_case "relay" `Quick test_relay;
+    Alcotest.test_case "timed reachability prunes states" `Quick
+      test_reachable_prunes_untimed_states;
+    Alcotest.test_case "state invariants" `Quick test_state_invariant;
+    Alcotest.test_case "request-grant disabling set" `Quick
+      test_request_grant_disabling;
+    Alcotest.test_case "open system rejected" `Quick
+      test_open_system_rejected;
+    Alcotest.test_case "uncovered class rejected" `Quick
+      test_uncovered_class_rejected;
+    Alcotest.test_case "fractional constants exact" `Quick
+      test_fractional_constants;
+  ]

@@ -1,0 +1,137 @@
+module Region = Tm_zones.Region
+module Reach = Tm_zones.Reach
+module RM = Tm_systems.Resource_manager
+module IM = Tm_systems.Interrupt_manager
+module SR = Tm_systems.Signal_relay
+module TR = Tm_systems.Token_ring
+module F = Tm_systems.Fischer
+module FD = Tm_systems.Failure_detector
+open Gen
+
+let test_region_algebra () =
+  let r0 = Region.initial ~nclocks:2 ~max_const:2 in
+  (* both clocks at 0 *)
+  Alcotest.(check bool) "x0 >= 0" true (Region.sat_ge r0 0 0);
+  Alcotest.(check bool) "x0 >= 1 false" false (Region.sat_ge r0 0 1);
+  Alcotest.(check bool) "x0 <= 0" true (Region.sat_le r0 0 0);
+  (* elapse: both fractional in (0,1) *)
+  let r1 = Region.time_successor r0 in
+  Alcotest.(check bool) "changed" false (Region.equal r0 r1);
+  Alcotest.(check bool) "x0 <= 1 in (0,1)" true (Region.sat_le r1 0 1);
+  Alcotest.(check bool) "x0 >= 1 false in (0,1)" false (Region.sat_ge r1 0 1);
+  (* elapse again: both reach 1 *)
+  let r2 = Region.time_successor r1 in
+  Alcotest.(check bool) "x0 >= 1 at 1" true (Region.sat_ge r2 0 1);
+  Alcotest.(check bool) "x0 <= 1 at 1" true (Region.sat_le r2 0 1);
+  (* reset splits the fractional order *)
+  let r3 = Region.reset (Region.time_successor r2) 0 in
+  Alcotest.(check bool) "x0 back to 0" true (Region.sat_le r3 0 0);
+  Alcotest.(check bool) "x1 still above 1" true (Region.sat_ge r3 1 1)
+
+let test_region_saturates () =
+  let r = ref (Region.initial ~nclocks:1 ~max_const:1) in
+  for _ = 1 to 10 do
+    r := Region.time_successor !r
+  done;
+  (* x > max: time-closed fixpoint *)
+  Alcotest.(check bool) "fixpoint" true
+    (Region.equal !r (Region.time_successor !r));
+  Alcotest.(check bool) "x >= 1" true (Region.sat_ge !r 0 1);
+  Alcotest.(check bool) "x <= 1 false" false (Region.sat_le !r 0 1)
+
+let test_free () =
+  let r = Region.free (Region.initial ~nclocks:2 ~max_const:3) 0 in
+  Alcotest.(check bool) "freed clock large" true (Region.sat_ge r 0 3);
+  Alcotest.(check bool) "other clock still 0" true (Region.sat_le r 1 0)
+
+(* The two exact engines must agree on the timed-reachable state set. *)
+let agree (type s a) ?limit (sys : (s, a) Tm_ioa.Ioa.t) bm =
+  let _, rs = Region.reachable ?limit sys bm in
+  let _, zs = Reach.reachable ?limit sys bm in
+  List.length rs = List.length zs
+  && List.for_all (fun s -> List.exists (sys.Tm_ioa.Ioa.equal_state s) zs) rs
+
+let test_agreement_rm () =
+  let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
+  Alcotest.(check bool) "manager" true (agree (RM.system p) (RM.boundmap p))
+
+let test_agreement_fractional () =
+  let p = RM.params ~k:2 ~c1:(qq 3 2) ~c2:(qq 5 2) ~l:(qq 1 2) in
+  Alcotest.(check bool) "fractional constants" true
+    (agree (RM.system p) (RM.boundmap p))
+
+let test_agreement_more_systems () =
+  let im = IM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:3 in
+  Alcotest.(check bool) "interrupt manager" true
+    (agree (IM.system im) (IM.boundmap im));
+  let sr = SR.params_of_ints ~n:3 ~d1:1 ~d2:2 in
+  Alcotest.(check bool) "relay" true (agree (SR.line sr) (SR.boundmap sr));
+  let tr = TR.params_of_ints ~n:3 ~d1:1 ~d2:2 in
+  Alcotest.(check bool) "token ring" true
+    (agree (TR.system tr) (TR.boundmap tr))
+
+let test_fischer_mx_regions () =
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  (match
+     Region.check_state_invariant (F.system p) (F.boundmap p)
+       F.mutual_exclusion
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "regions: MX should hold for a < b");
+  let bad = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:2 ~b:2 ~b2:3 ~e:2 in
+  match
+    Region.check_state_invariant (F.system bad) (F.boundmap bad)
+      F.mutual_exclusion
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "regions: MX must fail for a = b"
+
+let test_fd_accuracy_regions () =
+  let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2 in
+  (match
+     Region.check_state_invariant (FD.system p) (FD.boundmap p)
+       FD.no_false_suspicion
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "regions: accuracy should hold");
+  let bad = FD.params_of_ints ~h1:5 ~h2:8 ~g1:2 ~g2:3 ~m:2 in
+  match
+    Region.check_state_invariant (FD.system bad) (FD.boundmap bad)
+      FD.no_false_suspicion
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "regions: slow heartbeats must break accuracy"
+
+let test_open_system_rejected () =
+  let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1 in
+  let m = RM.manager p in
+  let mbm =
+    Tm_timed.Boundmap.of_list
+      [ (RM.local_class,
+         Tm_base.Interval.make Tm_base.Rational.zero (Tm_base.Time.Fin (q 1)))
+      ]
+  in
+  Alcotest.(check bool) "open system" true
+    (match Region.reachable m mbm with
+    | exception Tm_zones.Clock_enc.Open_system _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "region algebra" `Quick test_region_algebra;
+    Alcotest.test_case "saturation at the ceiling" `Quick
+      test_region_saturates;
+    Alcotest.test_case "free" `Quick test_free;
+    Alcotest.test_case "zones/regions agree: manager" `Quick
+      test_agreement_rm;
+    Alcotest.test_case "zones/regions agree: fractional constants" `Quick
+      test_agreement_fractional;
+    Alcotest.test_case "zones/regions agree: other systems" `Quick
+      test_agreement_more_systems;
+    Alcotest.test_case "fischer MX by regions" `Slow
+      test_fischer_mx_regions;
+    Alcotest.test_case "failure-detector accuracy by regions" `Quick
+      test_fd_accuracy_regions;
+    Alcotest.test_case "open system rejected" `Quick
+      test_open_system_rejected;
+  ]

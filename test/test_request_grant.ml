@@ -1,0 +1,104 @@
+module Rational = Tm_base.Rational
+module Prng = Tm_base.Prng
+module Ioa = Tm_ioa.Ioa
+module Semantics = Tm_timed.Semantics
+module Reach = Tm_zones.Reach
+module RG = Tm_systems.Request_grant
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+open Gen
+
+let p = RG.params_of_ints ~r1:2 ~r2:5 ~w1:1 ~w2:3
+
+let test_params () =
+  Alcotest.(check bool) "r2 < r1 rejected" true
+    (match RG.params_of_ints ~r1:5 ~r2:2 ~w1:1 ~w2:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "w2 = 0 rejected" true
+    (match RG.params_of_ints ~r1:1 ~r2:2 ~w1:0 ~w2:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_server_steps () =
+  let sys = RG.system p in
+  let s0 = List.hd sys.Ioa.start in
+  (* REQ from idle -> pending *)
+  (match sys.Ioa.delta s0 RG.Req with
+  | [ ((), s1) ] -> (
+      Alcotest.(check bool) "pending" true s1.RG.pending;
+      Alcotest.(check bool) "not overloaded" false s1.RG.overloaded;
+      (* second REQ -> overloaded, pending dropped *)
+      match sys.Ioa.delta ((), s1) RG.Req with
+      | [ ((), s2) ] ->
+          Alcotest.(check bool) "dropped" false s2.RG.pending;
+          Alcotest.(check bool) "overloaded" true s2.RG.overloaded
+      | _ -> Alcotest.fail "second req")
+  | _ -> Alcotest.fail "first req");
+  (* RESP disabled when idle *)
+  Alcotest.(check bool) "RESP disabled when idle" true
+    (sys.Ioa.delta s0 RG.Resp = [])
+
+let test_condition_trigger_shape () =
+  let u = RG.u_response p in
+  let idle = ((), { RG.pending = false; overloaded = false }) in
+  let pending = ((), { RG.pending = true; overloaded = false }) in
+  let over = ((), { RG.pending = false; overloaded = true }) in
+  Alcotest.(check bool) "idle REQ triggers" true
+    (u.Tm_timed.Condition.t_step idle RG.Req pending);
+  Alcotest.(check bool) "overloaded REQ does not trigger" false
+    (u.Tm_timed.Condition.t_step over RG.Req pending);
+  Alcotest.(check bool) "overloaded state disables" true
+    (u.Tm_timed.Condition.in_s over);
+  (* technical conditions of Section 2.3 on a state sample *)
+  match
+    Tm_timed.Condition.well_formed_on u ~starts:[ idle ]
+      ~steps:[ (idle, RG.Req, pending) ]
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_zone_verdicts () =
+  let sys = RG.system p and bm = RG.boundmap p in
+  (match Reach.check_condition sys bm (RG.u_response p) with
+  | Reach.Verified _ -> ()
+  | _ -> Alcotest.fail "with S must verify");
+  match Reach.check_condition sys bm (RG.u_response_no_disable p) with
+  | Reach.Upper_violation _ -> ()
+  | _ -> Alcotest.fail "without S must be refuted"
+
+let prop_traces_satisfy_with_s =
+  check_holds "simulated traces satisfy U_response"
+    QCheck2.Gen.(int_range 0 300)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:100
+          ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 1))
+          (RG.impl p)
+      in
+      Semantics.semi_satisfies (Simulator.project run) (RG.u_response p)
+      = [])
+
+(* The no-disable variant must be violated on SOME trace; find one with
+   an adversarial strategy (request again as soon as possible). *)
+let test_overload_realizable () =
+  let strategy = Strategy.prefer (fun a -> a = RG.Req) Strategy.eager in
+  let run = Simulator.simulate ~steps:60 ~strategy (RG.impl p) in
+  let seq = Simulator.project run in
+  Alcotest.(check bool) "no-disable condition violated on greedy trace"
+    true
+    (Semantics.semi_satisfies seq (RG.u_response_no_disable p) <> []);
+  Alcotest.(check bool) "with S the same trace is fine" true
+    (Semantics.semi_satisfies seq (RG.u_response p) = [])
+
+let suite =
+  [
+    Alcotest.test_case "params" `Quick test_params;
+    Alcotest.test_case "server steps" `Quick test_server_steps;
+    Alcotest.test_case "condition trigger shape" `Quick
+      test_condition_trigger_shape;
+    Alcotest.test_case "zone verdicts" `Quick test_zone_verdicts;
+    Alcotest.test_case "overload realizable" `Quick test_overload_realizable;
+    prop_traces_satisfy_with_s;
+  ]

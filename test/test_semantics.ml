@@ -1,0 +1,192 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Prng = Tm_base.Prng
+module Tseq = Tm_timed.Tseq
+module Condition = Tm_timed.Condition
+module Semantics = Tm_timed.Semantics
+module RM = Tm_systems.Resource_manager
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+open Gen
+
+(* ------------------------------------------------------------------ *)
+(* Handcrafted checks of Definitions 2.2 and 3.1 on an abstract alphabet *)
+
+type ev = A | B
+
+(* A condition: after a B step, an A within [2, 4]; disabled by state 9. *)
+let cond =
+  Condition.make ~name:"test"
+    ~t_step:(fun _ act _ -> act = B)
+    ~bounds:(Interval.of_ints 2 4)
+    ~in_pi:(fun act -> act = A)
+    ~in_s:(fun s -> s = 9)
+    ()
+
+let seq moves = Tseq.of_moves 0 (List.map (fun (a, t, s) -> ((a, t), s)) moves)
+
+let test_satisfied () =
+  (* B at 1, A at 4 (= 1+3, inside [3,5]) *)
+  let s = seq [ (B, q 1, 1); (A, q 4, 2) ] in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Semantics.satisfies s cond))
+
+let test_upper_violation_by_late_event () =
+  (* B at 1, A at 6 > 1+4 *)
+  let s = seq [ (B, q 1, 1); (A, q 6, 2) ] in
+  match Semantics.satisfies s cond with
+  | [ v ] ->
+      Alcotest.(check bool) "upper" true (v.Semantics.vwhich = Semantics.Upper);
+      Alcotest.(check int) "trigger" 1 v.Semantics.vtrigger
+  | vs -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length vs))
+
+let test_upper_violation_by_truncation () =
+  (* B at 1, sequence ends at 3 < 5: complete semantics violated,
+     semi-satisfaction excused *)
+  let s = seq [ (B, q 1, 1); (B, q 3, 1) ] in
+  (* second B retriggers too; both deadlines pending *)
+  Alcotest.(check bool) "satisfies finds violations" true
+    (Semantics.satisfies s cond <> []);
+  Alcotest.(check int) "semi excuses pending deadlines" 0
+    (List.length (Semantics.semi_satisfies s cond))
+
+let test_lower_violation () =
+  (* B at 1, A at 2 < 1+2 *)
+  let s = seq [ (B, q 1, 1); (A, q 2, 2) ] in
+  (match Semantics.satisfies s cond with
+  | [ v ] ->
+      Alcotest.(check bool) "lower" true (v.Semantics.vwhich = Semantics.Lower);
+      Alcotest.(check (option int)) "offender" (Some 2) v.Semantics.voffender
+  | _ -> Alcotest.fail "expected exactly one violation");
+  (* the lower bound is a safety property: same verdict under semi *)
+  Alcotest.(check int) "semi agrees" 1
+    (List.length (Semantics.semi_satisfies s cond))
+
+let test_disabling_set_excuses_upper () =
+  (* B at 1, then state 9 at time 3: measurement disabled *)
+  let s = seq [ (B, q 1, 1); (A, q 3, 9); (B, q 8, 1); (A, q 11, 2) ] in
+  (* note: A at 3 is fine (1+2 <= 3 <= 1+4); s=9 also disables.
+     B at 8 rearms; A at 11 within [10, 12]. *)
+  Alcotest.(check int) "all satisfied" 0
+    (List.length (Semantics.satisfies s cond))
+
+let test_disabling_set_excuses_lower () =
+  (* A lower-bound offense is forgiven when an S-state strictly
+     precedes the Pi event (Definition 2.2, condition 2). *)
+  let c =
+    Condition.make ~name:"t2"
+      ~t_step:(fun _ act s -> act = B && s <> 9)
+      ~bounds:(Interval.of_ints 5 10)
+      ~in_pi:(fun act -> act = A)
+      ~in_s:(fun s -> s = 9)
+      ()
+  in
+  let bad = seq [ (B, q 1, 1); (A, q 2, 2) ] in
+  Alcotest.(check int) "violation without intervening S" 1
+    (List.length (Semantics.satisfies bad c));
+  let s = seq [ (B, q 1, 1); (B, qq 3 2, 9); (A, q 2, 2) ] in
+  Alcotest.(check int) "excused by S" 0
+    (List.length (Semantics.satisfies s c))
+
+let test_start_trigger () =
+  let c =
+    Condition.make ~name:"st"
+      ~t_start:(fun s -> s = 0)
+      ~bounds:(Interval.of_ints 1 3)
+      ~in_pi:(fun act -> act = A)
+      ()
+  in
+  Alcotest.(check int) "A at 2 ok" 0
+    (List.length (Semantics.satisfies (seq [ (A, q 2, 1) ]) c));
+  Alcotest.(check int) "A at 4 late (and still pending)" 1
+    (List.length (Semantics.satisfies (seq [ (A, q 4, 1) ]) c));
+  Alcotest.(check int) "A at 1/2 early" 1
+    (List.length (Semantics.satisfies (seq [ (A, qq 1 2, 1) ]) c));
+  Alcotest.(check int) "empty sequence violates complete" 1
+    (List.length (Semantics.satisfies (seq []) c));
+  Alcotest.(check int) "empty sequence semi-satisfies" 0
+    (List.length (Semantics.semi_satisfies (seq []) c))
+
+let test_boundary_times () =
+  (* boundary equalities: t = trigger + b_l is legal, t = trigger + b_u
+     is legal *)
+  let at t = seq [ (B, q 1, 1); (A, q t, 2) ] in
+  Alcotest.(check int) "exactly lower" 0
+    (List.length (Semantics.satisfies (at 3) cond));
+  Alcotest.(check int) "exactly upper" 0
+    (List.length (Semantics.satisfies (at 5) cond))
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 2.1 / Corollary 2.2: Definition 2.1 agrees with the cond(C)
+   conditions, on simulator traces and on perturbed (possibly invalid)
+   variants. *)
+
+let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1
+let sys = RM.system p
+let bm = RM.boundmap p
+let ub = Semantics.conds_of_boundmap sys bm
+
+let random_trace seed len =
+  let prng = Prng.create seed in
+  let run =
+    Simulator.simulate ~steps:len
+      ~strategy:(Strategy.random ~prng ~denominator:3 ~cap:(q 2))
+      (RM.impl p)
+  in
+  Simulator.project run
+
+let perturb seed (s : ('a, 'b) Tseq.t) =
+  let prng = Prng.create (seed * 31) in
+  let moves =
+    List.map
+      (fun ((act, t), st) ->
+        if Prng.int prng 4 = 0 then
+          let delta = qq (Prng.int prng 5 - 2) 2 in
+          ((act, Rational.max Rational.zero (Rational.add t delta)), st)
+        else ((act, t), st))
+      s.Tseq.moves
+  in
+  { s with Tseq.moves }
+
+let lemma_2_1_agree seq =
+  match Semantics.is_timed_execution ~complete:false sys bm seq with
+  | Error _ -> true (* not an execution of A: Lemma 2.1 is vacuous *)
+  | Ok direct ->
+      let via_conds = Semantics.semi_satisfies_all seq ub in
+      (direct = []) = (via_conds = [])
+
+let prop_lemma_2_1_valid =
+  check_holds "Lemma 2.1 on valid traces" QCheck2.Gen.(int_range 0 500)
+    (fun seed -> lemma_2_1_agree (random_trace seed 40))
+
+let prop_lemma_2_1_perturbed =
+  check_holds "Lemma 2.1 on perturbed traces" QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let s = perturb seed (random_trace seed 40) in
+      (not (Tseq.times_ok s)) || lemma_2_1_agree s)
+
+let prop_simulator_traces_satisfy_ub =
+  check_holds "Corollary 2.2: simulated traces semi-satisfy U_b"
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      Semantics.semi_satisfies_all (random_trace seed 60) ub = [])
+
+let suite =
+  [
+    Alcotest.test_case "satisfied" `Quick test_satisfied;
+    Alcotest.test_case "upper violated by late event" `Quick
+      test_upper_violation_by_late_event;
+    Alcotest.test_case "upper violated by truncation" `Quick
+      test_upper_violation_by_truncation;
+    Alcotest.test_case "lower violated" `Quick test_lower_violation;
+    Alcotest.test_case "disabling set excuses upper" `Quick
+      test_disabling_set_excuses_upper;
+    Alcotest.test_case "disabling set excuses lower" `Quick
+      test_disabling_set_excuses_lower;
+    Alcotest.test_case "start trigger" `Quick test_start_trigger;
+    Alcotest.test_case "boundary times legal" `Quick test_boundary_times;
+    prop_lemma_2_1_valid;
+    prop_lemma_2_1_perturbed;
+    prop_simulator_traces_satisfy_ub;
+  ]

@@ -1,0 +1,144 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Ioa = Tm_ioa.Ioa
+module Tseq = Tm_timed.Tseq
+module Semantics = Tm_timed.Semantics
+module D = Tm_core.Dummify
+module SR = Tm_systems.Signal_relay
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+open Gen
+
+let rp = SR.params_of_ints ~n:4 ~d1:1 ~d2:2
+let impl = SR.impl rp
+
+let test_params () =
+  let bad f = Alcotest.(check bool) "rejected" true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  bad (fun () -> SR.params_of_ints ~n:0 ~d1:1 ~d2:2);
+  bad (fun () -> SR.params_of_ints ~n:2 ~d1:3 ~d2:2);
+  bad (fun () -> SR.params ~n:2 ~d1:(q 0) ~d2:(q 0) ());
+  (* d1 = 0 is fine *)
+  ignore (SR.params_of_ints ~n:2 ~d1:0 ~d2:1)
+
+let test_lemma_6_1 () =
+  Alcotest.(check bool) "single flag ok" true
+    (SR.lemma_6_1 [| false; true; false |]);
+  Alcotest.(check bool) "no flags ok" true (SR.lemma_6_1 [| false; false |]);
+  Alcotest.(check bool) "two flags bad" false
+    (SR.lemma_6_1 [| true; true; false |])
+
+let test_u_cond_bounds () =
+  let u2 = SR.u_cond rp ~k:2 in
+  Alcotest.(check interval_t) "U(2,4) bounds" (Tm_base.Interval.of_ints 2 4)
+    u2.Tm_timed.Condition.bounds;
+  Alcotest.(check bool) "bad k rejected" true
+    (match SR.u_cond rp ~k:4 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let signal_times i seq =
+  Measure.occurrence_times
+    (fun a -> a = D.Base (SR.Signal i))
+    seq
+
+(* Theorem 6.4 measured: over random runs, when SIGNAL_0 occurs at t0
+   and SIGNAL_n at tn, the delay is within [n d1, n d2], and SIGNAL_n
+   occurs exactly once. *)
+let prop_theorem_6_4_measured =
+  check_holds "delays within [n d1, n d2]" QCheck2.Gen.(int_range 0 300)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:80
+          ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+          impl
+      in
+      let seq = Simulator.project run in
+      match (signal_times 0 seq, signal_times rp.SR.n seq) with
+      | [ t0 ], [ tn ] ->
+          Tm_base.Interval.mem (Rational.sub tn t0) (SR.delay_interval rp)
+      | [ _t0 ], [] -> true (* run ended before propagation finished *)
+      | [], [] -> true (* SIGNAL_0 never fired: allowed, b_u = inf *)
+      | _ -> false (* duplicated signals: forbidden *))
+
+let prop_traces_satisfy_all_u_k =
+  check_holds "traces satisfy every U(k,n)" QCheck2.Gen.(int_range 0 200)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let run =
+        Simulator.simulate ~steps:80
+          ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+          impl
+      in
+      let seq = Simulator.project run in
+      List.for_all
+        (fun k -> Semantics.semi_satisfies seq (SR.u_cond rp ~k) = [])
+        [ 0; 1; 2; 3 ])
+
+(* An eager dummified run where SIGNAL_0 fires immediately propagates in
+   exactly n*d1. *)
+let test_eager_run_minimal_delay () =
+  let strategy =
+    Strategy.prefer
+      (fun a -> match a with D.Base _ -> true | D.Null -> false)
+      Strategy.eager
+  in
+  let run = Simulator.simulate ~steps:60 ~strategy impl in
+  let seq = Simulator.project run in
+  match (signal_times 0 seq, signal_times rp.SR.n seq) with
+  | [ t0 ], tn :: _ ->
+      Alcotest.(check rational_t) "delay = n d1" (q 4) (Rational.sub tn t0)
+  | _ -> Alcotest.fail "signals did not propagate"
+
+let test_chain_sizes () =
+  List.iter
+    (fun n ->
+      let p = SR.params_of_ints ~n ~d1:1 ~d2:2 in
+      Alcotest.(check int)
+        (Printf.sprintf "chain length n=%d" n)
+        (n + 1)
+        (List.length (SR.chain p)))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_b_k_condition_order () =
+  (* the mappings depend on this ordering *)
+  let b1 = SR.b_k rp ~k:1 in
+  Alcotest.(check (array string)) "B_1 condition names"
+    [| "U(1,4)"; "cond(SIG_0)"; "cond(SIG_1)"; "cond(NULL)" |]
+    b1.Tm_core.Time_automaton.cond_names
+
+let test_undum_roundtrip () =
+  let prng = Prng.create 5 in
+  let run =
+    Simulator.simulate ~steps:50
+      ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+      impl
+  in
+  let dseq = Simulator.project run in
+  let useq = D.tseq dseq in
+  Alcotest.(check bool) "undum is an execution of the line" true
+    (Tm_ioa.Execution.is_execution (SR.line rp) (Tseq.ord useq));
+  Alcotest.(check bool) "undum has no NULLs and same signals" true
+    (List.length useq.Tseq.moves
+    = List.length
+        (List.filter
+           (fun ((a, _), _) -> a <> D.Null)
+           dseq.Tseq.moves))
+
+let suite =
+  [
+    Alcotest.test_case "params" `Quick test_params;
+    Alcotest.test_case "Lemma 6.1 predicate" `Quick test_lemma_6_1;
+    Alcotest.test_case "U(k,n) bounds" `Quick test_u_cond_bounds;
+    Alcotest.test_case "eager run minimal delay" `Quick
+      test_eager_run_minimal_delay;
+    Alcotest.test_case "chain sizes" `Quick test_chain_sizes;
+    Alcotest.test_case "B_k condition order" `Quick test_b_k_condition_order;
+    Alcotest.test_case "undum roundtrip" `Quick test_undum_roundtrip;
+    prop_theorem_6_4_measured;
+    prop_traces_satisfy_all_u_k;
+  ]

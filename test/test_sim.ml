@@ -1,0 +1,177 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Tstate = Tm_core.Tstate
+module TA = Tm_core.Time_automaton
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+module RM = Tm_systems.Resource_manager
+open Gen
+
+let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1
+let impl = RM.impl p
+
+let test_eager_zeno () =
+  (* documented behaviour: the fully eager schedule of the polling
+     manager is Zeno — ELSE fires at t=0 forever *)
+  let run = Simulator.simulate ~steps:50 ~strategy:Strategy.eager impl in
+  Alcotest.(check bool) "completes steps" true
+    (run.Simulator.reason = Simulator.Step_limit);
+  let seq = Simulator.project run in
+  Alcotest.(check rational_t) "time stuck at 0" Rational.zero
+    (Tm_timed.Tseq.t_end seq)
+
+let test_lazy_progress () =
+  let run =
+    Simulator.simulate ~steps:100 ~strategy:(Strategy.lazy_ ~cap:(q 1) ()) impl
+  in
+  let seq = Simulator.project run in
+  Alcotest.(check bool) "time advances" true
+    Rational.(Tm_timed.Tseq.t_end seq > q 10);
+  Alcotest.(check bool) "grants appear" true
+    (Measure.occurrence_times (fun a -> a = RM.Grant) seq <> [])
+
+let test_random_progress () =
+  let prng = Prng.create 23 in
+  let run =
+    Simulator.simulate ~steps:200
+      ~strategy:(Strategy.random ~prng ~denominator:4 ~cap:(q 1))
+      impl
+  in
+  let seq = Simulator.project run in
+  Alcotest.(check bool) "time advances" true
+    Rational.(Tm_timed.Tseq.t_end seq > Rational.zero)
+
+let test_stop_predicate () =
+  let run =
+    Simulator.simulate
+      ~stop:(fun s -> RM.timer s.Tstate.base = 0)
+      ~steps:1000
+      ~strategy:(Strategy.lazy_ ~cap:(q 1) ())
+      impl
+  in
+  Alcotest.(check bool) "stopped" true (run.Simulator.reason = Simulator.Stopped);
+  Alcotest.(check int) "timer is 0" 0
+    (RM.timer (Tm_ioa.Execution.last_state run.Simulator.exec).Tstate.base)
+
+let test_strategy_stop () =
+  let run =
+    Simulator.simulate ~steps:10 ~strategy:(fun _ _ _ -> None) impl
+  in
+  Alcotest.(check bool) "strategy stop" true
+    (run.Simulator.reason = Simulator.Strategy_stop);
+  Alcotest.(check int) "no moves" 0 (Tm_ioa.Execution.length run.Simulator.exec)
+
+let test_prefer () =
+  (* prefer TICK over ELSE when both are available *)
+  let strategy =
+    Strategy.prefer (fun a -> a = RM.Tick) (Strategy.lazy_ ~cap:(q 1) ())
+  in
+  let run = Simulator.simulate ~steps:50 ~strategy impl in
+  let seq = Simulator.project run in
+  Alcotest.(check bool) "ticks occur" true
+    (List.exists (fun ((a, _), _) -> a = RM.Tick) seq.Tm_timed.Tseq.moves)
+
+let test_simulate_from () =
+  let s0 = List.hd impl.TA.start in
+  let shifted = Tstate.shift (q 5) s0 in
+  let run =
+    Simulator.simulate_from ~steps:10 ~strategy:(Strategy.lazy_ ~cap:(q 1) ())
+      impl shifted
+  in
+  let seq = Simulator.project run in
+  Alcotest.(check bool) "times continue from the shifted clock" true
+    Rational.(Tm_timed.Tseq.t_end seq >= q 5)
+
+let test_measure_basics () =
+  let times = [ q 2; q 5; q 9 ] in
+  Alcotest.(check int) "gaps count" 2 (List.length (Measure.gaps times));
+  Alcotest.(check (list string)) "gap values" [ "3"; "4" ]
+    (List.map Rational.to_string (Measure.gaps times));
+  match Measure.envelope times with
+  | Some e ->
+      Alcotest.(check rational_t) "min" (q 2) e.Measure.min;
+      Alcotest.(check rational_t) "max" (q 9) e.Measure.max;
+      Alcotest.(check int) "count" 3 e.Measure.count;
+      Alcotest.(check bool) "within [2,9]" true
+        (Measure.within (Tm_base.Interval.of_ints 2 9) e);
+      Alcotest.(check bool) "not within [3,9]" false
+        (Measure.within (Tm_base.Interval.of_ints 3 9) e)
+  | None -> Alcotest.fail "envelope of nonempty list"
+
+let test_measure_empty () =
+  Alcotest.(check bool) "empty envelope" true (Measure.envelope [] = None);
+  Alcotest.(check (list string)) "empty gaps" []
+    (List.map Rational.to_string (Measure.gaps []))
+
+let test_measure_merge () =
+  match (Measure.envelope [ q 1; q 3 ], Measure.envelope [ q 2; q 8 ]) with
+  | Some a, Some b ->
+      let m = Measure.merge a b in
+      Alcotest.(check rational_t) "min" (q 1) m.Measure.min;
+      Alcotest.(check rational_t) "max" (q 8) m.Measure.max;
+      Alcotest.(check int) "count" 4 m.Measure.count
+  | _ -> Alcotest.fail "envelopes"
+
+let test_ensemble () =
+  let e =
+    Measure.ensemble ~runs:30 ~steps:100 ~denominator:4 ~cap:(q 1)
+      ~event:(fun a -> a = RM.Grant) impl
+  in
+  Alcotest.(check int) "runs recorded" 30 e.Measure.runs;
+  Alcotest.(check bool) "events seen" true (e.Measure.seeds_with_events > 0);
+  (match e.Measure.first with
+  | Some env ->
+      Alcotest.(check bool) "first grants within the paper interval" true
+        (Measure.within (RM.grant_interval_first p) env)
+  | None -> Alcotest.fail "no first-occurrence envelope");
+  (match e.Measure.gap with
+  | Some env ->
+      Alcotest.(check bool) "gaps within the paper interval" true
+        (Measure.within (RM.grant_interval_between p) env)
+  | None -> Alcotest.fail "no gap envelope");
+  (* deterministic: same seed range, same envelopes *)
+  let e2 =
+    Measure.ensemble ~runs:30 ~steps:100 ~denominator:4 ~cap:(q 1)
+      ~event:(fun a -> a = RM.Grant) impl
+  in
+  match (e.Measure.first, e2.Measure.first) with
+  | Some a, Some b ->
+      Alcotest.(check rational_t) "deterministic min" a.Measure.min
+        b.Measure.min;
+      Alcotest.(check rational_t) "deterministic max" a.Measure.max
+        b.Measure.max
+  | _ -> Alcotest.fail "envelopes"
+
+let prop_random_deterministic_given_seed =
+  check_holds "same seed, same trace" QCheck2.Gen.(int_range 0 100)
+    (fun seed ->
+      let trace s =
+        let prng = Prng.create s in
+        Simulator.project
+          (Simulator.simulate ~steps:30
+             ~strategy:(Strategy.random ~prng ~denominator:3 ~cap:(q 1))
+             impl)
+      in
+      let t1 = trace seed and t2 = trace seed in
+      List.for_all2
+        (fun ((a1, x1), _) ((a2, x2), _) -> a1 = a2 && Rational.equal x1 x2)
+        t1.Tm_timed.Tseq.moves t2.Tm_timed.Tseq.moves)
+
+let suite =
+  [
+    Alcotest.test_case "eager is Zeno on the polling manager" `Quick
+      test_eager_zeno;
+    Alcotest.test_case "lazy makes progress" `Quick test_lazy_progress;
+    Alcotest.test_case "random makes progress" `Quick test_random_progress;
+    Alcotest.test_case "stop predicate" `Quick test_stop_predicate;
+    Alcotest.test_case "strategy stop" `Quick test_strategy_stop;
+    Alcotest.test_case "prefer combinator" `Quick test_prefer;
+    Alcotest.test_case "simulate_from" `Quick test_simulate_from;
+    Alcotest.test_case "measure basics" `Quick test_measure_basics;
+    Alcotest.test_case "measure empty" `Quick test_measure_empty;
+    Alcotest.test_case "measure merge" `Quick test_measure_merge;
+    Alcotest.test_case "ensemble" `Quick test_ensemble;
+    prop_random_deterministic_given_seed;
+  ]

@@ -1,0 +1,68 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+open Gen
+
+let test_basics () =
+  Alcotest.(check bool) "zero finite" true (Time.is_finite Time.zero);
+  Alcotest.(check bool) "inf not finite" false (Time.is_finite Time.Inf);
+  Alcotest.(check rational_t) "to_rational" (q 3)
+    (Time.to_rational (Time.of_int 3));
+  Alcotest.check_raises "to_rational inf"
+    (Invalid_argument "Time.to_rational: infinite") (fun () ->
+      ignore (Time.to_rational Time.Inf))
+
+let test_add () =
+  Alcotest.(check time_t) "fin+fin" (Time.of_int 5)
+    (Time.add (Time.of_int 2) (Time.of_int 3));
+  Alcotest.(check time_t) "fin+inf" Time.Inf
+    (Time.add (Time.of_int 2) Time.Inf);
+  Alcotest.(check time_t) "add_q inf" Time.Inf (Time.add_q Time.Inf (q 1));
+  Alcotest.(check time_t) "sub_q" (Time.of_int 1)
+    (Time.sub_q (Time.of_int 3) (q 2));
+  Alcotest.(check time_t) "sub_q inf" Time.Inf (Time.sub_q Time.Inf (q 2))
+
+let test_mul_int () =
+  Alcotest.(check time_t) "3 * 2" (Time.of_int 6)
+    (Time.mul_int 3 (Time.of_int 2));
+  Alcotest.(check time_t) "0 * inf = 0" Time.zero (Time.mul_int 0 Time.Inf);
+  Alcotest.(check time_t) "2 * inf" Time.Inf (Time.mul_int 2 Time.Inf);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Time.mul_int: negative multiplier") (fun () ->
+      ignore (Time.mul_int (-1) Time.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "fin < inf" true Time.(of_int 1000 < Inf);
+  Alcotest.(check bool) "inf <= inf" true Time.(Inf <= Inf);
+  Alcotest.(check bool) "le_q" true (Time.le_q (q 3) (Time.of_int 3));
+  Alcotest.(check bool) "lt_q strict" false (Time.lt_q (q 3) (Time.of_int 3));
+  Alcotest.(check bool) "lt_q inf" true (Time.lt_q (q 3) Time.Inf);
+  Alcotest.(check time_t) "min" (Time.of_int 1)
+    (Time.min (Time.of_int 1) Time.Inf);
+  Alcotest.(check time_t) "max" Time.Inf (Time.max (Time.of_int 1) Time.Inf)
+
+let prop_add_monotone =
+  check_holds "add_q monotone" QCheck2.Gen.(triple time rational rational)
+    (fun (t, a, b) ->
+      QCheck2.assume Rational.(a <= b);
+      Time.(Time.add_q t a <= Time.add_q t b))
+
+let prop_add_sub_roundtrip =
+  check_holds "add_q then sub_q" QCheck2.Gen.(pair time rational)
+    (fun (t, a) -> Time.equal t (Time.sub_q (Time.add_q t a) a))
+
+let prop_compare_consistent_with_rational =
+  check_holds "Fin comparison matches Rational"
+    QCheck2.Gen.(pair rational rational)
+    (fun (a, b) ->
+      Time.compare (Time.Fin a) (Time.Fin b) = Rational.compare a b)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "addition" `Quick test_add;
+    Alcotest.test_case "mul_int" `Quick test_mul_int;
+    Alcotest.test_case "comparisons" `Quick test_compare;
+    prop_add_monotone;
+    prop_add_sub_roundtrip;
+    prop_compare_consistent_with_rational;
+  ]

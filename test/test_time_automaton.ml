@@ -1,0 +1,157 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module Tstate = Tm_core.Tstate
+module TA = Tm_core.Time_automaton
+module Semantics = Tm_timed.Semantics
+module RM = Tm_systems.Resource_manager
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+open Gen
+
+let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1
+let impl = RM.impl p
+let spec = RM.spec p
+
+let start = List.hd impl.TA.start
+
+let test_initial_state () =
+  (* time(A, b): TICK enabled at start -> Ft = c1, Lt = c2;
+     LOCAL enabled (ELSE) -> Ft = 0, Lt = l *)
+  Alcotest.(check rational_t) "Ct" Rational.zero start.Tstate.now;
+  let i_tick = TA.cond_index impl "cond(TICK)" in
+  let i_local = TA.cond_index impl "cond(LOCAL)" in
+  Alcotest.(check rational_t) "Ft(TICK)" (q 2) start.Tstate.ft.(i_tick);
+  Alcotest.(check time_t) "Lt(TICK)" (Time.of_int 3) start.Tstate.lt.(i_tick);
+  Alcotest.(check rational_t) "Ft(LOCAL)" Rational.zero
+    start.Tstate.ft.(i_local);
+  Alcotest.(check time_t) "Lt(LOCAL)" (Time.of_int 1)
+    start.Tstate.lt.(i_local)
+
+let test_initial_spec_state () =
+  (* time(A, {G1, G2}): G1 triggered at start, G2 not *)
+  let u0 = List.hd spec.TA.start in
+  Alcotest.(check rational_t) "Ft(G1)" (q 4) u0.Tstate.ft.(0);
+  Alcotest.(check time_t) "Lt(G1)" (Time.of_int 7) u0.Tstate.lt.(0);
+  Alcotest.(check rational_t) "Ft(G2) default" Rational.zero u0.Tstate.ft.(1);
+  Alcotest.(check time_t) "Lt(G2) default" Time.Inf u0.Tstate.lt.(1)
+
+let test_duplicate_condition_rejected () =
+  Alcotest.(check bool) "duplicate name" true
+    (match TA.make (RM.system p) [ RM.g1 p; RM.g1 p ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_window () =
+  (* at start: ELSE may fire in [0, min(3,1)] = [0,1]; TICK window
+     [2,1] is empty; GRANT disabled *)
+  (match TA.window impl start RM.Else with
+  | Some (lo, hi) ->
+      Alcotest.(check rational_t) "else lo" Rational.zero lo;
+      Alcotest.(check time_t) "else hi" (Time.of_int 1) hi
+  | None -> Alcotest.fail "ELSE should have a window");
+  Alcotest.(check bool) "TICK window empty" true
+    (TA.window impl start RM.Tick = None);
+  Alcotest.(check bool) "GRANT disabled" true
+    (TA.window impl start RM.Grant = None)
+
+let test_enabled_moves () =
+  match TA.enabled_moves impl start with
+  | [ (RM.Else, _, _) ] -> ()
+  | ms -> Alcotest.fail (Printf.sprintf "expected only ELSE, got %d moves" (List.length ms))
+
+let test_fire_updates_predictions () =
+  (* fire ELSE at 1: LOCAL retriggers with Ft=1+0, Lt=1+1 *)
+  match TA.fire impl start RM.Else (q 1) with
+  | [ s1 ] ->
+      let i_local = TA.cond_index impl "cond(LOCAL)" in
+      let i_tick = TA.cond_index impl "cond(TICK)" in
+      Alcotest.(check rational_t) "now" (q 1) s1.Tstate.now;
+      Alcotest.(check rational_t) "Ft(LOCAL)" (q 1) s1.Tstate.ft.(i_local);
+      Alcotest.(check time_t) "Lt(LOCAL)" (Time.of_int 2)
+        s1.Tstate.lt.(i_local);
+      (* TICK untouched *)
+      Alcotest.(check rational_t) "Ft(TICK)" (q 2) s1.Tstate.ft.(i_tick);
+      Alcotest.(check time_t) "Lt(TICK)" (Time.of_int 3)
+        s1.Tstate.lt.(i_tick)
+  | _ -> Alcotest.fail "expected one successor"
+
+let test_fire_out_of_window () =
+  Alcotest.(check (list bool)) "ELSE at 2 rejected (Lt(LOCAL)=1)" []
+    (List.map (fun _ -> true) (TA.fire impl start RM.Else (q 2)));
+  Alcotest.(check bool) "time before now rejected" true
+    (TA.fire impl (Tstate.shift (q 5) start) RM.Else (q 4) = [])
+
+let test_check_step () =
+  match TA.fire impl start RM.Else (q 1) with
+  | [ s1 ] ->
+      Alcotest.(check bool) "valid step accepted" true
+        (TA.check_step impl start (RM.Else, q 1) s1);
+      Alcotest.(check bool) "wrong post rejected" false
+        (TA.check_step impl start (RM.Else, q 1) start)
+  | _ -> Alcotest.fail "expected one successor"
+
+let test_fire_det () =
+  let s1 = TA.fire_det impl start RM.Else (q 1) ~base_post:start.Tstate.base in
+  Alcotest.(check bool) "fire_det succeeds" true (s1 <> None);
+  Alcotest.(check bool) "fire_det wrong base post" true
+    (TA.fire_det impl start RM.Else (q 1) ~base_post:((), 0) = None)
+
+let test_max_constant () =
+  Alcotest.(check rational_t) "max constant" (q 3) (TA.max_constant impl);
+  Alcotest.(check rational_t) "spec max constant" (q 7)
+    (TA.max_constant spec)
+
+let random_run seed steps =
+  let prng = Prng.create seed in
+  Simulator.simulate ~steps
+    ~strategy:(Strategy.random ~prng ~denominator:3 ~cap:(q 2))
+    impl
+
+let prop_simulated_is_execution =
+  check_holds "simulated runs are executions of time(A,b)"
+    QCheck2.Gen.(int_range 0 300)
+    (fun seed -> TA.is_execution impl (random_run seed 30).Simulator.exec)
+
+(* Lemma 3.2 part 2: projections of finite executions of time(A,U) are
+   timed semi-executions of (A, U). *)
+let prop_lemma_3_2 =
+  check_holds "Lemma 3.2: project gives semi-executions"
+    QCheck2.Gen.(int_range 0 300)
+    (fun seed ->
+      let seq = Simulator.project (random_run seed 40) in
+      Semantics.semi_satisfies_all seq
+        (Semantics.conds_of_boundmap (RM.system p) (RM.boundmap p))
+      = []
+      && Tm_ioa.Execution.is_execution (RM.system p) (Tm_timed.Tseq.ord seq))
+
+let prop_project_keeps_times =
+  check_holds "project keeps (action, time) pairs"
+    QCheck2.Gen.(int_range 0 300)
+    (fun seed ->
+      let run = random_run seed 25 in
+      let seq = Simulator.project run in
+      List.for_all2
+        (fun ((a1, t1), _) ((a2, t2), _) ->
+          a1 = a2 && Rational.equal t1 t2)
+        run.Simulator.exec.Tm_ioa.Execution.moves seq.Tm_timed.Tseq.moves)
+
+let suite =
+  [
+    Alcotest.test_case "initial time(A,b) state" `Quick test_initial_state;
+    Alcotest.test_case "initial requirements state" `Quick
+      test_initial_spec_state;
+    Alcotest.test_case "duplicate condition rejected" `Quick
+      test_duplicate_condition_rejected;
+    Alcotest.test_case "window" `Quick test_window;
+    Alcotest.test_case "enabled_moves" `Quick test_enabled_moves;
+    Alcotest.test_case "fire updates predictions" `Quick
+      test_fire_updates_predictions;
+    Alcotest.test_case "fire out of window" `Quick test_fire_out_of_window;
+    Alcotest.test_case "check_step" `Quick test_check_step;
+    Alcotest.test_case "fire_det" `Quick test_fire_det;
+    Alcotest.test_case "max_constant" `Quick test_max_constant;
+    prop_simulated_is_execution;
+    prop_lemma_3_2;
+    prop_project_keeps_times;
+  ]

@@ -1,0 +1,67 @@
+module Rational = Tm_base.Rational
+module Tseq = Tm_timed.Tseq
+module RM = Tm_systems.Resource_manager
+open Gen
+
+let p = RM.params_of_ints ~k:2 ~c1:2 ~c2:3 ~l:1
+let m = RM.manager p
+
+let seq =
+  Tseq.of_moves 2
+    [ ((RM.Tick, q 2), 1); ((RM.Tick, q 4), 0); ((RM.Grant, qq 9 2), 2) ]
+
+let test_accessors () =
+  Alcotest.(check int) "length" 3 (Tseq.length seq);
+  Alcotest.(check int) "last" 2 (Tseq.last_state seq);
+  Alcotest.(check rational_t) "t_end" (qq 9 2) (Tseq.t_end seq);
+  Alcotest.(check rational_t) "t_end empty" Rational.zero
+    (Tseq.t_end (Tseq.of_moves 7 []));
+  Alcotest.(check (list int)) "states" [ 2; 1; 0; 2 ] (Tseq.states seq)
+
+let test_times_ok () =
+  Alcotest.(check bool) "nondecreasing" true (Tseq.times_ok seq);
+  let bad =
+    Tseq.of_moves 2 [ ((RM.Tick, q 3), 1); ((RM.Tick, q 2), 0) ]
+  in
+  Alcotest.(check bool) "decreasing rejected" false (Tseq.times_ok bad);
+  let neg = Tseq.of_moves 2 [ ((RM.Tick, q (-1)), 1) ] in
+  Alcotest.(check bool) "negative rejected" false (Tseq.times_ok neg);
+  let eq = Tseq.of_moves 2 [ ((RM.Tick, q 2), 1); ((RM.Else, q 2), 1) ] in
+  Alcotest.(check bool) "simultaneous allowed" true (Tseq.times_ok eq)
+
+let test_ord () =
+  let e = Tseq.ord seq in
+  Alcotest.(check bool) "ord is an execution of the manager" true
+    (Tm_ioa.Execution.is_execution m e);
+  Alcotest.(check int) "ord length" 3 (Tm_ioa.Execution.length e)
+
+let test_schedules () =
+  Alcotest.(check int) "timed schedule" 3 (List.length (Tseq.timed_schedule seq));
+  (* under the manager alone, ELSE is internal *)
+  let s = Tseq.of_moves 2 [ ((RM.Else, q 1), 2); ((RM.Tick, q 2), 1) ] in
+  Alcotest.(check int) "timed behavior drops internal" 1
+    (List.length (Tseq.timed_behavior m s))
+
+let test_append_prefix () =
+  let s = Tseq.append seq RM.Tick (q 6) 1 in
+  Alcotest.(check int) "append" 4 (Tseq.length s);
+  Alcotest.(check rational_t) "append t_end" (q 6) (Tseq.t_end s);
+  Alcotest.(check int) "prefix" 1 (Tseq.length (Tseq.prefix 1 seq))
+
+let test_events () =
+  match Tseq.events seq with
+  | [ (2, RM.Tick, t1, 1); (1, RM.Tick, t2, 0); (0, RM.Grant, t3, 2) ] ->
+      Alcotest.(check rational_t) "t1" (q 2) t1;
+      Alcotest.(check rational_t) "t2" (q 4) t2;
+      Alcotest.(check rational_t) "t3" (qq 9 2) t3
+  | _ -> Alcotest.fail "events mismatch"
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "times_ok" `Quick test_times_ok;
+    Alcotest.test_case "ord" `Quick test_ord;
+    Alcotest.test_case "schedules" `Quick test_schedules;
+    Alcotest.test_case "append/prefix" `Quick test_append_prefix;
+    Alcotest.test_case "events" `Quick test_events;
+  ]

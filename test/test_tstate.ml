@@ -1,0 +1,66 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Tstate = Tm_core.Tstate
+open Gen
+
+let mk ?(base = 0) ?(now = q 0) ft lt =
+  Tstate.make ~base ~now ~ft:(Array.of_list ft) ~lt:(Array.of_list lt)
+
+let test_make_mismatch () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Tstate.make: ft/lt arity mismatch") (fun () ->
+      ignore (mk [ q 1 ] []))
+
+let test_equal_hash () =
+  let a = mk ~now:(q 2) [ q 1; q 3 ] [ Time.of_int 4; Time.Inf ] in
+  let b = mk ~now:(q 2) [ q 1; q 3 ] [ Time.of_int 4; Time.Inf ] in
+  let c = mk ~now:(q 2) [ q 1; q 3 ] [ Time.of_int 5; Time.Inf ] in
+  Alcotest.(check bool) "equal" true (Tstate.equal Int.equal a b);
+  Alcotest.(check bool) "not equal" false (Tstate.equal Int.equal a c);
+  Alcotest.(check bool) "hash agrees" true
+    (Tstate.hash Fun.id a = Tstate.hash Fun.id b);
+  Alcotest.(check int) "n_conds" 2 (Tstate.n_conds a)
+
+let test_shift () =
+  let a = mk ~now:(q 2) [ q 1 ] [ Time.of_int 4 ] in
+  let b = Tstate.shift (q 3) a in
+  Alcotest.(check rational_t) "now" (q 5) b.Tstate.now;
+  Alcotest.(check rational_t) "ft" (q 4) b.Tstate.ft.(0);
+  Alcotest.(check time_t) "lt" (Time.of_int 7) b.Tstate.lt.(0);
+  (* infinity stays infinite *)
+  let c = Tstate.shift (q 3) (mk [ q 0 ] [ Time.Inf ]) in
+  Alcotest.(check time_t) "inf" Time.Inf c.Tstate.lt.(0)
+
+let test_normalize () =
+  let a = mk ~now:(q 10) [ q 12; q 0 ] [ Time.of_int 13; Time.Inf ] in
+  let b = Tstate.normalize ~clamp:(q 5) a in
+  Alcotest.(check rational_t) "now zero" Rational.zero b.Tstate.now;
+  Alcotest.(check rational_t) "ft relative" (q 2) b.Tstate.ft.(0);
+  Alcotest.(check rational_t) "ft clamped" (q (-5)) b.Tstate.ft.(1);
+  Alcotest.(check time_t) "lt relative" (Time.of_int 3) b.Tstate.lt.(0);
+  Alcotest.(check time_t) "lt inf" Time.Inf b.Tstate.lt.(1)
+
+let prop_shift_inverse =
+  check_holds "shift d then shift -d" QCheck2.Gen.(pair rational rational)
+    (fun (now, d) ->
+      let s = mk ~now [ q 1 ] [ Time.of_int 2 ] in
+      Tstate.equal Int.equal s (Tstate.shift (Rational.neg d) (Tstate.shift d s)))
+
+let prop_normalize_idempotent =
+  check_holds "normalize idempotent"
+    QCheck2.Gen.(triple nonneg_rational rational pos_rational)
+    (fun (now, ft0, clamp) ->
+      let s = mk ~now [ ft0 ] [ Time.Inf ] in
+      let n1 = Tstate.normalize ~clamp s in
+      let n2 = Tstate.normalize ~clamp n1 in
+      Tstate.equal Int.equal n1 n2)
+
+let suite =
+  [
+    Alcotest.test_case "make mismatch" `Quick test_make_mismatch;
+    Alcotest.test_case "equal/hash" `Quick test_equal_hash;
+    Alcotest.test_case "shift" `Quick test_shift;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    prop_shift_inverse;
+    prop_normalize_idempotent;
+  ]
