@@ -732,6 +732,7 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in
+  let t0 = Tm_obs.Tracing.now_s () in
   List.iter
     (fun name ->
       match List.assoc_opt (String.lowercase_ascii name) experiments with
@@ -740,4 +741,20 @@ let () =
           Printf.eprintf "unknown experiment %S (known: %s)\n" name
             (String.concat ", " (List.map fst experiments));
           exit 2)
-    requested
+    requested;
+  (* Emit the instrumented baseline next to the timing tables: counter
+     totals for the exact work done (simulator steps, DBM ops, product
+     edges) that future perf PRs diff against. *)
+  let metrics_path =
+    Option.value
+      (Sys.getenv_opt "BENCH_METRICS_OUT")
+      ~default:"BENCH_metrics.json"
+  in
+  let report =
+    Tm_obs.Report.make
+      ~command:("bench " ^ String.concat " " requested)
+      ~wall_s:(Tm_obs.Tracing.now_s () -. t0)
+      ()
+  in
+  Tm_obs.Json.to_file metrics_path (Tm_obs.Report.to_json report);
+  Printf.printf "\n[metrics baseline written to %s]\n" metrics_path

@@ -34,6 +34,11 @@ module TR = Tm_systems.Token_ring
 module FD = Tm_systems.Failure_detector
 module TS = Tm_systems.Two_stage
 module Progress = Tm_core.Progress
+module Json = Tm_obs.Json
+module Metrics = Tm_obs.Metrics
+module Tracing = Tm_obs.Tracing
+module Report = Tm_obs.Report
+module Log = Tm_obs.Log
 
 let q = Rational.of_int
 
@@ -42,7 +47,8 @@ let q = Rational.of_int
 type instance = {
   describe : string;
   simulate :
-    steps:int -> strategy:string -> seed:int -> unit (* prints *) -> unit;
+    steps:int -> strategy:string -> seed:int -> unit (* prints *) ->
+    Simulator.stop_reason;
   check : runs:int -> steps:int -> int (* = number of violations *);
   verify : unit -> unit;
   map : unit -> unit;
@@ -57,6 +63,22 @@ let make_strategy name seed denominator =
   | "random" ->
       Strategy.random ~prng:(Prng.create seed) ~denominator ~cap:(q 1)
   | other -> failwith (Printf.sprintf "unknown strategy %S" other)
+
+(* Simulate, print the timed trace and any condition violations, and
+   hand the stop reason back so the [simulate] command can fail loudly
+   on deadlocks. *)
+let run_simulation (type s a) (aut : (s, a) TA.t)
+    (conds : (s, a) Condition.t list) ~steps ~strategy ~seed ~denominator
+    print =
+  let run =
+    Simulator.simulate ~steps
+      ~strategy:(make_strategy strategy seed denominator)
+      aut
+  in
+  let seq = Simulator.project run in
+  print aut seq (Semantics.semi_satisfies_all seq conds);
+  Log.info "run stopped: %s" (Simulator.describe_stop run.Simulator.reason);
+  run.Simulator.reason
 
 let print_trace (type s a) (aut : (s, a) TA.t) (seq : (s, a) Tseq.t)
     violations =
@@ -121,13 +143,8 @@ let rm_instance ~k ~c1 ~c2 ~l =
         (Interval.to_string (RM.grant_interval_between p));
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps
-            ~strategy:(make_strategy strategy seed 4)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq (Semantics.semi_satisfies_all seq conds));
+        run_simulation impl conds ~steps ~strategy ~seed ~denominator:4
+          print_trace);
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
     verify = (fun () -> zone_verify "manager" (RM.system p) (RM.boundmap p) conds);
@@ -177,13 +194,8 @@ let im_instance ~k ~c1 ~c2 ~l =
         c2 l;
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps
-            ~strategy:(make_strategy strategy seed 4)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq (Semantics.semi_satisfies_all seq conds));
+        run_simulation impl conds ~steps ~strategy ~seed ~denominator:4
+          print_trace);
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
     verify =
@@ -222,13 +234,8 @@ let relay_instance ~n ~d1 ~d2 =
         (Interval.to_string (SR.delay_interval p));
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps
-            ~strategy:(make_strategy strategy seed 2)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq (Semantics.semi_satisfies_all seq conds));
+        run_simulation impl conds ~steps ~strategy ~seed ~denominator:2
+          print_trace);
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:2);
     verify =
@@ -281,14 +288,8 @@ let fischer_instance ~n ~a ~b =
         n a b;
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps
-            ~strategy:(make_strategy strategy seed 2)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq
-          (Semantics.semi_satisfies_all seq [ F.u_enter p ]));
+        run_simulation impl [ F.u_enter p ] ~steps ~strategy ~seed
+          ~denominator:2 print_trace);
     check =
       (fun ~runs ~steps ->
         generic_check impl [ F.u_enter p ] ~runs ~steps ~denominator:2);
@@ -320,14 +321,8 @@ let rg_instance ~r1 ~r2 ~w1 ~w2 =
         r1 r2 w1 w2;
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps
-            ~strategy:(make_strategy strategy seed 2)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq
-          (Semantics.semi_satisfies_all seq [ RG.u_response p ]));
+        run_simulation impl [ RG.u_response p ] ~steps ~strategy ~seed
+          ~denominator:2 print_trace);
     check =
       (fun ~runs ~steps ->
         generic_check impl [ RG.u_response p ] ~runs ~steps ~denominator:2);
@@ -359,13 +354,8 @@ let ring_instance ~n ~d1 ~d2 =
         (Interval.to_string (TR.rotation_interval p));
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps ~strategy:(make_strategy strategy seed 2)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq
-          (Semantics.semi_satisfies_all seq [ TR.u_rotation p ]));
+        run_simulation impl [ TR.u_rotation p ] ~steps ~strategy ~seed
+          ~denominator:2 print_trace);
     check =
       (fun ~runs ~steps ->
         generic_check impl [ TR.u_rotation p ] ~runs ~steps ~denominator:2);
@@ -413,13 +403,8 @@ let fd_instance ~g1 ~g2 ~m =
         (if FD.accurate p then "" else " (INACCURATE regime)");
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps ~strategy:(make_strategy strategy seed 2)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq
-          (Semantics.semi_satisfies_all seq [ FD.u_detect p ]));
+        run_simulation impl [ FD.u_detect p ] ~steps ~strategy ~seed
+          ~denominator:2 print_trace);
     check =
       (fun ~runs ~steps ->
         generic_check impl [ FD.u_detect p ] ~runs ~steps ~denominator:2);
@@ -464,14 +449,9 @@ let two_stage_instance () =
         (Interval.to_string (TS.end_to_end_interval p));
     simulate =
       (fun ~steps ~strategy ~seed () ->
-        let run =
-          Simulator.simulate ~steps ~strategy:(make_strategy strategy seed 2)
-            impl
-        in
-        let seq = Simulator.project run in
-        print_trace impl seq
-          (Semantics.semi_satisfies_all seq
-             [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]));
+        run_simulation impl
+          [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]
+          ~steps ~strategy ~seed ~denominator:2 print_trace);
     check =
       (fun ~runs ~steps ->
         generic_check impl
@@ -546,6 +526,100 @@ let strategy_arg =
     & opt string "random"
     & info [ "strategy" ] ~doc:"eager | lazy | random")
 
+(* ------------------------------------------------------------------ *)
+(* observability options, shared by every analysis subcommand *)
+
+type obs_opts = {
+  metrics_out : string option;
+  trace_out : string option;
+  level : Log.level;
+}
+
+let obs_term =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot to $(docv) at exit.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable span tracing and write Chrome trace-event JSON \
+             (loadable in Perfetto) to $(docv) at exit.")
+  in
+  let level_conv =
+    let parse s =
+      match Log.level_of_string s with
+      | Ok l -> Ok l
+      | Error m -> Error (`Msg m)
+    in
+    let print fmt l = Format.pp_print_string fmt (Log.level_to_string l) in
+    Arg.conv (parse, print)
+  in
+  let level_arg =
+    Arg.(
+      value
+      & opt (some level_conv) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Log level: quiet, error, warn, info or debug.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ]
+          ~doc:"Increase verbosity ($(b,-v) info, $(b,-vv) debug).")
+  in
+  let mk metrics_out trace_out level verbose =
+    let level =
+      match level with
+      | Some l -> l
+      | None -> (
+          match List.length verbose with
+          | 0 -> Log.Warn
+          | 1 -> Log.Info
+          | _ -> Log.Debug)
+    in
+    { metrics_out; trace_out; level }
+  in
+  Term.(const mk $ metrics_arg $ trace_arg $ level_arg $ verbose_arg)
+
+(* Run a subcommand body under the requested observability setup and
+   flush metrics/trace files afterwards — also when the body raises or
+   plans to exit nonzero. *)
+let with_obs name o f =
+  Log.set_level o.level;
+  if o.trace_out <> None then Tracing.enable ();
+  let t0 = Tracing.now_s () in
+  let finish () =
+    let wall = Tracing.now_s () -. t0 in
+    (match o.metrics_out with
+    | Some path ->
+        Json.to_file path (Metrics.to_json (Metrics.snapshot ()));
+        Log.info "metrics snapshot written to %s" path
+    | None -> ());
+    (match o.trace_out with
+    | Some path ->
+        Tracing.write path;
+        Log.info "trace (%d events) written to %s"
+          (List.length (Tracing.events ()))
+          path
+    | None -> ());
+    if Log.at_least Log.Info then
+      Format.eprintf "%a" Report.pp (Report.make ~command:name ~wall_s:wall ())
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
 let instance_term =
   let build system k c1 c2 l n d1 d2 a b g1 g2 m =
     match system with
@@ -564,63 +638,107 @@ let instance_term =
     $ d1_arg $ d2_arg $ a_arg $ b_arg $ g1_arg $ g2_arg $ m_arg)
 
 let simulate_cmd =
-  let run inst steps strategy seed =
-    Format.printf "%s@." inst.describe;
-    inst.simulate ~steps ~strategy ~seed ()
+  let run inst steps strategy seed obs =
+    let reason =
+      with_obs "simulate" obs (fun () ->
+          Format.printf "%s@." inst.describe;
+          Log.debug "strategy=%s seed=%d steps=%d" strategy seed steps;
+          inst.simulate ~steps ~strategy ~seed ())
+    in
+    match reason with
+    | Simulator.Deadlock ->
+        (* Scripted runs need to see this: a deadlocked run means the
+           system ran out of enabled moves before the step limit —
+           typically an un-dummified finite system. *)
+        Format.eprintf
+          "simulate: run ended in deadlock (no enabled move before the \
+           step limit; un-dummified finite systems do this once their \
+           events are exhausted)@.";
+        exit 3
+    | Simulator.Step_limit | Simulator.Strategy_stop | Simulator.Stopped ->
+        ()
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a system and print the timed trace")
-    Term.(const run $ instance_term $ steps_arg $ strategy_arg $ seed_arg)
+    Term.(
+      const run $ instance_term $ steps_arg $ strategy_arg $ seed_arg
+      $ obs_term)
 
 let check_cmd =
-  let run inst runs steps =
-    Format.printf "%s@." inst.describe;
-    let v = inst.check ~runs ~steps in
+  let run inst runs steps obs =
+    let v =
+      with_obs "check" obs (fun () ->
+          Format.printf "%s@." inst.describe;
+          inst.check ~runs ~steps)
+    in
     Format.printf "%d runs x %d steps: %d violations@." runs steps v;
     if v > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Simulate many seeds and check the timing conditions")
-    Term.(const run $ instance_term $ runs_arg $ steps_arg)
+    Term.(const run $ instance_term $ runs_arg $ steps_arg $ obs_term)
+
+let simple_cmd name ~doc select =
+  let run inst obs =
+    with_obs name obs (fun () ->
+        Format.printf "%s@." inst.describe;
+        select inst ())
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ instance_term $ obs_term)
 
 let verify_cmd =
-  let run inst =
-    Format.printf "%s@." inst.describe;
-    inst.verify ()
-  in
-  Cmd.v
-    (Cmd.info "verify" ~doc:"Exact zone-based verification")
-    Term.(const run $ instance_term)
+  simple_cmd "verify" ~doc:"Exact zone-based verification" (fun i ->
+      i.verify)
 
 let map_cmd =
-  let run inst =
-    Format.printf "%s@." inst.describe;
-    inst.map ()
-  in
-  Cmd.v
-    (Cmd.info "map" ~doc:"Check the paper's strong possibilities mappings")
-    Term.(const run $ instance_term)
+  simple_cmd "map" ~doc:"Check the paper's strong possibilities mappings"
+    (fun i -> i.map)
 
 let exact_cmd =
-  let run inst =
-    Format.printf "%s@." inst.describe;
-    inst.exact ()
-  in
-  Cmd.v
-    (Cmd.info "exact"
-       ~doc:"Exact first-occurrence windows from the discretized graph")
-    Term.(const run $ instance_term)
+  simple_cmd "exact"
+    ~doc:"Exact first-occurrence windows from the discretized graph"
+    (fun i -> i.exact)
 
 let progress_cmd =
-  let run inst =
-    Format.printf "%s@." inst.describe;
-    inst.progress ()
+  simple_cmd "progress"
+    ~doc:"Deadlock and Zeno-trap (time divergence) analysis" (fun i ->
+      i.progress)
+
+let obs_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"METRICS_JSON"
+          ~doc:"File written by --metrics-out (or a bench metrics dump).")
+  in
+  let run file =
+    match Json.of_file file with
+    | Error m ->
+        Format.eprintf "obs: %s@." m;
+        exit 2
+    | Ok j -> (
+        (* accept both a bare metrics document and a run report that
+           nests one under "metrics" *)
+        let parsed =
+          match Metrics.of_json j with
+          | Ok snap -> Ok snap
+          | Error _ as e -> (
+              match Json.member "metrics" j with
+              | Some nested -> Metrics.of_json nested
+              | None -> e)
+        in
+        match parsed with
+        | Error m ->
+            Format.eprintf "obs: %s: %s@." file m;
+            exit 2
+        | Ok snap -> Format.printf "%a" Metrics.pp snap)
   in
   Cmd.v
-    (Cmd.info "progress"
-       ~doc:"Deadlock and Zeno-trap (time divergence) analysis")
-    Term.(const run $ instance_term)
+    (Cmd.info "obs"
+       ~doc:"Pretty-print a metrics dump written by --metrics-out")
+    Term.(const run $ file_arg)
 
 let () =
   let doc = "timing properties via mappings (Lynch & Attiya, PODC 1990)" in
@@ -629,4 +747,4 @@ let () =
        (Cmd.group
           (Cmd.info "timedmap" ~version:"1.0.0" ~doc)
           [ simulate_cmd; check_cmd; verify_cmd; map_cmd; exact_cmd;
-            progress_cmd ]))
+            progress_cmd; obs_cmd ]))

@@ -1,6 +1,13 @@
 module Rational = Tm_base.Rational
 module Hstore = Tm_base.Hstore
 module Execution = Tm_ioa.Execution
+module Metrics = Tm_obs.Metrics
+module Tracing = Tm_obs.Tracing
+
+let c_product_states = Metrics.counter "mapping.product_states"
+let c_product_edges = Metrics.counter "mapping.product_edges"
+let c_exec_steps = Metrics.counter "mapping.exec_steps"
+let c_failures = Metrics.counter "mapping.failures"
 
 type 's t = {
   mname : string;
@@ -69,6 +76,7 @@ let check_exec ~source ~target f (e : ('s, 'a) Time_automaton.texec) =
     | [] -> Ok ()
     | (pre, (act, tm), post) :: rest -> (
         ignore pre;
+        Metrics.incr c_exec_steps;
         match step_witness ~target f post u' (act, tm) with
         | Ok u -> go u rest
         | Error `Not_enabled ->
@@ -86,6 +94,8 @@ type stats = { product_states : int; product_edges : int; truncated : bool }
 
 let check_exhaustive (type s a) ?params ~(source : (s, a) Time_automaton.t)
     ~(target : (s, a) Time_automaton.t) (f : s t) () =
+  Tracing.with_span "mapping.check_exhaustive" ~args:[ ("mapping", f.mname) ]
+  @@ fun () ->
   let params =
     match params with Some p -> p | None -> Tgraph.default_params source
   in
@@ -110,7 +120,9 @@ let check_exhaustive (type s a) ?params ~(source : (s, a) Time_automaton.t)
         | Ok u0 -> (
             let pair = (normalize s0, normalize u0) in
             match Hstore.add store pair with
-            | `Added id -> Queue.add id queue
+            | `Added id ->
+                Metrics.incr c_product_states;
+                Queue.add id queue
             | `Present _ -> ()))
       source.Time_automaton.start;
     while not (Queue.is_empty queue) do
@@ -121,6 +133,7 @@ let check_exhaustive (type s a) ?params ~(source : (s, a) Time_automaton.t)
           List.iter
             (fun s_post ->
               incr edges;
+              Metrics.incr c_product_edges;
               match step_witness ~target f s_post u (act, tm) with
               | Error `Not_enabled ->
                   raise
@@ -148,7 +161,9 @@ let check_exhaustive (type s a) ?params ~(source : (s, a) Time_automaton.t)
                   else
                     let pair = (normalize s_post, normalize u_post) in
                     (match Hstore.add store pair with
-                    | `Added id' -> Queue.add id' queue
+                    | `Added id' ->
+                        Metrics.incr c_product_states;
+                        Queue.add id' queue
                     | `Present _ -> ()))
             (Time_automaton.fire source s act tm))
         (Tgraph.moves params source s)
@@ -159,4 +174,8 @@ let check_exhaustive (type s a) ?params ~(source : (s, a) Time_automaton.t)
         product_edges = !edges;
         truncated = !truncated;
       }
-  with Fail e -> Error e
+  with Fail e ->
+    (* first counterexample: count it and mark it in the trace *)
+    Metrics.incr c_failures;
+    Tracing.instant "mapping.counterexample" ~args:[ ("mapping", f.mname) ];
+    Error e

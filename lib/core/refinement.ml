@@ -2,4 +2,5 @@ let full_relation =
   { Mapping.mname = "full relation"; contains = (fun _ _ -> true) }
 
 let check ?params ~source ~target () =
+  Tm_obs.Tracing.with_span "refinement.check" @@ fun () ->
   Mapping.check_exhaustive ?params ~source ~target full_relation ()

@@ -1,4 +1,9 @@
 module Hstore = Tm_base.Hstore
+module Metrics = Tm_obs.Metrics
+module Tracing = Tm_obs.Tracing
+
+let c_states = Metrics.counter "explore.states"
+let c_edges = Metrics.counter "explore.edges"
 
 type ('s, 'a) graph = {
   automaton : ('s, 'a) Ioa.t;
@@ -13,6 +18,7 @@ let successors (a : ('s, 'a) Ioa.t) s =
     a.Ioa.alphabet
 
 let reachable ?(limit = 200_000) (a : ('s, 'a) Ioa.t) =
+  Tracing.with_span "explore.reachable" @@ fun () ->
   let store =
     Hstore.create ~equal:a.Ioa.equal_state ~hash:a.Ioa.hash_state 1024
   in
@@ -22,7 +28,9 @@ let reachable ?(limit = 200_000) (a : ('s, 'a) Ioa.t) =
   List.iter
     (fun s ->
       match Hstore.add store s with
-      | `Added id -> Queue.add id queue
+      | `Added id ->
+          Metrics.incr c_states;
+          Queue.add id queue
       | `Present _ -> ())
     a.Ioa.start;
   while not (Queue.is_empty queue) do
@@ -31,12 +39,15 @@ let reachable ?(limit = 200_000) (a : ('s, 'a) Ioa.t) =
     List.iter
       (fun (act, s') ->
         if Hstore.length store >= limit then truncated := true
-        else
+        else begin
+          Metrics.incr c_edges;
           match Hstore.add store s' with
           | `Added id' ->
+              Metrics.incr c_states;
               edges := (id, act, id') :: !edges;
               Queue.add id' queue
-          | `Present id' -> edges := (id, act, id') :: !edges)
+          | `Present id' -> edges := (id, act, id') :: !edges
+        end)
       (successors a s)
   done;
   { automaton = a; states = store; edges = List.rev !edges;

@@ -1,0 +1,44 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer must export metrics snapshots and Chrome
+    trace-event files without pulling in an external JSON dependency,
+    and the test suite round-trips those exports back in, so both
+    directions live here.  The printer is canonical: objects keep their
+    field order, floats with an integral value print without a
+    fractional part, and parsing the printer's output yields an equal
+    tree. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality; [Int n] and [Float f] are equal when [f] is
+    exactly [float_of_int n], so a canonical reprint compares equal to
+    its source tree. *)
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error carries a byte offset. *)
+
+val to_file : string -> t -> unit
+val of_file : string -> (t, string) result
+
+(** Accessors used when re-reading exported documents. *)
+
+val member : string -> t -> t option
+val to_list_opt : t -> t list option
+val string_opt : t -> string option
+val int_opt : t -> int option
+(** [Int n] directly, or [Float f] with an integral value. *)
+
+val float_opt : t -> float option
+(** [Float f], or [Int n] as [float_of_int n]. *)

@@ -1,0 +1,39 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let rank = function
+  | Quiet -> 0
+  | Error -> 1
+  | Warn -> 2
+  | Info -> 3
+  | Debug -> 4
+
+let current = ref Warn
+let set_level l = current := l
+let level () = !current
+let at_least l = rank !current >= rank l
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" -> Ok Quiet
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | other -> Error (Printf.sprintf "unknown log level %S" other)
+
+let level_to_string = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let emit tag l fmt =
+  if at_least l then
+    Format.eprintf ("[%s] " ^^ fmt ^^ "@.") tag
+  else Format.ifprintf Format.err_formatter fmt
+
+let err fmt = emit "error" Error fmt
+let warn fmt = emit "warn" Warn fmt
+let info fmt = emit "info" Info fmt
+let debug fmt = emit "debug" Debug fmt

@@ -1,0 +1,21 @@
+(** Leveled logging to stderr for the CLI and harnesses.
+
+    Deliberately tiny: a global level, printf-style emitters, no
+    formatter plumbing.  Defaults to {!Warn} so library code can log
+    unconditionally without polluting normal runs. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+val at_least : level -> bool
+
+val level_of_string : string -> (level, string) result
+(** Accepts [quiet], [error], [warn], [info], [debug]. *)
+
+val level_to_string : level -> string
+
+val err : ('a, Format.formatter, unit) format -> 'a
+val warn : ('a, Format.formatter, unit) format -> 'a
+val info : ('a, Format.formatter, unit) format -> 'a
+val debug : ('a, Format.formatter, unit) format -> 'a

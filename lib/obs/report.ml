@@ -1,0 +1,40 @@
+type t = {
+  command : string;
+  wall_s : float;
+  metrics : Metrics.snapshot;
+  span_count : int;
+  span_total_us : float;
+}
+
+let make ~command ~wall_s () =
+  let events = Tracing.events () in
+  let spans = List.filter (fun e -> not e.Tracing.instant) events in
+  {
+    command;
+    wall_s;
+    metrics = Metrics.snapshot ();
+    span_count = List.length spans;
+    span_total_us =
+      List.fold_left
+        (fun acc e ->
+          if e.Tracing.depth = 0 then acc +. e.Tracing.dur_us else acc)
+        0. spans;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "=== run report: %s ===@." r.command;
+  Format.fprintf fmt "wall time: %.6f s@." r.wall_s;
+  if r.span_count > 0 then
+    Format.fprintf fmt "spans: %d recorded, %.1f us in top-level spans@."
+      r.span_count r.span_total_us;
+  Metrics.pp fmt r.metrics
+
+let to_json r =
+  Json.Obj
+    [
+      ("command", Json.String r.command);
+      ("wall_s", Json.Float r.wall_s);
+      ("span_count", Json.Int r.span_count);
+      ("span_total_us", Json.Float r.span_total_us);
+      ("metrics", Metrics.to_json r.metrics);
+    ]

@@ -1,0 +1,19 @@
+(** Structured end-of-run summary combining metrics and tracing.
+
+    The CLI prints one at [info] verbosity and exports it inside the
+    metrics JSON; the benchmark harness writes one next to its timing
+    tables so perf PRs can diff instrumented baselines. *)
+
+type t = {
+  command : string;
+  wall_s : float;
+  metrics : Metrics.snapshot;
+  span_count : int;
+  span_total_us : float;  (** summed duration of top-level spans *)
+}
+
+val make : command:string -> wall_s:float -> unit -> t
+(** Snapshot the global metrics registry and trace buffer. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

@@ -1,0 +1,118 @@
+type event = {
+  ename : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  depth : int;
+  args : (string * string) list;
+  instant : bool;
+}
+
+let on = ref false
+let clock = ref Unix.gettimeofday
+let epoch = ref None
+let last_ts = ref 0.
+let events_rev : event list ref = ref []
+let stack_depth = ref 0
+
+let enabled () = !on
+
+let now_s () = !clock ()
+
+(* Microseconds since the epoch, clamped non-decreasing: Chrome trace
+   viewers reject or misrender events that go backwards in time. *)
+let now_us () =
+  let e =
+    match !epoch with
+    | Some e -> e
+    | None ->
+        let e = !clock () in
+        epoch := Some e;
+        e
+  in
+  let t = (!clock () -. e) *. 1e6 in
+  let t = if t > !last_ts then t else !last_ts in
+  last_ts := t;
+  t
+
+let enable () = on := true
+let disable () = on := false
+
+let set_clock f =
+  clock := f;
+  epoch := None;
+  last_ts := 0.
+
+let clear () =
+  events_rev := [];
+  epoch := None;
+  last_ts := 0.;
+  stack_depth := 0
+
+let depth () = !stack_depth
+
+let with_span ?(cat = "tm") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let start = now_us () in
+    let d = !stack_depth in
+    incr stack_depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr stack_depth;
+        let stop = now_us () in
+        events_rev :=
+          {
+            ename = name;
+            cat;
+            ts_us = start;
+            dur_us = stop -. start;
+            depth = d;
+            args;
+            instant = false;
+          }
+          :: !events_rev)
+      f
+  end
+
+let instant ?(cat = "tm") ?(args = []) name =
+  if !on then
+    events_rev :=
+      {
+        ename = name;
+        cat;
+        ts_us = now_us ();
+        dur_us = 0.;
+        depth = !stack_depth;
+        args;
+        instant = true;
+      }
+      :: !events_rev
+
+let events () = List.rev !events_rev
+
+let event_to_json e =
+  Json.Obj
+    ([
+       ("name", Json.String e.ename);
+       ("cat", Json.String e.cat);
+       ("ph", Json.String (if e.instant then "i" else "X"));
+       ("ts", Json.Float e.ts_us);
+     ]
+    @ (if e.instant then [ ("s", Json.String "t") ]
+       else [ ("dur", Json.Float e.dur_us) ])
+    @ [ ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+    @
+    match e.args with
+    | [] -> []
+    | args ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ])
+
+let to_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json (events ())));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write path = Json.to_file path (to_json ())

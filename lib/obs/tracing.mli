@@ -1,0 +1,57 @@
+(** Nestable span tracing with Chrome trace-event export.
+
+    Disabled by default: {!with_span} then runs its thunk directly with
+    no timestamp reads and no allocation, so instrumentation in hot
+    paths is effectively free until a caller opts in (the CLI enables
+    it when [--trace-out] is given).  When enabled, each span records a
+    monotonic start timestamp and duration in microseconds plus its
+    nesting depth; {!to_json} renders the buffer as a Chrome
+    trace-event document ([ph:"X"] complete events) loadable in
+    Perfetto or [chrome://tracing]. *)
+
+type event = {
+  ename : string;
+  cat : string;
+  ts_us : float;  (** start, microseconds since the trace epoch *)
+  dur_us : float;  (** duration; 0 for instants *)
+  depth : int;  (** nesting depth at emission; 0 = top level *)
+  args : (string * string) list;
+  instant : bool;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+(** Also (re)anchors the trace epoch on the first call after a
+    {!clear}. *)
+
+val disable : unit -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall clock (seconds).  Timestamps are clamped to be
+    non-decreasing regardless of the clock's behavior; the tests use a
+    deterministic counter clock. *)
+
+val now_s : unit -> float
+(** Current clock reading, independent of enablement. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  Exception-safe: the span is
+    closed (and recorded) even if the thunk raises. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event. *)
+
+val events : unit -> event list
+(** Completed events in emission order (a span is emitted when it
+    closes, so children precede their parents). *)
+
+val depth : unit -> int
+(** Current open-span nesting depth — 0 when no span is open. *)
+
+val clear : unit -> unit
+(** Drop all recorded events and reset the epoch. *)
+
+val to_json : unit -> Json.t
+val write : string -> unit
+(** [to_json] serialized to a file. *)

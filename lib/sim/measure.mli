@@ -26,6 +26,12 @@ val envelope : Tm_base.Rational.t list -> envelope option
 (** [None] on an empty sample. *)
 
 val merge : envelope -> envelope -> envelope
+(** Combine the envelopes of two disjoint sample sets: counts add,
+    extremes take min/max, and the mean is the sample-count-weighted
+    average [(a.mean*a.count + b.mean*b.count) / (a.count + b.count)]
+    — so [merge (envelope xs) (envelope ys)] agrees with
+    [envelope (xs @ ys)] exactly on [count]/[min]/[max] and up to
+    float-summation rounding on [mean].  Commutative. *)
 
 val within : Tm_base.Interval.t -> envelope -> bool
 (** Both extremes of the envelope lie inside the interval. *)

@@ -1,5 +1,7 @@
 module Time_automaton = Tm_core.Time_automaton
 module Execution = Tm_ioa.Execution
+module Metrics = Tm_obs.Metrics
+module Tracing = Tm_obs.Tracing
 
 type stop_reason = Step_limit | Deadlock | Strategy_stop | Stopped
 
@@ -8,27 +10,65 @@ type ('s, 'a) run = {
   reason : stop_reason;
 }
 
+(* Instrumentation handles are created once at module initialization;
+   each update is a single field write on the hot path. *)
+let c_runs = Metrics.counter "sim.runs"
+let c_steps = Metrics.counter "sim.steps"
+let c_windows = Metrics.counter "sim.feasible_windows"
+let c_choices = Metrics.counter "sim.strategy_choices"
+let h_delay = Metrics.histogram "sim.step_delay"
+
+let c_stop reason =
+  Metrics.counter "sim.stop"
+    ~labels:
+      [
+        ( "reason",
+          match reason with
+          | Step_limit -> "step_limit"
+          | Deadlock -> "deadlock"
+          | Strategy_stop -> "strategy_stop"
+          | Stopped -> "stopped" );
+      ]
+
+let c_stop_step_limit = c_stop Step_limit
+let c_stop_deadlock = c_stop Deadlock
+let c_stop_strategy = c_stop Strategy_stop
+let c_stop_stopped = c_stop Stopped
+
+let record_stop = function
+  | Step_limit -> Metrics.incr c_stop_step_limit
+  | Deadlock -> Metrics.incr c_stop_deadlock
+  | Strategy_stop -> Metrics.incr c_stop_strategy
+  | Stopped -> Metrics.incr c_stop_stopped
+
 let simulate_from ?(stop = fun _ -> false) ~steps ~strategy aut s0 =
+  Metrics.incr c_runs;
   let moves_rev = ref [] in
   let rec go s k =
     if stop s then Stopped
     else if k = 0 then Step_limit
     else
       let enabled = Time_automaton.enabled_moves aut s in
+      Metrics.add c_windows (List.length enabled);
       if enabled = [] then Deadlock
       else
         match strategy aut s enabled with
         | None -> Strategy_stop
         | Some (act, tm) -> (
+            Metrics.incr c_choices;
             match Time_automaton.fire aut s act tm with
             | [] ->
                 invalid_arg
                   "Simulator: strategy chose a move outside its window"
             | s' :: _ ->
+                Metrics.incr c_steps;
+                Metrics.observe h_delay
+                  (Tm_base.Rational.sub tm s.Tm_core.Tstate.now);
                 moves_rev := ((act, tm), s') :: !moves_rev;
                 go s' (k - 1))
   in
-  let reason = go s0 steps in
+  let reason = Tracing.with_span "sim.simulate" (fun () -> go s0 steps) in
+  record_stop reason;
   { exec = Execution.of_states s0 (List.rev !moves_rev); reason }
 
 let simulate ?stop ~steps ~strategy aut =
@@ -37,3 +77,9 @@ let simulate ?stop ~steps ~strategy aut =
   | s0 :: _ -> simulate_from ?stop ~steps ~strategy aut s0
 
 let project r = Time_automaton.project r.exec
+
+let describe_stop = function
+  | Step_limit -> "step limit reached"
+  | Deadlock -> "deadlock: no enabled move"
+  | Strategy_stop -> "strategy stopped"
+  | Stopped -> "stop predicate fired"

@@ -39,3 +39,7 @@ val simulate_from :
 
 val project : ('s, 'a) run -> ('s, 'a) Tm_timed.Tseq.t
 (** The timed sequence of the run. *)
+
+val describe_stop : stop_reason -> string
+(** Short human-readable description, used by the CLI to explain why a
+    run ended (and to flag deadlocks with a nonzero exit). *)

@@ -1,4 +1,17 @@
 module Rational = Tm_base.Rational
+module Metrics = Tm_obs.Metrics
+
+(* Per-operation counters; handles are module-level so each DBM
+   operation pays one field increment. *)
+let op name = Metrics.counter "dbm.ops" ~labels:[ ("op", name) ]
+let c_canonicalize = op "canonicalize"
+let c_constrain = op "constrain"
+let c_up = op "up"
+let c_reset = op "reset"
+let c_free = op "free"
+let c_intersect = op "intersect"
+let c_includes = op "includes"
+let c_extrapolate = op "extrapolate"
 
 type bnd = Lt of Rational.t | Le of Rational.t | Inf
 
@@ -38,6 +51,7 @@ let bnd_neg_ok = function
 
 (* Floyd–Warshall tightening; detects emptiness via negative diagonal. *)
 let canonicalize_arr n m =
+  Metrics.incr c_canonicalize;
   let idx i j = (i * n) + j in
   (try
      for k = 0 to n - 1 do
@@ -76,6 +90,7 @@ let top n =
    DBM: every entry can only improve through the new edge, so one
    O(n^2) pass over pairs (x, y) via x -> i -> j -> y suffices. *)
 let constrain z i j b =
+  Metrics.incr c_constrain;
   if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm.constrain";
   if z.empty then z
   else if bnd_compare b (get z i j) >= 0 then z
@@ -109,6 +124,7 @@ let constrain z i j b =
 (* Both [up] and [reset] preserve canonical form (standard DBM
    results), so no re-closing is needed. *)
 let up z =
+  Metrics.incr c_up;
   if z.empty then z
   else begin
     let m = Array.copy z.m in
@@ -119,6 +135,7 @@ let up z =
   end
 
 let reset z x =
+  Metrics.incr c_reset;
   if x < 1 || x >= z.n then invalid_arg "Dbm.reset";
   if z.empty then z
   else begin
@@ -135,6 +152,7 @@ let reset z x =
 
 (* Like [up] and [reset], [free] preserves canonical form. *)
 let free z x =
+  Metrics.incr c_free;
   if x < 1 || x >= z.n then invalid_arg "Dbm.free";
   if z.empty then z
   else begin
@@ -150,6 +168,7 @@ let free z x =
   end
 
 let intersect a b =
+  Metrics.incr c_intersect;
   if a.n <> b.n then invalid_arg "Dbm.intersect";
   if a.empty then a
   else if b.empty then b
@@ -159,6 +178,7 @@ let intersect a b =
   end
 
 let includes big small =
+  Metrics.incr c_includes;
   if big.n <> small.n then invalid_arg "Dbm.includes";
   if small.empty then true
   else if big.empty then false
@@ -170,6 +190,7 @@ let includes big small =
     !ok
 
 let extrapolate mc z =
+  Metrics.incr c_extrapolate;
   if z.empty then z
   else begin
     let n = z.n in

@@ -5,6 +5,13 @@ module Hstore = Tm_base.Hstore
 module Ioa = Tm_ioa.Ioa
 module Boundmap = Tm_timed.Boundmap
 module Condition = Tm_timed.Condition
+module Metrics = Tm_obs.Metrics
+module Tracing = Tm_obs.Tracing
+
+let c_zones_stored = Metrics.counter "zones.stored"
+let c_zones_subsumed = Metrics.counter "zones.subsumed"
+let c_zone_edges = Metrics.counter "zones.edges"
+let g_waiting_max = Metrics.gauge "zones.waiting_max"
 
 type stats = { locations : int; zones : int; edges : int }
 
@@ -108,10 +115,13 @@ let explore (type s a) ?(limit = 200_000) (enc : (s, a) enc)
       if not (List.exists (fun z' -> Dbm.includes z' z) !cell) then begin
         cell := z :: List.filter (fun z' -> not (Dbm.includes z z')) !cell;
         incr zone_count;
+        Metrics.incr c_zones_stored;
         if !zone_count > limit then raise Limit;
         inspect p s z;
-        Queue.add (s, p, z) queue
+        Queue.add (s, p, z) queue;
+        Metrics.set_max g_waiting_max (float_of_int (Queue.length queue))
       end
+      else Metrics.incr c_zones_subsumed
     end
   in
   let result =
@@ -138,6 +148,7 @@ let explore (type s a) ?(limit = 200_000) (enc : (s, a) enc)
             List.iter
               (fun s' ->
                 incr edges;
+                Metrics.incr c_zone_edges;
                 let zg = guard enc act z in
                 if not (Dbm.is_empty zg) then begin
                   match observe p s act s' zg with
@@ -173,6 +184,7 @@ let explore (type s a) ?(limit = 200_000) (enc : (s, a) enc)
   result
 
 let reachable ?limit (a : ('s, 'a) Ioa.t) bm =
+  Tracing.with_span "zones.reachable" @@ fun () ->
   let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
   let seen = ref [] in
   let inspect _ s _ =
@@ -188,6 +200,7 @@ let reachable ?limit (a : ('s, 'a) Ioa.t) bm =
   | Error (`Unsupported m) -> raise (Open_system m)
 
 let check_state_invariant ?limit (a : ('s, 'a) Ioa.t) bm pred =
+  Tracing.with_span "zones.check_state_invariant" @@ fun () ->
   let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
   let bad = ref None in
   let exception Found in
@@ -208,6 +221,9 @@ let check_state_invariant ?limit (a : ('s, 'a) Ioa.t) bm pred =
 
 let check_condition ?limit (a : ('s, 'a) Ioa.t) bm
     (c : ('s, 'a) Condition.t) =
+  Tracing.with_span "zones.check_condition"
+    ~args:[ ("cond", c.Condition.cname) ]
+  @@ fun () ->
   let enc =
     make_enc a bm ~with_observer:true ~cond_bounds:(Some c.Condition.bounds)
   in

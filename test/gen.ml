@@ -50,3 +50,37 @@ let qq n d = Rational.make n d
 let check_holds name ?(count = 200) gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name ~count gen prop)
+
+(* Random metric-update scripts for the Tm_obs round-trip property:
+   indices select from a small per-kind name pool so one script mixes
+   updates to a handful of counters, gauges and histograms. *)
+type metric_update =
+  | Incr_counter of int
+  | Add_counter of int * int
+  | Set_gauge of int * float
+  | Max_gauge of int * float
+  | Observe of int * Rational.t
+
+let metric_update : metric_update QCheck2.Gen.t =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Incr_counter i) (int_range 0 3));
+        ( 2,
+          map2 (fun i n -> Add_counter (i, n)) (int_range 0 3)
+            (int_range 0 50) );
+        (2, map2 (fun i v -> Set_gauge (i, v)) (int_range 0 2) float);
+        (1, map2 (fun i v -> Max_gauge (i, v)) (int_range 0 2) float);
+        ( 3,
+          map2 (fun i s -> Observe (i, s)) (int_range 0 2) nonneg_rational );
+      ])
+
+let metric_updates : metric_update list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 0 40) metric_update)
+
+let print_metric_update = function
+  | Incr_counter i -> Printf.sprintf "incr c%d" i
+  | Add_counter (i, n) -> Printf.sprintf "add c%d %d" i n
+  | Set_gauge (i, v) -> Printf.sprintf "set g%d %h" i v
+  | Max_gauge (i, v) -> Printf.sprintf "max g%d %h" i v
+  | Observe (i, s) -> Printf.sprintf "observe h%d %s" i (Rational.to_string s)

@@ -1,0 +1,289 @@
+(* Tests for the Tm_obs observability layer: counter monotonicity,
+   histogram quantiles against Measure.quantile, span nesting
+   well-formedness, the golden Chrome-trace JSON, and snapshot/JSON
+   round-trips driven by the Gen.metric_update scripts. *)
+
+module Rational = Tm_base.Rational
+module Measure = Tm_sim.Measure
+module Json = Tm_obs.Json
+module Metrics = Tm_obs.Metrics
+module Tracing = Tm_obs.Tracing
+open Gen
+
+(* The registry is global and append-only, so every test or property
+   iteration works on freshly named metrics. *)
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "test.%s.%d" prefix !n
+
+(* ------------------------------------------------------------------ *)
+(* counters *)
+
+let prop_counter_monotone =
+  check_holds ~count:100 "counter: monotone, value = sum of updates"
+    metric_updates (fun updates ->
+      let c = Metrics.counter (fresh "mono") in
+      let expected = ref 0 in
+      let monotone = ref true in
+      List.iter
+        (fun u ->
+          let before = Metrics.value c in
+          (match u with
+          | Incr_counter _ ->
+              Metrics.incr c;
+              incr expected
+          | Add_counter (_, n) ->
+              Metrics.add c n;
+              expected := !expected + n
+          | Set_gauge _ | Max_gauge _ | Observe _ -> ());
+          if Metrics.value c < before then monotone := false)
+        updates;
+      !monotone && Metrics.value c = !expected)
+
+let test_counter_rejects_negative () =
+  let c = Metrics.counter (fresh "neg") in
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: counters are monotone") (fun () ->
+      Metrics.add c (-1))
+
+(* ------------------------------------------------------------------ *)
+(* histograms *)
+
+let prop_histogram_quantile_matches_measure =
+  check_holds ~count:100 "histogram quantiles = Measure.quantile"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) nonneg_rational)
+        (float_range 0. 1.))
+    (fun (samples, p) ->
+      let h = Metrics.histogram (fresh "quant") in
+      List.iter (Metrics.observe h) samples;
+      match (Metrics.quantile h p, Measure.quantile samples p) with
+      | None, None -> true
+      | Some a, Some b -> Rational.equal a b
+      | _ -> false)
+
+let test_histogram_buckets () =
+  let name = fresh "bucket" in
+  let h = Metrics.histogram name in
+  let samples = [ qq 1 8; qq 1 2; q 3; q 200; q 1000 ] in
+  List.iter (Metrics.observe h) samples;
+  match Metrics.find (Metrics.snapshot ()) name with
+  | Some (Metrics.Histogram_v hv) ->
+      (* cumulative bucket counts are non-decreasing, and the last
+         cumulative count plus overflow equals the total *)
+      let counts = List.map snd hv.Metrics.buckets in
+      let sorted = List.sort compare counts in
+      Alcotest.(check (list int)) "cumulative" sorted counts;
+      let last = List.fold_left (fun _ c -> c) 0 counts in
+      Alcotest.(check int) "total" hv.Metrics.count
+        (last + hv.Metrics.overflow);
+      Alcotest.(check int) "overflow counts the outliers" 2
+        hv.Metrics.overflow;
+      Alcotest.check rational_t "sum"
+        (List.fold_left Rational.add Rational.zero samples)
+        hv.Metrics.sum
+  | _ -> Alcotest.fail "histogram not in snapshot"
+
+(* ------------------------------------------------------------------ *)
+(* span tracing *)
+
+let with_fake_clock f =
+  let t = ref 0. in
+  Tracing.disable ();
+  Tracing.clear ();
+  Tracing.set_clock (fun () ->
+      t := !t +. 1.;
+      !t);
+  Tracing.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracing.disable ();
+      Tracing.clear ();
+      Tracing.set_clock Unix.gettimeofday)
+    f
+
+let test_span_nesting () =
+  with_fake_clock @@ fun () ->
+  Tracing.with_span "a" (fun () ->
+      Tracing.with_span "b" (fun () -> ());
+      Tracing.with_span "c" (fun () -> ()));
+  Tracing.with_span "d" (fun () -> ());
+  Alcotest.(check int) "depth restored" 0 (Tracing.depth ());
+  let by_name n =
+    List.find (fun e -> e.Tracing.ename = n) (Tracing.events ())
+  in
+  let a = by_name "a" and b = by_name "b" and c = by_name "c"
+  and d = by_name "d" in
+  Alcotest.(check int) "a top-level" 0 a.Tracing.depth;
+  Alcotest.(check int) "b nested" 1 b.Tracing.depth;
+  Alcotest.(check int) "c nested" 1 c.Tracing.depth;
+  Alcotest.(check int) "d top-level" 0 d.Tracing.depth;
+  let inside child parent =
+    parent.Tracing.ts_us <= child.Tracing.ts_us
+    && child.Tracing.ts_us +. child.Tracing.dur_us
+       <= parent.Tracing.ts_us +. parent.Tracing.dur_us
+  in
+  Alcotest.(check bool) "b inside a" true (inside b a);
+  Alcotest.(check bool) "c inside a" true (inside c a);
+  Alcotest.(check bool) "b before c" true
+    (b.Tracing.ts_us +. b.Tracing.dur_us <= c.Tracing.ts_us);
+  Alcotest.(check bool) "d after a" true
+    (a.Tracing.ts_us +. a.Tracing.dur_us <= d.Tracing.ts_us)
+
+let test_span_exception_safe () =
+  with_fake_clock @@ fun () ->
+  (try Tracing.with_span "boom" (fun () -> raise Exit)
+   with Exit -> ());
+  Alcotest.(check int) "depth restored" 0 (Tracing.depth ());
+  Alcotest.(check int) "span recorded" 1 (List.length (Tracing.events ()))
+
+let test_disabled_is_noop () =
+  Tracing.disable ();
+  Tracing.clear ();
+  let r = Tracing.with_span "skipped" (fun () -> 42) in
+  Alcotest.(check int) "value" 42 r;
+  Alcotest.(check int) "no events" 0 (List.length (Tracing.events ()))
+
+(* ------------------------------------------------------------------ *)
+(* golden Chrome trace JSON *)
+
+let golden_trace =
+  String.concat ""
+    [
+      {|{"traceEvents":[|};
+      {|{"name":"inner","cat":"tm","ph":"X","ts":2000000,"dur":1000000,"pid":1,"tid":1},|};
+      {|{"name":"mark","cat":"tm","ph":"i","ts":4000000,"s":"t","pid":1,"tid":1},|};
+      {|{"name":"outer","cat":"tm","ph":"X","ts":1000000,"dur":4000000,"pid":1,"tid":1}|};
+      {|],"displayTimeUnit":"ms"}|};
+    ]
+
+let record_golden_spans () =
+  Tracing.with_span "outer" (fun () ->
+      Tracing.with_span "inner" (fun () -> ());
+      Tracing.instant "mark")
+
+let test_golden_trace () =
+  with_fake_clock @@ fun () ->
+  record_golden_spans ();
+  Alcotest.(check string) "golden serialization" golden_trace
+    (Json.to_string (Tracing.to_json ()))
+
+let test_golden_trace_file_roundtrip () =
+  with_fake_clock @@ fun () ->
+  record_golden_spans ();
+  let path = "golden_trace_test.json" in
+  Tracing.write path;
+  (match Json.of_file path with
+  | Error m -> Alcotest.fail m
+  | Ok reread ->
+      (match Json.of_string golden_trace with
+      | Error m -> Alcotest.fail m
+      | Ok golden ->
+          Alcotest.(check bool) "file round-trip equals golden" true
+            (Json.equal reread golden)));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* JSON printer/parser *)
+
+let test_json_fixed_point () =
+  let doc = {|[1,2.5,"a\nb",true,null,{"k":[],"u":"é"}]|} in
+  match Json.of_string doc with
+  | Error m -> Alcotest.fail m
+  | Ok j -> (
+      let printed = Json.to_string j in
+      match Json.of_string printed with
+      | Error m -> Alcotest.fail m
+      | Ok j' ->
+          Alcotest.(check bool) "reparse equals" true (Json.equal j j');
+          Alcotest.(check string) "print is a fixed point" printed
+            (Json.to_string j'))
+
+let test_json_rejects_garbage () =
+  let bad = [ "{"; "[1,]"; "tru"; ""; "{\"a\" 1}"; "[1] x" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* snapshot / JSON round-trip *)
+
+let apply_updates prefix updates =
+  let cname i = Printf.sprintf "%s.c%d" prefix i in
+  let gname i = Printf.sprintf "%s.g%d" prefix i in
+  let hname i = Printf.sprintf "%s.h%d" prefix i in
+  List.iter
+    (fun u ->
+      match u with
+      | Incr_counter i -> Metrics.incr (Metrics.counter (cname i))
+      | Add_counter (i, n) -> Metrics.add (Metrics.counter (cname i)) n
+      | Set_gauge (i, v) ->
+          if Float.is_finite v then Metrics.set (Metrics.gauge (gname i)) v
+      | Max_gauge (i, v) ->
+          if Float.is_finite v then
+            Metrics.set_max (Metrics.gauge (gname i)) v
+      | Observe (i, s) -> Metrics.observe (Metrics.histogram (hname i)) s)
+    updates
+
+let prop_snapshot_json_roundtrip =
+  check_holds ~count:60 "metrics snapshot JSON round-trip" metric_updates
+    (fun updates ->
+      let prefix = fresh "rt" in
+      apply_updates prefix updates;
+      let snap =
+        List.filter
+          (fun e ->
+            String.length e.Metrics.name >= String.length prefix
+            && String.sub e.Metrics.name 0 (String.length prefix) = prefix)
+          (Metrics.snapshot ())
+      in
+      let json_text = Json.to_string (Metrics.to_json snap) in
+      match Json.of_string json_text with
+      | Error _ -> false
+      | Ok j -> (
+          match Metrics.of_json j with
+          | Error _ -> false
+          | Ok snap' -> Metrics.equal_snapshot snap snap'))
+
+let test_reset_keeps_handles_valid () =
+  let name = fresh "reset" in
+  let c = Metrics.counter name in
+  Metrics.add c 7;
+  Metrics.reset ();
+  Alcotest.(check int) "zeroed" 0 (Metrics.value c);
+  Metrics.incr c;
+  Alcotest.(check int) "handle still live" 1 (Metrics.value c);
+  match Metrics.find (Metrics.snapshot ()) name with
+  | Some (Metrics.Counter_v 1) -> ()
+  | _ -> Alcotest.fail "snapshot does not see the post-reset update"
+
+let suite =
+  [
+    prop_counter_monotone;
+    Alcotest.test_case "counter: rejects negative add" `Quick
+      test_counter_rejects_negative;
+    prop_histogram_quantile_matches_measure;
+    Alcotest.test_case "histogram: bucket accounting" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "spans: nesting well-formed" `Quick test_span_nesting;
+    Alcotest.test_case "spans: exception-safe" `Quick
+      test_span_exception_safe;
+    Alcotest.test_case "spans: disabled is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "trace: golden Chrome JSON" `Quick test_golden_trace;
+    Alcotest.test_case "trace: golden file round-trip" `Quick
+      test_golden_trace_file_roundtrip;
+    Alcotest.test_case "json: print/parse fixed point" `Quick
+      test_json_fixed_point;
+    Alcotest.test_case "json: rejects malformed input" `Quick
+      test_json_rejects_garbage;
+    prop_snapshot_json_roundtrip;
+    Alcotest.test_case "metrics: reset keeps handles valid" `Quick
+      test_reset_keeps_handles_valid;
+  ]
