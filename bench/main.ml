@@ -14,6 +14,7 @@
      E8  Fischer mutual exclusion (the conclusions' future work)
      E9  extension systems: token ring, chained trigger, failure detector
      E10 independent exact engines (zones vs regions) and liveness
+     E11 fast in-place DBM kernel vs reference kernel (differential)
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
@@ -718,12 +719,67 @@ let e10 () =
   live "failure detector"
     (FD.impl (FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2))
 
+(* E11: fast vs reference zone engine *)
+
+let e11 () =
+  section "E11: fast in-place DBM kernel vs reference kernel";
+  row "%-40s %-10s %-10s %-8s %s\n" "workload" "fast(ms)" "ref(ms)" "speedup"
+    "stats";
+  (* adaptive repetition: run each closure for >= 0.2 s and report the
+     per-run mean, so sub-millisecond and multi-second workloads both
+     get stable numbers *)
+  let time_ms f =
+    let t0 = Tm_obs.Tracing.now_s () in
+    ignore (f ());
+    let once = Tm_obs.Tracing.now_s () -. t0 in
+    let reps = max 1 (int_of_float (0.2 /. Float.max 1e-6 once)) in
+    let t0 = Tm_obs.Tracing.now_s () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Tm_obs.Tracing.now_s () -. t0) *. 1000. /. float_of_int reps
+  in
+  let line name fast refr agree =
+    let tf = time_ms fast and tr = time_ms refr in
+    row "%-40s %-10.3f %-10.3f %-8.2f %s\n" name tf tr (tr /. tf)
+      (if agree then "AGREE" else "DISAGREE")
+  in
+  let cmp_reach (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm =
+    let fast () = Reach.Default.reachable sys bm in
+    let refr () = Reach.Ref.reachable sys bm in
+    let fst_, fs = fast () and rst, rs = refr () in
+    line name fast refr (fst_ = rst && List.length fs = List.length rs)
+  in
+  let cmp_cond (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm c =
+    let fast () = Reach.Default.check_condition sys bm c in
+    let refr () = Reach.Ref.check_condition sys bm c in
+    line name fast refr (fast () = refr ())
+  in
+  (let p = SR.params_of_ints ~n:6 ~d1:1 ~d2:2 in
+   let u =
+     Tm_timed.Condition.make ~name:"U0n"
+       ~t_step:(fun _ a _ -> a = SR.Signal 0)
+       ~bounds:(SR.delay_interval p)
+       ~in_pi:(fun a -> a = SR.Signal 6)
+       ()
+   in
+   cmp_reach "relay n=6: reachable" (SR.line p) (SR.boundmap p);
+   cmp_cond "relay n=6: check U(0,6)" (SR.line p) (SR.boundmap p) u);
+  (let p = RM.params_of_ints ~k:10 ~c1:2 ~c2:3 ~l:1 in
+   cmp_cond "manager k=10: check G1" (RM.system p) (RM.boundmap p) (RM.g1 p));
+  (let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   cmp_reach "fischer n=2: reachable" (F.system p) (F.boundmap p));
+  (let p = TR.params_of_ints ~n:6 ~d1:1 ~d2:2 in
+   cmp_reach "token ring n=6: reachable" (TR.system p) (TR.boundmap p));
+  (let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:3 in
+   cmp_reach "failure detector m=3: reachable" (FD.system p) (FD.boundmap p))
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
   ]
 
 let () =

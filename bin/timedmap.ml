@@ -109,11 +109,17 @@ let generic_check (type s a) (aut : (s, a) TA.t)
   done;
   !violations
 
+(* Zone engine selected by --engine on the verify subcommand: the
+   production in-place kernel, or the reference kernel for
+   cross-checking a suspicious verdict. *)
+let engine : (module Reach.S) ref = ref (module Reach.Default : Reach.S)
+
 let zone_verify (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
     (conds : (s, a) Condition.t list) =
+  let module E = (val !engine) in
   List.iter
     (fun (c : (s, a) Condition.t) ->
-      match Reach.check_condition sys bm c with
+      match E.check_condition sys bm c with
       | Reach.Verified st ->
           Format.printf "%s %s %s: VERIFIED (%d locations, %d zones)@." name
             c.Condition.cname
@@ -295,8 +301,9 @@ let fischer_instance ~n ~a ~b =
         generic_check impl [ F.u_enter p ] ~runs ~steps ~denominator:2);
     verify =
       (fun () ->
+        let module E = (val !engine) in
         (match
-           Reach.check_state_invariant (F.system p) (F.boundmap p)
+           E.check_state_invariant (F.system p) (F.boundmap p)
              F.mutual_exclusion
          with
         | Ok st ->
@@ -330,8 +337,9 @@ let rg_instance ~r1 ~r2 ~w1 ~w2 =
       (fun () ->
         zone_verify "request-grant" (RG.system p) (RG.boundmap p)
           [ RG.u_response p ];
+        let module E = (val !engine) in
         match
-          Reach.check_condition (RG.system p) (RG.boundmap p)
+          E.check_condition (RG.system p) (RG.boundmap p)
             (RG.u_response_no_disable p)
         with
         | Reach.Upper_violation _ ->
@@ -410,8 +418,9 @@ let fd_instance ~g1 ~g2 ~m =
         generic_check impl [ FD.u_detect p ] ~runs ~steps ~denominator:2);
     verify =
       (fun () ->
+        let module E = (val !engine) in
         (match
-           Reach.check_state_invariant (FD.system p) (FD.boundmap p)
+           E.check_state_invariant (FD.system p) (FD.boundmap p)
              FD.no_false_suspicion
          with
         | Ok st ->
@@ -688,8 +697,39 @@ let simple_cmd name ~doc select =
   Cmd.v (Cmd.info name ~doc) Term.(const run $ instance_term $ obs_term)
 
 let verify_cmd =
-  simple_cmd "verify" ~doc:"Exact zone-based verification" (fun i ->
-      i.verify)
+  let engine_conv =
+    let parse = function
+      | "fast" -> Ok (module Reach.Default : Reach.S)
+      | "ref" -> Ok (module Reach.Ref : Reach.S)
+      | other ->
+          Error (`Msg (Printf.sprintf "unknown engine %S (fast | ref)" other))
+    in
+    let print fmt (e : (module Reach.S)) =
+      Format.pp_print_string fmt
+        (if e == (module Reach.Ref : Reach.S) then "ref" else "fast")
+    in
+    Arg.conv (parse, print)
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv (module Reach.Default : Reach.S)
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "DBM kernel for zone exploration: $(b,fast) (in-place, \
+             default) or $(b,ref) (reference kernel, for cross-checking \
+             a verdict). Both run the identical exploration and must \
+             agree.")
+  in
+  let run inst e obs =
+    engine := e;
+    with_obs "verify" obs (fun () ->
+        Format.printf "%s@." inst.describe;
+        inst.verify ())
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Exact zone-based verification")
+    Term.(const run $ instance_term $ engine_arg $ obs_term)
 
 let map_cmd =
   simple_cmd "map" ~doc:"Check the paper's strong possibilities mappings"

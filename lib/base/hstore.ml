@@ -41,6 +41,9 @@ let add t k =
       t.count <- id + 1;
       `Added id
 
+let intern t k =
+  match add t k with `Added _ -> k | `Present id -> t.keys.(id)
+
 let key_of_id t id =
   if id < 0 || id >= t.count then invalid_arg "Hstore.key_of_id";
   t.keys.(id)

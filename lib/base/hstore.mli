@@ -20,6 +20,13 @@ val find : 'k t -> 'k -> int option
 val add : 'k t -> 'k -> [ `Added of int | `Present of int ]
 (** Insert a key; returns its fresh id, or the existing id. *)
 
+val intern : 'k t -> 'k -> 'k
+(** [intern t k] is the canonical representative of [k]: the stored key
+    equal to [k] if one exists (so callers can rely on physical
+    equality of interned values), otherwise [k] itself after adding it.
+    This is what makes hash-consing work: two structurally equal zones
+    interned through the same store are the same pointer. *)
+
 val key_of_id : 'k t -> int -> 'k
 (** @raise Invalid_argument if the id was never assigned. *)
 

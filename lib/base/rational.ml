@@ -40,15 +40,24 @@ let zero = of_int 0
 let one = of_int 1
 let minus_one = of_int (-1)
 
+(* Integer-valued rationals dominate the DBM hot path; adding two of
+   them (or adding zero) needs no gcd renormalization. *)
 let add a b =
-  norm
-    (add_exn (mul_exn a.num b.den) (mul_exn b.num a.den))
-    (mul_exn a.den b.den)
+  if a.num = 0 then b
+  else if b.num = 0 then a
+  else if a.den = 1 && b.den = 1 then { num = add_exn a.num b.num; den = 1 }
+  else
+    norm
+      (add_exn (mul_exn a.num b.den) (mul_exn b.num a.den))
+      (mul_exn a.den b.den)
 
 let sub a b =
-  norm
-    (sub_exn (mul_exn a.num b.den) (mul_exn b.num a.den))
-    (mul_exn a.den b.den)
+  if b.num = 0 then a
+  else if a.den = 1 && b.den = 1 then { num = sub_exn a.num b.num; den = 1 }
+  else
+    norm
+      (sub_exn (mul_exn a.num b.den) (mul_exn b.num a.den))
+      (mul_exn a.den b.den)
 
 let mul a b = norm (mul_exn a.num b.num) (mul_exn a.den b.den)
 
@@ -67,8 +76,10 @@ let mul_int n q = norm (mul_exn n q.num) q.den
 
 let compare a b =
   (* Cross-multiplication with overflow checking keeps comparisons
-     exact. *)
-  Stdlib.compare (mul_exn a.num b.den) (mul_exn b.num a.den)
+     exact; equal denominators (the common case on the DBM hot path)
+     compare numerators directly. *)
+  if a.den = b.den then Stdlib.compare a.num b.num
+  else Stdlib.compare (mul_exn a.num b.den) (mul_exn b.num a.den)
 
 let equal a b = a.num = b.num && a.den = b.den
 let min a b = if compare a b <= 0 then a else b

@@ -40,6 +40,14 @@ let clock enc c =
   if !found < 0 then raise (Open_system ("unknown class " ^ c));
   !found
 
+let class_index enc act =
+  match enc.aut.Ioa.class_of act with
+  | None -> None
+  | Some c -> Some (clock enc c - 1)
+
+let enabled_vec enc s =
+  Array.map (fun c -> Ioa.class_enabled enc.aut c s) enc.classes
+
 let guard enc act =
   match enc.aut.Ioa.class_of act with
   | None -> None

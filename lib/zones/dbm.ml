@@ -1,8 +1,28 @@
+(* Fast DBM kernel: flat array, in-place destructive core, persistent
+   API on top.
+
+   Compared with the reference kernel ({!Dbm_ref}) this kernel
+   - keeps a [Scratch] matrix that whole edge pipelines mutate in
+     place, so a guard+reset+up+invariant+extrapolate chain costs two
+     array copies (load and freeze) instead of one per operation;
+   - answers [sat] in O(1) on a canonical matrix: adding
+     [x_i - x_j <= b] empties the zone iff the cycle [b + m[j][i]]
+     rejects 0, so no copy or quadratic pass is needed;
+   - builds [zero]/[top] from their closed forms, which are already
+     canonical, skipping the O(n^3) Floyd-Warshall of the reference;
+   - memoizes the structural hash per zone and short-circuits [equal]
+     and [includes] on physical equality, which the hash-consed store
+     in {!Reach} makes the common case.
+
+   Every optimisation here is checked op-for-op against {!Dbm_ref} by
+   test/test_dbm_diff.ml. *)
+
 module Rational = Tm_base.Rational
 module Metrics = Tm_obs.Metrics
 
 (* Per-operation counters; handles are module-level so each DBM
-   operation pays one field increment. *)
+   operation pays one field increment.  Scratch ops count too: dbm.ops
+   measures arithmetic work, not API style. *)
 let op name = Metrics.counter "dbm.ops" ~labels:[ ("op", name) ]
 let c_canonicalize = op "canonicalize"
 let c_constrain = op "constrain"
@@ -12,44 +32,31 @@ let c_free = op "free"
 let c_intersect = op "intersect"
 let c_includes = op "includes"
 let c_extrapolate = op "extrapolate"
+let c_sat = op "sat"
 
-type bnd = Lt of Rational.t | Le of Rational.t | Inf
+type bnd = Dbm_bound.t = Lt of Rational.t | Le of Rational.t | Inf
 
-let bnd_compare a b =
-  match (a, b) with
-  | Inf, Inf -> 0
-  | Inf, _ -> 1
-  | _, Inf -> -1
-  | Lt x, Lt y | Le x, Le y -> Rational.compare x y
-  | Lt x, Le y ->
-      let c = Rational.compare x y in
-      if c = 0 then -1 else c
-  | Le x, Lt y ->
-      let c = Rational.compare x y in
-      if c = 0 then 1 else c
+let bnd_compare = Dbm_bound.compare
+let bnd_min = Dbm_bound.min_b
+let bnd_add = Dbm_bound.add
+let bnd_neg_ok = Dbm_bound.neg_ok
 
-let bnd_min a b = if bnd_compare a b <= 0 then a else b
-
-let bnd_add a b =
-  match (a, b) with
-  | Inf, _ | _, Inf -> Inf
-  | Le x, Le y -> Le (Rational.add x y)
-  | Le x, Lt y | Lt x, Le y | Lt x, Lt y -> Lt (Rational.add x y)
-
-(* A DBM is an n×n matrix m with m.(i*n+j) bounding x_i − x_j; the
-   [empty] flag caches emptiness after canonicalization. *)
-type t = { n : int; m : bnd array; empty : bool }
+(* [hmemo] caches the structural hash ([min_int] = not yet computed);
+   persistent values are immutable apart from this memo. *)
+type t = { n : int; m : bnd array; empty : bool; mutable hmemo : int }
 
 let dim z = z.n
 let get z i j = z.m.(i * z.n + j)
 let is_empty z = z.empty
+let mk n m empty = { n; m; empty; hmemo = min_int }
 
-let bnd_neg_ok = function
-  | Le q -> Rational.sign q >= 0
-  | Lt q -> Rational.sign q > 0
-  | Inf -> true
+(* ------------------------------------------------------------------ *)
+(* In-place core: all operations work directly on a flat array and
+   assume a canonical, nonempty input unless stated otherwise.         *)
 
-(* Floyd–Warshall tightening; detects emptiness via negative diagonal. *)
+(* Floyd-Warshall tightening; detects emptiness via negative diagonal.
+   Only needed after [intersect]/[extrapolate]; the single-constraint
+   path uses [tighten_arr]. *)
 let canonicalize_arr n m =
   Metrics.incr c_canonicalize;
   let idx i j = (i * n) + j in
@@ -64,16 +71,89 @@ let canonicalize_arr n m =
        done
      done
    with Exit -> m.(0) <- Lt Rational.zero);
-  let empty = not (bnd_neg_ok m.(0)) in
-  empty
+  not (bnd_neg_ok m.(0))
 
-let of_arr n m =
-  let empty = canonicalize_arr n m in
-  { n; m; empty }
+(* Partial re-canonicalization after adding x_i - x_j <= b (i <> j) to
+   a canonical nonempty matrix where the constraint is known both
+   tightening and satisfiable: every entry improves only through the
+   new edge, so one O(n^2) pass x -> i -> [b] -> j -> y suffices.
+   In-place is safe: the pass never tightens row j or column i (their
+   shortest paths through the new edge close a nonnegative cycle), so
+   all values it reads are originals. *)
+let tighten_arr n m i j b =
+  let rowj = j * n in
+  for x = 0 to n - 1 do
+    let x_to_i = m.((x * n) + i) in
+    if x_to_i <> Inf then begin
+      let via = bnd_add x_to_i b in
+      let rowx = x * n in
+      for y = 0 to n - 1 do
+        let jy = m.(rowj + y) in
+        if jy <> Inf then begin
+          let cand = bnd_add via jy in
+          if bnd_compare cand m.(rowx + y) < 0 then m.(rowx + y) <- cand
+        end
+      done
+    end
+  done
 
+(* Emptiness of [z /\ (x_i - x_j <= b)] for canonical nonempty m in
+   O(1): the only candidate negative cycle is i -> j (new edge) -> i. *)
+let unsat_with n m i j b = not (bnd_neg_ok (bnd_add b m.((j * n) + i)))
+
+let up_arr n m =
+  for i = 1 to n - 1 do
+    m.(i * n) <- Inf
+  done
+
+(* In-place is safe: writes hit row x / column x only, reads come from
+   row 0 / column 0, and the overlap cells m[0][x], m[x][0] are written
+   at j = 0 before any j > 0 read (which skips j = x anyway). *)
+let reset_arr n m x =
+  for j = 0 to n - 1 do
+    if j <> x then begin
+      m.((x * n) + j) <- m.(j);
+      (* x_x - x_j = 0 - x_j *)
+      m.((j * n) + x) <- m.(j * n)
+    end
+  done;
+  m.((x * n) + x) <- Le Rational.zero
+
+let free_arr n m x =
+  for j = 0 to n - 1 do
+    if j <> x then begin
+      m.((x * n) + j) <- Inf;
+      m.((j * n) + x) <- m.(j * n)
+    end
+  done
+
+(* Relax entries beyond the max constant; returns whether anything
+   changed (in which case the matrix needs re-closing). *)
+let extrapolate_arr n m mc neg_mc =
+  let changed = ref false in
+  for k = 0 to (n * n) - 1 do
+    match m.(k) with
+    | Inf -> ()
+    | Le c | Lt c ->
+        if Rational.compare c mc > 0 then begin
+          m.(k) <- Inf;
+          changed := true
+        end
+        else if Rational.compare c neg_mc < 0 then begin
+          m.(k) <- Lt neg_mc;
+          changed := true
+        end
+  done;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Persistent API.                                                     *)
+
+(* The closed forms of [zero] and [top] are already canonical — no
+   Floyd-Warshall needed. *)
 let zero n =
   if n < 1 then invalid_arg "Dbm.zero";
-  of_arr n (Array.make (n * n) (Le Rational.zero))
+  mk n (Array.make (n * n) (Le Rational.zero)) false
 
 let top n =
   if n < 1 then invalid_arg "Dbm.top";
@@ -83,55 +163,32 @@ let top n =
     (* reference minus any clock is <= 0: clocks are nonnegative *)
     m.(i) <- Le Rational.zero
   done;
-  m.(0) <- Le Rational.zero;
-  of_arr n m
+  mk n m false
 
-(* Incremental tightening after adding x_i - x_j <= b to a canonical
-   DBM: every entry can only improve through the new edge, so one
-   O(n^2) pass over pairs (x, y) via x -> i -> j -> y suffices. *)
 let constrain z i j b =
   Metrics.incr c_constrain;
   if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm.constrain";
   if z.empty then z
   else if bnd_compare b (get z i j) >= 0 then z
+  else if unsat_with z.n z.m i j b then
+    (* Keep the untouched matrix; [equal]/[hash]/[includes] never look
+       at the entries of an empty zone. *)
+    { n = z.n; m = z.m; empty = true; hmemo = 0 }
   else begin
-    let n = z.n in
+    (* i = j would require b < Le 0, which [unsat_with] already caught
+       (m[i][i] = Le 0), so the tightening pass only sees i <> j. *)
     let m = Array.copy z.m in
-    let idx x y = (x * n) + y in
-    if i = j then m.(idx i i) <- bnd_min m.(idx i i) b
-    else begin
-      for x = 0 to n - 1 do
-        let x_to_i = m.(idx x i) in
-        if x_to_i <> Inf then begin
-          let via = bnd_add x_to_i b in
-          for y = 0 to n - 1 do
-            let cand = bnd_add via m.(idx j y) in
-            if bnd_compare cand m.(idx x y) < 0 then m.(idx x y) <- cand
-          done
-        end
-      done
-    end;
-    let empty =
-      let ok = ref true in
-      for x = 0 to n - 1 do
-        if not (bnd_neg_ok m.(idx x x)) then ok := false
-      done;
-      not !ok
-    in
-    { n; m; empty }
+    tighten_arr z.n m i j b;
+    mk z.n m false
   end
 
-(* Both [up] and [reset] preserve canonical form (standard DBM
-   results), so no re-closing is needed. *)
 let up z =
   Metrics.incr c_up;
   if z.empty then z
   else begin
     let m = Array.copy z.m in
-    for i = 1 to z.n - 1 do
-      m.((i * z.n) + 0) <- Inf
-    done;
-    { z with m }
+    up_arr z.n m;
+    mk z.n m false
   end
 
 let reset z x =
@@ -139,107 +196,98 @@ let reset z x =
   if x < 1 || x >= z.n then invalid_arg "Dbm.reset";
   if z.empty then z
   else begin
-    let n = z.n in
     let m = Array.copy z.m in
-    for j = 0 to n - 1 do
-      m.((x * n) + j) <- z.m.(j);
-      (* x_x − x_j = 0 − x_j *)
-      m.((j * n) + x) <- z.m.((j * n) + 0)
-    done;
-    m.((x * n) + x) <- Le Rational.zero;
-    { z with m }
+    reset_arr z.n m x;
+    mk z.n m false
   end
 
-(* Like [up] and [reset], [free] preserves canonical form. *)
 let free z x =
   Metrics.incr c_free;
   if x < 1 || x >= z.n then invalid_arg "Dbm.free";
   if z.empty then z
   else begin
-    let n = z.n in
     let m = Array.copy z.m in
-    for j = 0 to n - 1 do
-      if j <> x then begin
-        m.((x * n) + j) <- Inf;
-        m.((j * n) + x) <- z.m.((j * n) + 0)
-      end
-    done;
-    { z with m }
-  end
-
-let intersect a b =
-  Metrics.incr c_intersect;
-  if a.n <> b.n then invalid_arg "Dbm.intersect";
-  if a.empty then a
-  else if b.empty then b
-  else begin
-    let m = Array.init (a.n * a.n) (fun k -> bnd_min a.m.(k) b.m.(k)) in
-    of_arr a.n m
+    free_arr z.n m x;
+    mk z.n m false
   end
 
 let includes big small =
   Metrics.incr c_includes;
   if big.n <> small.n then invalid_arg "Dbm.includes";
-  if small.empty then true
+  if big == small then true
+  else if small.empty then true
   else if big.empty then false
-  else
+  else begin
+    let len = big.n * big.n in
+    let k = ref 0 in
     let ok = ref true in
-    Array.iteri
-      (fun k b -> if bnd_compare small.m.(k) b > 0 then ok := false)
-      big.m;
+    while !ok && !k < len do
+      if bnd_compare small.m.(!k) big.m.(!k) > 0 then ok := false;
+      incr k
+    done;
     !ok
+  end
+
+let intersect a b =
+  Metrics.incr c_intersect;
+  if a.n <> b.n then invalid_arg "Dbm.intersect";
+  if a == b then a
+  else if a.empty then a
+  else if b.empty then b
+  else begin
+    let m = Array.init (a.n * a.n) (fun k -> bnd_min a.m.(k) b.m.(k)) in
+    let empty = canonicalize_arr a.n m in
+    mk a.n m empty
+  end
 
 let extrapolate mc z =
   Metrics.incr c_extrapolate;
   if z.empty then z
   else begin
-    let n = z.n in
     let m = Array.copy z.m in
-    let changed = ref false in
-    for k = 0 to (n * n) - 1 do
-      (match m.(k) with
-      | Inf -> ()
-      | Le c | Lt c ->
-          if Rational.(c > mc) then begin
-            m.(k) <- Inf;
-            changed := true
-          end
-          else if Rational.(c < Rational.neg mc) then begin
-            m.(k) <- Lt (Rational.neg mc);
-            changed := true
-          end)
-    done;
-    if not !changed then z
+    if not (extrapolate_arr z.n m mc (Rational.neg mc)) then z
     else begin
-      ignore (canonicalize_arr n m);
-      { z with m }
+      (* Extrapolation relaxes a nonempty zone, so it stays nonempty. *)
+      ignore (canonicalize_arr z.n m);
+      mk z.n m false
     end
   end
 
-let sat z i j b = not (is_empty (constrain z i j b))
+let sat z i j b =
+  Metrics.incr c_sat;
+  if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm.sat";
+  (not z.empty) && not (unsat_with z.n z.m i j b)
 
-let equal a b =
-  a.n = b.n && a.empty = b.empty
-  && (a.empty
-     || Array.for_all2 (fun x y -> bnd_compare x y = 0) a.m b.m)
+let loose z =
+  if z.empty then 0
+  else Array.fold_left (fun acc b -> if b = Inf then acc + 1 else acc) 0 z.m
 
 let hash z =
   if z.empty then 0
-  else
-    Array.fold_left
-      (fun h b ->
-        (h * 31)
-        +
-        match b with
-        | Inf -> 7
-        | Le q -> 3 + Rational.hash q
-        | Lt q -> 5 + Rational.hash q)
-      z.n z.m
+  else if z.hmemo <> min_int then z.hmemo
+  else begin
+    let h =
+      Array.fold_left (fun h b -> (h * 31) + Dbm_bound.hash b) z.n z.m
+    in
+    let h = if h = min_int then min_int + 1 else h in
+    z.hmemo <- h;
+    h
+  end
 
-let pp_bnd fmt = function
-  | Inf -> Format.pp_print_string fmt "inf"
-  | Le q -> Format.fprintf fmt "<=%a" Rational.pp q
-  | Lt q -> Format.fprintf fmt "<%a" Rational.pp q
+let equal a b =
+  a == b
+  || a.n = b.n && a.empty = b.empty
+     && (a.empty
+        || (a.hmemo = min_int || b.hmemo = min_int || a.hmemo = b.hmemo)
+           &&
+           let len = a.n * a.n in
+           let k = ref 0 in
+           let eq = ref true in
+           while !eq && !k < len do
+             if bnd_compare a.m.(!k) b.m.(!k) <> 0 then eq := false;
+             incr k
+           done;
+           !eq)
 
 let pp fmt z =
   if z.empty then Format.pp_print_string fmt "empty"
@@ -247,9 +295,63 @@ let pp fmt z =
     Format.fprintf fmt "@[<v>";
     for i = 0 to z.n - 1 do
       for j = 0 to z.n - 1 do
-        Format.fprintf fmt "%a " pp_bnd (get z i j)
+        Format.fprintf fmt "%a " Dbm_bound.pp (get z i j)
       done;
       Format.fprintf fmt "@,"
     done;
     Format.fprintf fmt "@]"
   end
+
+(* ------------------------------------------------------------------ *)
+(* Scratch: one reusable matrix per exploration; every op mutates it
+   in place and keeps it canonical, so [freeze] is a plain copy.       *)
+
+module Scratch = struct
+  type scratch = { sn : int; sm : bnd array; mutable sempty : bool }
+
+  let create n =
+    if n < 1 then invalid_arg "Dbm.Scratch.create";
+    { sn = n; sm = Array.make (n * n) Inf; sempty = true }
+
+  let load s z =
+    if s.sn <> z.n then invalid_arg "Dbm.Scratch.load";
+    Array.blit z.m 0 s.sm 0 (s.sn * s.sn);
+    s.sempty <- z.empty
+
+  let is_empty s = s.sempty
+
+  let constrain s i j b =
+    Metrics.incr c_constrain;
+    if i < 0 || i >= s.sn || j < 0 || j >= s.sn then
+      invalid_arg "Dbm.Scratch.constrain";
+    if (not s.sempty) && bnd_compare b s.sm.((i * s.sn) + j) < 0 then
+      if unsat_with s.sn s.sm i j b then s.sempty <- true
+      else tighten_arr s.sn s.sm i j b
+
+  let up s =
+    Metrics.incr c_up;
+    if not s.sempty then up_arr s.sn s.sm
+
+  let reset s x =
+    Metrics.incr c_reset;
+    if x < 1 || x >= s.sn then invalid_arg "Dbm.Scratch.reset";
+    if not s.sempty then reset_arr s.sn s.sm x
+
+  let free s x =
+    Metrics.incr c_free;
+    if x < 1 || x >= s.sn then invalid_arg "Dbm.Scratch.free";
+    if not s.sempty then free_arr s.sn s.sm x
+
+  let extrapolate mc s =
+    Metrics.incr c_extrapolate;
+    if (not s.sempty) && extrapolate_arr s.sn s.sm mc (Rational.neg mc) then
+      ignore (canonicalize_arr s.sn s.sm)
+
+  let sat s i j b =
+    Metrics.incr c_sat;
+    if i < 0 || i >= s.sn || j < 0 || j >= s.sn then
+      invalid_arg "Dbm.Scratch.sat";
+    (not s.sempty) && not (unsat_with s.sn s.sm i j b)
+
+  let freeze s = mk s.sn (Array.copy s.sm) s.sempty
+end

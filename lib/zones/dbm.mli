@@ -1,4 +1,4 @@
-(** Difference bound matrices over exact rationals.
+(** Difference bound matrices over exact rationals — fast kernel.
 
     The zone engine gives an exact (non-discretized) verification path
     for boundmap timed automata, independent of the mapping method — an
@@ -8,58 +8,23 @@
     reference) stores for every ordered pair a bound
     [x_i − x_j < c] or [x_i − x_j <= c] or unbounded.  All exposed
     values are kept in canonical (all-pairs-tightened) form, so
-    equality of zones is equality of representations. *)
+    equality of zones is equality of representations.
 
-type bnd = Lt of Tm_base.Rational.t | Le of Tm_base.Rational.t | Inf
+    This is the in-place flat-array kernel: persistent operations copy
+    once and tighten incrementally (O(n²) after a single constraint,
+    O(1) [sat]), and the [Scratch] sub-module exposes the destructive
+    core so a whole successor pipeline costs two copies.  Structural
+    hashes are memoized and [equal]/[includes] short-circuit on
+    physical equality, which the hash-consed store in {!Reach} makes
+    the common case.  The original straightforward kernel survives as
+    {!Dbm_ref}; test/test_dbm_diff.ml checks this one against it
+    op-for-op. *)
+
+type bnd = Dbm_bound.t = Lt of Tm_base.Rational.t | Le of Tm_base.Rational.t | Inf
 
 val bnd_compare : bnd -> bnd -> int
 (** Order by tightness: smaller = tighter; [Lt c < Le c < Inf]. *)
 
 val bnd_add : bnd -> bnd -> bnd
 
-type t
-
-val dim : t -> int
-(** Number of clocks including the reference. *)
-
-val zero : int -> t
-(** [zero n]: the zone where all [n-1] real clocks equal 0. *)
-
-val top : int -> t
-(** All clocks nonnegative, otherwise unconstrained. *)
-
-val is_empty : t -> bool
-val get : t -> int -> int -> bnd
-
-val constrain : t -> int -> int -> bnd -> t
-(** [constrain z i j b]: intersect with [x_i − x_j ≤/< c].  Result is
-    canonical (and possibly empty). *)
-
-val up : t -> t
-(** Time elapse: remove the upper bounds of all clocks (the "future"
-    operator). *)
-
-val reset : t -> int -> t
-(** [reset z x]: set clock [x] to 0. *)
-
-val free : t -> int -> t
-(** [free z x]: forget everything about clock [x] except [x >= 0].
-    Sound whenever [x] is inactive (not read before its next reset);
-    the classic activity reduction. *)
-
-val intersect : t -> t -> t
-val includes : t -> t -> bool
-(** [includes big small]: every valuation of [small] is in [big]. *)
-
-val extrapolate : Tm_base.Rational.t -> t -> t
-(** Classic max-constant extrapolation: bounds above [m] become
-    unbounded, lower bounds below [−m] are relaxed to [−m].  Sound for
-    the diagonal-free automata produced by {!Clock_enc}; guarantees
-    termination of reachability. *)
-
-val sat : t -> int -> int -> bnd -> bool
-(** Is the intersection with [x_i − x_j ≤/< c] nonempty? *)
-
-val equal : t -> t -> bool
-val hash : t -> int
-val pp : Format.formatter -> t -> unit
+include Dbm_sig.S

@@ -1,0 +1,224 @@
+(* Reference DBM kernel: the original straightforward implementation,
+   kept verbatim (minus metrics) as the oracle for differential testing
+   of the fast in-place kernel in {!Dbm}.  Every operation copies the
+   matrix; [sat] re-runs a full constrain; [zero]/[top]/[intersect]
+   re-canonicalize from scratch.  Slow on purpose — do not optimise. *)
+
+module Rational = Tm_base.Rational
+
+type bnd = Dbm_bound.t = Lt of Rational.t | Le of Rational.t | Inf
+
+let bnd_compare = Dbm_bound.compare
+let bnd_min = Dbm_bound.min_b
+let bnd_add = Dbm_bound.add
+let bnd_neg_ok = Dbm_bound.neg_ok
+
+type t = { n : int; m : bnd array; empty : bool }
+
+let dim z = z.n
+let get z i j = z.m.(i * z.n + j)
+let is_empty z = z.empty
+
+(* Floyd–Warshall tightening; detects emptiness via negative diagonal. *)
+let canonicalize_arr n m =
+  let idx i j = (i * n) + j in
+  (try
+     for k = 0 to n - 1 do
+       for i = 0 to n - 1 do
+         for j = 0 to n - 1 do
+           let via = bnd_add m.(idx i k) m.(idx k j) in
+           if bnd_compare via m.(idx i j) < 0 then m.(idx i j) <- via
+         done;
+         if not (bnd_neg_ok m.(idx i i)) then raise Exit
+       done
+     done
+   with Exit -> m.(0) <- Lt Rational.zero);
+  let empty = not (bnd_neg_ok m.(0)) in
+  empty
+
+let of_arr n m =
+  let empty = canonicalize_arr n m in
+  { n; m; empty }
+
+let zero n =
+  if n < 1 then invalid_arg "Dbm_ref.zero";
+  of_arr n (Array.make (n * n) (Le Rational.zero))
+
+let top n =
+  if n < 1 then invalid_arg "Dbm_ref.top";
+  let m = Array.make (n * n) Inf in
+  for i = 0 to n - 1 do
+    m.((i * n) + i) <- Le Rational.zero;
+    (* reference minus any clock is <= 0: clocks are nonnegative *)
+    m.(i) <- Le Rational.zero
+  done;
+  m.(0) <- Le Rational.zero;
+  of_arr n m
+
+(* Incremental tightening after adding x_i - x_j <= b to a canonical
+   DBM: every entry can only improve through the new edge, so one
+   O(n^2) pass over pairs (x, y) via x -> i -> j -> y suffices. *)
+let constrain z i j b =
+  if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm_ref.constrain";
+  if z.empty then z
+  else if bnd_compare b (get z i j) >= 0 then z
+  else begin
+    let n = z.n in
+    let m = Array.copy z.m in
+    let idx x y = (x * n) + y in
+    if i = j then m.(idx i i) <- bnd_min m.(idx i i) b
+    else begin
+      for x = 0 to n - 1 do
+        let x_to_i = m.(idx x i) in
+        if x_to_i <> Inf then begin
+          let via = bnd_add x_to_i b in
+          for y = 0 to n - 1 do
+            let cand = bnd_add via m.(idx j y) in
+            if bnd_compare cand m.(idx x y) < 0 then m.(idx x y) <- cand
+          done
+        end
+      done
+    end;
+    let empty =
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        if not (bnd_neg_ok m.(idx x x)) then ok := false
+      done;
+      not !ok
+    in
+    { n; m; empty }
+  end
+
+(* Both [up] and [reset] preserve canonical form (standard DBM
+   results), so no re-closing is needed. *)
+let up z =
+  if z.empty then z
+  else begin
+    let m = Array.copy z.m in
+    for i = 1 to z.n - 1 do
+      m.((i * z.n) + 0) <- Inf
+    done;
+    { z with m }
+  end
+
+let reset z x =
+  if x < 1 || x >= z.n then invalid_arg "Dbm_ref.reset";
+  if z.empty then z
+  else begin
+    let n = z.n in
+    let m = Array.copy z.m in
+    for j = 0 to n - 1 do
+      m.((x * n) + j) <- z.m.(j);
+      (* x_x − x_j = 0 − x_j *)
+      m.((j * n) + x) <- z.m.((j * n) + 0)
+    done;
+    m.((x * n) + x) <- Le Rational.zero;
+    { z with m }
+  end
+
+(* Like [up] and [reset], [free] preserves canonical form. *)
+let free z x =
+  if x < 1 || x >= z.n then invalid_arg "Dbm_ref.free";
+  if z.empty then z
+  else begin
+    let n = z.n in
+    let m = Array.copy z.m in
+    for j = 0 to n - 1 do
+      if j <> x then begin
+        m.((x * n) + j) <- Inf;
+        m.((j * n) + x) <- z.m.((j * n) + 0)
+      end
+    done;
+    { z with m }
+  end
+
+let intersect a b =
+  if a.n <> b.n then invalid_arg "Dbm_ref.intersect";
+  if a.empty then a
+  else if b.empty then b
+  else begin
+    let m = Array.init (a.n * a.n) (fun k -> bnd_min a.m.(k) b.m.(k)) in
+    of_arr a.n m
+  end
+
+let includes big small =
+  if big.n <> small.n then invalid_arg "Dbm_ref.includes";
+  if small.empty then true
+  else if big.empty then false
+  else
+    let ok = ref true in
+    Array.iteri
+      (fun k b -> if bnd_compare small.m.(k) b > 0 then ok := false)
+      big.m;
+    !ok
+
+let extrapolate mc z =
+  if z.empty then z
+  else begin
+    let n = z.n in
+    let m = Array.copy z.m in
+    let changed = ref false in
+    for k = 0 to (n * n) - 1 do
+      (match m.(k) with
+      | Inf -> ()
+      | Le c | Lt c ->
+          if Rational.(c > mc) then begin
+            m.(k) <- Inf;
+            changed := true
+          end
+          else if Rational.(c < Rational.neg mc) then begin
+            m.(k) <- Lt (Rational.neg mc);
+            changed := true
+          end)
+    done;
+    if not !changed then z
+    else begin
+      ignore (canonicalize_arr n m);
+      { z with m }
+    end
+  end
+
+let sat z i j b = not (is_empty (constrain z i j b))
+
+let loose z =
+  if z.empty then 0
+  else Array.fold_left (fun acc b -> if b = Inf then acc + 1 else acc) 0 z.m
+
+let equal a b =
+  a.n = b.n && a.empty = b.empty
+  && (a.empty || Array.for_all2 (fun x y -> bnd_compare x y = 0) a.m b.m)
+
+let hash z =
+  if z.empty then 0
+  else Array.fold_left (fun h b -> (h * 31) + Dbm_bound.hash b) z.n z.m
+
+let pp fmt z =
+  if z.empty then Format.pp_print_string fmt "empty"
+  else begin
+    Format.fprintf fmt "@[<v>";
+    for i = 0 to z.n - 1 do
+      for j = 0 to z.n - 1 do
+        Format.fprintf fmt "%a " Dbm_bound.pp (get z i j)
+      done;
+      Format.fprintf fmt "@,"
+    done;
+    Format.fprintf fmt "@]"
+  end
+
+(* Scratch for the reference kernel is just a cell holding a persistent
+   zone: every "destructive" op pays the full persistent cost, which is
+   exactly what the differential benchmark wants to compare against. *)
+module Scratch = struct
+  type scratch = { mutable cur : t }
+
+  let create n = { cur = zero n }
+  let load s z = s.cur <- z
+  let constrain s i j b = s.cur <- constrain s.cur i j b
+  let up s = s.cur <- up s.cur
+  let reset s x = s.cur <- reset s.cur x
+  let free s x = s.cur <- free s.cur x
+  let extrapolate mc s = s.cur <- extrapolate mc s.cur
+  let is_empty s = is_empty s.cur
+  let sat s i j b = sat s.cur i j b
+  let freeze s = s.cur
+end

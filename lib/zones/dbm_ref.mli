@@ -1,0 +1,7 @@
+(** Reference DBM kernel — the original copy-everything implementation,
+    retained solely as the oracle for the differential test/bench
+    harness against the fast in-place {!Dbm}.  Production code should
+    never use this module directly; go through {!Reach} (or {!Reach.Ref}
+    for the reference engine). *)
+
+include Dbm_sig.S

@@ -1,0 +1,87 @@
+(* Signature shared by the fast in-place kernel ({!Dbm}) and the
+   straightforward reference kernel ({!Dbm_ref}).  {!Reach.Make} is a
+   functor over this signature, so the two engines share one
+   exploration discipline and differ only in DBM arithmetic — which is
+   what makes op-for-op and fixpoint-for-fixpoint differential testing
+   meaningful, and keeps [zones.stored] identical by construction.
+
+   Clock [0] is the reference clock fixed at 0; entry [(i, j)] bounds
+   the difference [x_i - x_j].  All values are canonical (shortest-path
+   closed) unless empty. *)
+
+module type S = sig
+  type t
+  (** A persistent zone: immutable from the caller's point of view. *)
+
+  val dim : t -> int
+  (** Number of clocks including the reference clock. *)
+
+  val zero : int -> t
+  (** All clocks equal to 0. *)
+
+  val top : int -> t
+  (** All clocks unconstrained (but nonnegative). *)
+
+  val is_empty : t -> bool
+
+  val get : t -> int -> int -> Dbm_bound.t
+  (** [get z i j] is the bound on [x_i - x_j]. *)
+
+  val constrain : t -> int -> int -> Dbm_bound.t -> t
+  (** [constrain z i j b] intersects with [x_i - x_j <= b] ([<] if
+      strict) and re-canonicalizes incrementally. *)
+
+  val up : t -> t
+  (** Delay closure: let arbitrary time elapse. *)
+
+  val reset : t -> int -> t
+  (** [reset z x] sets clock [x] to 0. *)
+
+  val free : t -> int -> t
+  (** [free z x] forgets all constraints on clock [x]. *)
+
+  val intersect : t -> t -> t
+  val includes : t -> t -> bool
+
+  val extrapolate : Tm_base.Rational.t -> t -> t
+  (** Max-constant extrapolation: bounds above [mc] become [Inf],
+      bounds below [-mc] become [Lt (-mc)]. *)
+
+  val sat : t -> int -> int -> Dbm_bound.t -> bool
+  (** [sat z i j b]: is [z /\ (x_i - x_j <= b)] nonempty? *)
+
+  val loose : t -> int
+  (** Number of [Inf] entries — a cheap "largeness" proxy used to order
+      waiting-list expansion (larger zones first subsume more). *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  (** Destructive operations on a reusable scratch matrix.  One scratch
+      lives for a whole exploration; each edge loads a stored zone,
+      applies the guard/reset/delay/invariant pipeline in place, and
+      freezes the result only if it survives. *)
+  module Scratch : sig
+    type scratch
+
+    val create : int -> scratch
+    (** [create n] allocates a scratch matrix for [n] clocks. *)
+
+    val load : scratch -> t -> unit
+    (** Copy a persistent zone into the scratch. *)
+
+    val constrain : scratch -> int -> int -> Dbm_bound.t -> unit
+    val up : scratch -> unit
+    val reset : scratch -> int -> unit
+    val free : scratch -> int -> unit
+    val extrapolate : Tm_base.Rational.t -> scratch -> unit
+    val is_empty : scratch -> bool
+
+    val sat : scratch -> int -> int -> Dbm_bound.t -> bool
+    (** Satisfiability of one extra constraint, without mutating. *)
+
+    val freeze : scratch -> t
+    (** Snapshot the scratch as a persistent zone. *)
+  end
+end

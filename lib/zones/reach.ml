@@ -8,9 +8,13 @@ module Condition = Tm_timed.Condition
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
 
+(* Counter handles are shared by every engine instantiation, so the
+   fast and reference engines report into the same metrics. *)
 let c_zones_stored = Metrics.counter "zones.stored"
 let c_zones_subsumed = Metrics.counter "zones.subsumed"
 let c_zone_edges = Metrics.counter "zones.edges"
+let c_zones_pruned_waiting = Metrics.counter "zones.pruned_waiting"
+let c_zones_interned = Metrics.counter "zones.interned"
 let g_waiting_max = Metrics.gauge "zones.waiting_max"
 
 type stats = { locations : int; zones : int; edges : int }
@@ -25,243 +29,408 @@ exception Open_system = Clock_enc.Open_system
 
 type phase = Idle | Armed
 
-(* The zone engine's view of the encoding: the shared class clocks of
-   {!Clock_enc} (DBM indices 1..n, index 0 is the reference), plus an
-   optional observer clock. *)
-type ('s, 'a) enc = {
-  cenc : ('s, 'a) Clock_enc.t;
-  nclocks : int;  (** DBM dimension *)
-  y : int option;  (** observer clock *)
-  max_const : Rational.t;
-}
+module type S = sig
+  val reachable :
+    ?limit:int -> ('s, 'a) Ioa.t -> Boundmap.t -> stats * 's list
 
-let make_enc a bm ~with_observer ~cond_bounds =
-  let cenc = Clock_enc.make a bm in
-  let max_const =
-    match cond_bounds with
-    | None -> cenc.Clock_enc.max_const
-    | Some iv -> (
-        let m = Rational.max cenc.Clock_enc.max_const (Interval.lo iv) in
-        match Interval.hi iv with
-        | Time.Fin q -> Rational.max m q
-        | Time.Inf -> m)
-  in
-  let nreal = cenc.Clock_enc.nclasses in
-  {
-    cenc;
-    nclocks = nreal + 1 + (if with_observer then 1 else 0);
-    y = (if with_observer then Some (nreal + 1) else None);
-    max_const;
+  val check_state_invariant :
+    ?limit:int -> ('s, 'a) Ioa.t -> Boundmap.t -> ('s -> bool) ->
+    (stats, 's) result
+
+  val check_condition :
+    ?limit:int -> ('s, 'a) Ioa.t -> Boundmap.t -> ('s, 'a) Condition.t ->
+    outcome
+end
+
+(* The exploration discipline — waiting-list policy, subsumption,
+   caches, metrics — lives in this functor and is therefore shared by
+   the fast engine and the reference engine; only the DBM arithmetic
+   differs.  That makes [zones.stored] identical across kernels by
+   construction, which the CI determinism guard and the differential
+   harness both rely on. *)
+module Make (K : Dbm_sig.S) : S = struct
+  (* The zone engine's view of the encoding: the shared class clocks of
+     {!Clock_enc} (DBM indices 1..n, index 0 is the reference), plus an
+     optional observer clock.  Guards and invariants are precomputed
+     into arrays so the per-edge pipeline does no boundmap lookups and
+     allocates no bound values. *)
+  type ('s, 'a) enc = {
+    cenc : ('s, 'a) Clock_enc.t;
+    nclocks : int;  (** DBM dimension *)
+    y : int option;  (** observer clock *)
+    max_const : Rational.t;
+    guards : ('a * (int * Dbm_bound.t) option * int) array;
+        (** per action: guard [(clock, Le (-b_l))] and class index
+            ([-1] when classless) *)
+    uppers : Dbm_bound.t option array;
+        (** per class index: invariant bound [Le b_u] when finite *)
   }
 
-let apply_invariant enc s z =
-  List.fold_left
-    (fun z (x, q) -> Dbm.constrain z x 0 (Dbm.Le q))
-    z
-    (Clock_enc.invariant enc.cenc s)
+  let make_enc a bm ~with_observer ~cond_bounds =
+    let cenc = Clock_enc.make a bm in
+    let max_const =
+      match cond_bounds with
+      | None -> cenc.Clock_enc.max_const
+      | Some iv -> (
+          let m = Rational.max cenc.Clock_enc.max_const (Interval.lo iv) in
+          match Interval.hi iv with
+          | Time.Fin q -> Rational.max m q
+          | Time.Inf -> m)
+    in
+    let nreal = cenc.Clock_enc.nclasses in
+    let guards =
+      Array.of_list
+        (List.map
+           (fun act ->
+             let g =
+               match Clock_enc.guard cenc act with
+               | None -> None
+               | Some (x, bl) ->
+                   Some (x, Dbm_bound.Le (Rational.neg bl))
+             in
+             let ci =
+               match Clock_enc.class_index cenc act with
+               | Some i -> i
+               | None -> -1
+             in
+             (act, g, ci))
+           a.Ioa.alphabet)
+    in
+    let uppers =
+      Array.map
+        (fun c ->
+          match Boundmap.upper bm c with
+          | Time.Fin q -> Some (Dbm_bound.Le q)
+          | Time.Inf -> None)
+        cenc.Clock_enc.classes
+    in
+    {
+      cenc;
+      nclocks = nreal + 1 + (if with_observer then 1 else 0);
+      y = (if with_observer then Some (nreal + 1) else None);
+      max_const;
+      guards;
+      uppers;
+    }
 
-let apply_ops z ops =
-  List.fold_left
-    (fun z op ->
-      match op with
-      | Clock_enc.Reset x -> Dbm.reset z x
-      | Clock_enc.Free x -> Dbm.free z x)
-    z ops
+  (* A stored zone doubling as a waiting-list entry.  [alive] is
+     cleared when a later, larger zone at the same location subsumes
+     it; [expanded] distinguishes passed-list members from entries
+     pruned while still waiting (the [zones.pruned_waiting] signal). *)
+  type zentry = {
+    z : K.t;
+    zloose : int;
+    seq : int;
+    mutable alive : bool;
+    mutable expanded : bool;
+  }
 
-let guard enc act z =
-  match Clock_enc.guard enc.cenc act with
-  | None -> z
-  | Some (x, bl) -> Dbm.constrain z 0 x (Dbm.Le (Rational.neg bl))
-
-(* Generic exploration.  [observe] sees each discrete step and the
-   guard-constrained zone and returns the observer phase transition
-   plus the operation on the observer clock ([`Reset], [`Free] while it
-   is not being read, or [`Keep]); [inspect] sees every stored
-   (state, phase, zone). *)
-let explore (type s a) ?(limit = 200_000) (enc : (s, a) enc)
-    ~(initial_phase : s -> phase)
-    ~(observe :
-       phase -> s -> a -> s -> Dbm.t
-       -> (phase * [ `Reset | `Free | `Keep ], string) result)
-    ~(inspect : phase -> s -> Dbm.t -> unit) =
-  let a = enc.cenc.Clock_enc.aut in
-  let store =
-    Hstore.create
-      ~equal:(fun (s1, p1) (s2, p2) -> p1 = p2 && a.Ioa.equal_state s1 s2)
-      ~hash:(fun (s, p) ->
-        (a.Ioa.hash_state s * 2) + match p with Idle -> 0 | Armed -> 1)
-      256
-  in
-  let zones : (int, Dbm.t list ref) Hashtbl.t = Hashtbl.create 256 in
-  let edges = ref 0 in
-  let zone_count = ref 0 in
-  let queue = Queue.create () in
-  let exception Unsupported_shape of string in
-  let exception Limit in
-  let add s p z =
-    if Dbm.is_empty z then ()
-    else begin
-      let id =
-        match Hstore.add store (s, p) with `Added i | `Present i -> i
-      in
-      let cell =
-        match Hashtbl.find_opt zones id with
-        | Some c -> c
-        | None ->
-            let c = ref [] in
-            Hashtbl.add zones id c;
-            c
-      in
-      if not (List.exists (fun z' -> Dbm.includes z' z) !cell) then begin
-        cell := z :: List.filter (fun z' -> not (Dbm.includes z z')) !cell;
+  (* Generic exploration.  [observe] sees each discrete step plus a
+     satisfiability query on the guard-constrained successor zone and
+     returns the observer phase transition and the operation on the
+     observer clock ([`Reset], [`Free] while it is not being read, or
+     [`Keep]); [inspect] sees every stored (state, phase, zone). *)
+  let explore (type s a) ?(limit = 200_000) (enc : (s, a) enc)
+      ~(initial_phase : s -> phase)
+      ~(observe :
+         phase -> s -> a -> s -> sat:(int -> int -> Dbm_bound.t -> bool)
+         -> (phase * [ `Reset | `Free | `Keep ], string) result)
+      ~(inspect : phase -> s -> K.t -> unit) =
+    let a = enc.cenc.Clock_enc.aut in
+    let nclasses = enc.cenc.Clock_enc.nclasses in
+    let store =
+      Hstore.create
+        ~equal:(fun (s1, p1) (s2, p2) -> p1 = p2 && a.Ioa.equal_state s1 s2)
+        ~hash:(fun (s, p) ->
+          (a.Ioa.hash_state s * 2) + match p with Idle -> 0 | Armed -> 1)
+        256
+    in
+    (* Hash-consed zone store: structurally equal zones become one
+       pointer, so passed-list inclusion checks start with a physical
+       equality hit and hash at most once per distinct zone. *)
+    let zstore = Hstore.create ~equal:K.equal ~hash:K.hash 64 in
+    (* Passed + waiting zones per location id. *)
+    let cells : (int, zentry list ref) Hashtbl.t = Hashtbl.create 64 in
+    (* Waiting list: per-location pending buckets drained in FIFO
+       location order, largest zone first within a bucket. *)
+    let pending : (int, zentry list ref) Hashtbl.t = Hashtbl.create 64 in
+    let locq = Queue.create () in
+    let queued : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    (* Per-state caches of {!Clock_enc.enabled_vec}, shared across
+       observer phases. *)
+    let vec_ids = Hstore.create ~equal:a.Ioa.equal_state ~hash:a.Ioa.hash_state 64 in
+    let vecs : (int, bool array) Hashtbl.t = Hashtbl.create 64 in
+    let enabled_vec s =
+      let id = match Hstore.add vec_ids s with `Added i | `Present i -> i in
+      match Hashtbl.find_opt vecs id with
+      | Some v -> v
+      | None ->
+          let v = Clock_enc.enabled_vec enc.cenc s in
+          Hashtbl.add vecs id v;
+          v
+    in
+    let scr = K.Scratch.create enc.nclocks in
+    let z_init = K.zero enc.nclocks in
+    let edges = ref 0 in
+    let zone_count = ref 0 in
+    let waiting = ref 0 in
+    let seq = ref 0 in
+    let exception Unsupported_shape of string in
+    let exception Limit in
+    let cell_of id =
+      match Hashtbl.find_opt cells id with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add cells id c;
+          c
+    in
+    let add s p z =
+      let z0 = z in
+      let z = Hstore.intern zstore z in
+      if z != z0 then Metrics.incr c_zones_interned;
+      let id = match Hstore.add store (s, p) with `Added i | `Present i -> i in
+      let cell = cell_of id in
+      if List.exists (fun e -> K.includes e.z z) !cell then
+        Metrics.incr c_zones_subsumed
+      else begin
+        cell :=
+          List.filter
+            (fun e ->
+              if K.includes z e.z then begin
+                e.alive <- false;
+                if not e.expanded then Metrics.incr c_zones_pruned_waiting;
+                false
+              end
+              else true)
+            !cell;
+        incr seq;
+        let e =
+          { z; zloose = K.loose z; seq = !seq; alive = true; expanded = false }
+        in
+        cell := e :: !cell;
         incr zone_count;
         Metrics.incr c_zones_stored;
         if !zone_count > limit then raise Limit;
         inspect p s z;
-        Queue.add (s, p, z) queue;
-        Metrics.set_max g_waiting_max (float_of_int (Queue.length queue))
+        let bucket =
+          match Hashtbl.find_opt pending id with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add pending id b;
+              b
+        in
+        bucket := e :: !bucket;
+        if not (Hashtbl.mem queued id) then begin
+          Hashtbl.add queued id ();
+          Queue.add id locq
+        end;
+        incr waiting;
+        Metrics.set_max g_waiting_max (float_of_int !waiting)
       end
-      else Metrics.incr c_zones_subsumed
-    end
-  in
-  let result =
-    try
-      List.iter
-        (fun s0 ->
-          let z0 = Dbm.zero enc.nclocks in
-          let z0 = apply_ops z0 (Clock_enc.start_ops enc.cenc s0) in
-          let p0 = initial_phase s0 in
-          let z0 =
-            match enc.y with
-            | Some y when p0 = Idle -> Dbm.free z0 y
-            | Some _ | None -> z0
-          in
-          let z0 = Dbm.up z0 in
-          let z0 = apply_invariant enc s0 z0 in
-          let z0 = Dbm.extrapolate enc.max_const z0 in
-          add s0 p0 z0)
-        a.Ioa.start;
-      while not (Queue.is_empty queue) do
-        let s, p, z = Queue.pop queue in
+    in
+    let expand s p pre z =
+      Array.iter
+        (fun (act, gopt, ci) ->
+          List.iter
+            (fun s' ->
+              incr edges;
+              Metrics.incr c_zone_edges;
+              K.Scratch.load scr z;
+              (match gopt with
+              | None -> ()
+              | Some (x, b) -> K.Scratch.constrain scr 0 x b);
+              if not (K.Scratch.is_empty scr) then begin
+                match observe p s act s' ~sat:(K.Scratch.sat scr) with
+                | Error m -> raise (Unsupported_shape m)
+                | Ok (p', y_op) ->
+                    let post = enabled_vec s' in
+                    for i = 0 to nclasses - 1 do
+                      if post.(i) then begin
+                        if ci = i || not pre.(i) then
+                          K.Scratch.reset scr (i + 1)
+                      end
+                      else K.Scratch.free scr (i + 1)
+                    done;
+                    (match (enc.y, y_op) with
+                    | Some y, `Reset -> K.Scratch.reset scr y
+                    | Some y, `Free -> K.Scratch.free scr y
+                    | Some _, `Keep | None, _ -> ());
+                    K.Scratch.up scr;
+                    for i = 0 to nclasses - 1 do
+                      if post.(i) then
+                        match enc.uppers.(i) with
+                        | Some b -> K.Scratch.constrain scr (i + 1) 0 b
+                        | None -> ()
+                    done;
+                    K.Scratch.extrapolate enc.max_const scr;
+                    if not (K.Scratch.is_empty scr) then
+                      add s' p' (K.Scratch.freeze scr)
+              end)
+            (a.Ioa.delta s act))
+        enc.guards
+    in
+    let result =
+      try
         List.iter
-          (fun act ->
-            List.iter
-              (fun s' ->
-                incr edges;
-                Metrics.incr c_zone_edges;
-                let zg = guard enc act z in
-                if not (Dbm.is_empty zg) then begin
-                  match observe p s act s' zg with
-                  | Error m -> raise (Unsupported_shape m)
-                  | Ok (p', y_op) ->
-                      let zr =
-                        apply_ops zg (Clock_enc.step_ops enc.cenc s act s')
-                      in
-                      let zr =
-                        match (enc.y, y_op) with
-                        | Some y, `Reset -> Dbm.reset zr y
-                        | Some y, `Free -> Dbm.free zr y
-                        | Some _, `Keep | None, _ -> zr
-                      in
-                      let zu = Dbm.up zr in
-                      let zi = apply_invariant enc s' zu in
-                      let ze = Dbm.extrapolate enc.max_const zi in
-                      add s' p' ze
-                end)
-              (a.Ioa.delta s act))
-          a.Ioa.alphabet
-      done;
-      Ok
-        {
-          locations = Hstore.length store;
-          zones = !zone_count;
-          edges = !edges;
-        }
+          (fun s0 ->
+            K.Scratch.load scr z_init;
+            let v0 = enabled_vec s0 in
+            for i = 0 to nclasses - 1 do
+              if not v0.(i) then K.Scratch.free scr (i + 1)
+            done;
+            let p0 = initial_phase s0 in
+            (match enc.y with
+            | Some y when p0 = Idle -> K.Scratch.free scr y
+            | Some _ | None -> ());
+            K.Scratch.up scr;
+            for i = 0 to nclasses - 1 do
+              if v0.(i) then
+                match enc.uppers.(i) with
+                | Some b -> K.Scratch.constrain scr (i + 1) 0 b
+                | None -> ()
+            done;
+            K.Scratch.extrapolate enc.max_const scr;
+            if not (K.Scratch.is_empty scr) then
+              add s0 p0 (K.Scratch.freeze scr))
+          a.Ioa.start;
+        while not (Queue.is_empty locq) do
+          let id = Queue.pop locq in
+          Hashtbl.remove queued id;
+          let batch =
+            match Hashtbl.find_opt pending id with
+            | Some b ->
+                let entries = !b in
+                Hashtbl.remove pending id;
+                entries
+            | None -> []
+          in
+          (* Largest zone first: the biggest zone subsumes the most
+             successors, so expanding it first maximizes pruning.  The
+             insertion sequence breaks ties for determinism. *)
+          let batch =
+            List.sort
+              (fun e1 e2 ->
+                if e1.zloose <> e2.zloose then compare e2.zloose e1.zloose
+                else compare e1.seq e2.seq)
+              batch
+          in
+          let s, p = Hstore.key_of_id store id in
+          let pre = enabled_vec s in
+          List.iter
+            (fun e ->
+              decr waiting;
+              if e.alive then begin
+                e.expanded <- true;
+                expand s p pre e.z
+              end)
+            batch
+        done;
+        Ok
+          {
+            locations = Hstore.length store;
+            zones = !zone_count;
+            edges = !edges;
+          }
+      with
+      | Unsupported_shape m -> Error (`Unsupported m)
+      | Limit -> Error (`Unsupported "zone limit exceeded")
+    in
+    result
+
+  let reachable ?limit (a : ('s, 'a) Ioa.t) bm =
+    Tracing.with_span "zones.reachable" @@ fun () ->
+    let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
+    let seen = ref [] in
+    let inspect _ s _ =
+      if not (List.exists (a.Ioa.equal_state s) !seen) then seen := s :: !seen
+    in
+    match
+      explore ?limit enc
+        ~initial_phase:(fun _ -> Idle)
+        ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
+        ~inspect
     with
-    | Unsupported_shape m -> Error (`Unsupported m)
-    | Limit -> Error (`Unsupported "zone limit exceeded")
-  in
-  result
+    | Ok stats -> (stats, List.rev !seen)
+    | Error (`Unsupported m) -> raise (Open_system m)
 
-let reachable ?limit (a : ('s, 'a) Ioa.t) bm =
-  Tracing.with_span "zones.reachable" @@ fun () ->
-  let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
-  let seen = ref [] in
-  let inspect _ s _ =
-    if not (List.exists (a.Ioa.equal_state s) !seen) then seen := s :: !seen
-  in
-  match
-    explore ?limit enc
-      ~initial_phase:(fun _ -> Idle)
-      ~observe:(fun p _ _ _ _ -> Ok (p, `Keep))
-      ~inspect
-  with
-  | Ok stats -> (stats, List.rev !seen)
-  | Error (`Unsupported m) -> raise (Open_system m)
+  let check_state_invariant ?limit (a : ('s, 'a) Ioa.t) bm pred =
+    Tracing.with_span "zones.check_state_invariant" @@ fun () ->
+    let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
+    let bad = ref None in
+    let exception Found in
+    match
+      explore ?limit enc
+        ~initial_phase:(fun _ -> Idle)
+        ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
+        ~inspect:(fun _ s _ ->
+          if not (pred s) then begin
+            bad := Some s;
+            raise Found
+          end)
+    with
+    | exception Found -> (
+        match !bad with Some s -> Error s | None -> assert false)
+    | Ok stats -> Ok stats
+    | Error (`Unsupported m) -> raise (Open_system m)
 
-let check_state_invariant ?limit (a : ('s, 'a) Ioa.t) bm pred =
-  Tracing.with_span "zones.check_state_invariant" @@ fun () ->
-  let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
-  let bad = ref None in
-  let exception Found in
-  match
-    explore ?limit enc
-      ~initial_phase:(fun _ -> Idle)
-      ~observe:(fun p _ _ _ _ -> Ok (p, `Keep))
-      ~inspect:(fun _ s _ ->
-        if not (pred s) then begin
-          bad := Some s;
-          raise Found
-        end)
-  with
-  | exception Found -> (
-      match !bad with Some s -> Error s | None -> assert false)
-  | Ok stats -> Ok stats
-  | Error (`Unsupported m) -> raise (Open_system m)
+  let check_condition ?limit (a : ('s, 'a) Ioa.t) bm
+      (c : ('s, 'a) Condition.t) =
+    Tracing.with_span "zones.check_condition"
+      ~args:[ ("cond", c.Condition.cname) ]
+    @@ fun () ->
+    let enc =
+      make_enc a bm ~with_observer:true ~cond_bounds:(Some c.Condition.bounds)
+    in
+    let y = match enc.y with Some y -> y | None -> assert false in
+    let bl = Interval.lo c.Condition.bounds in
+    let bu = Interval.hi c.Condition.bounds in
+    let check_lower = Rational.sign bl > 0 in
+    let lt_bl = Dbm_bound.Lt bl in
+    let upper_probe =
+      match bu with
+      | Time.Fin q -> Some (Dbm_bound.Lt (Rational.neg q))
+      | Time.Inf -> None
+    in
+    let exception Lower in
+    let exception Upper in
+    let observe p s act s' ~sat =
+      let triggered = c.Condition.t_step s act s' in
+      let pi = c.Condition.in_pi act in
+      match p with
+      | Armed when pi ->
+          (* Occurrence: too early iff the zone admits y < b_l. *)
+          if check_lower && sat y 0 lt_bl then raise Lower;
+          if triggered then Ok (Armed, `Reset) else Ok (Idle, `Free)
+      | Armed when triggered ->
+          Error
+            "trigger fired while armed with a non-Pi action (needs deadline \
+             merge)"
+      | Armed ->
+          if c.Condition.in_s s' then Ok (Idle, `Free) else Ok (Armed, `Keep)
+      | Idle -> if triggered then Ok (Armed, `Reset) else Ok (Idle, `Free)
+    in
+    let inspect p _s z =
+      match (p, upper_probe) with
+      | Armed, Some probe ->
+          (* Violation iff time can pass the deadline while still armed:
+             the zone admits y > q, i.e. 0 − y < −q is satisfiable. *)
+          if K.sat z 0 y probe then raise Upper
+      | Armed, None | Idle, _ -> ()
+    in
+    match
+      explore ?limit enc
+        ~initial_phase:(fun s0 ->
+          if c.Condition.t_start s0 then Armed else Idle)
+        ~observe ~inspect
+    with
+    | Ok stats -> Verified stats
+    | Error (`Unsupported m) -> Unsupported m
+    | exception Lower -> Lower_violation { locations = 0; zones = 0; edges = 0 }
+    | exception Upper -> Upper_violation { locations = 0; zones = 0; edges = 0 }
+end
 
-let check_condition ?limit (a : ('s, 'a) Ioa.t) bm
-    (c : ('s, 'a) Condition.t) =
-  Tracing.with_span "zones.check_condition"
-    ~args:[ ("cond", c.Condition.cname) ]
-  @@ fun () ->
-  let enc =
-    make_enc a bm ~with_observer:true ~cond_bounds:(Some c.Condition.bounds)
-  in
-  let y = match enc.y with Some y -> y | None -> assert false in
-  let bl = Interval.lo c.Condition.bounds in
-  let bu = Interval.hi c.Condition.bounds in
-  let exception Lower in
-  let exception Upper in
-  let observe p s act s' zg =
-    let triggered = c.Condition.t_step s act s' in
-    let pi = c.Condition.in_pi act in
-    match p with
-    | Armed when pi ->
-        (* Occurrence: too early iff the zone admits y < b_l. *)
-        if Rational.sign bl > 0 && Dbm.sat zg y 0 (Dbm.Lt bl) then raise Lower;
-        if triggered then Ok (Armed, `Reset) else Ok (Idle, `Free)
-    | Armed when triggered ->
-        Error
-          "trigger fired while armed with a non-Pi action (needs deadline \
-           merge)"
-    | Armed ->
-        if c.Condition.in_s s' then Ok (Idle, `Free) else Ok (Armed, `Keep)
-    | Idle -> if triggered then Ok (Armed, `Reset) else Ok (Idle, `Free)
-  in
-  let inspect p _s z =
-    match (p, bu) with
-    | Armed, Time.Fin q ->
-        (* Violation iff time can pass the deadline while still armed:
-           the zone admits y > q, i.e. 0 − y < −q is satisfiable. *)
-        if Dbm.sat z 0 y (Dbm.Lt (Rational.neg q)) then raise Upper
-    | Armed, Time.Inf | Idle, _ -> ()
-  in
-  match
-    explore ?limit enc
-      ~initial_phase:(fun s0 -> if c.Condition.t_start s0 then Armed else Idle)
-      ~observe ~inspect
-  with
-  | Ok stats -> Verified stats
-  | Error (`Unsupported m) -> Unsupported m
-  | exception Lower -> Lower_violation { locations = 0; zones = 0; edges = 0 }
-  | exception Upper -> Upper_violation { locations = 0; zones = 0; edges = 0 }
+module Default = Make (Dbm)
+module Ref = Make (Dbm_ref)
+include Default

@@ -22,7 +22,15 @@
     observer re-arms); other overlapping-trigger shapes would need the
     paper's [min] merge of deadlines and are reported as
     [Unsupported].  Both example systems and all conditions in this
-    repository are of the supported shape. *)
+    repository are of the supported shape.
+
+    The engine is a functor over the DBM kernel ({!Dbm_sig.S}): the
+    default engine runs on the fast in-place {!Dbm}, and {!Ref} runs
+    the identical exploration on the reference {!Dbm_ref} kernel.
+    Because the two share every policy decision (subsumption-aware
+    waiting list bucketed by discrete location, largest-zone-first
+    expansion, hash-consed zone store), their [stats] agree exactly —
+    the differential harness in test/ and bench/ checks this. *)
 
 type stats = {
   locations : int;  (** distinct (state, observer-phase) pairs *)
@@ -40,27 +48,45 @@ exception Open_system of string
 (** Raised when the automaton has input actions (the encoding needs a
     closed system) or a locally controlled action without bounds. *)
 
-val reachable :
-  ?limit:int -> ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t ->
-  stats * 's list
-(** Timed reachability: explored stats and the base states reachable
-    under the timing assumptions (a subset of the untimed reachable
-    set). [limit] bounds stored zones, default [200_000]. *)
+(** What a zone engine offers, whatever its kernel.  The CLI selects an
+    engine as a first-class module of this type. *)
+module type S = sig
+  val reachable :
+    ?limit:int -> ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t ->
+    stats * 's list
+  (** Timed reachability: explored stats and the base states reachable
+      under the timing assumptions (a subset of the untimed reachable
+      set). [limit] bounds stored zones, default [200_000]. *)
 
-val check_state_invariant :
-  ?limit:int ->
-  ('s, 'a) Tm_ioa.Ioa.t ->
-  Tm_timed.Boundmap.t ->
-  ('s -> bool) ->
-  (stats, 's) result
-(** [Error s] returns a reachable (under timing) state violating the
-    predicate. *)
+  val check_state_invariant :
+    ?limit:int ->
+    ('s, 'a) Tm_ioa.Ioa.t ->
+    Tm_timed.Boundmap.t ->
+    ('s -> bool) ->
+    (stats, 's) result
+  (** [Error s] returns a reachable (under timing) state violating the
+      predicate. *)
 
-val check_condition :
-  ?limit:int ->
-  ('s, 'a) Tm_ioa.Ioa.t ->
-  Tm_timed.Boundmap.t ->
-  ('s, 'a) Tm_timed.Condition.t ->
-  outcome
-(** Exact verification that every timed execution of [(A, b)] satisfies
-    the condition. *)
+  val check_condition :
+    ?limit:int ->
+    ('s, 'a) Tm_ioa.Ioa.t ->
+    Tm_timed.Boundmap.t ->
+    ('s, 'a) Tm_timed.Condition.t ->
+    outcome
+  (** Exact verification that every timed execution of [(A, b)]
+      satisfies the condition. *)
+end
+
+module Make (K : Dbm_sig.S) : S
+(** Build an engine from a kernel; both engines below come from this
+    functor, so they share one exploration discipline. *)
+
+module Default : S
+(** The production engine on the fast in-place {!Dbm} kernel. *)
+
+module Ref : S
+(** The same exploration on the {!Dbm_ref} reference kernel — for the
+    differential test/bench harness only. *)
+
+include S
+(** The default engine's operations, available unqualified. *)

@@ -47,9 +47,9 @@ let interval_t = Alcotest.testable Interval.pp Interval.equal
 let q = Rational.of_int
 let qq n d = Rational.make n d
 
-let check_holds name ?(count = 200) gen prop =
+let check_holds name ?(count = 200) ?print gen prop =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~name ~count gen prop)
+    (QCheck2.Test.make ~name ~count ?print gen prop)
 
 (* Random metric-update scripts for the Tm_obs round-trip property:
    indices select from a small per-kind name pool so one script mixes
@@ -84,3 +84,191 @@ let print_metric_update = function
   | Set_gauge (i, v) -> Printf.sprintf "set g%d %h" i v
   | Max_gauge (i, v) -> Printf.sprintf "max g%d %h" i v
   | Observe (i, s) -> Printf.sprintf "observe h%d %s" i (Rational.to_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Random DBM-operation scripts for the kernel differential harness
+   (test_dbm_diff).  Clock indices and bound constants are generated
+   raw and normalized by the applier, so shrinking stays structural. *)
+
+type dbm_constraint = {
+  ci : int;  (** raw row index, applier takes [mod nclocks] *)
+  cj : int;  (** raw column index *)
+  cnum : int;
+  cden : int;  (** bound is [cnum/cden] *)
+  cstrict : bool;
+}
+
+type dbm_op =
+  | Constrain of dbm_constraint
+  | Up
+  | Reset of int  (** raw clock, applier maps into [1..nclocks-1] *)
+  | Free of int
+  | Intersect of dbm_constraint list
+      (** intersect with [top] refined by these constraints *)
+  | Extrapolate of int  (** max constant *)
+
+type dbm_script = { ds_clocks : int; ds_ops : dbm_op list }
+
+let dbm_constraint : dbm_constraint QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map
+      (fun (ci, cj, cnum, (cden, cstrict)) ->
+        { ci; cj; cnum; cden; cstrict })
+      (quad (int_range 0 4) (int_range 0 4) (int_range (-12) 12)
+         (pair (int_range 1 4) bool)))
+
+let dbm_op : dbm_op QCheck2.Gen.t =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map (fun c -> Constrain c) dbm_constraint);
+        (2, return Up);
+        (2, map (fun x -> Reset x) (int_range 0 4));
+        (2, map (fun x -> Free x) (int_range 0 4));
+        (1, map (fun cs -> Intersect cs) (list_size (int_range 0 3) dbm_constraint));
+        (1, map (fun m -> Extrapolate m) (int_range 0 6));
+      ])
+
+let dbm_script : dbm_script QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map2
+      (fun ds_clocks ds_ops -> { ds_clocks; ds_ops })
+      (int_range 2 5)
+      (list_size (int_range 1 25) dbm_op))
+
+let print_dbm_constraint c =
+  Printf.sprintf "x%d-x%d %s %d/%d" c.ci c.cj
+    (if c.cstrict then "<" else "<=")
+    c.cnum c.cden
+
+let print_dbm_op = function
+  | Constrain c -> print_dbm_constraint c
+  | Up -> "up"
+  | Reset x -> Printf.sprintf "reset x%d" x
+  | Free x -> Printf.sprintf "free x%d" x
+  | Intersect cs ->
+      Printf.sprintf "intersect[%s]"
+        (String.concat "; " (List.map print_dbm_constraint cs))
+  | Extrapolate m -> Printf.sprintf "extrapolate %d" m
+
+let print_dbm_script s =
+  Printf.sprintf "clocks=%d: %s" s.ds_clocks
+    (String.concat " | " (List.map print_dbm_op s.ds_ops))
+
+(* ------------------------------------------------------------------ *)
+(* Small random MMT automata (boundmap + closed IOA) for the
+   fixpoint-for-fixpoint engine differential.  States are [0..ns-1],
+   actions [0..na-1] with action [a] in class [a mod nc]; bounds use
+   small numerators over denominators 1-2 so zones hit fractional
+   corners without blowing up the constant range. *)
+
+type raut = {
+  ra_states : int;
+  ra_nclasses : int;
+  ra_delta : int list array array;  (** [state].(action) -> successors *)
+  ra_bounds : ((int * int) * (int * int) option) array;
+      (** per class: lower [(num, den)]; upper is lower + width, or
+          unbounded when [None] *)
+}
+
+let boundmap_automaton : raut QCheck2.Gen.t =
+  QCheck2.Gen.(
+    int_range 1 4 >>= fun ns ->
+    int_range 1 3 >>= fun nc ->
+    int_range nc (nc + 2) >>= fun na ->
+    let successors =
+      frequency
+        [
+          (1, return []);
+          (2, map (fun s -> [ s ]) (int_range 0 (ns - 1)));
+          ( 1,
+            map2 (fun s s' -> [ s; s' ]) (int_range 0 (ns - 1))
+              (int_range 0 (ns - 1)) );
+        ]
+    in
+    array_size (return ns) (array_size (return na) successors)
+    >>= fun ra_delta ->
+    let bound = pair (int_range 0 8) (int_range 1 2) in
+    let upper =
+      frequency [ (5, map (fun b -> Some b) bound); (1, return None) ]
+    in
+    array_size (return nc) (pair bound upper) >>= fun ra_bounds ->
+    return { ra_states = ns; ra_nclasses = nc; ra_delta; ra_bounds })
+
+let build_boundmap_automaton (r : raut) :
+    (int, int) Tm_ioa.Ioa.t * Tm_timed.Boundmap.t =
+  let module Ioa = Tm_ioa.Ioa in
+  let module Boundmap = Tm_timed.Boundmap in
+  let nc = r.ra_nclasses in
+  let cname i = "k" ^ string_of_int i in
+  let classes = List.init nc cname in
+  let na = Array.length r.ra_delta.(0) in
+  let aut =
+    {
+      Ioa.name = "rand_mmt";
+      start = [ 0 ];
+      alphabet = List.init na Fun.id;
+      kind_of = (fun _ -> Ioa.Output);
+      delta =
+        (fun s a ->
+          if s < 0 || s >= r.ra_states || a < 0 || a >= na then []
+          else r.ra_delta.(s).(a));
+      classes;
+      class_of = (fun a -> Some (cname (a mod nc)));
+      equal_state = Int.equal;
+      hash_state = Hashtbl.hash;
+      pp_state = Format.pp_print_int;
+      equal_action = Int.equal;
+      pp_action = Format.pp_print_int;
+    }
+  in
+  let bm =
+    Boundmap.of_list
+      (List.mapi
+         (fun i c ->
+           let (ln, ld), ub = r.ra_bounds.(i) in
+           let lo = Rational.make ln ld in
+           let hi =
+             match ub with
+             | None -> Time.Inf
+             | Some (wn, wd) ->
+                 let w = Rational.make wn wd in
+                 (* MMT boundmaps need b_u > 0. *)
+                 let w =
+                   if Rational.sign lo = 0 && Rational.sign w = 0 then
+                     Rational.one
+                   else w
+                 in
+                 Time.Fin (Rational.add lo w)
+           in
+           (c, Interval.make lo hi))
+         classes)
+  in
+  (aut, bm)
+
+let print_raut (r : raut) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "states=%d classes=%d bounds=[" r.ra_states r.ra_nclasses);
+  Array.iteri
+    (fun i ((ln, ld), ub) ->
+      Buffer.add_string b
+        (Printf.sprintf "%sk%d:[%d/%d,%s]"
+           (if i > 0 then " " else "")
+           i ln ld
+           (match ub with
+           | None -> "inf"
+           | Some (wn, wd) -> Printf.sprintf "+%d/%d" wn wd)))
+    r.ra_bounds;
+  Buffer.add_string b "] delta=";
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun a succs ->
+          if succs <> [] then
+            Buffer.add_string b
+              (Printf.sprintf "(%d,a%d->%s)" s a
+                 (String.concat "," (List.map string_of_int succs))))
+        row)
+    r.ra_delta;
+  Buffer.contents b

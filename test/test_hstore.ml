@@ -58,9 +58,24 @@ let test_growth () =
   Alcotest.(check int) "length 1000" 1000 (Hstore.length s);
   Alcotest.(check string) "key 999" "999" (Hstore.key_of_id s 999)
 
+let test_intern () =
+  let s = make () in
+  let a = String.init 3 (fun i -> Char.chr (97 + i)) in
+  let b = String.init 3 (fun i -> Char.chr (97 + i)) in
+  Alcotest.(check bool) "distinct copies" false (a == b);
+  (* first intern keeps the argument as canonical representative *)
+  Alcotest.(check bool) "first is canonical" true (Hstore.intern s a == a);
+  (* a structurally equal key maps back to the stored representative *)
+  Alcotest.(check bool) "second maps to first" true (Hstore.intern s b == a);
+  Alcotest.(check int) "one entry" 1 (Hstore.length s);
+  let c = "xyz" in
+  Alcotest.(check bool) "fresh key canonical" true (Hstore.intern s c == c);
+  Alcotest.(check int) "two entries" 2 (Hstore.length s)
+
 let suite =
   [
     Alcotest.test_case "add/find" `Quick test_add_find;
+    Alcotest.test_case "intern" `Quick test_intern;
     Alcotest.test_case "key_of_id" `Quick test_key_of_id;
     Alcotest.test_case "iter order" `Quick test_iter_order;
     Alcotest.test_case "hash collisions" `Quick test_collisions;

@@ -1,0 +1,217 @@
+(* Cross-backend oracle agreement on the paper's two running examples.
+
+   Three independent implementations of the timed semantics — the zone
+   engine ({!Tm_zones.Reach}), the predictive-semantics simulator
+   ({!Tm_sim.Simulator} on [time(A, b)]), and the Alur–Dill region
+   engine ({!Tm_zones.Region}) — must agree on the proved bounds:
+   first-GRANT in [k·c1, k·c2 + l] for the resource manager
+   (Theorem 4.4) and end-to-end delay in [n·d1, n·d2] for the signal
+   relay (Theorem 6.4), across parameter sweeps k in 1..4, n in 1..3.
+   The zone engine must also refute every half-unit tightening of each
+   bound, so the agreement is on *tight* intervals rather than on
+   intervals loose enough to mask a bug. *)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Prng = Tm_base.Prng
+module Condition = Tm_timed.Condition
+module Reach = Tm_zones.Reach
+module Region = Tm_zones.Region
+module Simulator = Tm_sim.Simulator
+module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+module RM = Tm_systems.Resource_manager
+module SR = Tm_systems.Signal_relay
+module D = Tm_core.Dummify
+open Gen
+
+let ks = [ 1; 2; 3; 4 ]
+let ns = [ 1; 2; 3 ]
+let rm_params k = RM.params_of_ints ~k ~c1:2 ~c2:3 ~l:1
+let sr_params n = SR.params_of_ints ~n ~d1:1 ~d2:2
+
+let is_verified = function Reach.Verified _ -> true | _ -> false
+let is_upper = function Reach.Upper_violation _ -> true | _ -> false
+let is_lower = function Reach.Lower_violation _ -> true | _ -> false
+let half = qq 1 2
+
+let shave_upper iv =
+  match Interval.hi iv with
+  | Time.Fin q -> Interval.make (Interval.lo iv) (Time.Fin (Rational.sub q half))
+  | Time.Inf -> invalid_arg "shave_upper"
+
+let raise_lower iv =
+  Interval.make (Rational.add (Interval.lo iv) half) (Interval.hi iv)
+
+(* --- zone engine: paper interval verified, half-unit tightenings
+   refuted ------------------------------------------------------------ *)
+
+let rm_g1_with bounds =
+  Condition.make ~name:"G1x"
+    ~t_start:(fun _ -> true)
+    ~bounds
+    ~in_pi:(fun a -> a = RM.Grant)
+    ()
+
+let test_rm_zone_bounds () =
+  List.iter
+    (fun k ->
+      let p = rm_params k in
+      let sys = RM.system p and bm = RM.boundmap p in
+      let iv = RM.grant_interval_first p in
+      let name fmt = Printf.sprintf fmt k in
+      Alcotest.(check bool)
+        (name "k=%d G1 verified")
+        true
+        (is_verified (Reach.check_condition sys bm (RM.g1 p)));
+      Alcotest.(check bool)
+        (name "k=%d upper - 1/2 refuted")
+        true
+        (is_upper
+           (Reach.check_condition sys bm (rm_g1_with (shave_upper iv))));
+      Alcotest.(check bool)
+        (name "k=%d lower + 1/2 refuted")
+        true
+        (is_lower
+           (Reach.check_condition sys bm (rm_g1_with (raise_lower iv)))))
+    ks
+
+let sr_u_with p bounds =
+  Condition.make ~name:"U0nx"
+    ~t_step:(fun _ a _ -> a = SR.Signal 0)
+    ~bounds
+    ~in_pi:(fun a -> a = SR.Signal p.SR.n)
+    ()
+
+let test_sr_zone_bounds () =
+  List.iter
+    (fun n ->
+      let p = sr_params n in
+      let line = SR.line p and bm = SR.boundmap p in
+      let iv = SR.delay_interval p in
+      let name fmt = Printf.sprintf fmt n in
+      Alcotest.(check bool)
+        (name "n=%d U(0,n) verified")
+        true
+        (is_verified (Reach.check_condition line bm (sr_u_with p iv)));
+      Alcotest.(check bool)
+        (name "n=%d upper - 1/2 refuted")
+        true
+        (is_upper (Reach.check_condition line bm (sr_u_with p (shave_upper iv))));
+      Alcotest.(check bool)
+        (name "n=%d lower + 1/2 refuted")
+        true
+        (is_lower
+           (Reach.check_condition line bm (sr_u_with p (raise_lower iv)))))
+    ns
+
+(* --- simulator: every sampled execution of time(A, b) lands inside
+   the zone-verified interval ----------------------------------------- *)
+
+let test_rm_simulator_within () =
+  List.iter
+    (fun k ->
+      let p = rm_params k in
+      let impl = RM.impl p in
+      let iv = RM.grant_interval_first p in
+      let firsts = ref [] in
+      for seed = 0 to 19 do
+        let prng = Prng.create seed in
+        let run =
+          Simulator.simulate ~steps:((10 * k) + 10)
+            ~strategy:(Strategy.random ~prng ~denominator:4 ~cap:(q 1))
+            impl
+        in
+        match
+          Measure.occurrence_times (fun a -> a = RM.Grant)
+            (Simulator.project run)
+        with
+        | t :: _ -> firsts := t :: !firsts
+        | [] -> ()
+      done;
+      match Measure.envelope !firsts with
+      | None -> Alcotest.fail (Printf.sprintf "k=%d: no grants sampled" k)
+      | Some env ->
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d first grants within [%s, %s]" k
+               (Rational.to_string (Interval.lo iv))
+               (Time.to_string (Interval.hi iv)))
+            true (Measure.within iv env))
+    ks
+
+let test_sr_simulator_within () =
+  List.iter
+    (fun n ->
+      let p = sr_params n in
+      let impl = SR.impl p in
+      let iv = SR.delay_interval p in
+      let delays = ref [] in
+      for seed = 0 to 29 do
+        let prng = Prng.create seed in
+        let run =
+          Simulator.simulate ~steps:(8 * (n + 2))
+            ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+            impl
+        in
+        let seq = Simulator.project run in
+        let at i =
+          Measure.occurrence_times (fun a -> a = D.Base (SR.Signal i)) seq
+        in
+        match (at 0, at p.SR.n) with
+        | [ t0 ], [ tn ] -> delays := Rational.sub tn t0 :: !delays
+        | _ -> ()
+      done;
+      match Measure.envelope !delays with
+      | None -> Alcotest.fail (Printf.sprintf "n=%d: no delays sampled" n)
+      | Some env ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d delays within [%d, %d]" n n (2 * n))
+            true (Measure.within iv env))
+    ns
+
+(* --- regions: the second exact engine agrees with the zone engine on
+   the reachable discrete states -------------------------------------- *)
+
+let sorted l = List.sort compare l
+
+let test_rm_regions_agree () =
+  List.iter
+    (fun k ->
+      let p = rm_params k in
+      let sys = RM.system p and bm = RM.boundmap p in
+      let _, zstates = Reach.reachable sys bm in
+      let _, rstates = Region.reachable sys bm in
+      Alcotest.(check (list (pair unit int)))
+        (Printf.sprintf "k=%d state sets agree" k)
+        (sorted zstates) (sorted rstates))
+    ks
+
+let test_sr_regions_agree () =
+  List.iter
+    (fun n ->
+      let p = sr_params n in
+      let line = SR.line p and bm = SR.boundmap p in
+      let _, zstates = Reach.reachable line bm in
+      let _, rstates = Region.reachable line bm in
+      Alcotest.(check (list (list bool)))
+        (Printf.sprintf "n=%d state sets agree" n)
+        (sorted (List.map Array.to_list zstates))
+        (sorted (List.map Array.to_list rstates)))
+    ns
+
+let suite =
+  [
+    Alcotest.test_case "manager: zone bounds tight for k=1..4" `Quick
+      test_rm_zone_bounds;
+    Alcotest.test_case "relay: zone bounds tight for n=1..3" `Quick
+      test_sr_zone_bounds;
+    Alcotest.test_case "manager: simulated first grants within bounds"
+      `Quick test_rm_simulator_within;
+    Alcotest.test_case "relay: simulated delays within bounds" `Quick
+      test_sr_simulator_within;
+    Alcotest.test_case "manager: regions agree with zones" `Quick
+      test_rm_regions_agree;
+    Alcotest.test_case "relay: regions agree with zones" `Quick
+      test_sr_regions_agree;
+  ]
