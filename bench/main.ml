@@ -15,6 +15,7 @@
      E9  extension systems: token ring, chained trigger, failure detector
      E10 independent exact engines (zones vs regions) and liveness
      E11 fast in-place DBM kernel vs reference kernel (differential)
+     E12 exact robustness margins (fault-injection subsystem)
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
@@ -375,6 +376,10 @@ let e6 () =
       | Reach.Lower_violation _ -> ("LOWER-VIOLATED", 0, 0)
       | Reach.Upper_violation _ -> ("UPPER-VIOLATED", 0, 0)
       | Reach.Unsupported m -> ("unsupported: " ^ m, 0, 0)
+      | Reach.Unknown e ->
+          ( "UNKNOWN: " ^ e.Reach.reason,
+            e.Reach.partial.Reach.locations,
+            e.Reach.partial.Reach.zones )
     in
     let ok = String.equal result expected in
     row "%-52s %-10d %-8d %s%s\n" name locs zones result
@@ -774,12 +779,56 @@ let e11 () =
   (let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:3 in
    cmp_reach "failure detector m=3: reachable" (FD.system p) (FD.boundmap p))
 
+(* E12: exact robustness margins *)
+
+let e12 () =
+  section "E12: exact robustness margins (widen until the verdict flips)";
+  let module Margin = Tm_faults.Margin in
+  let vstr = function
+    | Ok v -> Format.asprintf "%a" Margin.pp_verdict v
+    | Error m -> m
+  in
+  let sweep subject bm check =
+    let r = Margin.report ~subject ~check bm in
+    row "%-46s %s\n" subject (vstr r.Margin.overall);
+    List.iter
+      (fun (rw : Margin.row) ->
+        row "  %-44s %s\n"
+          (Printf.sprintf "widen %s only" rw.Margin.cls)
+          (vstr rw.Margin.verdict))
+      r.Margin.per_class;
+    row "  %-44s %s\n" "critical class"
+      (Option.value r.Margin.critical ~default:"none (censored)")
+  in
+  row "%-46s %s\n" "subject (margin e* over bound widening)" "verdict";
+  (* single-miss failure detector: the accuracy margin is the paper's
+     slack g1 - h2 = 1, refuted exactly when heartbeats can arrive as
+     late as the poll gap *)
+  (let p = FD.params_of_ints ~h1:1 ~h2:2 ~g1:3 ~g2:4 ~m:1 in
+   sweep "fd accuracy (h=[1,2], g=[3,4], m=1)" (FD.boundmap p) (fun bm' ->
+       Margin.invariant_status
+         (module Reach.Default)
+         (FD.system p) FD.no_false_suspicion bm');
+   sweep "fd U(detect)" (FD.boundmap p) (fun bm' ->
+       Margin.condition_status
+         (module Reach.Default)
+         (FD.system p) (FD.u_detect p) bm'));
+  (* fischer: mutual exclusion is safe iff a < b, so the margin over
+     widening quantifies the a/b slack *)
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  sweep "fischer n=2 mutual exclusion (a=1, b=2)" (F.boundmap p)
+    (fun bm' ->
+      Margin.invariant_status
+        (module Reach.Default)
+        (F.system p) F.mutual_exclusion bm')
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12);
   ]
 
 let () =

@@ -4,9 +4,13 @@
      simulate   run a system under a scheduling strategy, print the trace
      check      simulate many seeds and check the timing conditions
      verify     exact zone-based verification of the timing conditions
+     margin     exact robustness margins (largest surviving perturbation)
      map        check the strong possibilities mappings (paper proofs)
      exact      exact first-occurrence windows from the discretized graph
      progress   deadlock / Zeno-trap (time divergence) analysis
+
+   verify/exact/simulate take --budget-states/--budget-ms; running out
+   of budget reports UNKNOWN with partial stats and exits 4.
 *)
 
 module Rational = Tm_base.Rational
@@ -39,6 +43,7 @@ module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
 module Report = Tm_obs.Report
 module Log = Tm_obs.Log
+module Margin = Tm_faults.Margin
 
 let q = Rational.of_int
 
@@ -51,10 +56,31 @@ type instance = {
     Simulator.stop_reason;
   check : runs:int -> steps:int -> int (* = number of violations *);
   verify : unit -> unit;
+  margin : unit -> Json.t list (* prints a table, returns the reports *);
   map : unit -> unit;
   exact : unit -> unit;
   progress : unit -> unit;
 }
+
+(* Graceful-degradation budgets, set by --budget-states / --budget-ms
+   on the subcommands that explore: zone runs pass them to Reach, the
+   exact analysis to Tgraph, the simulator to its watchdog.  A budgeted
+   run that gives up prints UNKNOWN, flips [had_unknown] and makes the
+   command exit 4 — after metrics/trace files are flushed. *)
+let budget_states : int option ref = ref None
+let budget_s : float option ref = ref None
+let had_unknown = ref false
+
+(* [margin --json] wants a clean JSON document on stdout, so the
+   per-report tables can be switched off. *)
+let margin_table = ref true
+
+let report_unknown what (e : Reach.exhausted) =
+  had_unknown := true;
+  Format.printf
+    "%s: UNKNOWN — %s (partial: %d locations, %d zones, %d edges)@." what
+    e.Reach.reason e.Reach.partial.Reach.locations e.Reach.partial.Reach.zones
+    e.Reach.partial.Reach.edges
 
 let make_strategy name seed denominator =
   match name with
@@ -71,7 +97,7 @@ let run_simulation (type s a) (aut : (s, a) TA.t)
     (conds : (s, a) Condition.t list) ~steps ~strategy ~seed ~denominator
     print =
   let run =
-    Simulator.simulate ~steps
+    Simulator.simulate ?deadline_s:!budget_s ~steps
       ~strategy:(make_strategy strategy seed denominator)
       aut
   in
@@ -119,7 +145,9 @@ let zone_verify (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
   let module E = (val !engine) in
   List.iter
     (fun (c : (s, a) Condition.t) ->
-      match E.check_condition sys bm c with
+      match
+        E.check_condition ?limit:!budget_states ?deadline_s:!budget_s sys bm c
+      with
       | Reach.Verified st ->
           Format.printf "%s %s %s: VERIFIED (%d locations, %d zones)@." name
             c.Condition.cname
@@ -129,12 +157,115 @@ let zone_verify (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
           Format.printf "%s %s: LOWER BOUND VIOLATED@." name c.Condition.cname
       | Reach.Upper_violation _ ->
           Format.printf "%s %s: UPPER BOUND VIOLATED@." name c.Condition.cname
+      | Reach.Unknown e ->
+          report_unknown (Printf.sprintf "%s %s" name c.Condition.cname) e
       | Reach.Unsupported m ->
           Format.printf "%s %s: unsupported (%s)@." name c.Condition.cname m)
     conds
 
 let show_progress (type s a) (aut : (s, a) TA.t) () =
   Format.printf "%a@." Progress.pp_report (Progress.analyze aut)
+
+(* ------------------------------------------------------------------ *)
+(* robustness margins *)
+
+(* A property the margin analysis quantifies over: a timing condition
+   checked by the observer construction, or a plain state invariant. *)
+type ('s, 'a) prop =
+  | Pcond of ('s, 'a) Condition.t
+  | Pinv of string * ('s -> bool)
+
+let print_margin_report (r : Margin.report) =
+  Format.printf "%s@." r.Margin.subject;
+  let pp_verdict fmt = function
+    | Ok v -> Margin.pp_verdict fmt v
+    | Error m -> Format.pp_print_string fmt m
+  in
+  Format.printf "  widen all classes:  e* = %a@." pp_verdict r.Margin.overall;
+  List.iter
+    (fun (row : Margin.row) ->
+      Format.printf "  widen %-12s  e* = %a@." row.Margin.cls pp_verdict
+        row.Margin.verdict)
+    r.Margin.per_class;
+  match r.Margin.critical with
+  | Some c -> Format.printf "  critical class: %s@." c
+  | None -> Format.printf "  critical class: none (all margins censored)@."
+
+let margin_reports (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
+    (props : (s, a) prop list) () =
+  let module E = (val !engine) in
+  List.map
+    (fun prop ->
+      let subject, check =
+        match prop with
+        | Pcond (c : (s, a) Condition.t) ->
+            ( Printf.sprintf "%s %s %s" name c.Condition.cname
+                (Interval.to_string c.Condition.bounds),
+              fun bm' ->
+                Margin.condition_status
+                  (module E)
+                  ?limit:!budget_states ?deadline_s:!budget_s sys c bm' )
+        | Pinv (iname, pred) ->
+            ( Printf.sprintf "%s %s (invariant)" name iname,
+              fun bm' ->
+                Margin.invariant_status
+                  (module E)
+                  ?limit:!budget_states ?deadline_s:!budget_s sys pred bm' )
+      in
+      let r = Margin.report ~subject ~check bm in
+      if !margin_table then print_margin_report r;
+      (match (r.Margin.overall : (Margin.verdict, string) result) with
+      | Error m when not (String.equal m "refuted with no perturbation (e = 0)")
+        ->
+          had_unknown := true
+      | Ok _ | Error _ -> ());
+      Margin.to_json r)
+    props
+
+(* ------------------------------------------------------------------ *)
+(* budget-aware exact analysis *)
+
+exception Exact_unknown of string
+
+(* Completeness.analyze honoring the budget flags: the discretized
+   graph gets the node limit / wall-clock deadline, and a truncated
+   graph is refused — its value tables would silently under-approximate
+   the windows. *)
+let bounded_analyze ~source ~conds () =
+  let params =
+    let p = Tm_core.Tgraph.default_params source in
+    let p =
+      match !budget_states with
+      | Some n -> { p with Tm_core.Tgraph.limit = n }
+      | None -> p
+    in
+    match !budget_s with
+    | Some s -> { p with Tm_core.Tgraph.deadline_s = Some s }
+    | None -> p
+  in
+  let refuse g =
+    raise
+      (Exact_unknown
+         (Printf.sprintf
+            "discretized graph truncated after %d nodes — budget exhausted"
+            (Tm_core.Tgraph.node_count g)))
+  in
+  let budgeted = !budget_states <> None || !budget_s <> None in
+  (* Probe the graph before value iteration: a truncated graph must be
+     refused up front, or the iteration hits the cut frontier (states
+     with no successor) and dies with Dead_state. *)
+  (if budgeted then
+     let g = Tm_core.Tgraph.build ~params source in
+     if g.Tm_core.Tgraph.truncated then refuse g);
+  match Completeness.analyze ~params ~source ~conds () with
+  | a ->
+      let g = Completeness.graph a in
+      if g.Tm_core.Tgraph.truncated then refuse g;
+      a
+  | exception Tm_core.Completeness.Dead_state when budgeted ->
+      (* The probe passed but the wall clock ran out during the second
+         build: same verdict, just detected later. *)
+      raise (Exact_unknown "graph truncated mid-analysis — budget exhausted")
 
 let rm_instance ~k ~c1 ~c2 ~l =
   let p = RM.params_of_ints ~k ~c1 ~c2 ~l in
@@ -154,6 +285,9 @@ let rm_instance ~k ~c1 ~c2 ~l =
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
     verify = (fun () -> zone_verify "manager" (RM.system p) (RM.boundmap p) conds);
+    margin =
+      margin_reports "manager" (RM.system p) (RM.boundmap p)
+        [ Pcond (RM.g1 p); Pcond (RM.g2 p) ];
     map =
       (fun () ->
         match
@@ -170,7 +304,7 @@ let rm_instance ~k ~c1 ~c2 ~l =
     exact =
       (fun () ->
         let a =
-          Completeness.analyze ~source:impl ~conds:[| RM.g1 p; RM.g2 p |] ()
+          bounded_analyze ~source:impl ~conds:[| RM.g1 p; RM.g2 p |] ()
         in
         let lo, hi = Completeness.start_bounds a ~cond:0 in
         Format.printf "first GRANT:      exact [%a, %a], paper %s@." Time.pp
@@ -206,11 +340,14 @@ let im_instance ~k ~c1 ~c2 ~l =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
     verify =
       (fun () -> zone_verify "interrupt" (IM.system p) (IM.boundmap p) conds);
+    margin =
+      margin_reports "interrupt" (IM.system p) (IM.boundmap p)
+        [ Pcond (IM.g1 p); Pcond (IM.g2 p) ];
     map = (fun () -> Format.printf "no paper mapping for this variant@.");
     exact =
       (fun () ->
         let a =
-          Completeness.analyze ~source:impl ~conds:[| IM.g1 p; IM.g2 p |] ()
+          bounded_analyze ~source:impl ~conds:[| IM.g1 p; IM.g2 p |] ()
         in
         let lo, hi = Completeness.start_bounds a ~cond:0 in
         Format.printf "first GRANT:    exact [%a, %a], predicted %s@." Time.pp
@@ -233,6 +370,13 @@ let relay_instance ~n ~d1 ~d2 =
   let p = SR.params_of_ints ~n ~d1 ~d2 in
   let impl = SR.impl p in
   let conds = List.init n (fun k -> SR.u_cond p ~k) in
+  let u_line =
+    Condition.make ~name:"U(0,n)"
+      ~t_step:(fun _ a _ -> a = SR.Signal 0)
+      ~bounds:(SR.delay_interval p)
+      ~in_pi:(fun a -> a = SR.Signal n)
+      ()
+  in
   {
     describe =
       Printf.sprintf "signal relay (Section 6): n=%d d1=%d d2=%d; U(0,n)=%s"
@@ -245,15 +389,9 @@ let relay_instance ~n ~d1 ~d2 =
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:2);
     verify =
-      (fun () ->
-        let u =
-          Condition.make ~name:"U(0,n)"
-            ~t_step:(fun _ a _ -> a = SR.Signal 0)
-            ~bounds:(SR.delay_interval p)
-            ~in_pi:(fun a -> a = SR.Signal n)
-            ()
-        in
-        zone_verify "relay" (SR.line p) (SR.boundmap p) [ u ]);
+      (fun () -> zone_verify "relay" (SR.line p) (SR.boundmap p) [ u_line ]);
+    margin =
+      margin_reports "relay" (SR.line p) (SR.boundmap p) [ Pcond u_line ];
     map =
       (fun () ->
         match Hierarchy.check_exhaustive ~source:impl ~levels:(SR.chain p) () with
@@ -268,7 +406,7 @@ let relay_instance ~n ~d1 ~d2 =
     exact =
       (fun () ->
         let a =
-          Completeness.analyze ~source:impl ~conds:[| SR.u_cond p ~k:0 |] ()
+          bounded_analyze ~source:impl ~conds:[| SR.u_cond p ~k:0 |] ()
         in
         match
           Completeness.bounds_after a
@@ -303,7 +441,8 @@ let fischer_instance ~n ~a ~b =
       (fun () ->
         let module E = (val !engine) in
         (match
-           E.check_state_invariant (F.system p) (F.boundmap p)
+           E.check_state_invariant ?limit:!budget_states
+             ?deadline_s:!budget_s (F.system p) (F.boundmap p)
              F.mutual_exclusion
          with
         | Ok st ->
@@ -311,8 +450,13 @@ let fischer_instance ~n ~a ~b =
               st.Reach.zones
         | Error s ->
             Format.printf "mutual exclusion: VIOLATED at %a@."
-              (F.system p).Tm_ioa.Ioa.pp_state s);
+              (F.system p).Tm_ioa.Ioa.pp_state s
+        | exception Reach.Out_of_budget e ->
+            report_unknown "mutual exclusion" e);
         zone_verify "fischer" (F.system p) (F.boundmap p) [ F.u_enter p ]);
+    margin =
+      margin_reports "fischer" (F.system p) (F.boundmap p)
+        [ Pinv ("mutual exclusion", F.mutual_exclusion); Pcond (F.u_enter p) ];
     map = (fun () -> Format.printf "no paper mapping for this system@.");
     exact = (fun () -> Format.printf "exact analysis not wired for fischer@.");
     progress = show_progress impl;
@@ -348,6 +492,9 @@ let rg_instance ~r1 ~r2 ~w1 ~w2 =
         | Reach.Verified _ ->
             Format.printf "without the disabling set: verified (requests are spaced out)@."
         | _ -> Format.printf "without the disabling set: other@.");
+    margin =
+      margin_reports "request-grant" (RG.system p) (RG.boundmap p)
+        [ Pcond (RG.u_response p) ];
     map = (fun () -> Format.printf "no paper mapping for this system@.");
     exact = (fun () -> Format.printf "exact analysis not wired for request-grant@.");
     progress = show_progress impl;
@@ -370,6 +517,9 @@ let ring_instance ~n ~d1 ~d2 =
     verify =
       (fun () ->
         zone_verify "ring" (TR.system p) (TR.boundmap p) [ TR.u_rotation p ]);
+    margin =
+      margin_reports "ring" (TR.system p) (TR.boundmap p)
+        [ Pcond (TR.u_rotation p) ];
     map =
       (fun () ->
         match
@@ -384,7 +534,7 @@ let ring_instance ~n ~d1 ~d2 =
     exact =
       (fun () ->
         let a =
-          Completeness.analyze ~source:impl ~conds:[| TR.u_rotation p |] ()
+          bounded_analyze ~source:impl ~conds:[| TR.u_rotation p |] ()
         in
         match
           Completeness.bounds_after a
@@ -420,21 +570,28 @@ let fd_instance ~g1 ~g2 ~m =
       (fun () ->
         let module E = (val !engine) in
         (match
-           E.check_state_invariant (FD.system p) (FD.boundmap p)
+           E.check_state_invariant ?limit:!budget_states
+             ?deadline_s:!budget_s (FD.system p) (FD.boundmap p)
              FD.no_false_suspicion
          with
         | Ok st ->
             Format.printf "accuracy: VERIFIED (%d zones)@." st.Reach.zones
         | Error s ->
             Format.printf "accuracy: false suspicion reachable at %a@."
-              (FD.system p).Tm_ioa.Ioa.pp_state s);
+              (FD.system p).Tm_ioa.Ioa.pp_state s
+        | exception Reach.Out_of_budget e -> report_unknown "accuracy" e);
         zone_verify "detector" (FD.system p) (FD.boundmap p)
           [ FD.u_detect p ]);
+    margin =
+      margin_reports "detector" (FD.system p) (FD.boundmap p)
+        [
+          Pinv ("accuracy", FD.no_false_suspicion); Pcond (FD.u_detect p);
+        ];
     map = (fun () -> Format.printf "no paper mapping for this system@.");
     exact =
       (fun () ->
         let a =
-          Completeness.analyze ~source:impl ~conds:[| FD.u_detect p |] ()
+          bounded_analyze ~source:impl ~conds:[| FD.u_detect p |] ()
         in
         match
           Completeness.bounds_after a
@@ -470,6 +627,13 @@ let two_stage_instance () =
       (fun () ->
         zone_verify "two-stage" (TS.system p) (TS.boundmap p)
           [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]);
+    margin =
+      margin_reports "two-stage" (TS.system p) (TS.boundmap p)
+        [
+          Pcond (TS.u_start_mid p);
+          Pcond (TS.u_mid_done p);
+          Pcond (TS.u_end_to_end p);
+        ];
     map =
       (fun () ->
         match
@@ -484,7 +648,7 @@ let two_stage_instance () =
     exact =
       (fun () ->
         let a =
-          Completeness.analyze ~source:impl ~conds:[| TS.u_end_to_end p |] ()
+          bounded_analyze ~source:impl ~conds:[| TS.u_end_to_end p |] ()
         in
         match
           Completeness.bounds_after a
@@ -525,9 +689,13 @@ let steps_arg = Arg.(value & opt int 60 & info [ "steps" ] ~doc:"steps to simula
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed")
 let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"number of runs")
 
-let g1_arg = Arg.(value & opt int 2 & info [ "g1" ] ~doc:"poll gap lower bound")
+let g1_arg ~default =
+  Arg.(value & opt int default & info [ "g1" ] ~doc:"poll gap lower bound")
+
 let g2_arg = Arg.(value & opt int 3 & info [ "g2" ] ~doc:"poll gap upper bound")
-let m_arg = Arg.(value & opt int 2 & info [ "m" ] ~doc:"misses before suspicion")
+
+let m_arg ~default =
+  Arg.(value & opt int default & info [ "m" ] ~doc:"misses before suspicion")
 
 let strategy_arg =
   Arg.(
@@ -629,25 +797,63 @@ let with_obs name o f =
       finish ();
       raise e
 
-let instance_term =
-  let build system k c1 c2 l n d1 d2 a b g1 g2 m =
-    match system with
-    | "rm" -> rm_instance ~k ~c1 ~c2 ~l
-    | "im" -> im_instance ~k ~c1 ~c2 ~l
-    | "relay" -> relay_instance ~n ~d1 ~d2
-    | "fischer" -> fischer_instance ~n:(max 2 (min n 3)) ~a ~b
-    | "rg" -> rg_instance ~r1:2 ~r2:5 ~w1:1 ~w2:3
-    | "ring" -> ring_instance ~n ~d1 ~d2
-    | "fd" -> fd_instance ~g1 ~g2 ~m
-    | "two" -> two_stage_instance ()
-    | other -> failwith (Printf.sprintf "unknown system %S" other)
-  in
+let build_instance system k c1 c2 l n d1 d2 a b g1 g2 m =
+  match system with
+  | "rm" -> rm_instance ~k ~c1 ~c2 ~l
+  | "im" -> im_instance ~k ~c1 ~c2 ~l
+  | "relay" -> relay_instance ~n ~d1 ~d2
+  | "fischer" -> fischer_instance ~n:(max 2 (min n 3)) ~a ~b
+  | "rg" -> rg_instance ~r1:2 ~r2:5 ~w1:1 ~w2:3
+  | "ring" -> ring_instance ~n ~d1 ~d2
+  | "fd" -> fd_instance ~g1 ~g2 ~m
+  | "two" -> two_stage_instance ()
+  | other -> failwith (Printf.sprintf "unknown system %S" other)
+
+(* The failure-detector defaults differ per subcommand: [verify] wants
+   the safe regime (g1=2, m=2, accuracy via the m>=2 clause), while
+   [margin] wants the single-miss detector (g1=3, m=1) whose accuracy
+   margin is the exact slack g1 - h2 of the paper's analysis. *)
+let instance_term_with ~g1_default ~m_default =
   Term.(
-    const build $ system_arg $ k_arg $ c1_arg $ c2_arg $ l_arg $ n_arg
-    $ d1_arg $ d2_arg $ a_arg $ b_arg $ g1_arg $ g2_arg $ m_arg)
+    const build_instance $ system_arg $ k_arg $ c1_arg $ c2_arg $ l_arg
+    $ n_arg $ d1_arg $ d2_arg $ a_arg $ b_arg
+    $ g1_arg ~default:g1_default
+    $ g2_arg
+    $ m_arg ~default:m_default)
+
+let instance_term = instance_term_with ~g1_default:2 ~m_default:2
+
+(* Budget flags shared by the exploring subcommands.  The term's value
+   is unit: evaluating it stores the budgets in the globals the
+   analysis helpers read. *)
+let budget_term =
+  let states_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-states" ] ~docv:"N"
+          ~doc:
+            "Give up after storing $(docv) zones (or discretized nodes). \
+             An exhausted run reports UNKNOWN with partial statistics \
+             and exits 4.")
+  in
+  let ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget in milliseconds. A run that exceeds it \
+             reports UNKNOWN (exit 4) instead of hanging.")
+  in
+  let mk states ms =
+    budget_states := states;
+    budget_s := Option.map (fun v -> v /. 1000.) ms
+  in
+  Term.(const mk $ states_arg $ ms_arg)
 
 let simulate_cmd =
-  let run inst steps strategy seed obs =
+  let run inst steps strategy seed () obs =
     let reason =
       with_obs "simulate" obs (fun () ->
           Format.printf "%s@." inst.describe;
@@ -664,6 +870,11 @@ let simulate_cmd =
            step limit; un-dummified finite systems do this once their \
            events are exhausted)@.";
         exit 3
+    | Simulator.Watchdog ->
+        Format.eprintf
+          "simulate: UNKNOWN — wall-clock budget exhausted before the \
+           step limit@.";
+        exit 4
     | Simulator.Step_limit | Simulator.Strategy_stop | Simulator.Stopped ->
         ()
   in
@@ -671,7 +882,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Simulate a system and print the timed trace")
     Term.(
       const run $ instance_term $ steps_arg $ strategy_arg $ seed_arg
-      $ obs_term)
+      $ budget_term $ obs_term)
 
 let check_cmd =
   let run inst runs steps obs =
@@ -696,7 +907,7 @@ let simple_cmd name ~doc select =
   in
   Cmd.v (Cmd.info name ~doc) Term.(const run $ instance_term $ obs_term)
 
-let verify_cmd =
+let engine_arg =
   let engine_conv =
     let parse = function
       | "fast" -> Ok (module Reach.Default : Reach.S)
@@ -710,35 +921,77 @@ let verify_cmd =
     in
     Arg.conv (parse, print)
   in
-  let engine_arg =
-    Arg.(
-      value
-      & opt engine_conv (module Reach.Default : Reach.S)
-      & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:
-            "DBM kernel for zone exploration: $(b,fast) (in-place, \
-             default) or $(b,ref) (reference kernel, for cross-checking \
-             a verdict). Both run the identical exploration and must \
-             agree.")
-  in
-  let run inst e obs =
+  Arg.(
+    value
+    & opt engine_conv (module Reach.Default : Reach.S)
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "DBM kernel for zone exploration: $(b,fast) (in-place, \
+           default) or $(b,ref) (reference kernel, for cross-checking \
+           a verdict). Both run the identical exploration and must \
+           agree.")
+
+let verify_cmd =
+  let run inst e () obs =
     engine := e;
     with_obs "verify" obs (fun () ->
         Format.printf "%s@." inst.describe;
-        inst.verify ())
+        inst.verify ());
+    if !had_unknown then exit 4
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Exact zone-based verification")
-    Term.(const run $ instance_term $ engine_arg $ obs_term)
+    Term.(const run $ instance_term $ engine_arg $ budget_term $ obs_term)
+
+let margin_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the reports as a JSON array on stdout instead of \
+             tables.")
+  in
+  let run inst e json () obs =
+    engine := e;
+    margin_table := not json;
+    let reports =
+      with_obs "margin" obs (fun () ->
+          if not json then Format.printf "%s@." inst.describe;
+          inst.margin ())
+    in
+    if json then Format.printf "%s@." (Json.to_string (Json.List reports));
+    if !had_unknown then exit 4
+  in
+  Cmd.v
+    (Cmd.info "margin"
+       ~doc:
+         "Exact robustness margins: the largest uniform bound widening \
+          each property survives, per class and overall")
+    Term.(
+      const run
+      $ instance_term_with ~g1_default:3 ~m_default:1
+      $ engine_arg $ json_arg $ budget_term $ obs_term)
 
 let map_cmd =
   simple_cmd "map" ~doc:"Check the paper's strong possibilities mappings"
     (fun i -> i.map)
 
 let exact_cmd =
-  simple_cmd "exact"
-    ~doc:"Exact first-occurrence windows from the discretized graph"
-    (fun i -> i.exact)
+  let run inst () obs =
+    with_obs "exact" obs (fun () ->
+        Format.printf "%s@." inst.describe;
+        match inst.exact () with
+        | () -> ()
+        | exception Exact_unknown m ->
+            had_unknown := true;
+            Format.printf "exact: UNKNOWN — %s@." m);
+    if !had_unknown then exit 4
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Exact first-occurrence windows from the discretized graph")
+    Term.(const run $ instance_term $ budget_term $ obs_term)
 
 let progress_cmd =
   simple_cmd "progress"
@@ -786,5 +1039,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "timedmap" ~version:"1.0.0" ~doc)
-          [ simulate_cmd; check_cmd; verify_cmd; map_cmd; exact_cmd;
-            progress_cmd; obs_cmd ]))
+          [ simulate_cmd; check_cmd; verify_cmd; margin_cmd; map_cmd;
+            exact_cmd; progress_cmd; obs_cmd ]))

@@ -50,7 +50,9 @@ let () =
         st.Reach.zones
   | Reach.Lower_violation _ | Reach.Upper_violation _ ->
       Format.printf "uncontended SET -> ENTER: VIOLATED@."
-  | Reach.Unsupported m -> Format.printf "unsupported: %s@." m);
+  | Reach.Unsupported m -> Format.printf "unsupported: %s@." m
+  | Reach.Unknown e ->
+      Format.printf "uncontended SET -> ENTER: UNKNOWN (%s)@." e.Reach.reason);
 
   (* three processes *)
   let p3 = F.params_of_ints ~n:3 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:1 in

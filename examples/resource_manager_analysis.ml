@@ -104,6 +104,7 @@ let () =
     | Reach.Lower_violation _ -> Format.printf "%s: LOWER-VIOLATED@." name
     | Reach.Upper_violation _ -> Format.printf "%s: UPPER-VIOLATED@." name
     | Reach.Unsupported m -> Format.printf "%s: unsupported (%s)@." name m
+    | Reach.Unknown e -> Format.printf "%s: UNKNOWN (%s)@." name e.Reach.reason
   in
   show "zones: G1 = [6,10]" (Reach.check_condition sys bm (RM.g1 p));
   show "zones: G2 = [5,10]" (Reach.check_condition sys bm (RM.g2 p));

@@ -3,12 +3,14 @@ module Time = Tm_base.Time
 module Interval = Tm_base.Interval
 module Hstore = Tm_base.Hstore
 module Condition = Tm_timed.Condition
+module Tracing = Tm_obs.Tracing
 
 type params = {
   denominator : int;
   cap : Rational.t;
   clamp : Rational.t;
   limit : int;
+  deadline_s : float option;
 }
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
@@ -26,7 +28,13 @@ let default_params (aut : ('s, 'a) Time_automaton.t) =
   in
   let m = Time_automaton.max_constant aut in
   let clamp = Rational.mul_int 4 m in
-  { denominator; cap = Rational.add clamp m; clamp; limit = 500_000 }
+  {
+    denominator;
+    cap = Rational.add clamp m;
+    clamp;
+    limit = 500_000;
+    deadline_s = None;
+  }
 
 type ('s, 'a) t = {
   aut : ('s, 'a) Time_automaton.t;
@@ -87,23 +95,33 @@ let build ?params (aut : ('s, 'a) Time_automaton.t) =
       | `Added id -> Queue.add id queue
       | `Present _ -> ())
     aut.Time_automaton.start;
+  let deadline = Option.map (fun d -> Tracing.now_s () +. d) params.deadline_s in
+  let expired () =
+    match deadline with None -> false | Some t -> Tracing.now_s () > t
+  in
   while not (Queue.is_empty queue) do
-    let id = Queue.pop queue in
-    let s = Hstore.key_of_id store id in
-    List.iter
-      (fun (act, t) ->
-        List.iter
-          (fun s' ->
-            if Hstore.length store >= params.limit then truncated := true
-            else
-              let s'n = normalize s' in
-              match Hstore.add store s'n with
-              | `Added id' ->
-                  edges := (id, (act, t), id') :: !edges;
-                  Queue.add id' queue
-              | `Present id' -> edges := (id, (act, t), id') :: !edges)
-          (Time_automaton.fire aut s act t))
-      (moves params aut s)
+    if expired () then begin
+      truncated := true;
+      Queue.clear queue
+    end
+    else begin
+      let id = Queue.pop queue in
+      let s = Hstore.key_of_id store id in
+      List.iter
+        (fun (act, t) ->
+          List.iter
+            (fun s' ->
+              if Hstore.length store >= params.limit then truncated := true
+              else
+                let s'n = normalize s' in
+                match Hstore.add store s'n with
+                | `Added id' ->
+                    edges := (id, (act, t), id') :: !edges;
+                    Queue.add id' queue
+                | `Present id' -> edges := (id, (act, t), id') :: !edges)
+            (Time_automaton.fire aut s act t))
+        (moves params aut s)
+    end
   done;
   {
     aut;

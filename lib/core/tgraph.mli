@@ -17,6 +17,9 @@ type params = {
           [[window lo, min (window hi) (now + cap)]] *)
   clamp : Tm_base.Rational.t;  (** normalization floor, see {!Tstate} *)
   limit : int;  (** maximum number of nodes *)
+  deadline_s : float option;
+      (** wall-clock budget for {!build}; exceeding it stops the
+          exploration with [truncated = true] *)
 }
 
 val default_params : ('s, 'a) Time_automaton.t -> params

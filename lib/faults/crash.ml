@@ -1,0 +1,85 @@
+module Ioa = Tm_ioa.Ioa
+module Interval = Tm_base.Interval
+module Boundmap = Tm_timed.Boundmap
+module Condition = Tm_timed.Condition
+module Dummify = Tm_core.Dummify
+
+type 'a action = Step of 'a | Crash
+type 's state = { base : 's; up : bool }
+
+let fault_class = "FAULT"
+
+let automaton ?(class_name = fault_class) ~kill (a : ('s, 'a) Ioa.t) :
+    ('s state, 'a action) Ioa.t =
+  if List.mem class_name a.Ioa.classes then
+    invalid_arg
+      (Printf.sprintf "Crash.automaton: class %S already present" class_name);
+  List.iter
+    (fun c ->
+      if not (List.mem c a.Ioa.classes) then
+        invalid_arg (Printf.sprintf "Crash.automaton: unknown class %S" c))
+    kill;
+  let killed act =
+    match a.Ioa.class_of act with Some c -> List.mem c kill | None -> false
+  in
+  {
+    Ioa.name = a.Ioa.name ^ "!crash";
+    start = List.map (fun s -> { base = s; up = true }) a.Ioa.start;
+    alphabet = Crash :: List.map (fun act -> Step act) a.Ioa.alphabet;
+    kind_of =
+      (function Crash -> Ioa.Output | Step act -> a.Ioa.kind_of act);
+    delta =
+      (fun s -> function
+        | Crash -> if s.up then [ { s with up = false } ] else []
+        | Step act ->
+            if (not s.up) && killed act then []
+            else
+              List.map (fun b -> { s with base = b }) (a.Ioa.delta s.base act));
+    classes = class_name :: a.Ioa.classes;
+    class_of =
+      (function Crash -> Some class_name | Step act -> a.Ioa.class_of act);
+    equal_state =
+      (fun x y -> x.up = y.up && a.Ioa.equal_state x.base y.base);
+    hash_state =
+      (fun s -> (a.Ioa.hash_state s.base * 2) + if s.up then 1 else 0);
+    pp_state =
+      (fun fmt s ->
+        Format.fprintf fmt "%a%s" a.Ioa.pp_state s.base
+          (if s.up then "" else " [down]"));
+    equal_action =
+      (fun x y ->
+        match (x, y) with
+        | Crash, Crash -> true
+        | Step x, Step y -> a.Ioa.equal_action x y
+        | Crash, Step _ | Step _, Crash -> false);
+    pp_action =
+      (fun fmt -> function
+        | Crash -> Format.pp_print_string fmt "CRASH!"
+        | Step act -> a.Ioa.pp_action fmt act);
+  }
+
+let boundmap ?(class_name = fault_class) ~crash_bounds bm =
+  Boundmap.add bm class_name crash_bounds
+
+let condition (c : ('s, 'a) Condition.t) : ('s state, 'a action) Condition.t =
+  {
+    Condition.cname = c.Condition.cname;
+    t_start = (fun s -> c.Condition.t_start s.base);
+    t_step =
+      (fun s act s' ->
+        match act with
+        | Crash -> false
+        | Step act -> c.Condition.t_step s.base act s'.base);
+    bounds = c.Condition.bounds;
+    in_pi = (function Crash -> false | Step act -> c.Condition.in_pi act);
+    in_s = (fun s -> c.Condition.in_s s.base);
+  }
+
+let lift_pred pred s = pred s.base
+let crashed s = not s.up
+
+let live ?class_name ?(null_bounds = Interval.of_ints 1 2) ~kill ~crash_bounds
+    a bm =
+  let a' = Dummify.automaton (automaton ?class_name ~kill a) in
+  let bm' = Dummify.boundmap (boundmap ?class_name ~crash_bounds bm) ~null_bounds in
+  (a', bm')

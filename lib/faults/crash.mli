@@ -1,0 +1,62 @@
+(** Crash-stop fault transformer.
+
+    [automaton ~kill a] composes [a] with a one-shot crash event: a new
+    always-enabled [Crash] output (its own partition class) that, when
+    it fires, permanently disables every action whose class is in
+    [kill].  States carry an [up] flag; the base behavior is untouched
+    while [up] holds, so the transformed automaton restricted to
+    crash-free executions is isomorphic to the original — the same
+    argument as dummification (Section 5).
+
+    A crashed system may have only finite executions left (every class
+    died), which Theorem 3.4-style mapping proofs and the simulator's
+    deadlock discipline both dislike; {!live} composes with
+    {!Tm_core.Dummify} so timed executions stay infinite
+    (Theorem 5.4). *)
+
+type 'a action = Step of 'a | Crash
+type 's state = { base : 's; up : bool }
+
+val fault_class : string
+(** Default partition class of the crash event ("FAULT" — not "CRASH",
+    which the failure-detector system already uses). *)
+
+val automaton :
+  ?class_name:string ->
+  kill:string list ->
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  ('s state, 'a action) Tm_ioa.Ioa.t
+(** @raise Invalid_argument if [kill] names a class the automaton does
+    not have, or if the crash class name is already taken. *)
+
+val boundmap :
+  ?class_name:string ->
+  crash_bounds:Tm_base.Interval.t ->
+  Tm_timed.Boundmap.t ->
+  Tm_timed.Boundmap.t
+(** Add bounds for the crash class — [Interval.unbounded_above zero]
+    for "may crash at any moment, or never"; a finite interval forces
+    the crash (a guaranteed-fault scenario). *)
+
+val condition :
+  ('s, 'a) Tm_timed.Condition.t -> ('s state, 'a action) Tm_timed.Condition.t
+(** Lift a condition: triggers and [Π] see only [Step] actions ([Crash]
+    is neither), [S]-states and start triggers read the base state. *)
+
+val lift_pred : ('s -> bool) -> 's state -> bool
+(** Lift a state predicate to the base component. *)
+
+val crashed : 's state -> bool
+
+val live :
+  ?class_name:string ->
+  ?null_bounds:Tm_base.Interval.t ->
+  kill:string list ->
+  crash_bounds:Tm_base.Interval.t ->
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  Tm_timed.Boundmap.t ->
+  ('s state, 'a action Tm_core.Dummify.action) Tm_ioa.Ioa.t
+  * Tm_timed.Boundmap.t
+(** Crash transformer followed by dummification ([null_bounds] defaults
+    to [[1, 2]]): all timed executions of the result are infinite even
+    after every [kill]ed class is down. *)

@@ -1,0 +1,44 @@
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Prng = Tm_base.Prng
+module TA = Tm_core.Time_automaton
+module Metrics = Tm_obs.Metrics
+
+let c_injected = Metrics.counter "faults.crash_injected"
+let c_edge = Metrics.counter "faults.edge_scheduled"
+
+let automaton a bm spec =
+  Result.map (fun bm' -> TA.of_boundmap a bm') (Perturb.apply spec bm)
+
+let strategy ?(is_fault = fun _ -> false) ?(fault_bias_pct = 50)
+    ?(edge_bias_pct = 75) ~prng ~denominator ~cap () _aut s moves =
+  match moves with
+  | [] -> None
+  | _ ->
+      let faults = List.filter (fun (a, _, _) -> is_fault a) moves in
+      let act, lo, hi =
+        if faults <> [] && Prng.int prng 100 < fault_bias_pct then begin
+          Metrics.incr c_injected;
+          Prng.pick prng faults
+        end
+        else Prng.pick prng moves
+      in
+      (* Same capping discipline as {!Tm_sim.Strategy.random}: an
+         unbounded window is probed at most [cap] past its release. *)
+      let hi_capped =
+        let cap_abs =
+          Rational.add (Rational.max s.Tm_core.Tstate.now lo) cap
+        in
+        match hi with
+        | Time.Fin q -> Rational.min q cap_abs
+        | Time.Inf -> cap_abs
+      in
+      let hi_capped = Rational.max hi_capped lo in
+      let t =
+        if Prng.int prng 100 < edge_bias_pct then begin
+          Metrics.incr c_edge;
+          if Prng.bool prng then lo else hi_capped
+        end
+        else Prng.rational_in prng ~denominator lo hi_capped
+      in
+      Some (act, t)

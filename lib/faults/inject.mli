@@ -1,0 +1,40 @@
+(** Adversarial fault-injecting simulation strategies.
+
+    The simulator chooses which enabled move fires and when inside its
+    feasible window; this module biases both choices toward the
+    failure-prone corners: scheduling at window *edges* (the earliest
+    release or the latest deadline — where bound proofs are tight) and
+    preferring fault actions (e.g. the {!Crash.action.Crash} event of a
+    crash-transformed system) when they are enabled.
+
+    Perturbation enters through the automaton, not the strategy: build
+    the [time(A, b')] automaton from a perturbed boundmap with
+    {!automaton} and every window the strategy sees is already the
+    perturbed one. *)
+
+val automaton :
+  ('s, 'a) Tm_ioa.Ioa.t ->
+  Tm_timed.Boundmap.t ->
+  Perturb.spec ->
+  (('s, 'a) Tm_core.Time_automaton.t, string) result
+(** [time(A, apply spec b)]. *)
+
+val strategy :
+  ?is_fault:('a -> bool) ->
+  ?fault_bias_pct:int ->
+  ?edge_bias_pct:int ->
+  prng:Tm_base.Prng.t ->
+  denominator:int ->
+  cap:Tm_base.Rational.t ->
+  unit ->
+  ('s, 'a) Tm_sim.Strategy.t
+(** With probability [fault_bias_pct]% (default 50) pick uniformly
+    among the enabled moves satisfying [is_fault] (when any; default
+    predicate: none); otherwise uniformly among all moves.  With
+    probability [edge_bias_pct]% (default 75) fire at a window edge —
+    the lower endpoint or the (capped) upper endpoint, equiprobably —
+    otherwise at a uniform grid point of the window, as
+    {!Tm_sim.Strategy.random} does.  Deterministic given the PRNG
+    state; build a fresh strategy per run only if you reuse the PRNG.
+    Injections and edge schedules are counted in the
+    [faults.crash_injected] and [faults.edge_scheduled] metrics. *)

@@ -3,7 +3,7 @@ module Execution = Tm_ioa.Execution
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
 
-type stop_reason = Step_limit | Deadlock | Strategy_stop | Stopped
+type stop_reason = Step_limit | Deadlock | Strategy_stop | Stopped | Watchdog
 
 type ('s, 'a) run = {
   exec : ('s, 'a) Time_automaton.texec;
@@ -27,26 +27,35 @@ let c_stop reason =
           | Step_limit -> "step_limit"
           | Deadlock -> "deadlock"
           | Strategy_stop -> "strategy_stop"
-          | Stopped -> "stopped" );
+          | Stopped -> "stopped"
+          | Watchdog -> "watchdog" );
       ]
 
 let c_stop_step_limit = c_stop Step_limit
 let c_stop_deadlock = c_stop Deadlock
 let c_stop_strategy = c_stop Strategy_stop
 let c_stop_stopped = c_stop Stopped
+let c_stop_watchdog = c_stop Watchdog
 
 let record_stop = function
   | Step_limit -> Metrics.incr c_stop_step_limit
   | Deadlock -> Metrics.incr c_stop_deadlock
   | Strategy_stop -> Metrics.incr c_stop_strategy
   | Stopped -> Metrics.incr c_stop_stopped
+  | Watchdog -> Metrics.incr c_stop_watchdog
 
-let simulate_from ?(stop = fun _ -> false) ~steps ~strategy aut s0 =
+let simulate_from ?(stop = fun _ -> false) ?deadline_s ~steps ~strategy aut s0
+    =
   Metrics.incr c_runs;
+  let deadline = Option.map (fun d -> Tracing.now_s () +. d) deadline_s in
+  let expired () =
+    match deadline with None -> false | Some t -> Tracing.now_s () > t
+  in
   let moves_rev = ref [] in
   let rec go s k =
     if stop s then Stopped
     else if k = 0 then Step_limit
+    else if expired () then Watchdog
     else
       let enabled = Time_automaton.enabled_moves aut s in
       Metrics.add c_windows (List.length enabled);
@@ -71,10 +80,10 @@ let simulate_from ?(stop = fun _ -> false) ~steps ~strategy aut s0 =
   record_stop reason;
   { exec = Execution.of_states s0 (List.rev !moves_rev); reason }
 
-let simulate ?stop ~steps ~strategy aut =
+let simulate ?stop ?deadline_s ~steps ~strategy aut =
   match aut.Time_automaton.start with
   | [] -> invalid_arg "Simulator: automaton has no start state"
-  | s0 :: _ -> simulate_from ?stop ~steps ~strategy aut s0
+  | s0 :: _ -> simulate_from ?stop ?deadline_s ~steps ~strategy aut s0
 
 let project r = Time_automaton.project r.exec
 
@@ -83,3 +92,4 @@ let describe_stop = function
   | Deadlock -> "deadlock: no enabled move"
   | Strategy_stop -> "strategy stopped"
   | Stopped -> "stop predicate fired"
+  | Watchdog -> "watchdog: wall-clock deadline exceeded"

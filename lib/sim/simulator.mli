@@ -14,6 +14,7 @@ type stop_reason =
                   dummy; common for un-dummified finite systems *)
   | Strategy_stop  (** the strategy returned [None] *)
   | Stopped  (** the [stop] predicate fired *)
+  | Watchdog  (** the [deadline_s] wall-clock budget ran out *)
 
 type ('s, 'a) run = {
   exec : ('s, 'a) Tm_core.Time_automaton.texec;
@@ -22,15 +23,19 @@ type ('s, 'a) run = {
 
 val simulate :
   ?stop:('s Tm_core.Tstate.t -> bool) ->
+  ?deadline_s:float ->
   steps:int ->
   strategy:('s, 'a) Strategy.t ->
   ('s, 'a) Tm_core.Time_automaton.t ->
   ('s, 'a) run
 (** Run from the first start state.  [stop] is evaluated on every
-    reached state (including the start). *)
+    reached state (including the start).  [deadline_s] is a wall-clock
+    watchdog: a run that exceeds it stops with {!stop_reason.Watchdog}
+    before taking its next step. *)
 
 val simulate_from :
   ?stop:('s Tm_core.Tstate.t -> bool) ->
+  ?deadline_s:float ->
   steps:int ->
   strategy:('s, 'a) Strategy.t ->
   ('s, 'a) Tm_core.Time_automaton.t ->

@@ -16,10 +16,20 @@ let of_list entries =
     entries;
   entries
 
-let find t c = List.assoc c t
+let find t c =
+  match List.assoc_opt c t with
+  | Some iv -> iv
+  | None ->
+      invalid_arg (Printf.sprintf "Boundmap.find: class %S has no bounds" c)
+
 let lower t c = Interval.lo (find t c)
 let upper t c = Interval.hi (find t c)
 let classes t = List.map fst t
+let to_list t = t
+
+let map f t = List.map (fun (c, iv) -> (c, f c iv)) t
+
+let mem t c = List.mem_assoc c t
 
 let covers t (a : ('s, 'a) Tm_ioa.Ioa.t) =
   match

@@ -12,7 +12,8 @@ val of_list : (string * Tm_base.Interval.t) list -> t
 (** @raise Invalid_argument on duplicate class names. *)
 
 val find : t -> string -> Tm_base.Interval.t
-(** @raise Not_found if the class has no bounds assigned. *)
+(** @raise Invalid_argument naming the class if it has no bounds
+    assigned. *)
 
 val lower : t -> string -> Tm_base.Rational.t
 (** [b_l(C)]. *)
@@ -21,6 +22,15 @@ val upper : t -> string -> Tm_base.Time.t
 (** [b_u(C)]. *)
 
 val classes : t -> string list
+
+val to_list : t -> (string * Tm_base.Interval.t) list
+(** The bindings in declaration order. *)
+
+val map : (string -> Tm_base.Interval.t -> Tm_base.Interval.t) -> t -> t
+(** Rewrite every interval (class set unchanged) — the primitive the
+    fault-perturbation layer builds on. *)
+
+val mem : t -> string -> bool
 
 val covers : t -> ('s, 'a) Tm_ioa.Ioa.t -> (unit, string) result
 (** Every partition class of the automaton has an interval. *)

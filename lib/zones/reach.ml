@@ -17,29 +17,40 @@ let c_zones_pruned_waiting = Metrics.counter "zones.pruned_waiting"
 let c_zones_interned = Metrics.counter "zones.interned"
 let g_waiting_max = Metrics.gauge "zones.waiting_max"
 
+let c_budget_states =
+  Metrics.counter "zones.budget_exhausted" ~labels:[ ("kind", "states") ]
+
+let c_budget_deadline =
+  Metrics.counter "zones.budget_exhausted" ~labels:[ ("kind", "deadline") ]
+
 type stats = { locations : int; zones : int; edges : int }
+
+type exhausted = { reason : string; partial : stats }
 
 type outcome =
   | Verified of stats
   | Lower_violation of stats
   | Upper_violation of stats
+  | Unknown of exhausted
   | Unsupported of string
 
 exception Open_system = Clock_enc.Open_system
+exception Out_of_budget of exhausted
 
 type phase = Idle | Armed
 
 module type S = sig
   val reachable :
-    ?limit:int -> ('s, 'a) Ioa.t -> Boundmap.t -> stats * 's list
+    ?limit:int -> ?deadline_s:float -> ('s, 'a) Ioa.t -> Boundmap.t ->
+    stats * 's list
 
   val check_state_invariant :
-    ?limit:int -> ('s, 'a) Ioa.t -> Boundmap.t -> ('s -> bool) ->
-    (stats, 's) result
+    ?limit:int -> ?deadline_s:float -> ('s, 'a) Ioa.t -> Boundmap.t ->
+    ('s -> bool) -> (stats, 's) result
 
   val check_condition :
-    ?limit:int -> ('s, 'a) Ioa.t -> Boundmap.t -> ('s, 'a) Condition.t ->
-    outcome
+    ?limit:int -> ?deadline_s:float -> ('s, 'a) Ioa.t -> Boundmap.t ->
+    ('s, 'a) Condition.t -> outcome
 end
 
 (* The exploration discipline — waiting-list policy, subsumption,
@@ -130,7 +141,7 @@ module Make (K : Dbm_sig.S) : S = struct
      returns the observer phase transition and the operation on the
      observer clock ([`Reset], [`Free] while it is not being read, or
      [`Keep]); [inspect] sees every stored (state, phase, zone). *)
-  let explore (type s a) ?(limit = 200_000) (enc : (s, a) enc)
+  let explore (type s a) ?(limit = 200_000) ?deadline_s (enc : (s, a) enc)
       ~(initial_phase : s -> phase)
       ~(observe :
          phase -> s -> a -> s -> sat:(int -> int -> Dbm_bound.t -> bool)
@@ -176,7 +187,20 @@ module Make (K : Dbm_sig.S) : S = struct
     let waiting = ref 0 in
     let seq = ref 0 in
     let exception Unsupported_shape of string in
-    let exception Limit in
+    let exception Budget of [ `States | `Deadline ] in
+    (* Absolute wall-clock deadline; probed per popped location and
+       every few hundred edges so the overhead stays off the per-zone
+       path. *)
+    let deadline =
+      match deadline_s with
+      | None -> None
+      | Some d -> Some (Tracing.now_s () +. d)
+    in
+    let check_deadline () =
+      match deadline with
+      | None -> ()
+      | Some t -> if Tracing.now_s () > t then raise (Budget `Deadline)
+    in
     let cell_of id =
       match Hashtbl.find_opt cells id with
       | Some c -> c
@@ -211,7 +235,7 @@ module Make (K : Dbm_sig.S) : S = struct
         cell := e :: !cell;
         incr zone_count;
         Metrics.incr c_zones_stored;
-        if !zone_count > limit then raise Limit;
+        if !zone_count > limit then raise (Budget `States);
         inspect p s z;
         let bucket =
           match Hashtbl.find_opt pending id with
@@ -237,6 +261,7 @@ module Make (K : Dbm_sig.S) : S = struct
             (fun s' ->
               incr edges;
               Metrics.incr c_zone_edges;
+              if !edges land 511 = 0 then check_deadline ();
               K.Scratch.load scr z;
               (match gopt with
               | None -> ()
@@ -296,6 +321,7 @@ module Make (K : Dbm_sig.S) : S = struct
               add s0 p0 (K.Scratch.freeze scr))
           a.Ioa.start;
         while not (Queue.is_empty locq) do
+          check_deadline ();
           let id = Queue.pop locq in
           Hashtbl.remove queued id;
           let batch =
@@ -335,11 +361,33 @@ module Make (K : Dbm_sig.S) : S = struct
           }
       with
       | Unsupported_shape m -> Error (`Unsupported m)
-      | Limit -> Error (`Unsupported "zone limit exceeded")
+      | Budget kind ->
+          (* Exhaustion must never masquerade as a verdict: surface the
+             partial stats so the caller can report how far the search
+             got before the budget ran out. *)
+          let partial =
+            {
+              locations = Hstore.length store;
+              zones = !zone_count;
+              edges = !edges;
+            }
+          in
+          let reason =
+            match kind with
+            | `States ->
+                Metrics.incr c_budget_states;
+                Printf.sprintf "zone budget exhausted (limit=%d stored zones)"
+                  limit
+            | `Deadline ->
+                Metrics.incr c_budget_deadline;
+                let d = match deadline_s with Some d -> d | None -> 0. in
+                Printf.sprintf "deadline exceeded (%.0f ms)" (d *. 1000.)
+          in
+          Error (`Budget { reason; partial })
     in
     result
 
-  let reachable ?limit (a : ('s, 'a) Ioa.t) bm =
+  let reachable ?limit ?deadline_s (a : ('s, 'a) Ioa.t) bm =
     Tracing.with_span "zones.reachable" @@ fun () ->
     let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
     let seen = ref [] in
@@ -347,21 +395,22 @@ module Make (K : Dbm_sig.S) : S = struct
       if not (List.exists (a.Ioa.equal_state s) !seen) then seen := s :: !seen
     in
     match
-      explore ?limit enc
+      explore ?limit ?deadline_s enc
         ~initial_phase:(fun _ -> Idle)
         ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
         ~inspect
     with
     | Ok stats -> (stats, List.rev !seen)
     | Error (`Unsupported m) -> raise (Open_system m)
+    | Error (`Budget e) -> raise (Out_of_budget e)
 
-  let check_state_invariant ?limit (a : ('s, 'a) Ioa.t) bm pred =
+  let check_state_invariant ?limit ?deadline_s (a : ('s, 'a) Ioa.t) bm pred =
     Tracing.with_span "zones.check_state_invariant" @@ fun () ->
     let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
     let bad = ref None in
     let exception Found in
     match
-      explore ?limit enc
+      explore ?limit ?deadline_s enc
         ~initial_phase:(fun _ -> Idle)
         ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
         ~inspect:(fun _ s _ ->
@@ -374,8 +423,9 @@ module Make (K : Dbm_sig.S) : S = struct
         match !bad with Some s -> Error s | None -> assert false)
     | Ok stats -> Ok stats
     | Error (`Unsupported m) -> raise (Open_system m)
+    | Error (`Budget e) -> raise (Out_of_budget e)
 
-  let check_condition ?limit (a : ('s, 'a) Ioa.t) bm
+  let check_condition ?limit ?deadline_s (a : ('s, 'a) Ioa.t) bm
       (c : ('s, 'a) Condition.t) =
     Tracing.with_span "zones.check_condition"
       ~args:[ ("cond", c.Condition.cname) ]
@@ -420,13 +470,14 @@ module Make (K : Dbm_sig.S) : S = struct
       | Armed, None | Idle, _ -> ()
     in
     match
-      explore ?limit enc
+      explore ?limit ?deadline_s enc
         ~initial_phase:(fun s0 ->
           if c.Condition.t_start s0 then Armed else Idle)
         ~observe ~inspect
     with
     | Ok stats -> Verified stats
     | Error (`Unsupported m) -> Unsupported m
+    | Error (`Budget e) -> Unknown e
     | exception Lower -> Lower_violation { locations = 0; zones = 0; edges = 0 }
     | exception Upper -> Upper_violation { locations = 0; zones = 0; edges = 0 }
 end

@@ -38,43 +38,70 @@ type stats = {
   edges : int;  (** symbolic transitions processed *)
 }
 
+type exhausted = {
+  reason : string;  (** which budget ran out, human-readable *)
+  partial : stats;  (** how far the search got before exhaustion *)
+}
+
 type outcome =
   | Verified of stats
   | Lower_violation of stats
   | Upper_violation of stats
+  | Unknown of exhausted
+      (** The search exhausted its zone or wall-clock budget before
+          reaching a fixpoint — neither a proof nor a refutation.
+          Exhaustion is never reported as [Verified]. *)
   | Unsupported of string
 
 exception Open_system of string
 (** Raised when the automaton has input actions (the encoding needs a
     closed system) or a locally controlled action without bounds. *)
 
+exception Out_of_budget of exhausted
+(** Raised by {!S.reachable} and {!S.check_state_invariant} when the
+    zone or wall-clock budget is exhausted before the fixpoint (the
+    condition checker returns {!outcome.Unknown} instead, since it
+    already returns a sum). *)
+
 (** What a zone engine offers, whatever its kernel.  The CLI selects an
-    engine as a first-class module of this type. *)
+    engine as a first-class module of this type.
+
+    Every entry point takes a graceful-degradation budget: [limit]
+    bounds stored zones (default [200_000]) and [deadline_s] bounds
+    wall-clock seconds.  Running out of either yields an {!exhausted}
+    carrying partial {!stats} — via {!Out_of_budget} or
+    {!outcome.Unknown} — rather than a truncated (unsound) verdict.
+    Zone-budget exhaustion is deterministic and agrees exactly across
+    kernels; the wall-clock deadline, necessarily, does not. *)
 module type S = sig
   val reachable :
-    ?limit:int -> ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t ->
-    stats * 's list
+    ?limit:int -> ?deadline_s:float -> ('s, 'a) Tm_ioa.Ioa.t ->
+    Tm_timed.Boundmap.t -> stats * 's list
   (** Timed reachability: explored stats and the base states reachable
       under the timing assumptions (a subset of the untimed reachable
-      set). [limit] bounds stored zones, default [200_000]. *)
+      set).
+      @raise Out_of_budget when a budget is exhausted. *)
 
   val check_state_invariant :
     ?limit:int ->
+    ?deadline_s:float ->
     ('s, 'a) Tm_ioa.Ioa.t ->
     Tm_timed.Boundmap.t ->
     ('s -> bool) ->
     (stats, 's) result
   (** [Error s] returns a reachable (under timing) state violating the
-      predicate. *)
+      predicate.
+      @raise Out_of_budget when a budget is exhausted. *)
 
   val check_condition :
     ?limit:int ->
+    ?deadline_s:float ->
     ('s, 'a) Tm_ioa.Ioa.t ->
     Tm_timed.Boundmap.t ->
     ('s, 'a) Tm_timed.Condition.t ->
     outcome
   (** Exact verification that every timed execution of [(A, b)]
-      satisfies the condition. *)
+      satisfies the condition; [Unknown] when a budget is exhausted. *)
 end
 
 module Make (K : Dbm_sig.S) : S

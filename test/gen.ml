@@ -246,6 +246,31 @@ let build_boundmap_automaton (r : raut) :
   in
   (aut, bm)
 
+(* Random fault-model perturbations over a given class set, paired
+   with {!boundmap_automaton} (classes "k0".."k2") by the robustness
+   metamorphic suite. *)
+let perturbation ~classes : Tm_faults.Perturb.spec QCheck2.Gen.t =
+  let module P = Tm_faults.Perturb in
+  QCheck2.Gen.(
+    let cls = oneofl classes in
+    let mag =
+      map2 (fun n d -> Rational.make n d) (int_range 0 8) (int_range 1 4)
+    in
+    let base =
+      frequency
+        [
+          (3, map P.widen mag);
+          (3, map2 P.widen_class cls mag);
+          (2, map P.drift mag);
+          (2, map2 P.drift_class cls mag);
+          (1, map2 P.rebound cls interval);
+        ]
+    in
+    frequency
+      [ (5, base); (1, map P.seq (list_size (int_range 0 3) base)) ])
+
+let print_perturbation = Tm_faults.Perturb.to_string
+
 let print_raut (r : raut) =
   let b = Buffer.create 128 in
   Buffer.add_string b

@@ -13,7 +13,8 @@ let test_find () =
   Alcotest.(check interval_t) "A" (Interval.of_ints 1 2) (Boundmap.find bm "A");
   Alcotest.(check rational_t) "lower B" (q 3) (Boundmap.lower bm "B");
   Alcotest.(check time_t) "upper B" Time.Inf (Boundmap.upper bm "B");
-  Alcotest.check_raises "missing" Not_found (fun () ->
+  Alcotest.check_raises "missing"
+    (Invalid_argument "Boundmap.find: class \"Z\" has no bounds") (fun () ->
       ignore (Boundmap.find bm "Z"))
 
 let test_duplicate () =

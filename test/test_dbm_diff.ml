@@ -189,10 +189,12 @@ let script_diff_scratch_vs_persistent =
 
 let sorted_states l = List.sort compare l
 
-let reach_outcome (module E : Reach.S) aut bm =
-  match E.reachable ~limit:2000 aut bm with
+let reach_outcome ?(limit = 2000) (module E : Reach.S) aut bm =
+  match E.reachable ~limit aut bm with
   | stats, states -> Ok (stats, sorted_states states)
-  | exception Reach.Open_system m -> Error m
+  | exception Reach.Open_system m -> Error (`Open m)
+  | exception Reach.Out_of_budget e ->
+      Error (`Budget (e.Reach.reason, e.Reach.partial))
 
 let fixpoint_diff =
   Gen.check_holds "automaton: engines agree on reachable fixpoint"
@@ -200,6 +202,17 @@ let fixpoint_diff =
       let aut, bm = Gen.build_boundmap_automaton r in
       reach_outcome (module Reach.Default) aut bm
       = reach_outcome (module Reach.Ref) aut bm)
+
+(* Both kernels run the one shared exploration, so running out of the
+   zone budget must be deterministic: same reason, same partial stats,
+   zone for zone.  A tiny limit makes most random automata exhaust. *)
+let budget_diff =
+  Gen.check_holds
+    "automaton: engines agree on budget exhaustion and partial stats"
+    ~count:120 ~print:Gen.print_raut Gen.boundmap_automaton (fun r ->
+      let aut, bm = Gen.build_boundmap_automaton r in
+      reach_outcome ~limit:8 (module Reach.Default) aut bm
+      = reach_outcome ~limit:8 (module Reach.Ref) aut bm)
 
 let cond_outcome (module E : Reach.S) aut bm c =
   match E.check_condition ~limit:2000 aut bm c with
@@ -222,6 +235,30 @@ let condition_diff =
       in
       cond_outcome (module Reach.Default) aut bm c
       = cond_outcome (module Reach.Ref) aut bm c)
+
+(* Margin reports are built from many engine verdicts, so any kernel
+   divergence is amplified; the full report (thresholds, refutation
+   bounds, critical class) must be identical under both kernels. *)
+let margin_diff =
+  let module Margin = Tm_faults.Margin in
+  let margin_report (module E : Reach.S) aut bm c =
+    Margin.report ~eps_max:2 ~stable:5 ~max_probes:24 ~subject:"m"
+      ~check:(fun bm' ->
+        Margin.condition_status (module E) ~limit:2000 aut c bm')
+      bm
+  in
+  Gen.check_holds "automaton: engines agree on robustness margins"
+    ~count:40 ~print:Gen.print_raut Gen.boundmap_automaton (fun r ->
+      let aut, bm = Gen.build_boundmap_automaton r in
+      let c =
+        Condition.make ~name:"D"
+          ~t_step:(fun _ a _ -> a = 0)
+          ~bounds:(Interval.make Rational.zero (Tm_base.Time.Fin (Gen.q 3)))
+          ~in_pi:(fun a -> a = 0)
+          ()
+      in
+      margin_report (module Reach.Default) aut bm c
+      = margin_report (module Reach.Ref) aut bm c)
 
 (* A couple of deterministic regressions pinning kernel corner cases
    the random scripts found valuable to keep explicit. *)
@@ -258,7 +295,9 @@ let suite =
     script_diff_fast_vs_ref;
     script_diff_scratch_vs_persistent;
     fixpoint_diff;
+    budget_diff;
     condition_diff;
+    margin_diff;
     Alcotest.test_case "scratch: unsat constrain empties and freezes" `Quick
       unit_empty_freeze;
     Alcotest.test_case "sat: O(1) formula matches definition" `Quick

@@ -87,6 +87,7 @@ let test_u_enter_verified () =
   | Reach.Lower_violation _ -> Alcotest.fail "lower violated"
   | Reach.Upper_violation _ -> Alcotest.fail "upper violated"
   | Reach.Unsupported m -> Alcotest.fail m
+  | Reach.Unknown e -> Alcotest.fail e.Reach.reason
 
 let test_u_enter_tight_refuted () =
   let tight =
