@@ -49,6 +49,16 @@ open Bench_util
 
 let q = Rational.of_int
 
+(* TM_DOMAINS spreads the zone/margin experiments over that many
+   domains (default 1 = sequential).  The guarded counters in the
+   committed baseline (zones.stored and the faults counters) are
+   identical at any domain count — CI re-runs the drift guard with
+   TM_DOMAINS=2. *)
+let bench_domains =
+  match Sys.getenv_opt "TM_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
 (* ------------------------------------------------------------------ *)
 (* Shared measurement machinery                                        *)
 
@@ -387,8 +397,8 @@ let e6 () =
   in
   let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1 in
   let sys = RM.system p and bm = RM.boundmap p in
-  show "manager G1 = [6,10]" "VERIFIED" (Reach.check_condition sys bm (RM.g1 p));
-  show "manager G2 = [5,10]" "VERIFIED" (Reach.check_condition sys bm (RM.g2 p));
+  show "manager G1 = [6,10]" "VERIFIED" (Reach.check_condition ~domains:bench_domains sys bm (RM.g1 p));
+  show "manager G2 = [5,10]" "VERIFIED" (Reach.check_condition ~domains:bench_domains sys bm (RM.g2 p));
   let g1x lo hi =
     Tm_timed.Condition.make ~name:"G1x"
       ~t_start:(fun _ -> true)
@@ -397,12 +407,12 @@ let e6 () =
       ()
   in
   show "manager G1 tightened to [6,9]" "UPPER-VIOLATED"
-    (Reach.check_condition sys bm (g1x (q 6) (Time.of_int 9)));
+    (Reach.check_condition ~domains:bench_domains sys bm (g1x (q 6) (Time.of_int 9)));
   show "manager G1 tightened to [7,10]" "LOWER-VIOLATED"
-    (Reach.check_condition sys bm (g1x (q 7) (Time.of_int 10)));
+    (Reach.check_condition ~domains:bench_domains sys bm (g1x (q 7) (Time.of_int 10)));
   let ip = IM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:3 in
   show "interrupt manager G2 (l >= c1)" "VERIFIED"
-    (Reach.check_condition (IM.system ip) (IM.boundmap ip) (IM.g2 ip));
+    (Reach.check_condition ~domains:bench_domains (IM.system ip) (IM.boundmap ip) (IM.g2 ip));
   List.iter
     (fun n ->
       let rp = SR.params_of_ints ~n ~d1:1 ~d2:2 in
@@ -416,7 +426,7 @@ let e6 () =
       show
         (Printf.sprintf "relay U(0,%d) = [%d,%d]" n n (2 * n))
         "VERIFIED"
-        (Reach.check_condition (SR.line rp) (SR.boundmap rp) u))
+        (Reach.check_condition ~domains:bench_domains (SR.line rp) (SR.boundmap rp) u))
     [ 2; 4; 8; 16 ];
   List.iter
     (fun n ->
@@ -424,22 +434,22 @@ let e6 () =
       show
         (Printf.sprintf "token ring rotation, n=%d = [%d,%d]" n n (2 * n))
         "VERIFIED"
-        (Reach.check_condition (TR.system tp) (TR.boundmap tp)
+        (Reach.check_condition ~domains:bench_domains (TR.system tp) (TR.boundmap tp)
            (TR.u_rotation tp)))
     [ 3; 6 ];
   (let ts = TS.params_of_ints ~p1:1 ~p2:3 ~q1:1 ~q2:2 ~r1:2 ~r2:4 in
    show "chained trigger end-to-end = [3,6]" "VERIFIED"
-     (Reach.check_condition (TS.system ts) (TS.boundmap ts)
+     (Reach.check_condition ~domains:bench_domains (TS.system ts) (TS.boundmap ts)
         (TS.u_end_to_end ts)));
   (let fd = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2 in
    show "failure detection window = [2,9]" "VERIFIED"
-     (Reach.check_condition (FD.system fd) (FD.boundmap fd) (FD.u_detect fd)));
+     (Reach.check_condition ~domains:bench_domains (FD.system fd) (FD.boundmap fd) (FD.u_detect fd)));
   let rgp = RG.params_of_ints ~r1:2 ~r2:5 ~w1:1 ~w2:3 in
   show "request-grant with disabling set" "VERIFIED"
-    (Reach.check_condition (RG.system rgp) (RG.boundmap rgp)
+    (Reach.check_condition ~domains:bench_domains (RG.system rgp) (RG.boundmap rgp)
        (RG.u_response rgp));
   show "request-grant without disabling set" "UPPER-VIOLATED"
-    (Reach.check_condition (RG.system rgp) (RG.boundmap rgp)
+    (Reach.check_condition ~domains:bench_domains (RG.system rgp) (RG.boundmap rgp)
        (RG.u_response_no_disable rgp))
 
 (* ------------------------------------------------------------------ *)
@@ -450,7 +460,7 @@ let e8 () =
   row "%-52s %s\n" "claim" "verdict";
   let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
   (match
-     Reach.check_state_invariant (F.system p) (F.boundmap p)
+     Reach.check_state_invariant ~domains:bench_domains (F.system p) (F.boundmap p)
        F.mutual_exclusion
    with
   | Ok st ->
@@ -459,12 +469,12 @@ let e8 () =
   | Error _ -> row "%-52s VIOLATED (unexpected)\n" "mutual exclusion, a < b");
   (match
      let bad = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:2 ~b:2 ~b2:3 ~e:2 in
-     Reach.check_state_invariant (F.system bad) (F.boundmap bad)
+     Reach.check_state_invariant ~domains:bench_domains (F.system bad) (F.boundmap bad)
        F.mutual_exclusion
    with
   | Error _ -> row "%-52s REFUTED (expected)\n" "mutual exclusion, a = b"
   | Ok _ -> row "%-52s UNEXPECTED PASS\n" "mutual exclusion, a = b");
-  (match Reach.check_condition (F.system p) (F.boundmap p) (F.u_enter p) with
+  (match Reach.check_condition ~domains:bench_domains (F.system p) (F.boundmap p) (F.u_enter p) with
   | Reach.Verified st ->
       row "%-52s VERIFIED (%d locations, %d zones)\n"
         "uncontended SET -> ENTER within [b, b2] = [2,3]" st.Reach.locations
@@ -536,10 +546,10 @@ let e7 () =
                ~conds:[| RM.g1 p; RM.g2 p |] ()));
       Test.make ~name:"zones: verify G1 (k=3)"
         (Staged.stage (fun () ->
-             Reach.check_condition (RM.system p) (RM.boundmap p) (RM.g1 p)));
+             Reach.check_condition ~domains:bench_domains (RM.system p) (RM.boundmap p) (RM.g1 p)));
       Test.make ~name:"zones: verify relay U(0,3)"
         (Staged.stage (fun () ->
-             Reach.check_condition (SR.line rp) (SR.boundmap rp)
+             Reach.check_condition ~domains:bench_domains (SR.line rp) (SR.boundmap rp)
                (Tm_timed.Condition.make ~name:"u"
                   ~t_step:(fun _ a _ -> a = SR.Signal 0)
                   ~bounds:(SR.delay_interval rp)
@@ -657,7 +667,7 @@ let e9 () =
   row "\n%-52s %s\n" "failure-detector accuracy" "verdict";
   (let good = FD.params_of_ints ~h1:1 ~h2:2 ~g1:2 ~g2:3 ~m:2 in
    match
-     Reach.check_state_invariant (FD.system good) (FD.boundmap good)
+     Reach.check_state_invariant ~domains:bench_domains (FD.system good) (FD.boundmap good)
        FD.no_false_suspicion
    with
    | Ok st ->
@@ -666,7 +676,7 @@ let e9 () =
    | Error _ -> row "%-52s VIOLATED (unexpected)\n" "h2 <= g1");
   (let bad = FD.params_of_ints ~h1:5 ~h2:8 ~g1:2 ~g2:3 ~m:2 in
    match
-     Reach.check_state_invariant (FD.system bad) (FD.boundmap bad)
+     Reach.check_state_invariant ~domains:bench_domains (FD.system bad) (FD.boundmap bad)
        FD.no_false_suspicion
    with
    | Error _ -> row "%-52s REFUTED (expected)\n" "h2 > g1 (slow heartbeats)"
@@ -679,7 +689,7 @@ let e10 () =
   row "%-36s %-18s %-18s %s\n" "system" "zones (locs/zones)"
     "regions (locs/rgns)" "reachable sets";
   let compare_engines (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm =
-    let zst, zs = Reach.reachable sys bm in
+    let zst, zs = Reach.reachable ~domains:bench_domains sys bm in
     let rst, rs = Region.reachable sys bm in
     let agree =
       List.length zs = List.length rs
@@ -789,7 +799,7 @@ let e12 () =
     | Error m -> m
   in
   let sweep subject bm check =
-    let r = Margin.report ~subject ~check bm in
+    let r = Margin.report ~domains:bench_domains ~subject ~check bm in
     row "%-46s %s\n" subject (vstr r.Margin.overall);
     List.iter
       (fun (rw : Margin.row) ->
@@ -822,13 +832,52 @@ let e12 () =
         (module Reach.Default)
         (F.system p) F.mutual_exclusion bm')
 
+(* E13: multi-core scaling of the zone engine *)
+
+let e13 () =
+  section "E13: multi-core zone exploration — fischer scaling";
+  row "%-24s %-8s %-10s %-12s %-8s %s\n" "workload" "domains" "time(ms)"
+    "locs/zones" "speedup" "agreement";
+  (* Each row re-runs the same reachability at a different domain
+     count; AGREE means stats (locations / stored zones / edges) and
+     the reachable base-state set match the 1-domain run exactly.
+     Speedup is relative to the 1-domain row — expect ~1.0 on a
+     single-core box and ~N/⌈overhead⌉ on real hardware. *)
+  let scale (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm =
+    let run d =
+      let t0 = Tm_obs.Tracing.now_s () in
+      let st, reach = Reach.reachable ~domains:d sys bm in
+      ((Tm_obs.Tracing.now_s () -. t0) *. 1000., st, reach)
+    in
+    let t1, st1, r1 = run 1 in
+    List.iter
+      (fun d ->
+        let td, std, rd = run d in
+        let agree =
+          std = st1
+          && List.length rd = List.length r1
+          && List.for_all
+               (fun s -> List.exists (sys.Tm_ioa.Ioa.equal_state s) r1)
+               rd
+        in
+        row "%-24s %-8d %-10.1f %-12s %-8.2f %s\n" name d td
+          (Printf.sprintf "%d/%d" std.Reach.locations std.Reach.zones)
+          (t1 /. td)
+          (if agree then "AGREE" else "DISAGREE"))
+      [ 1; 2; 4 ]
+  in
+  (let p = F.params_of_ints ~n:3 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   scale "fischer n=3" (F.system p) (F.boundmap p));
+  let p = F.params_of_ints ~n:4 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  scale "fischer n=4" (F.system p) (F.boundmap p)
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12);
+    ("e12", e12); ("e13", e13);
   ]
 
 let () =

@@ -71,6 +71,12 @@ let budget_states : int option ref = ref None
 let budget_s : float option ref = ref None
 let had_unknown = ref false
 
+(* Domain count set by --domains on verify/margin/check/simulate.  The
+   default 1 is the exact sequential path; any other count yields the
+   same verdicts, reachable sets and stored-zone counts (see Reach),
+   only wall-clock time changes. *)
+let ndomains = ref 1
+
 (* [margin --json] wants a clean JSON document on stdout, so the
    per-report tables can be switched off. *)
 let margin_table = ref true
@@ -122,18 +128,20 @@ let print_trace (type s a) (aut : (s, a) TA.t) (seq : (s, a) Tseq.t)
 
 let generic_check (type s a) (aut : (s, a) TA.t)
     (conds : (s, a) Condition.t list) ~runs ~steps ~denominator =
-  let violations = ref 0 in
-  for seed = 0 to runs - 1 do
-    let prng = Prng.create seed in
-    let run =
-      Simulator.simulate ~steps
-        ~strategy:(Strategy.random ~prng ~denominator ~cap:(q 1))
-        aut
-    in
-    let vs = Semantics.semi_satisfies_all (Simulator.project run) conds in
-    violations := !violations + List.length vs
-  done;
-  !violations
+  (* Seeds dispatch over the pool; run [i] is seeded exactly as the
+     historical sequential loop, so the violation count is identical
+     at any domain count. *)
+  let results =
+    Simulator.batch ~domains:!ndomains ~runs ~steps
+      ~prng:(fun seed -> Prng.create seed)
+      ~strategy:(fun prng -> Strategy.random ~prng ~denominator ~cap:(q 1))
+      aut
+  in
+  Array.fold_left
+    (fun acc run ->
+      acc
+      + List.length (Semantics.semi_satisfies_all (Simulator.project run) conds))
+    0 results
 
 (* Zone engine selected by --engine on the verify subcommand: the
    production in-place kernel, or the reference kernel for
@@ -146,7 +154,8 @@ let zone_verify (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
   List.iter
     (fun (c : (s, a) Condition.t) ->
       match
-        E.check_condition ?limit:!budget_states ?deadline_s:!budget_s sys bm c
+        E.check_condition ?limit:!budget_states ?deadline_s:!budget_s
+          ~domains:!ndomains sys bm c
       with
       | Reach.Verified st ->
           Format.printf "%s %s %s: VERIFIED (%d locations, %d zones)@." name
@@ -212,7 +221,7 @@ let margin_reports (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
                   (module E)
                   ?limit:!budget_states ?deadline_s:!budget_s sys pred bm' )
       in
-      let r = Margin.report ~subject ~check bm in
+      let r = Margin.report ~domains:!ndomains ~subject ~check bm in
       if !margin_table then print_margin_report r;
       (match (r.Margin.overall : (Margin.verdict, string) result) with
       | Error m when not (String.equal m "refuted with no perturbation (e = 0)")
@@ -442,8 +451,8 @@ let fischer_instance ~n ~a ~b =
         let module E = (val !engine) in
         (match
            E.check_state_invariant ?limit:!budget_states
-             ?deadline_s:!budget_s (F.system p) (F.boundmap p)
-             F.mutual_exclusion
+             ?deadline_s:!budget_s ~domains:!ndomains (F.system p)
+             (F.boundmap p) F.mutual_exclusion
          with
         | Ok st ->
             Format.printf "mutual exclusion: VERIFIED (%d zones)@."
@@ -483,7 +492,7 @@ let rg_instance ~r1 ~r2 ~w1 ~w2 =
           [ RG.u_response p ];
         let module E = (val !engine) in
         match
-          E.check_condition (RG.system p) (RG.boundmap p)
+          E.check_condition ~domains:!ndomains (RG.system p) (RG.boundmap p)
             (RG.u_response_no_disable p)
         with
         | Reach.Upper_violation _ ->
@@ -571,8 +580,8 @@ let fd_instance ~g1 ~g2 ~m =
         let module E = (val !engine) in
         (match
            E.check_state_invariant ?limit:!budget_states
-             ?deadline_s:!budget_s (FD.system p) (FD.boundmap p)
-             FD.no_false_suspicion
+             ?deadline_s:!budget_s ~domains:!ndomains (FD.system p)
+             (FD.boundmap p) FD.no_false_suspicion
          with
         | Ok st ->
             Format.printf "accuracy: VERIFIED (%d zones)@." st.Reach.zones
@@ -852,8 +861,28 @@ let budget_term =
   in
   Term.(const mk $ states_arg $ ms_arg)
 
+(* --domains on the subcommands that can fan work out.  Like
+   [budget_term], evaluating the term stores the count in the global
+   the analysis helpers read. *)
+let domains_term =
+  let arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run the analysis on $(docv) domains (OS threads). Verdicts, \
+             reachable sets and stored-zone counts are identical at any \
+             domain count; the default 1 is the exact sequential path. \
+             On $(b,simulate) the single trace itself stays sequential.")
+  in
+  let mk d =
+    if d < 1 then failwith "--domains must be >= 1";
+    ndomains := d
+  in
+  Term.(const mk $ arg)
+
 let simulate_cmd =
-  let run inst steps strategy seed () obs =
+  let run inst steps strategy seed () () obs =
     let reason =
       with_obs "simulate" obs (fun () ->
           Format.printf "%s@." inst.describe;
@@ -882,10 +911,10 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Simulate a system and print the timed trace")
     Term.(
       const run $ instance_term $ steps_arg $ strategy_arg $ seed_arg
-      $ budget_term $ obs_term)
+      $ budget_term $ domains_term $ obs_term)
 
 let check_cmd =
-  let run inst runs steps obs =
+  let run inst runs steps () obs =
     let v =
       with_obs "check" obs (fun () ->
           Format.printf "%s@." inst.describe;
@@ -897,7 +926,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Simulate many seeds and check the timing conditions")
-    Term.(const run $ instance_term $ runs_arg $ steps_arg $ obs_term)
+    Term.(
+      const run $ instance_term $ runs_arg $ steps_arg $ domains_term
+      $ obs_term)
 
 let simple_cmd name ~doc select =
   let run inst obs =
@@ -932,7 +963,7 @@ let engine_arg =
            agree.")
 
 let verify_cmd =
-  let run inst e () obs =
+  let run inst e () () obs =
     engine := e;
     with_obs "verify" obs (fun () ->
         Format.printf "%s@." inst.describe;
@@ -941,7 +972,9 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Exact zone-based verification")
-    Term.(const run $ instance_term $ engine_arg $ budget_term $ obs_term)
+    Term.(
+      const run $ instance_term $ engine_arg $ budget_term $ domains_term
+      $ obs_term)
 
 let margin_cmd =
   let json_arg =
@@ -952,7 +985,7 @@ let margin_cmd =
             "Print the reports as a JSON array on stdout instead of \
              tables.")
   in
-  let run inst e json () obs =
+  let run inst e json () () obs =
     engine := e;
     margin_table := not json;
     let reports =
@@ -971,7 +1004,7 @@ let margin_cmd =
     Term.(
       const run
       $ instance_term_with ~g1_default:3 ~m_default:1
-      $ engine_arg $ json_arg $ budget_term $ obs_term)
+      $ engine_arg $ json_arg $ budget_term $ domains_term $ obs_term)
 
 let map_cmd =
   simple_cmd "map" ~doc:"Check the paper's strong possibilities mappings"

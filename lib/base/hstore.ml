@@ -4,14 +4,36 @@ type 'k t = {
   buckets : (int, (int * 'k) list) Hashtbl.t;
   mutable keys : 'k array;
   mutable count : int;
+  owner : int;  (* Domain.id of the creating domain *)
 }
 
+(* Stores are single-domain by design: the zone engine gives each
+   domain its own tables instead of locking a shared one.  Every
+   operation asserts ownership so a cross-domain access fails loudly
+   (naming both domains) instead of corrupting the buckets. *)
+let check_owner t =
+  let d = (Domain.self () :> int) in
+  if d <> t.owner then
+    invalid_arg
+      (Printf.sprintf
+         "Hstore: store owned by domain %d used from domain %d (stores are \
+          single-domain; create one per domain)"
+         t.owner d)
+
 let create ~equal ~hash n =
-  { equal; hash; buckets = Hashtbl.create n; keys = [||]; count = 0 }
+  {
+    equal;
+    hash;
+    buckets = Hashtbl.create n;
+    keys = [||];
+    count = 0;
+    owner = (Domain.self () :> int);
+  }
 
 let length t = t.count
 
 let find t k =
+  check_owner t;
   let h = t.hash k in
   match Hashtbl.find_opt t.buckets h with
   | None -> None

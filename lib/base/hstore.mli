@@ -5,7 +5,13 @@
     than derived from the type, so [Hashtbl.Make] does not apply.  This
     store buckets by a caller hash and resolves collisions with a
     caller equality; each key is assigned a dense integer id on first
-    insertion (ids are handy as graph-node indices). *)
+    insertion (ids are handy as graph-node indices).
+
+    A store belongs to the domain that created it: {!find}, {!add} and
+    {!intern} raise [Invalid_argument] (naming the owning and the
+    calling domain) when used from another domain.  Parallel callers —
+    the zone engine's per-domain intern tables — create one store per
+    domain rather than sharing one. *)
 
 type 'k t
 

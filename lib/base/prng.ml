@@ -20,6 +20,11 @@ let next_int64 g =
 
 let split g = { state = mix (next_int64 g) }
 
+let streams ~seed ~n =
+  if n < 0 then invalid_arg "Prng.streams: n < 0";
+  let master = create seed in
+  Array.init n (fun _ -> split master)
+
 let int g bound =
   if bound < 1 then invalid_arg "Prng.int: bound < 1";
   (* Rejection sampling to avoid modulo bias. *)

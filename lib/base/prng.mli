@@ -15,6 +15,12 @@ val copy : t -> t
 val split : t -> t
 (** Derives an independent generator; the parent advances. *)
 
+val streams : seed:int -> n:int -> t array
+(** [n] independent generators split off a master seeded with [seed],
+    in index order — stream [i] depends only on [(seed, i)], so work
+    fanned out over domains draws the same randomness per item at any
+    domain count. *)
+
 val next_int64 : t -> int64
 val int : t -> int -> int
 (** [int g bound] is uniform in [[0, bound)]. [bound >= 1]. *)

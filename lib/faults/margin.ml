@@ -118,20 +118,40 @@ let search ?(eps_max = 8) ?(stable = 12) ?(max_probes = 96) ~family ~check bm
       in
       walk (Rational.of_int ilo) (Rational.of_int ihi) 0 0
 
-let report ?eps_max ?stable ?max_probes ~subject ~check bm =
+let report ?eps_max ?stable ?max_probes ?(domains = 1) ~subject ~check bm =
+  (* The overall search and each per-class search are independent
+     Stern–Brocot descents, so they fan out over the pool as whole
+     tasks (the walk inside a search is adaptive and stays
+     sequential).  Each search draws a self-contained probe sequence,
+     so verdicts and probe counts are identical at any domain count;
+     with [domains = 1] the inline pool runs them in the exact
+     sequential order. *)
+  let tasks =
+    (fun () ->
+      `Overall
+        (search ?eps_max ?stable ?max_probes ~family:Perturb.widen ~check bm))
+    :: List.map
+         (fun cls () ->
+           `Row
+             {
+               cls;
+               verdict =
+                 search ?eps_max ?stable ?max_probes
+                   ~family:(Perturb.widen_class cls) ~check bm;
+             })
+         (Boundmap.classes bm)
+  in
+  let results =
+    Tm_par.Pool.run ~domains (fun p ->
+        Tm_par.Pool.map_list p (fun task -> task ()) tasks)
+  in
   let overall =
-    search ?eps_max ?stable ?max_probes ~family:Perturb.widen ~check bm
+    match results with
+    | `Overall v :: _ -> v
+    | _ -> assert false
   in
   let per_class =
-    List.map
-      (fun cls ->
-        {
-          cls;
-          verdict =
-            search ?eps_max ?stable ?max_probes
-              ~family:(Perturb.widen_class cls) ~check bm;
-        })
-      (Boundmap.classes bm)
+    List.filter_map (function `Row r -> Some r | `Overall _ -> None) results
   in
   let critical =
     List.fold_left

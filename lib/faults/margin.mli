@@ -67,12 +67,18 @@ val report :
   ?eps_max:int ->
   ?stable:int ->
   ?max_probes:int ->
+  ?domains:int ->
   subject:string ->
   check:(Tm_timed.Boundmap.t -> status) ->
   Tm_timed.Boundmap.t ->
   report
 (** {!search} over {!Perturb.widen} plus {!Perturb.widen_class} for
-    every class of the map, and the sensitivity verdict. *)
+    every class of the map, and the sensitivity verdict.  With
+    [domains > 1] the independent searches (overall + one per class)
+    fan out over a [Tm_par.Pool]; the report — verdicts, probe counts,
+    [faults.margin_probes] totals — is identical at any domain count.
+    [check] then runs on worker domains and must be self-contained
+    (the zone-engine adapters below are). *)
 
 (** {1 Property checks}
 

@@ -1,15 +1,57 @@
 module Rational = Tm_base.Rational
 
+(* ------------------------------------------------------------------ *)
+(* Domain sinks.
+
+   A metric handle owns one unsynchronized field per writer: the main
+   domain keeps writing the plain [cv]/[gv]/histogram fields, and while
+   a {!Tm_par.Pool} is live every worker domain writes a private slot
+   of the per-handle sink arrays instead (the slot index comes from
+   domain-local storage set by the pool at spawn).  No write is ever
+   shared between two domains, so updates need no locks; reads
+   ({!snapshot}, {!value}, ...) sum main value + slots and are only
+   meaningful from the main domain once the workers have been joined.
+   Counter totals are therefore exact and deterministic at any domain
+   count — which the CI drift guard relies on.
+
+   [par_on] keeps the sequential hot path unchanged: a single ref read
+   and branch in front of the one mutable field write. *)
+
+let max_slots = 64
+
+let par_on = ref false
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let domain_slot () = Domain.DLS.get slot_key
+
+let set_domain_slot s =
+  if s < 0 || s >= max_slots then invalid_arg "Metrics.set_domain_slot";
+  Domain.DLS.set slot_key s
+
+let par_begin () = par_on := true
+let par_end () = par_on := false
+
 type counter = {
   cname : string;
   clabels : (string * string) list;
   mutable cv : int;
+  cslots : int array;  (* per worker-domain slot; slot 0 unused *)
 }
 
 type gauge = {
   gname : string;
   glabels : (string * string) list;
   mutable gv : float;
+  gslots : float array;  (* neg_infinity = slot never written *)
+}
+
+(* Per-worker histogram sink, allocated lazily by the owning domain. *)
+type hsink = {
+  kcounts : int array;
+  mutable kcount : int;
+  mutable ksum : Rational.t;
+  mutable ksamples : Rational.t list;
+  mutable knsamples : int;
 }
 
 type histogram = {
@@ -21,12 +63,18 @@ type histogram = {
   mutable hsum : Rational.t;
   mutable samples : Rational.t list;  (* most recent first, capped *)
   mutable nsamples : int;
+  hslots : hsink option array;
 }
 
 type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string * (string * string) list, metric) Hashtbl.t =
   Hashtbl.create 64
+
+(* Registration is rare (handles are module-level) but may happen from
+   a worker the first time a labelled variant fires there; the registry
+   table itself is therefore lock-protected. *)
+let registry_mu = Mutex.create ()
 
 let norm_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -39,13 +87,18 @@ let default_buckets =
       (32, 1); (64, 1); (128, 1) ]
 
 let register key make describe =
-  match Hashtbl.find_opt registry key with
-  | Some m -> m
-  | None ->
-      ignore describe;
-      let m = make () in
-      Hashtbl.add registry key m;
-      m
+  Mutex.lock registry_mu;
+  let m =
+    match Hashtbl.find_opt registry key with
+    | Some m -> m
+    | None ->
+        ignore describe;
+        let m = make () in
+        Hashtbl.add registry key m;
+        m
+  in
+  Mutex.unlock registry_mu;
+  m
 
 let kind_error name got =
   invalid_arg
@@ -55,7 +108,14 @@ let counter ?(labels = []) name =
   let labels = norm_labels labels in
   match
     register (name, labels)
-      (fun () -> C { cname = name; clabels = labels; cv = 0 })
+      (fun () ->
+        C
+          {
+            cname = name;
+            clabels = labels;
+            cv = 0;
+            cslots = Array.make max_slots 0;
+          })
       "counter"
   with
   | C c -> c
@@ -66,7 +126,14 @@ let gauge ?(labels = []) name =
   let labels = norm_labels labels in
   match
     register (name, labels)
-      (fun () -> G { gname = name; glabels = labels; gv = 0. })
+      (fun () ->
+        G
+          {
+            gname = name;
+            glabels = labels;
+            gv = 0.;
+            gslots = Array.make max_slots neg_infinity;
+          })
       "gauge"
   with
   | G g -> g
@@ -93,6 +160,7 @@ let histogram ?(labels = []) ?(buckets = default_buckets) name =
             hsum = Rational.zero;
             samples = [];
             nsamples = 0;
+            hslots = Array.make max_slots None;
           })
       "histogram"
   with
@@ -103,16 +171,39 @@ let histogram ?(labels = []) ?(buckets = default_buckets) name =
 (* ------------------------------------------------------------------ *)
 (* updates *)
 
-let incr c = c.cv <- c.cv + 1
+let incr c =
+  if not !par_on then c.cv <- c.cv + 1
+  else
+    let s = Domain.DLS.get slot_key in
+    if s = 0 then c.cv <- c.cv + 1 else c.cslots.(s) <- c.cslots.(s) + 1
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters are monotone";
-  c.cv <- c.cv + n
+  if not !par_on then c.cv <- c.cv + n
+  else
+    let s = Domain.DLS.get slot_key in
+    if s = 0 then c.cv <- c.cv + n else c.cslots.(s) <- c.cslots.(s) + n
 
-let value c = c.cv
-let set g v = g.gv <- v
-let set_max g v = if v > g.gv then g.gv <- v
-let gauge_value g = g.gv
+let value c = Array.fold_left ( + ) c.cv c.cslots
+
+(* Worker writes to a gauge keep the slot maximum; the merged reading
+   is the max across writers, which matches the only parallel gauge use
+   (running maxima such as [zones.waiting_max]). *)
+let set g v =
+  if not !par_on then g.gv <- v
+  else
+    let s = Domain.DLS.get slot_key in
+    if s = 0 then g.gv <- v
+    else if v > g.gslots.(s) then g.gslots.(s) <- v
+
+let set_max g v =
+  if not !par_on then (if v > g.gv then g.gv <- v)
+  else
+    let s = Domain.DLS.get slot_key in
+    if s = 0 then (if v > g.gv then g.gv <- v)
+    else if v > g.gslots.(s) then g.gslots.(s) <- v
+
+let gauge_value g = Array.fold_left Float.max g.gv g.gslots
 
 let bucket_index bounds q =
   (* first bound >= q, else the overflow bin *)
@@ -125,14 +216,44 @@ let bucket_index bounds q =
   in
   go 0 n
 
+let hsink_of h s =
+  match h.hslots.(s) with
+  | Some k -> k
+  | None ->
+      let k =
+        {
+          kcounts = Array.make (Array.length h.counts) 0;
+          kcount = 0;
+          ksum = Rational.zero;
+          ksamples = [];
+          knsamples = 0;
+        }
+      in
+      h.hslots.(s) <- Some k;
+      k
+
 let observe h q =
-  let i = bucket_index h.bounds q in
-  h.counts.(i) <- h.counts.(i) + 1;
-  h.hcount <- h.hcount + 1;
-  h.hsum <- Rational.add h.hsum q;
-  if h.nsamples < sample_cap then begin
-    h.samples <- q :: h.samples;
-    h.nsamples <- h.nsamples + 1
+  let s = if !par_on then Domain.DLS.get slot_key else 0 in
+  if s = 0 then begin
+    let i = bucket_index h.bounds q in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.hcount <- h.hcount + 1;
+    h.hsum <- Rational.add h.hsum q;
+    if h.nsamples < sample_cap then begin
+      h.samples <- q :: h.samples;
+      h.nsamples <- h.nsamples + 1
+    end
+  end
+  else begin
+    let k = hsink_of h s in
+    let i = bucket_index h.bounds q in
+    k.kcounts.(i) <- k.kcounts.(i) + 1;
+    k.kcount <- k.kcount + 1;
+    k.ksum <- Rational.add k.ksum q;
+    if k.knsamples < sample_cap then begin
+      k.ksamples <- q :: k.ksamples;
+      k.knsamples <- k.knsamples + 1
+    end
   end
 
 let observe_seconds h s =
@@ -153,7 +274,14 @@ let quantile_of_samples samples p =
       in
       Some (List.nth sorted rank)
 
-let quantile h p = quantile_of_samples h.samples p
+(* Merged view of a histogram: main fields plus every worker sink. *)
+let all_samples h =
+  Array.fold_left
+    (fun acc k ->
+      match k with None -> acc | Some k -> List.rev_append k.ksamples acc)
+    h.samples h.hslots
+
+let quantile h p = quantile_of_samples (all_samples h) p
 
 (* ------------------------------------------------------------------ *)
 (* snapshots *)
@@ -181,27 +309,39 @@ type snapshot = entry list
 
 let hist_snapshot h =
   let nb = Array.length h.bounds in
+  let counts = Array.copy h.counts in
+  let count = ref h.hcount in
+  let sum = ref h.hsum in
+  Array.iter
+    (function
+      | None -> ()
+      | Some k ->
+          Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) k.kcounts;
+          count := !count + k.kcount;
+          sum := Rational.add !sum k.ksum)
+    h.hslots;
   let cum = ref 0 in
   let buckets =
     List.init nb (fun i ->
-        cum := !cum + h.counts.(i);
+        cum := !cum + counts.(i);
         (h.bounds.(i), !cum))
   in
   let quantiles =
-    if h.hcount = 0 then []
+    if !count = 0 then []
     else
+      let samples = all_samples h in
       List.filter_map
         (fun (lbl, p) ->
-          match quantile_of_samples h.samples p with
+          match quantile_of_samples samples p with
           | Some q -> Some (lbl, q)
           | None -> None)
         [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
   in
   {
-    count = h.hcount;
-    sum = h.hsum;
+    count = !count;
+    sum = !sum;
     buckets;
-    overflow = h.counts.(nb);
+    overflow = counts.(nb);
     quantiles;
   }
 
@@ -214,8 +354,14 @@ let snapshot () =
     (fun _ m acc ->
       let e =
         match m with
-        | C c -> { name = c.cname; labels = c.clabels; value = Counter_v c.cv }
-        | G g -> { name = g.gname; labels = g.glabels; value = Gauge_v g.gv }
+        | C c ->
+            { name = c.cname; labels = c.clabels; value = Counter_v (value c) }
+        | G g ->
+            {
+              name = g.gname;
+              labels = g.glabels;
+              value = Gauge_v (gauge_value g);
+            }
         | H h ->
             {
               name = h.hname;
@@ -231,14 +377,19 @@ let reset () =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | C c -> c.cv <- 0
-      | G g -> g.gv <- 0.
+      | C c ->
+          c.cv <- 0;
+          Array.fill c.cslots 0 max_slots 0
+      | G g ->
+          g.gv <- 0.;
+          Array.fill g.gslots 0 max_slots neg_infinity
       | H h ->
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.hcount <- 0;
           h.hsum <- Rational.zero;
           h.samples <- [];
-          h.nsamples <- 0)
+          h.nsamples <- 0;
+          Array.fill h.hslots 0 max_slots None)
     registry
 
 let find snap ?(labels = []) name =

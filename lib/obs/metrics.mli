@@ -13,8 +13,19 @@
     measured in this library (event times, window widths, feasible
     delays) are rationals, and nearest-rank quantiles over the retained
     samples agree exactly with {!Tm_sim.Measure.quantile} on the same
-    sample list.  The registry is not thread-safe; the library is
-    single-threaded. *)
+    sample list.
+
+    {b Domains.}  Updates are safe under multicore parallelism managed
+    by [Tm_par.Pool]: while a pool is live ({!par_begin} ...
+    {!par_end}), each worker domain writes a private per-handle sink
+    selected by its {!set_domain_slot} slot, so no field is ever
+    written by two domains.  Reads ({!snapshot}, {!value},
+    {!gauge_value}, {!quantile}) merge main value + sinks — counters by
+    sum (exact, deterministic at any domain count), gauges by max,
+    histograms by summing bins and pooling retained samples — and must
+    run on the main domain with no workers live.  Outside a pool the
+    hot path is exactly the single mutable field write it always
+    was. *)
 
 module Rational = Tm_base.Rational
 
@@ -43,6 +54,29 @@ val histogram :
     constants of the reproduced systems. *)
 
 val default_buckets : Rational.t list
+
+(** {1 Domain slots}
+
+    Used by [Tm_par.Pool]; library code never calls these directly. *)
+
+val max_slots : int
+(** Upper bound on concurrently writing domains (main = slot 0). *)
+
+val par_begin : unit -> unit
+(** Enter parallel mode: updates start routing through the caller's
+    domain slot.  Call from the main domain before spawning workers. *)
+
+val par_end : unit -> unit
+(** Leave parallel mode once every worker has been joined.  Sinks keep
+    their contents (reads keep merging them until {!reset}). *)
+
+val set_domain_slot : int -> unit
+(** Bind the calling domain to a sink slot (workers use [1 ..
+    max_slots - 1]; the main domain defaults to [0]).
+    @raise Invalid_argument when out of range. *)
+
+val domain_slot : unit -> int
+(** The calling domain's slot. *)
 
 (** {1 Updates} *)
 

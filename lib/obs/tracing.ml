@@ -4,35 +4,73 @@ type event = {
   ts_us : float;
   dur_us : float;
   depth : int;
+  tid : int;
   args : (string * string) list;
   instant : bool;
+}
+
+(* One span buffer per domain, selected through domain-local storage:
+   spans emitted by pool workers land in their own buffer (rendered as
+   their own Chrome-trace thread row) without any locking on the span
+   path.  The buffer list itself is only mutated under [bufs_mu], once
+   per domain lifetime. *)
+type buf = {
+  btid : int;
+  mutable bevents : event list;  (* emission order, most recent first *)
+  mutable bdepth : int;
+  mutable blast : float;  (* per-thread non-decreasing timestamp clamp *)
 }
 
 let on = ref false
 let clock = ref Unix.gettimeofday
 let epoch = ref None
-let last_ts = ref 0.
-let events_rev : event list ref = ref []
-let stack_depth = ref 0
+let epoch_mu = Mutex.create ()
+let bufs_mu = Mutex.create ()
+let bufs : buf list ref = ref []
+
+let buf_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      (* tid 1 is the main domain (slot 0), workers are 2, 3, ... —
+         matching their Metrics slot + 1. *)
+      let b =
+        { btid = 1 + Metrics.domain_slot (); bevents = []; bdepth = 0;
+          blast = 0. }
+      in
+      Mutex.lock bufs_mu;
+      bufs := b :: !bufs;
+      Mutex.unlock bufs_mu;
+      b)
+
+let buf () = Domain.DLS.get buf_key
 
 let enabled () = !on
 
 let now_s () = !clock ()
 
-(* Microseconds since the epoch, clamped non-decreasing: Chrome trace
-   viewers reject or misrender events that go backwards in time. *)
-let now_us () =
+(* Microseconds since the epoch, clamped non-decreasing per thread row:
+   Chrome trace viewers reject or misrender events that go backwards in
+   time.  The epoch is anchored once, under a mutex, by whichever
+   domain records first. *)
+let now_us b =
   let e =
     match !epoch with
     | Some e -> e
     | None ->
-        let e = !clock () in
-        epoch := Some e;
+        Mutex.lock epoch_mu;
+        let e =
+          match !epoch with
+          | Some e -> e
+          | None ->
+              let e = !clock () in
+              epoch := Some e;
+              e
+        in
+        Mutex.unlock epoch_mu;
         e
   in
   let t = (!clock () -. e) *. 1e6 in
-  let t = if t > !last_ts then t else !last_ts in
-  last_ts := t;
+  let t = if t > b.blast then t else b.blast in
+  b.blast <- t;
   t
 
 let enable () = on := true
@@ -41,55 +79,74 @@ let disable () = on := false
 let set_clock f =
   clock := f;
   epoch := None;
-  last_ts := 0.
+  let b = buf () in
+  b.blast <- 0.
 
+(* Main-domain only (like every read): worker buffers from joined pools
+   are dropped; fresh workers will register fresh buffers. *)
 let clear () =
-  events_rev := [];
-  epoch := None;
-  last_ts := 0.;
-  stack_depth := 0
+  let b = buf () in
+  b.bevents <- [];
+  b.bdepth <- 0;
+  b.blast <- 0.;
+  Mutex.lock bufs_mu;
+  bufs := [ b ];
+  Mutex.unlock bufs_mu;
+  epoch := None
 
-let depth () = !stack_depth
+let depth () = (buf ()).bdepth
 
 let with_span ?(cat = "tm") ?(args = []) name f =
   if not !on then f ()
   else begin
-    let start = now_us () in
-    let d = !stack_depth in
-    incr stack_depth;
+    let b = buf () in
+    let start = now_us b in
+    let d = b.bdepth in
+    b.bdepth <- d + 1;
     Fun.protect
       ~finally:(fun () ->
-        decr stack_depth;
-        let stop = now_us () in
-        events_rev :=
+        b.bdepth <- b.bdepth - 1;
+        let stop = now_us b in
+        b.bevents <-
           {
             ename = name;
             cat;
             ts_us = start;
             dur_us = stop -. start;
             depth = d;
+            tid = b.btid;
             args;
             instant = false;
           }
-          :: !events_rev)
+          :: b.bevents)
       f
   end
 
 let instant ?(cat = "tm") ?(args = []) name =
-  if !on then
-    events_rev :=
+  if !on then begin
+    let b = buf () in
+    b.bevents <-
       {
         ename = name;
         cat;
-        ts_us = now_us ();
+        ts_us = now_us b;
         dur_us = 0.;
-        depth = !stack_depth;
+        depth = b.bdepth;
+        tid = b.btid;
         args;
         instant = true;
       }
-      :: !events_rev
+      :: b.bevents
+  end
 
-let events () = List.rev !events_rev
+let events () =
+  ignore (buf ());
+  Mutex.lock bufs_mu;
+  let all = !bufs in
+  Mutex.unlock bufs_mu;
+  all
+  |> List.sort (fun b1 b2 -> compare b1.btid b2.btid)
+  |> List.concat_map (fun b -> List.rev b.bevents)
 
 let event_to_json e =
   Json.Obj
@@ -101,7 +158,7 @@ let event_to_json e =
      ]
     @ (if e.instant then [ ("s", Json.String "t") ]
        else [ ("dur", Json.Float e.dur_us) ])
-    @ [ ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+    @ [ ("pid", Json.Int 1); ("tid", Json.Int e.tid) ]
     @
     match e.args with
     | [] -> []

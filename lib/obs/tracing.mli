@@ -7,7 +7,13 @@
     monotonic start timestamp and duration in microseconds plus its
     nesting depth; {!to_json} renders the buffer as a Chrome
     trace-event document ([ph:"X"] complete events) loadable in
-    Perfetto or [chrome://tracing]. *)
+    Perfetto or [chrome://tracing].
+
+    Each domain records into its own buffer (no locking on the span
+    path): spans emitted by [Tm_par.Pool] workers show up as separate
+    thread rows ([tid] = worker slot + 1; the main domain is [tid 1]).
+    {!events}, {!to_json}, {!clear} and {!set_clock} are main-domain
+    operations to be called with no workers live. *)
 
 type event = {
   ename : string;
@@ -15,6 +21,7 @@ type event = {
   ts_us : float;  (** start, microseconds since the trace epoch *)
   dur_us : float;  (** duration; 0 for instants *)
   depth : int;  (** nesting depth at emission; 0 = top level *)
+  tid : int;  (** emitting domain's trace row; main = 1 *)
   args : (string * string) list;
   instant : bool;
 }
@@ -43,8 +50,9 @@ val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** A zero-duration marker event. *)
 
 val events : unit -> event list
-(** Completed events in emission order (a span is emitted when it
-    closes, so children precede their parents). *)
+(** Completed events grouped by [tid] (main domain first), each group
+    in emission order (a span is emitted when it closes, so children
+    precede their parents). *)
 
 val depth : unit -> int
 (** Current open-span nesting depth — 0 when no span is open. *)

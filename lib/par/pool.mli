@@ -1,0 +1,60 @@
+(** Dependency-free work-sharing pool over stdlib [Domain] /
+    [Mutex] / [Condition].
+
+    A pool of [domains] cooperating domains: the creating (main) domain
+    plus [domains - 1] spawned workers.  Work arrives as index-range
+    jobs ({!parallel_for}) pushed round-robin onto one run-queue shard
+    per domain; a domain drains its own shard and steals from the
+    others ([Mutex.try_lock] only, so thieves never block — counted as
+    [par.steals] / [par.shard_contention]).  {!parallel_for} is a
+    barrier: the caller helps execute jobs and returns only when every
+    index has been processed.  Idle workers spin briefly, then block on
+    a condition variable until new work or shutdown.
+
+    Determinism contract: the pool never reorders *results* — callers
+    index output slots by input index — so any fan-out whose items are
+    independent computes the same value at every domain count.
+
+    Metrics/tracing integration: workers register themselves with
+    {!Tm_obs.Metrics.set_domain_slot}, so metric updates from jobs land
+    in per-domain sinks and spans land in per-domain trace rows.
+    Totals ([par.tasks], [par.steals], [par.shard_contention], gauge
+    [par.domains]) are flushed to the registry at {!shutdown}.
+
+    At most one real pool exists at a time; a nested or concurrent
+    {!create} returns an inline pool of size 1 (jobs then run in the
+    caller).  [domains <= 1] always yields the inline pool, which
+    executes {!parallel_for} as a plain sequential loop — the exact
+    sequential path, no domains spawned, no par metrics emitted. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [domains] total domains (default 1; clamped to
+    [1 .. Tm_obs.Metrics.max_slots]). *)
+
+val shutdown : t -> unit
+(** Wake and join every worker and flush pool metrics.  Must be called
+    from the creating domain, with no {!parallel_for} in flight. *)
+
+val run : ?domains:int -> (t -> 'a) -> 'a
+(** [run ~domains f] = {!create}, apply [f], {!shutdown} — exception
+    safe.  Real pools run [f] inside a [par.pool] span. *)
+
+val size : t -> int
+(** Number of participating domains (1 for the inline pool). *)
+
+val parallel_for : ?grain:int -> t -> n:int -> (domain:int -> int -> unit) -> unit
+(** [parallel_for p ~n body] runs [body ~domain i] for every
+    [i] in [0 .. n-1] and returns when all are done.  [domain] is the
+    executing domain's slot in [0 .. size-1] (0 = the caller), for
+    indexing per-domain scratch state.  Indices are chunked into at
+    most [4 * size] jobs of at least [grain] (default 1) consecutive
+    indices.  If any [body] raises, the first exception (in completion
+    order) is re-raised after the barrier; the remaining indices of
+    that chunk are skipped, other chunks still complete. *)
+
+val map_array : ?grain:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel map preserving order and length. *)
+
+val map_list : ?grain:int -> t -> ('a -> 'b) -> 'a list -> 'b list

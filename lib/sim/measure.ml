@@ -86,21 +86,25 @@ type ('s, 'a) ensemble = {
   gap : envelope option;
 }
 
-let ensemble ~runs ~steps ~denominator ~cap ~event aut =
+let ensemble ?(domains = 1) ~runs ~steps ~denominator ~cap ~event aut =
+  (* Run i is seeded with [Prng.create i], exactly as the historical
+     sequential loop, so measured envelopes are bit-identical at any
+     domain count (and to pre-parallel versions of this library). *)
+  let results =
+    Simulator.batch ~domains ~runs ~steps
+      ~prng:(fun seed -> Tm_base.Prng.create seed)
+      ~strategy:(fun prng -> Strategy.random ~prng ~denominator ~cap)
+      aut
+  in
   let firsts = ref [] and gap_samples = ref [] in
   let seeds_with_events = ref 0 in
-  for seed = 0 to runs - 1 do
-    let prng = Tm_base.Prng.create seed in
-    let run =
-      Simulator.simulate ~steps
-        ~strategy:(Strategy.random ~prng ~denominator ~cap)
-        aut
-    in
-    let ts = occurrence_times event (Simulator.project run) in
-    if ts <> [] then incr seeds_with_events;
-    (match ts with t :: _ -> firsts := t :: !firsts | [] -> ());
-    gap_samples := gaps ts @ !gap_samples
-  done;
+  Array.iter
+    (fun run ->
+      let ts = occurrence_times event (Simulator.project run) in
+      if ts <> [] then incr seeds_with_events;
+      (match ts with t :: _ -> firsts := t :: !firsts | [] -> ());
+      gap_samples := gaps ts @ !gap_samples)
+    results;
   {
     runs;
     seeds_with_events = !seeds_with_events;

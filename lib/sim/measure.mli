@@ -53,6 +53,7 @@ type ('s, 'a) ensemble = {
 }
 
 val ensemble :
+  ?domains:int ->
   runs:int ->
   steps:int ->
   denominator:int ->
@@ -63,4 +64,7 @@ val ensemble :
 (** Run [runs] seeded random simulations and collect the envelopes of
     the first occurrence time and of the inter-occurrence gaps of
     [event] — the measurement loop used throughout the benchmark
-    harness and tests, deterministic in the seed range [0..runs-1]. *)
+    harness and tests, deterministic in the seed range [0..runs-1].
+    [domains > 1] dispatches the runs over a pool (via
+    {!Simulator.batch}); the ensemble is identical at any domain
+    count. *)

@@ -2,6 +2,7 @@ module Time_automaton = Tm_core.Time_automaton
 module Execution = Tm_ioa.Execution
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
+module Pool = Tm_par.Pool
 
 type stop_reason = Step_limit | Deadlock | Strategy_stop | Stopped | Watchdog
 
@@ -84,6 +85,25 @@ let simulate ?stop ?deadline_s ~steps ~strategy aut =
   match aut.Time_automaton.start with
   | [] -> invalid_arg "Simulator: automaton has no start state"
   | s0 :: _ -> simulate_from ?stop ?deadline_s ~steps ~strategy aut s0
+
+(* Batch fan-out: runs are independent, so they dispatch over the pool
+   with one job per run.  Randomness is pinned per run *index* — the
+   PRNGs are materialized on the main domain, in run order, before any
+   job starts — so run [i] computes the same trajectory whichever
+   domain executes it and the result array is identical at any domain
+   count (with [domains = 1], identical to a plain sequential loop). *)
+let batch ?(domains = 1) ?stop ?deadline_s ~runs ~steps ~prng ~strategy aut =
+  if runs < 0 then invalid_arg "Simulator.batch: runs < 0";
+  let prngs = Array.init runs prng in
+  let out = Array.make runs None in
+  Pool.run ~domains (fun p ->
+      Pool.parallel_for p ~n:runs (fun ~domain:_ i ->
+          out.(i) <-
+            Some
+              (simulate ?stop ?deadline_s ~steps
+                 ~strategy:(strategy prngs.(i))
+                 aut)));
+  Array.map (function Some r -> r | None -> assert false) out
 
 let project r = Time_automaton.project r.exec
 

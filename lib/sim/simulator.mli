@@ -33,6 +33,26 @@ val simulate :
     watchdog: a run that exceeds it stops with {!stop_reason.Watchdog}
     before taking its next step. *)
 
+val batch :
+  ?domains:int ->
+  ?stop:('s Tm_core.Tstate.t -> bool) ->
+  ?deadline_s:float ->
+  runs:int ->
+  steps:int ->
+  prng:(int -> Tm_base.Prng.t) ->
+  strategy:(Tm_base.Prng.t -> ('s, 'a) Strategy.t) ->
+  ('s, 'a) Tm_core.Time_automaton.t ->
+  ('s, 'a) run array
+(** [batch ~domains ~runs ~steps ~prng ~strategy aut] performs [runs]
+    independent {!simulate} calls, dispatched over a [Tm_par.Pool] of
+    [domains] domains (default 1 = plain sequential loop), and returns
+    run [i] at index [i].  [prng i] supplies run [i]'s generator — e.g.
+    [fun i -> Prng.create i] for the classic seed sweep, or index into
+    {!Tm_base.Prng.streams} to split one seed.  PRNGs are materialized
+    in run order on the calling domain before dispatch, so results are
+    identical at any domain count.  [sim.*] metrics and [sim.simulate]
+    spans land in per-domain sinks/rows and merge at shutdown. *)
+
 val simulate_from :
   ?stop:('s Tm_core.Tstate.t -> bool) ->
   ?deadline_s:float ->

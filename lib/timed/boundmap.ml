@@ -25,7 +25,10 @@ let find t c =
 let lower t c = Interval.lo (find t c)
 let upper t c = Interval.hi (find t c)
 let classes t = List.map fst t
-let to_list t = t
+(* Sorted by class name, not declaration order: parallel-merged margin
+   reports and JSON dumps stay stable however the map was built. *)
+let to_list t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) t
 
 let map f t = List.map (fun (c, iv) -> (c, f c iv)) t
 

@@ -24,7 +24,9 @@ val upper : t -> string -> Tm_base.Time.t
 val classes : t -> string list
 
 val to_list : t -> (string * Tm_base.Interval.t) list
-(** The bindings in declaration order. *)
+(** The bindings sorted by class name — deterministic whatever order
+    the map was declared or merged in ({!classes} keeps declaration
+    order). *)
 
 val map : (string -> Tm_base.Interval.t -> Tm_base.Interval.t) -> t -> t
 (** Rewrite every interval (class set unchanged) — the primitive the

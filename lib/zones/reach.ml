@@ -7,6 +7,7 @@ module Boundmap = Tm_timed.Boundmap
 module Condition = Tm_timed.Condition
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
+module Pool = Tm_par.Pool
 
 (* Counter handles are shared by every engine instantiation, so the
    fast and reference engines report into the same metrics. *)
@@ -41,16 +42,16 @@ type phase = Idle | Armed
 
 module type S = sig
   val reachable :
-    ?limit:int -> ?deadline_s:float -> ('s, 'a) Ioa.t -> Boundmap.t ->
-    stats * 's list
+    ?limit:int -> ?deadline_s:float -> ?domains:int -> ('s, 'a) Ioa.t ->
+    Boundmap.t -> stats * 's list
 
   val check_state_invariant :
-    ?limit:int -> ?deadline_s:float -> ('s, 'a) Ioa.t -> Boundmap.t ->
-    ('s -> bool) -> (stats, 's) result
+    ?limit:int -> ?deadline_s:float -> ?domains:int -> ('s, 'a) Ioa.t ->
+    Boundmap.t -> ('s -> bool) -> (stats, 's) result
 
   val check_condition :
-    ?limit:int -> ?deadline_s:float -> ('s, 'a) Ioa.t -> Boundmap.t ->
-    ('s, 'a) Condition.t -> outcome
+    ?limit:int -> ?deadline_s:float -> ?domains:int -> ('s, 'a) Ioa.t ->
+    Boundmap.t -> ('s, 'a) Condition.t -> outcome
 end
 
 (* The exploration discipline — waiting-list policy, subsumption,
@@ -136,12 +137,38 @@ module Make (K : Dbm_sig.S) : S = struct
     mutable expanded : bool;
   }
 
+  (* Per-domain expansion context for the parallel path: a private
+     scratch matrix plus a private enabled-vector cache (its own
+     Hstore, so the single-domain owner assertion holds).  Created
+     lazily by the domain that uses it. *)
+  type 's dctx = {
+    dscr : K.Scratch.scratch;
+    dvids : 's Hstore.t;
+    dvecs : (int, bool array) Hashtbl.t;
+  }
+
   (* Generic exploration.  [observe] sees each discrete step plus a
      satisfiability query on the guard-constrained successor zone and
      returns the observer phase transition and the operation on the
      observer clock ([`Reset], [`Free] while it is not being read, or
-     [`Keep]); [inspect] sees every stored (state, phase, zone). *)
-  let explore (type s a) ?(limit = 200_000) ?deadline_s (enc : (s, a) enc)
+     [`Keep]); [inspect] sees every stored (state, phase, zone).
+
+     With a [pool] of size > 1 the engine runs speculate-then-commit
+     per popped location batch: workers compute the pure DBM successor
+     pipelines of the batch in parallel on per-domain scratches, then
+     the main domain replays the outcomes in exact sequential order —
+     edge counting, observer probes, interning, subsumption, storing,
+     queueing all happen at commit.  Every state-mutating decision is
+     thus made in the sequential order, so verdicts, the reachable
+     set, and every counter (including [zones.stored] and
+     [zones.subsumed]) are bit-identical to the sequential engine at
+     any domain count.  The only speculative waste is computing
+     successors of entries that a same-batch commit prunes; their
+     results are discarded exactly where the sequential engine would
+     have skipped the dead entry.  [observe] and the automaton's
+     [delta] must be pure — they run on worker domains. *)
+  let explore (type s a) ?(limit = 200_000) ?deadline_s ?pool
+      (enc : (s, a) enc)
       ~(initial_phase : s -> phase)
       ~(observe :
          phase -> s -> a -> s -> sat:(int -> int -> Dbm_bound.t -> bool)
@@ -296,6 +323,119 @@ module Make (K : Dbm_sig.S) : S = struct
             (a.Ioa.delta s act))
         enc.guards
     in
+    (* Parallel path: pure successor pipeline for one (entry, guard)
+       pair, mirroring [expand]'s inner loop op for op but recording
+       outcomes instead of committing them.  Runs on worker domains;
+       exceptions from [observe] (violation witnesses use local
+       exceptions) are captured and re-raised at the commit point. *)
+    let dctxs =
+      Array.make (match pool with Some p -> Pool.size p | None -> 1) None
+    in
+    let domain_ctx d =
+      match dctxs.(d) with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              dscr = K.Scratch.create enc.nclocks;
+              dvids =
+                Hstore.create ~equal:a.Ioa.equal_state ~hash:a.Ioa.hash_state
+                  64;
+              dvecs = Hashtbl.create 64;
+            }
+          in
+          dctxs.(d) <- Some c;
+          c
+    in
+    let denabled_vec dc s' =
+      let id =
+        match Hstore.add dc.dvids s' with `Added i | `Present i -> i
+      in
+      match Hashtbl.find_opt dc.dvecs id with
+      | Some v -> v
+      | None ->
+          let v = Clock_enc.enabled_vec enc.cenc s' in
+          Hashtbl.add dc.dvecs id v;
+          v
+    in
+    let speculate dc s p pre z (act, gopt, ci) =
+      List.map
+        (fun s' ->
+          let scr = dc.dscr in
+          K.Scratch.load scr z;
+          (match gopt with
+          | None -> ()
+          | Some (x, b) -> K.Scratch.constrain scr 0 x b);
+          if K.Scratch.is_empty scr then `Skip
+          else
+            match observe p s act s' ~sat:(K.Scratch.sat scr) with
+            | exception ex -> `Raised ex
+            | Error m -> `Unsup m
+            | Ok (p', y_op) ->
+                let post = denabled_vec dc s' in
+                for i = 0 to nclasses - 1 do
+                  if post.(i) then begin
+                    if ci = i || not pre.(i) then K.Scratch.reset scr (i + 1)
+                  end
+                  else K.Scratch.free scr (i + 1)
+                done;
+                (match (enc.y, y_op) with
+                | Some y, `Reset -> K.Scratch.reset scr y
+                | Some y, `Free -> K.Scratch.free scr y
+                | Some _, `Keep | None, _ -> ());
+                K.Scratch.up scr;
+                for i = 0 to nclasses - 1 do
+                  if post.(i) then
+                    match enc.uppers.(i) with
+                    | Some b -> K.Scratch.constrain scr (i + 1) 0 b
+                    | None -> ()
+                done;
+                K.Scratch.extrapolate enc.max_const scr;
+                if K.Scratch.is_empty scr then `Dead
+                else `Succ (s', p', K.Scratch.freeze scr))
+        (a.Ioa.delta s act)
+    in
+    (* Sequential-order replay of one speculated edge. *)
+    let commit_edge out =
+      incr edges;
+      Metrics.incr c_zone_edges;
+      if !edges land 511 = 0 then check_deadline ();
+      match out with
+      | `Skip | `Dead -> ()
+      | `Unsup m -> raise (Unsupported_shape m)
+      | `Raised ex -> raise ex
+      | `Succ (s', p', z) -> add s' p' z
+    in
+    let expand_batch_par pl s p pre batch =
+      (* Aliveness is sampled twice, exactly like the sequential loop:
+         entries dead at pop get no tasks; entries killed by an earlier
+         commit of this very batch have their speculation discarded. *)
+      let marks = List.map (fun e -> (e, e.alive)) batch in
+      let alive = Array.of_list (List.filter (fun e -> e.alive) batch) in
+      let ng = Array.length enc.guards in
+      let ntasks = Array.length alive * ng in
+      let res = Array.make (max ntasks 1) [] in
+      Pool.parallel_for pl ~n:ntasks (fun ~domain t ->
+          res.(t) <-
+            speculate (domain_ctx domain) s p pre
+              alive.(t / ng).z
+              enc.guards.(t mod ng));
+      let ai = ref 0 in
+      List.iter
+        (fun (e, was_alive) ->
+          decr waiting;
+          if was_alive then begin
+            let base = !ai * ng in
+            incr ai;
+            if e.alive then begin
+              e.expanded <- true;
+              for gi = 0 to ng - 1 do
+                List.iter commit_edge res.(base + gi)
+              done
+            end
+          end)
+        marks
+    in
     let result =
       try
         List.iter
@@ -344,14 +484,17 @@ module Make (K : Dbm_sig.S) : S = struct
           in
           let s, p = Hstore.key_of_id store id in
           let pre = enabled_vec s in
-          List.iter
-            (fun e ->
-              decr waiting;
-              if e.alive then begin
-                e.expanded <- true;
-                expand s p pre e.z
-              end)
-            batch
+          (match pool with
+          | Some pl when Pool.size pl > 1 -> expand_batch_par pl s p pre batch
+          | Some _ | None ->
+              List.iter
+                (fun e ->
+                  decr waiting;
+                  if e.alive then begin
+                    e.expanded <- true;
+                    expand s p pre e.z
+                  end)
+                batch)
         done;
         Ok
           {
@@ -387,15 +530,26 @@ module Make (K : Dbm_sig.S) : S = struct
     in
     result
 
-  let reachable ?limit ?deadline_s (a : ('s, 'a) Ioa.t) bm =
-    Tracing.with_span "zones.reachable" @@ fun () ->
+  (* [?domains] scopes a pool around one exploration; [domains <= 1]
+     (the default) never touches the pool machinery. *)
+  let with_domains domains f =
+    match domains with
+    | Some d when d > 1 -> Pool.run ~domains:d (fun p -> f (Some p))
+    | Some _ | None -> f None
+
+  let span_args domains =
+    [ ("domains", string_of_int (match domains with Some d -> max 1 d | None -> 1)) ]
+
+  let reachable ?limit ?deadline_s ?domains (a : ('s, 'a) Ioa.t) bm =
+    Tracing.with_span "zones.reachable" ~args:(span_args domains) @@ fun () ->
     let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
     let seen = ref [] in
     let inspect _ s _ =
       if not (List.exists (a.Ioa.equal_state s) !seen) then seen := s :: !seen
     in
     match
-      explore ?limit ?deadline_s enc
+      with_domains domains @@ fun pool ->
+      explore ?limit ?deadline_s ?pool enc
         ~initial_phase:(fun _ -> Idle)
         ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
         ~inspect
@@ -404,13 +558,16 @@ module Make (K : Dbm_sig.S) : S = struct
     | Error (`Unsupported m) -> raise (Open_system m)
     | Error (`Budget e) -> raise (Out_of_budget e)
 
-  let check_state_invariant ?limit ?deadline_s (a : ('s, 'a) Ioa.t) bm pred =
-    Tracing.with_span "zones.check_state_invariant" @@ fun () ->
+  let check_state_invariant ?limit ?deadline_s ?domains (a : ('s, 'a) Ioa.t)
+      bm pred =
+    Tracing.with_span "zones.check_state_invariant" ~args:(span_args domains)
+    @@ fun () ->
     let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
     let bad = ref None in
     let exception Found in
     match
-      explore ?limit ?deadline_s enc
+      with_domains domains @@ fun pool ->
+      explore ?limit ?deadline_s ?pool enc
         ~initial_phase:(fun _ -> Idle)
         ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
         ~inspect:(fun _ s _ ->
@@ -425,10 +582,10 @@ module Make (K : Dbm_sig.S) : S = struct
     | Error (`Unsupported m) -> raise (Open_system m)
     | Error (`Budget e) -> raise (Out_of_budget e)
 
-  let check_condition ?limit ?deadline_s (a : ('s, 'a) Ioa.t) bm
+  let check_condition ?limit ?deadline_s ?domains (a : ('s, 'a) Ioa.t) bm
       (c : ('s, 'a) Condition.t) =
     Tracing.with_span "zones.check_condition"
-      ~args:[ ("cond", c.Condition.cname) ]
+      ~args:(("cond", c.Condition.cname) :: span_args domains)
     @@ fun () ->
     let enc =
       make_enc a bm ~with_observer:true ~cond_bounds:(Some c.Condition.bounds)
@@ -470,7 +627,8 @@ module Make (K : Dbm_sig.S) : S = struct
       | Armed, None | Idle, _ -> ()
     in
     match
-      explore ?limit ?deadline_s enc
+      with_domains domains @@ fun pool ->
+      explore ?limit ?deadline_s ?pool enc
         ~initial_phase:(fun s0 ->
           if c.Condition.t_start s0 then Armed else Idle)
         ~observe ~inspect

@@ -72,11 +72,21 @@ exception Out_of_budget of exhausted
     carrying partial {!stats} — via {!Out_of_budget} or
     {!outcome.Unknown} — rather than a truncated (unsound) verdict.
     Zone-budget exhaustion is deterministic and agrees exactly across
-    kernels; the wall-clock deadline, necessarily, does not. *)
+    kernels; the wall-clock deadline, necessarily, does not.
+
+    Every entry point also takes [?domains] (default 1): with
+    [domains > 1] the exploration runs on a [Tm_par.Pool] of that many
+    domains in speculate-then-commit style — successor DBM pipelines
+    are computed in parallel on per-domain scratch arenas and
+    enabled-vector caches, and the main domain replays the results in
+    exact sequential order.  Verdicts, the reachable base-state set,
+    and every counter ([zones.stored], [zones.subsumed], edge counts,
+    deterministic budget exhaustion) are bit-identical to [domains = 1]
+    at any domain count; only wall-clock time changes. *)
 module type S = sig
   val reachable :
-    ?limit:int -> ?deadline_s:float -> ('s, 'a) Tm_ioa.Ioa.t ->
-    Tm_timed.Boundmap.t -> stats * 's list
+    ?limit:int -> ?deadline_s:float -> ?domains:int ->
+    ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t -> stats * 's list
   (** Timed reachability: explored stats and the base states reachable
       under the timing assumptions (a subset of the untimed reachable
       set).
@@ -85,6 +95,7 @@ module type S = sig
   val check_state_invariant :
     ?limit:int ->
     ?deadline_s:float ->
+    ?domains:int ->
     ('s, 'a) Tm_ioa.Ioa.t ->
     Tm_timed.Boundmap.t ->
     ('s -> bool) ->
@@ -96,6 +107,7 @@ module type S = sig
   val check_condition :
     ?limit:int ->
     ?deadline_s:float ->
+    ?domains:int ->
     ('s, 'a) Tm_ioa.Ioa.t ->
     Tm_timed.Boundmap.t ->
     ('s, 'a) Tm_timed.Condition.t ->
