@@ -16,6 +16,8 @@
      E10 independent exact engines (zones vs regions) and liveness
      E11 fast in-place DBM kernel vs reference kernel (differential)
      E12 exact robustness margins (fault-injection subsystem)
+     E13 multi-core scaling of the zone engine
+     E14 checkpoint overhead and exhaust-and-resume discipline
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
@@ -871,13 +873,85 @@ let e13 () =
   let p = F.params_of_ints ~n:4 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
   scale "fischer n=4" (F.system p) (F.boundmap p)
 
+(* E14: checkpoint overhead and exhaust-and-resume *)
+
+let e14 () =
+  section "E14: checkpointing — snapshot overhead and exhaust-and-resume";
+  let p = F.params_of_ints ~n:3 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let ck = Filename.temp_file "tmbench" ".ckpt" in
+  let rm_ck () = try Sys.remove ck with Sys_error _ -> () in
+  (* Fixed repetition count: E14 is part of the committed baseline, so
+     every counter it bumps (zones.stored, recover.snapshot_written,
+     recover.resumed) must be run-count-deterministic — no adaptive
+     timing loops here. *)
+  let reps = 3 in
+  let c_written = Tm_obs.Metrics.counter "recover.snapshot_written" in
+  let timed f =
+    let t0 = Tm_obs.Tracing.now_s () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Tm_obs.Tracing.now_s () -. t0) *. 1000. /. float_of_int reps
+  in
+  row "%-42s %-10s %-10s %s\n" "policy (fischer n=3 reachable)" "time(ms)"
+    "snapshots" "overhead";
+  let base_ms =
+    timed (fun () -> Reach.reachable ~domains:bench_domains sys bm)
+  in
+  row "%-42s %-10.1f %-10d %s\n" "no checkpointing" base_ms 0 "-";
+  List.iter
+    (fun (label, every) ->
+      let w0 = Tm_obs.Metrics.value c_written in
+      let ms =
+        timed (fun () ->
+            Reach.reachable ~domains:bench_domains ~checkpoint:(ck, every) sys
+              bm)
+      in
+      let snaps = (Tm_obs.Metrics.value c_written - w0) / reps in
+      row "%-42s %-10.1f %-10d %+.1f%%\n" label ms snaps
+        ((ms -. base_ms) /. base_ms *. 100.))
+    [
+      ("checkpoint every 500 zones", 500);
+      ("checkpoint every 2000 zones", 2000);
+      ("exhaustion-only (every = inf)", 0);
+    ];
+  (* Deterministic preemption: exhaust a 400-zone budget, resume from
+     the snapshot, and demand the resumed fixpoint match the one-shot
+     run exactly (verdict surrogate: stats + reachable-set size). *)
+  row "\n%-52s %s\n" "exhaust-and-resume (budget 400 zones)" "result";
+  let st1, states1 = Reach.reachable ~domains:bench_domains sys bm in
+  (match
+     Reach.reachable ~limit:400 ~domains:bench_domains ~checkpoint:(ck, 0)
+       sys bm
+   with
+  | _ -> row "%-52s %s\n" "budgeted run" "UNEXPECTED COMPLETION"
+  | exception Reach.Out_of_budget e ->
+      row "%-52s %s\n" "budgeted run"
+        (Printf.sprintf "UNKNOWN after %d zones (checkpoint %s)"
+           e.Reach.partial.Reach.zones
+           (match e.Reach.checkpoint with
+           | Some _ -> "written"
+           | None -> "MISSING"));
+      let c_resumed = Tm_obs.Metrics.counter "recover.resumed" in
+      let r0 = Tm_obs.Metrics.value c_resumed in
+      let st, states = Reach.reachable ~domains:bench_domains ~resume:ck sys bm in
+      let agree =
+        st = st1
+        && List.length states = List.length states1
+        && Tm_obs.Metrics.value c_resumed = r0 + 1
+      in
+      row "%-52s %s\n" "resumed run vs one-shot"
+        (if agree then "AGREE" else "DISAGREE"));
+  rm_ck ()
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13);
+    ("e12", e12); ("e13", e13); ("e14", e14);
   ]
 
 let () =

@@ -4,6 +4,7 @@
      simulate   run a system under a scheduling strategy, print the trace
      check      simulate many seeds and check the timing conditions
      verify     exact zone-based verification of the timing conditions
+     run        supervised verification: retries, checkpoints, resume
      margin     exact robustness margins (largest surviving perturbation)
      map        check the strong possibilities mappings (paper proofs)
      exact      exact first-occurrence windows from the discretized graph
@@ -11,6 +12,13 @@
 
    verify/exact/simulate take --budget-states/--budget-ms; running out
    of budget reports UNKNOWN with partial stats and exits 4.
+
+   SIGINT/SIGTERM are routed through Tm_recover.Supervisor on every
+   subcommand, so --metrics-out/--trace-out files are flushed on an
+   interrupt.  Inside verify/run the interrupt is cooperative: the zone
+   engine stops at the next batch boundary, writes a final checkpoint
+   when --checkpoint is set, and the command exits 4 with partial
+   stats.
 *)
 
 module Rational = Tm_base.Rational
@@ -44,8 +52,22 @@ module Tracing = Tm_obs.Tracing
 module Report = Tm_obs.Report
 module Log = Tm_obs.Log
 module Margin = Tm_faults.Margin
+module Snapshot = Tm_recover.Snapshot
+module Supervisor = Tm_recover.Supervisor
 
 let q = Rational.of_int
+
+(* One checkpointable verification item: a label for reports, the job
+   fingerprint its snapshots carry (so [run --resume] can route a file
+   to the right item), and the check itself.  [vi_run] prints any
+   definite verdict and returns [Some e] when it exhausted a budget or
+   was interrupted — the caller (plain [verify] or the supervised
+   [run]) decides what to do with the exhaustion. *)
+type vitem = {
+  vi_label : string;
+  vi_fingerprint : unit -> string;
+  vi_run : resume:string option -> limit:int option -> Reach.exhausted option;
+}
 
 (* A system instance packaged with everything the subcommands need,
    hiding the state/action types. *)
@@ -55,7 +77,7 @@ type instance = {
     steps:int -> strategy:string -> seed:int -> unit (* prints *) ->
     Simulator.stop_reason;
   check : runs:int -> steps:int -> int (* = number of violations *);
-  verify : unit -> unit;
+  vitems : unit -> vitem list;
   margin : unit -> Json.t list (* prints a table, returns the reports *);
   map : unit -> unit;
   exact : unit -> unit;
@@ -77,6 +99,13 @@ let had_unknown = ref false
    only wall-clock time changes. *)
 let ndomains = ref 1
 
+(* Checkpoint policy set by --checkpoint / --checkpoint-every on
+   verify and run: where the zone engine snapshots its frontier, and
+   how often (0 = only on exhaustion or interrupt). *)
+let checkpoint_path : string option ref = ref None
+let checkpoint_every = ref 0
+let ckpt () = Option.map (fun p -> (p, !checkpoint_every)) !checkpoint_path
+
 (* [margin --json] wants a clean JSON document on stdout, so the
    per-report tables can be switched off. *)
 let margin_table = ref true
@@ -84,9 +113,13 @@ let margin_table = ref true
 let report_unknown what (e : Reach.exhausted) =
   had_unknown := true;
   Format.printf
-    "%s: UNKNOWN — %s (partial: %d locations, %d zones, %d edges)@." what
+    "%s: UNKNOWN — %s (partial: %d locations, %d zones, %d edges)%s@." what
     e.Reach.reason e.Reach.partial.Reach.locations e.Reach.partial.Reach.zones
     e.Reach.partial.Reach.edges
+    (match e.Reach.checkpoint with
+    | None -> ""
+    | Some p ->
+        Printf.sprintf "\n  checkpoint saved — resume with: timedmap run --resume %s" p)
 
 let make_strategy name seed denominator =
   match name with
@@ -148,29 +181,184 @@ let generic_check (type s a) (aut : (s, a) TA.t)
    cross-checking a suspicious verdict. *)
 let engine : (module Reach.S) ref = ref (module Reach.Default : Reach.S)
 
-let zone_verify (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
-    (conds : (s, a) Condition.t list) =
-  let module E = (val !engine) in
+let cond_vitem (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
+    (c : (s, a) Condition.t) =
+  {
+    vi_label = Printf.sprintf "%s %s" name c.Condition.cname;
+    vi_fingerprint =
+      (fun () ->
+        let module E = (val !engine) in
+        E.fingerprint_condition sys bm c);
+    vi_run =
+      (fun ~resume ~limit ->
+        let module E = (val !engine) in
+        match
+          E.check_condition ?limit ?deadline_s:!budget_s ~domains:!ndomains
+            ?checkpoint:(ckpt ()) ?resume sys bm c
+        with
+        | Reach.Verified st ->
+            Format.printf "%s %s %s: VERIFIED (%d locations, %d zones)@." name
+              c.Condition.cname
+              (Interval.to_string c.Condition.bounds)
+              st.Reach.locations st.Reach.zones;
+            None
+        | Reach.Lower_violation _ ->
+            Format.printf "%s %s: LOWER BOUND VIOLATED@." name
+              c.Condition.cname;
+            None
+        | Reach.Upper_violation _ ->
+            Format.printf "%s %s: UPPER BOUND VIOLATED@." name
+              c.Condition.cname;
+            None
+        | Reach.Unknown e -> Some e
+        | Reach.Unsupported m ->
+            Format.printf "%s %s: unsupported (%s)@." name c.Condition.cname m;
+            None);
+  }
+
+let cond_vitems name sys bm conds = List.map (cond_vitem name sys bm) conds
+
+(* A state-invariant check as a verification item; [ok]/[bad] print the
+   system-specific verdict lines. *)
+let inv_vitem (type s a) label (sys : (s, a) Tm_ioa.Ioa.t) bm
+    (pred : s -> bool) ~ok ~bad =
+  {
+    vi_label = label;
+    vi_fingerprint =
+      (fun () ->
+        let module E = (val !engine) in
+        E.fingerprint_invariant sys bm);
+    vi_run =
+      (fun ~resume ~limit ->
+        let module E = (val !engine) in
+        match
+          E.check_state_invariant ?limit ?deadline_s:!budget_s
+            ~domains:!ndomains ?checkpoint:(ckpt ()) ?resume sys bm pred
+        with
+        | Ok st ->
+            ok st;
+            None
+        | Error s ->
+            bad s;
+            None
+        | exception Reach.Out_of_budget e -> Some e);
+  }
+
+(* Plain [verify]: run the items in order with the global budgets.  An
+   exhaustion that left a checkpoint behind (or a cooperative
+   interrupt) stops the remaining items — the snapshot on disk belongs
+   to the item that stopped, and [run --resume] re-runs the earlier
+   items fresh so the combined output matches an uninterrupted
+   verify. *)
+let verify_items items =
+  let stop = ref false in
   List.iter
-    (fun (c : (s, a) Condition.t) ->
-      match
-        E.check_condition ?limit:!budget_states ?deadline_s:!budget_s
-          ~domains:!ndomains sys bm c
-      with
-      | Reach.Verified st ->
-          Format.printf "%s %s %s: VERIFIED (%d locations, %d zones)@." name
-            c.Condition.cname
-            (Interval.to_string c.Condition.bounds)
-            st.Reach.locations st.Reach.zones
-      | Reach.Lower_violation _ ->
-          Format.printf "%s %s: LOWER BOUND VIOLATED@." name c.Condition.cname
-      | Reach.Upper_violation _ ->
-          Format.printf "%s %s: UPPER BOUND VIOLATED@." name c.Condition.cname
-      | Reach.Unknown e ->
-          report_unknown (Printf.sprintf "%s %s" name c.Condition.cname) e
-      | Reach.Unsupported m ->
-          Format.printf "%s %s: unsupported (%s)@." name c.Condition.cname m)
-    conds
+    (fun it ->
+      if not !stop then
+        match it.vi_run ~resume:None ~limit:!budget_states with
+        | None -> if Supervisor.interrupt_requested () then stop := true
+        | Some e ->
+            report_unknown it.vi_label e;
+            if e.Reach.checkpoint <> None || Supervisor.interrupt_requested ()
+            then stop := true)
+    items
+
+(* ------------------------------------------------------------------ *)
+(* supervised runs: [timedmap run] *)
+
+let zones_of_info info =
+  try Scanf.sscanf info "zones=%d" (fun z -> z) with _ -> 0
+
+(* Run one verification item under the retry policy.  Attempts chain
+   through checkpoints: when an attempt exhausts its budget but left a
+   snapshot behind, the next attempt resumes from it with the zone
+   limit re-based on the restored progress, so every attempt gets
+   [--budget-states] fresh zones.  A deterministic exhaustion with no
+   checkpoint to chain cannot make progress and is reported directly;
+   a cooperative interrupt is never retried. *)
+let run_supervised ~attempts ~backoff_s (it : vitem) ~resume0 =
+  let next_resume = ref resume0 in
+  let last_exhausted : Reach.exhausted option ref = ref None in
+  let attempt ~attempt:_ =
+    let resume = !next_resume in
+    let limit =
+      match (!budget_states, resume) with
+      | Some b, Some path ->
+          let _, info = Snapshot.inspect path in
+          Some (zones_of_info info + b)
+      | Some b, None -> Some b
+      | None, _ -> None
+    in
+    match it.vi_run ~resume ~limit with
+    | None -> Supervisor.Done ()
+    | Some (e : Reach.exhausted) ->
+        last_exhausted := Some e;
+        (match e.Reach.checkpoint with
+        | Some _ as ck -> next_resume := ck
+        | None -> ());
+        if Supervisor.interrupt_requested () then begin
+          (* The user asked to stop: report, keep the checkpoint for a
+             later [run --resume], never retry. *)
+          report_unknown it.vi_label e;
+          Supervisor.Done ()
+        end
+        else if e.Reach.checkpoint <> None then Supervisor.Transient e.Reach.reason
+        else if
+          String.length e.Reach.reason >= 8
+          && String.equal (String.sub e.Reach.reason 0 8) "deadline"
+        then Supervisor.Transient e.Reach.reason
+        else begin
+          report_unknown it.vi_label e;
+          Supervisor.Done ()
+        end
+  in
+  let on_retry ~attempt ~delay_s ~reason =
+    Format.eprintf "run: %s: attempt %d gave up (%s); retrying in %.1fs@."
+      it.vi_label attempt reason delay_s
+  in
+  match Supervisor.with_retries ~attempts ~backoff_s ~on_retry attempt with
+  | Ok () -> ()
+  | Error reason -> (
+      match !last_exhausted with
+      | Some e -> report_unknown it.vi_label e
+      | None ->
+          had_unknown := true;
+          Format.printf "%s: UNKNOWN — %s@." it.vi_label reason)
+
+let supervise_items ~attempts ~backoff_s ~resume items =
+  let resume_for =
+    match resume with
+    | None -> None
+    | Some path ->
+        let fp, info = Snapshot.inspect path in
+        let rec find i = function
+          | [] -> None
+          | it :: rest ->
+              if String.equal (it.vi_fingerprint ()) fp then Some i
+              else find (i + 1) rest
+        in
+        (match find 0 items with
+        | Some i ->
+            Log.info "resuming %s from %s (%s)" (List.nth items i).vi_label
+              path info;
+            Some (i, path)
+        | None ->
+            Format.eprintf
+              "run: snapshot %s does not belong to any verification item of \
+               this job (snapshot fingerprint: %s)@."
+              path fp;
+            exit 2)
+  in
+  List.iteri
+    (fun i it ->
+      if not (Supervisor.interrupt_requested ()) then
+        let resume0 =
+          match resume_for with
+          | Some (j, path) when j = i -> Some path
+          | _ -> None
+        in
+        run_supervised ~attempts ~backoff_s it ~resume0)
+    items
 
 let show_progress (type s a) (aut : (s, a) TA.t) () =
   Format.printf "%a@." Progress.pp_report (Progress.analyze aut)
@@ -293,7 +481,7 @@ let rm_instance ~k ~c1 ~c2 ~l =
           print_trace);
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
-    verify = (fun () -> zone_verify "manager" (RM.system p) (RM.boundmap p) conds);
+    vitems = (fun () -> cond_vitems "manager" (RM.system p) (RM.boundmap p) conds);
     margin =
       margin_reports "manager" (RM.system p) (RM.boundmap p)
         [ Pcond (RM.g1 p); Pcond (RM.g2 p) ];
@@ -347,8 +535,8 @@ let im_instance ~k ~c1 ~c2 ~l =
           print_trace);
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:4);
-    verify =
-      (fun () -> zone_verify "interrupt" (IM.system p) (IM.boundmap p) conds);
+    vitems =
+      (fun () -> cond_vitems "interrupt" (IM.system p) (IM.boundmap p) conds);
     margin =
       margin_reports "interrupt" (IM.system p) (IM.boundmap p)
         [ Pcond (IM.g1 p); Pcond (IM.g2 p) ];
@@ -397,8 +585,8 @@ let relay_instance ~n ~d1 ~d2 =
           print_trace);
     check =
       (fun ~runs ~steps -> generic_check impl conds ~runs ~steps ~denominator:2);
-    verify =
-      (fun () -> zone_verify "relay" (SR.line p) (SR.boundmap p) [ u_line ]);
+    vitems =
+      (fun () -> cond_vitems "relay" (SR.line p) (SR.boundmap p) [ u_line ]);
     margin =
       margin_reports "relay" (SR.line p) (SR.boundmap p) [ Pcond u_line ];
     map =
@@ -446,23 +634,17 @@ let fischer_instance ~n ~a ~b =
     check =
       (fun ~runs ~steps ->
         generic_check impl [ F.u_enter p ] ~runs ~steps ~denominator:2);
-    verify =
+    vitems =
       (fun () ->
-        let module E = (val !engine) in
-        (match
-           E.check_state_invariant ?limit:!budget_states
-             ?deadline_s:!budget_s ~domains:!ndomains (F.system p)
-             (F.boundmap p) F.mutual_exclusion
-         with
-        | Ok st ->
+        inv_vitem "mutual exclusion" (F.system p) (F.boundmap p)
+          F.mutual_exclusion
+          ~ok:(fun st ->
             Format.printf "mutual exclusion: VERIFIED (%d zones)@."
-              st.Reach.zones
-        | Error s ->
+              st.Reach.zones)
+          ~bad:(fun s ->
             Format.printf "mutual exclusion: VIOLATED at %a@."
-              (F.system p).Tm_ioa.Ioa.pp_state s
-        | exception Reach.Out_of_budget e ->
-            report_unknown "mutual exclusion" e);
-        zone_verify "fischer" (F.system p) (F.boundmap p) [ F.u_enter p ]);
+              (F.system p).Tm_ioa.Ioa.pp_state s)
+        :: cond_vitems "fischer" (F.system p) (F.boundmap p) [ F.u_enter p ]);
     margin =
       margin_reports "fischer" (F.system p) (F.boundmap p)
         [ Pinv ("mutual exclusion", F.mutual_exclusion); Pcond (F.u_enter p) ];
@@ -486,21 +668,38 @@ let rg_instance ~r1 ~r2 ~w1 ~w2 =
     check =
       (fun ~runs ~steps ->
         generic_check impl [ RG.u_response p ] ~runs ~steps ~denominator:2);
-    verify =
+    vitems =
       (fun () ->
-        zone_verify "request-grant" (RG.system p) (RG.boundmap p)
-          [ RG.u_response p ];
-        let module E = (val !engine) in
-        match
-          E.check_condition ~domains:!ndomains (RG.system p) (RG.boundmap p)
-            (RG.u_response_no_disable p)
-        with
-        | Reach.Upper_violation _ ->
-            Format.printf
-              "without the disabling set: UPPER BOUND VIOLATED (as designed)@."
-        | Reach.Verified _ ->
-            Format.printf "without the disabling set: verified (requests are spaced out)@."
-        | _ -> Format.printf "without the disabling set: other@.");
+        (* The deliberately-failing variant is informational: it runs
+           without budgets or checkpoints, so its fingerprint never
+           matches a resume file. *)
+        let extra =
+          {
+            vi_label = "request-grant without-disable";
+            vi_fingerprint = (fun () -> "informational:without-disable");
+            vi_run =
+              (fun ~resume:_ ~limit:_ ->
+                let module E = (val !engine) in
+                (match
+                   E.check_condition ~domains:!ndomains (RG.system p)
+                     (RG.boundmap p)
+                     (RG.u_response_no_disable p)
+                 with
+                | Reach.Upper_violation _ ->
+                    Format.printf
+                      "without the disabling set: UPPER BOUND VIOLATED (as \
+                       designed)@."
+                | Reach.Verified _ ->
+                    Format.printf
+                      "without the disabling set: verified (requests are \
+                       spaced out)@."
+                | _ -> Format.printf "without the disabling set: other@.");
+                None);
+          }
+        in
+        cond_vitems "request-grant" (RG.system p) (RG.boundmap p)
+          [ RG.u_response p ]
+        @ [ extra ]);
     margin =
       margin_reports "request-grant" (RG.system p) (RG.boundmap p)
         [ Pcond (RG.u_response p) ];
@@ -523,9 +722,9 @@ let ring_instance ~n ~d1 ~d2 =
     check =
       (fun ~runs ~steps ->
         generic_check impl [ TR.u_rotation p ] ~runs ~steps ~denominator:2);
-    verify =
+    vitems =
       (fun () ->
-        zone_verify "ring" (TR.system p) (TR.boundmap p) [ TR.u_rotation p ]);
+        cond_vitems "ring" (TR.system p) (TR.boundmap p) [ TR.u_rotation p ]);
     margin =
       margin_reports "ring" (TR.system p) (TR.boundmap p)
         [ Pcond (TR.u_rotation p) ];
@@ -575,22 +774,17 @@ let fd_instance ~g1 ~g2 ~m =
     check =
       (fun ~runs ~steps ->
         generic_check impl [ FD.u_detect p ] ~runs ~steps ~denominator:2);
-    verify =
+    vitems =
       (fun () ->
-        let module E = (val !engine) in
-        (match
-           E.check_state_invariant ?limit:!budget_states
-             ?deadline_s:!budget_s ~domains:!ndomains (FD.system p)
-             (FD.boundmap p) FD.no_false_suspicion
-         with
-        | Ok st ->
-            Format.printf "accuracy: VERIFIED (%d zones)@." st.Reach.zones
-        | Error s ->
+        inv_vitem "accuracy" (FD.system p) (FD.boundmap p)
+          FD.no_false_suspicion
+          ~ok:(fun st ->
+            Format.printf "accuracy: VERIFIED (%d zones)@." st.Reach.zones)
+          ~bad:(fun s ->
             Format.printf "accuracy: false suspicion reachable at %a@."
-              (FD.system p).Tm_ioa.Ioa.pp_state s
-        | exception Reach.Out_of_budget e -> report_unknown "accuracy" e);
-        zone_verify "detector" (FD.system p) (FD.boundmap p)
-          [ FD.u_detect p ]);
+              (FD.system p).Tm_ioa.Ioa.pp_state s)
+        :: cond_vitems "detector" (FD.system p) (FD.boundmap p)
+             [ FD.u_detect p ]);
     margin =
       margin_reports "detector" (FD.system p) (FD.boundmap p)
         [
@@ -632,9 +826,9 @@ let two_stage_instance () =
         generic_check impl
           [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]
           ~runs ~steps ~denominator:2);
-    verify =
+    vitems =
       (fun () ->
-        zone_verify "two-stage" (TS.system p) (TS.boundmap p)
+        cond_vitems "two-stage" (TS.system p) (TS.boundmap p)
           [ TS.u_start_mid p; TS.u_mid_done p; TS.u_end_to_end p ]);
     margin =
       margin_reports "two-stage" (TS.system p) (TS.boundmap p)
@@ -941,40 +1135,140 @@ let simple_cmd name ~doc select =
 let engine_arg =
   let engine_conv =
     let parse = function
-      | "fast" -> Ok (module Reach.Default : Reach.S)
-      | "ref" -> Ok (module Reach.Ref : Reach.S)
+      | ("fast" | "ref" | "paranoid") as name -> Ok name
       | other ->
-          Error (`Msg (Printf.sprintf "unknown engine %S (fast | ref)" other))
+          Error
+            (`Msg
+              (Printf.sprintf "unknown engine %S (fast | ref | paranoid)"
+                 other))
     in
-    let print fmt (e : (module Reach.S)) =
-      Format.pp_print_string fmt
-        (if e == (module Reach.Ref : Reach.S) then "ref" else "fast")
-    in
-    Arg.conv (parse, print)
+    Arg.conv (parse, Format.pp_print_string)
   in
   Arg.(
-    value
-    & opt engine_conv (module Reach.Default : Reach.S)
+    value & opt engine_conv "fast"
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "DBM kernel for zone exploration: $(b,fast) (in-place, \
-           default) or $(b,ref) (reference kernel, for cross-checking \
-           a verdict). Both run the identical exploration and must \
-           agree.")
+           default), $(b,ref) (reference kernel, for cross-checking a \
+           verdict) or $(b,paranoid) (fast kernel with a sampled \
+           in-flight self-check against the reference kernel; a \
+           disagreement degrades the run to the reference kernel). All \
+           run the identical exploration and must agree.")
+
+let set_engine = function
+  | "ref" -> engine := (module Reach.Ref : Reach.S)
+  | "paranoid" ->
+      if Tm_recover.Paranoid.every () = 0 then Tm_recover.Paranoid.set_every 64;
+      engine := (module Reach.Paranoid : Reach.S)
+  | _ -> engine := (module Reach.Default : Reach.S)
+
+(* Checkpoint flags shared by verify/run; like [budget_term] the value
+   is unit and evaluation stores the policy in globals. *)
+let recover_term =
+  let ck_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write atomic snapshots of the zone-search frontier to \
+             $(docv): on budget exhaustion, on SIGINT/SIGTERM, and \
+             (with $(b,--checkpoint-every)) periodically. A run that \
+             completes removes the file; an exhausted run prints how \
+             to resume.")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Also snapshot after every $(docv) newly stored zones \
+             (default 0: only final snapshots).")
+  in
+  let selfcheck_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "selfcheck-every" ] ~docv:"K"
+          ~doc:
+            "With $(b,--engine paranoid): re-run every $(docv)-th DBM \
+             pipeline on the reference kernel and compare (default 64).")
+  in
+  let mk ck every selfcheck =
+    checkpoint_path := ck;
+    checkpoint_every := every;
+    if selfcheck > 0 then Tm_recover.Paranoid.set_every selfcheck
+  in
+  Term.(const mk $ ck_arg $ every_arg $ selfcheck_arg)
 
 let verify_cmd =
-  let run inst e () () obs =
-    engine := e;
+  let run inst ename () () () obs =
+    set_engine ename;
     with_obs "verify" obs (fun () ->
         Format.printf "%s@." inst.describe;
-        inst.verify ());
+        Supervisor.graceful (fun () -> verify_items (inst.vitems ())));
     if !had_unknown then exit 4
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Exact zone-based verification")
     Term.(
       const run $ instance_term $ engine_arg $ budget_term $ domains_term
-      $ obs_term)
+      $ recover_term $ obs_term)
+
+let run_cmd =
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by a previous interrupted \
+             or budget-exhausted run. The snapshot's job fingerprint \
+             routes it to the matching verification item; earlier items \
+             re-run from scratch, so the combined output matches an \
+             uninterrupted $(b,verify) of the same system.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Give each verification item up to $(docv) attempts; only \
+             failures that can make progress (a checkpoint to chain \
+             from, or a wall-clock deadline) are retried.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 500.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base delay before the first retry; doubles on each \
+             further retry.")
+  in
+  let run inst ename resume attempts backoff_ms () () () obs =
+    set_engine ename;
+    if attempts < 1 then failwith "--attempts must be >= 1";
+    if backoff_ms < 0. then failwith "--backoff-ms must be >= 0";
+    (* Keep saving progress to the file we resumed from, unless the
+       user pointed --checkpoint elsewhere. *)
+    (match (!checkpoint_path, resume) with
+    | None, Some path -> checkpoint_path := Some path
+    | _ -> ());
+    with_obs "run" obs (fun () ->
+        Format.printf "%s@." inst.describe;
+        Supervisor.graceful (fun () ->
+            supervise_items ~attempts ~backoff_s:(backoff_ms /. 1000.) ~resume
+              (inst.vitems ())));
+    if !had_unknown then exit 4
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Supervised zone-based verification: bounded retries with \
+          exponential backoff, per-attempt budgets chained through \
+          checkpoints, resumable after interrupts")
+    Term.(
+      const run $ instance_term $ engine_arg $ resume_arg $ attempts_arg
+      $ backoff_arg $ budget_term $ domains_term $ recover_term $ obs_term)
 
 let margin_cmd =
   let json_arg =
@@ -986,7 +1280,7 @@ let margin_cmd =
              tables.")
   in
   let run inst e json () () obs =
-    engine := e;
+    set_engine e;
     margin_table := not json;
     let reports =
       with_obs "margin" obs (fun () ->
@@ -1067,10 +1361,29 @@ let obs_cmd =
     Term.(const run $ file_arg)
 
 let () =
+  (* Signals are routed through the supervisor for every subcommand, so
+     a Ctrl-C still flushes --metrics-out/--trace-out (the with_obs
+     cleanup runs on the Interrupted exception) before exiting. *)
+  Supervisor.install_handlers ();
   let doc = "timing properties via mappings (Lynch & Attiya, PODC 1990)" in
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "timedmap" ~version:"1.0.0" ~doc)
-          [ simulate_cmd; check_cmd; verify_cmd; margin_cmd; map_cmd;
-            exact_cmd; progress_cmd; obs_cmd ]))
+  let group =
+    Cmd.group
+      (Cmd.info "timedmap" ~version:"1.0.0" ~doc)
+      [ simulate_cmd; check_cmd; verify_cmd; run_cmd; margin_cmd; map_cmd;
+        exact_cmd; progress_cmd; obs_cmd ]
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Supervisor.Interrupted ->
+      Format.eprintf "timedmap: interrupted — observability sinks flushed@.";
+      exit 130
+  | exception Snapshot.Bad_snapshot m ->
+      Format.eprintf "timedmap: snapshot error: %s@." m;
+      exit 2
+  | exception Failure m ->
+      Format.eprintf "timedmap: %s@." m;
+      exit 125
+  | exception e ->
+      Format.eprintf "timedmap: uncaught exception: %s@."
+        (Printexc.to_string e);
+      exit 125

@@ -1,0 +1,11 @@
+exception Mismatch of string
+
+(* Atomic because the zone engine's worker domains read the sampling
+   period from their per-domain scratches. *)
+let period = Atomic.make 0
+let corrupt_flag = Atomic.make false
+
+let set_every k = Atomic.set period (max k 0)
+let every () = Atomic.get period
+let set_corrupt b = Atomic.set corrupt_flag b
+let corrupt () = Atomic.get corrupt_flag

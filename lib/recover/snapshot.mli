@@ -1,0 +1,47 @@
+(** Versioned, checksummed, atomically written snapshot blobs.
+
+    A snapshot is an opaque payload (produced by the caller, typically
+    with [Marshal]) wrapped in a self-describing envelope:
+
+    - a fixed magic string and a format version, so stale or foreign
+      files are rejected with a clear message instead of a marshal
+      segfault;
+    - a caller-supplied {e fingerprint} identifying the job the payload
+      belongs to (engine kernel, entry point, automaton shape, bounds);
+      {!read} hands it back so the caller can refuse to resume the
+      wrong job;
+    - a short human-readable {e info} string (progress so far) that can
+      be shown without decoding the payload;
+    - a CRC-32 of the fingerprint, info and payload together, so a torn
+      or bit-flipped file fails loudly rather than resuming from
+      garbage (or posing as a different job).
+
+    Writes are atomic: the envelope is written to a fresh temporary
+    file in the destination directory, fsynced, and renamed over the
+    target, so a concurrent reader always sees either the old snapshot,
+    the new one, or no file — never a partial write. *)
+
+exception Bad_snapshot of string
+(** Raised by {!read}/{!inspect} on any malformed snapshot: missing or
+    truncated file, wrong magic, unsupported version, checksum
+    mismatch.  The message says which check failed.  A bad snapshot
+    never yields a payload, so it can never yield a wrong verdict. *)
+
+val format_version : int
+
+val write : path:string -> fingerprint:string -> info:string -> bytes -> unit
+(** Atomically (re)write the snapshot at [path].  Increments the
+    [recover.snapshot_written] counter. *)
+
+val read : string -> string * string * bytes
+(** [read path] is [(fingerprint, info, payload)] after full envelope
+    validation.
+    @raise Bad_snapshot when any validation fails. *)
+
+val inspect : string -> string * string
+(** [(fingerprint, info)] of a snapshot, with the same validation as
+    {!read} — used to route a [--resume] file to the right job without
+    decoding the payload. *)
+
+val crc32 : bytes -> int
+(** IEEE CRC-32 (the zlib/PNG polynomial), exposed for tests. *)

@@ -1,0 +1,52 @@
+module Metrics = Tm_obs.Metrics
+
+exception Interrupted
+
+let c_retries = Metrics.counter "recover.retries"
+
+(* Both flags are atomics because signal handlers run at arbitrary safe
+   points (and, under a pool, the cooperative flag is read from worker
+   code paths too). *)
+let interrupt_flag = Atomic.make false
+let graceful_depth = Atomic.make 0
+let installed = ref false
+
+let interrupt_requested () = Atomic.get interrupt_flag
+let request_interrupt () = Atomic.set interrupt_flag true
+let clear_interrupt () = Atomic.set interrupt_flag false
+
+let on_signal _ =
+  (* Keep the handler minimal: one flag transition or one raise. *)
+  if Atomic.get graceful_depth > 0 && not (Atomic.get interrupt_flag) then
+    Atomic.set interrupt_flag true
+  else raise Interrupted
+
+let install_handlers () =
+  if not !installed then begin
+    installed := true;
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+  end
+
+let graceful f =
+  Atomic.incr graceful_depth;
+  Fun.protect ~finally:(fun () -> Atomic.decr graceful_depth) f
+
+type 'a attempt = Done of 'a | Transient of string
+
+let with_retries ?(attempts = 3) ?(backoff_s = 0.5) ?(sleep = Unix.sleepf)
+    ?(on_retry = fun ~attempt:_ ~delay_s:_ ~reason:_ -> ()) f =
+  if attempts < 1 then invalid_arg "Supervisor.with_retries: attempts < 1";
+  if backoff_s < 0. then invalid_arg "Supervisor.with_retries: backoff_s < 0";
+  let rec go k =
+    match f ~attempt:k with
+    | Done v -> Ok v
+    | Transient reason when k < attempts ->
+        Metrics.incr c_retries;
+        let delay_s = backoff_s *. (2. ** float_of_int (k - 1)) in
+        on_retry ~attempt:k ~delay_s ~reason;
+        if delay_s > 0. then sleep delay_s;
+        go (k + 1)
+    | Transient reason -> Error reason
+  in
+  go 1

@@ -1,0 +1,67 @@
+(** Signal discipline and bounded-retry supervision for long runs.
+
+    {b Signals.}  {!install_handlers} routes SIGINT/SIGTERM through one
+    process-wide policy with two regimes:
+
+    - outside a {!graceful} scope the signal raises {!Interrupted} at
+      the next safe point, so [Fun.protect]-style cleanup (flushing
+      metrics and trace sinks) runs before the process exits;
+    - inside a {!graceful} scope the first signal only sets a flag that
+      cooperative loops poll via {!interrupt_requested} — the zone
+      engine checks it at every batch boundary, writes a final
+      checkpoint, and returns an [Unknown] outcome with partial stats.
+      A second signal while the flag is already set escalates to
+      {!Interrupted} (the user really means it).
+
+    {!request_interrupt} sets the same flag programmatically, which is
+    how the tests exercise the cooperative path deterministically.
+
+    {b Retries.}  {!with_retries} runs an attempt function under a
+    bounded retry budget with exponential backoff, for failures that
+    are worth retrying — a wall-clock deadline that may not recur, or a
+    budget exhaustion whose checkpoint lets the next attempt continue
+    instead of restarting. *)
+
+exception Interrupted
+(** Raised by a signal arriving outside a {!graceful} scope (or by a
+    repeated signal inside one). *)
+
+val install_handlers : unit -> unit
+(** Install the SIGINT/SIGTERM policy above.  Idempotent. *)
+
+val graceful : (unit -> 'a) -> 'a
+(** Run a cooperative section: signals set the interrupt flag instead
+    of raising.  Scopes nest; the flag is {e not} cleared on exit (the
+    caller decides when the interrupt has been fully handled). *)
+
+val interrupt_requested : unit -> bool
+(** Poll the interrupt flag — one atomic read, cheap enough for hot
+    loops. *)
+
+val request_interrupt : unit -> unit
+(** Set the interrupt flag, exactly as a signal inside a {!graceful}
+    scope would. *)
+
+val clear_interrupt : unit -> unit
+(** Reset the flag — between supervised attempts, or in tests. *)
+
+type 'a attempt = Done of 'a | Transient of string
+(** What one attempt produced: a result, or a failure worth retrying
+    (the string says why, for the retry log). *)
+
+val with_retries :
+  ?attempts:int ->
+  ?backoff_s:float ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay_s:float -> reason:string -> unit) ->
+  (attempt:int -> 'a attempt) ->
+  ('a, string) result
+(** [with_retries f] calls [f ~attempt:1], then [~attempt:2], ... up to
+    [attempts] (default 3) times, sleeping [backoff_s * 2^(k-1)]
+    (default base 0.5 s) between attempt [k] and [k+1] and incrementing
+    the [recover.retries] counter.  [Error reason] carries the last
+    transient reason once attempts are exhausted.  [on_retry] is called
+    before each backoff sleep; [sleep] (default [Unix.sleepf]) is
+    injectable so tests run instantly.  An {!Interrupted} raised by the
+    attempt propagates — interrupts are never retried.
+    @raise Invalid_argument if [attempts < 1] or [backoff_s < 0]. *)

@@ -45,6 +45,7 @@ let bnd_neg_ok = Dbm_bound.neg_ok
    persistent values are immutable apart from this memo. *)
 type t = { n : int; m : bnd array; empty : bool; mutable hmemo : int }
 
+let name = "fast"
 let dim z = z.n
 let get z i j = z.m.(i * z.n + j)
 let is_empty z = z.empty

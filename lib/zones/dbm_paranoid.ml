@@ -1,0 +1,169 @@
+(* Paranoid kernel: delegate everything to the fast {!Dbm}, and under a
+   sampling period k re-run every k-th scratch pipeline on the
+   reference kernel, comparing every observable answer.  The zones this
+   kernel produces are Dbm.t values untouched by the checking, so
+   exploration behaviour (and zones.stored) is identical to the fast
+   engine unless a mismatch aborts the run. *)
+
+module Metrics = Tm_obs.Metrics
+module Paranoid = Tm_recover.Paranoid
+
+let c_selfcheck = Metrics.counter "recover.selfcheck_total"
+let c_mismatch = Metrics.counter "recover.selfcheck_mismatch"
+
+type t = Dbm.t
+
+let name = "fast+selfcheck"
+let dim = Dbm.dim
+let zero = Dbm.zero
+let top = Dbm.top
+let is_empty = Dbm.is_empty
+let get = Dbm.get
+let constrain = Dbm.constrain
+let up = Dbm.up
+let reset = Dbm.reset
+let free = Dbm.free
+let intersect = Dbm.intersect
+let includes = Dbm.includes
+let extrapolate = Dbm.extrapolate
+let sat = Dbm.sat
+let loose = Dbm.loose
+let equal = Dbm.equal
+let hash = Dbm.hash
+let pp = Dbm.pp
+
+let mismatch fmt =
+  Format.kasprintf
+    (fun m ->
+      Metrics.incr c_mismatch;
+      raise (Paranoid.Mismatch m))
+    fmt
+
+(* Rebuild a fast zone on the reference kernel from its public bounds.
+   The source is canonical, so adding its constraints to [top] one by
+   one reproduces the same matrix. *)
+let ref_of_fast z =
+  let n = Dbm.dim z in
+  let r = ref (Dbm_ref.top n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        match Dbm.get z i j with
+        | Dbm_bound.Inf -> ()
+        | b -> r := Dbm_ref.constrain !r i j b
+    done
+  done;
+  !r
+
+(* Test hook: derange a frozen fast zone into a legitimately different
+   zone using only public kernel operations, so the entry-by-entry
+   comparison below must notice.  Tightening clock 1 against the
+   reference clock changes any zone that admits more than a point of
+   clock 1 (and empties point zones, which the emptiness comparison
+   catches); an empty zone is replaced by [top]. *)
+let corrupt_fast z =
+  let n = Dbm.dim z in
+  if Dbm.is_empty z then Dbm.top n
+  else if n < 2 then Dbm.up z
+  else
+    match Dbm.get z 1 0 with
+    | Dbm_bound.Inf -> Dbm.constrain z 1 0 (Dbm_bound.Le Tm_base.Rational.zero)
+    | Dbm_bound.Le c -> Dbm.constrain z 1 0 (Dbm_bound.Lt c)
+    | Dbm_bound.Lt c ->
+        Dbm.constrain z 1 0
+          (Dbm_bound.Lt (Tm_base.Rational.sub c Tm_base.Rational.one))
+
+module Scratch = struct
+  type scratch = {
+    fast : Dbm.Scratch.scratch;
+    refk : Dbm_ref.Scratch.scratch;
+    mutable loads : int;  (** pipelines seen by this arena *)
+    mutable checking : bool;  (** current pipeline is being mirrored *)
+  }
+
+  let create n =
+    {
+      fast = Dbm.Scratch.create n;
+      refk = Dbm_ref.Scratch.create n;
+      loads = 0;
+      checking = false;
+    }
+
+  let load s z =
+    Dbm.Scratch.load s.fast z;
+    let k = Paranoid.every () in
+    s.loads <- s.loads + 1;
+    s.checking <- k > 0 && s.loads mod k = 0;
+    if s.checking then begin
+      Metrics.incr c_selfcheck;
+      Dbm_ref.Scratch.load s.refk (ref_of_fast z)
+    end
+
+  let constrain s i j b =
+    Dbm.Scratch.constrain s.fast i j b;
+    if s.checking then Dbm_ref.Scratch.constrain s.refk i j b
+
+  let up s =
+    Dbm.Scratch.up s.fast;
+    if s.checking then Dbm_ref.Scratch.up s.refk
+
+  let reset s x =
+    Dbm.Scratch.reset s.fast x;
+    if s.checking then Dbm_ref.Scratch.reset s.refk x
+
+  let free s x =
+    Dbm.Scratch.free s.fast x;
+    if s.checking then Dbm_ref.Scratch.free s.refk x
+
+  let extrapolate mc s =
+    Dbm.Scratch.extrapolate mc s.fast;
+    if s.checking then Dbm_ref.Scratch.extrapolate mc s.refk
+
+  let is_empty s =
+    let fa = Dbm.Scratch.is_empty s.fast in
+    if s.checking then begin
+      let ra = Dbm_ref.Scratch.is_empty s.refk in
+      if fa <> ra then
+        mismatch
+          "selfcheck: emptiness disagrees mid-pipeline (fast=%b, ref=%b)" fa
+          ra
+    end;
+    fa
+
+  let sat s i j b =
+    let fa = Dbm.Scratch.sat s.fast i j b in
+    if s.checking then begin
+      let ra = Dbm_ref.Scratch.sat s.refk i j b in
+      if fa <> ra then
+        mismatch "selfcheck: sat(%d,%d) disagrees (fast=%b, ref=%b)" i j fa ra
+    end;
+    fa
+
+  let freeze s =
+    let zf = Dbm.Scratch.freeze s.fast in
+    if not s.checking then zf
+    else begin
+      let zf = if Paranoid.corrupt () then corrupt_fast zf else zf in
+      let zr = Dbm_ref.Scratch.freeze s.refk in
+      let fe = Dbm.is_empty zf and re = Dbm_ref.is_empty zr in
+      if fe <> re then
+        mismatch "selfcheck: frozen emptiness disagrees (fast=%b, ref=%b)" fe
+          re;
+      if not fe then begin
+        let n = Dbm.dim zf in
+        if n <> Dbm_ref.dim zr then
+          mismatch "selfcheck: frozen dimension disagrees (fast=%d, ref=%d)" n
+            (Dbm_ref.dim zr);
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let bf = Dbm.get zf i j and br = Dbm_ref.get zr i j in
+            if Dbm_bound.compare bf br <> 0 then
+              mismatch
+                "selfcheck: frozen zone disagrees at (%d,%d): fast %a, ref %a"
+                i j Dbm_bound.pp bf Dbm_bound.pp br
+          done
+        done
+      end;
+      zf
+    end
+end

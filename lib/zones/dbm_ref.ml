@@ -15,6 +15,7 @@ let bnd_neg_ok = Dbm_bound.neg_ok
 
 type t = { n : int; m : bnd array; empty : bool }
 
+let name = "ref"
 let dim z = z.n
 let get z i j = z.m.(i * z.n + j)
 let is_empty z = z.empty

@@ -13,6 +13,11 @@ module type S = sig
   type t
   (** A persistent zone: immutable from the caller's point of view. *)
 
+  val name : string
+  (** Short stable kernel identifier ("fast", "ref", ...) — part of the
+      checkpoint job fingerprint, so a snapshot is only ever resumed on
+      the kernel that wrote it. *)
+
   val dim : t -> int
   (** Number of clocks including the reference clock. *)
 

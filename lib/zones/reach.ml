@@ -7,7 +7,10 @@ module Boundmap = Tm_timed.Boundmap
 module Condition = Tm_timed.Condition
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
+module Log = Tm_obs.Log
 module Pool = Tm_par.Pool
+module Snapshot = Tm_recover.Snapshot
+module Supervisor = Tm_recover.Supervisor
 
 (* Counter handles are shared by every engine instantiation, so the
    fast and reference engines report into the same metrics. *)
@@ -24,9 +27,16 @@ let c_budget_states =
 let c_budget_deadline =
   Metrics.counter "zones.budget_exhausted" ~labels:[ ("kind", "deadline") ]
 
+let c_resumed = Metrics.counter "recover.resumed"
+let c_interrupted = Metrics.counter "recover.interrupted"
+
 type stats = { locations : int; zones : int; edges : int }
 
-type exhausted = { reason : string; partial : stats }
+type exhausted = {
+  reason : string;
+  partial : stats;
+  checkpoint : string option;
+}
 
 type outcome =
   | Verified of stats
@@ -42,16 +52,26 @@ type phase = Idle | Armed
 
 module type S = sig
   val reachable :
-    ?limit:int -> ?deadline_s:float -> ?domains:int -> ('s, 'a) Ioa.t ->
-    Boundmap.t -> stats * 's list
+    ?limit:int -> ?deadline_s:float -> ?domains:int ->
+    ?checkpoint:string * int -> ?resume:string ->
+    ('s, 'a) Ioa.t -> Boundmap.t -> stats * 's list
 
   val check_state_invariant :
-    ?limit:int -> ?deadline_s:float -> ?domains:int -> ('s, 'a) Ioa.t ->
-    Boundmap.t -> ('s -> bool) -> (stats, 's) result
+    ?limit:int -> ?deadline_s:float -> ?domains:int ->
+    ?checkpoint:string * int -> ?resume:string ->
+    ('s, 'a) Ioa.t -> Boundmap.t -> ('s -> bool) -> (stats, 's) result
 
   val check_condition :
-    ?limit:int -> ?deadline_s:float -> ?domains:int -> ('s, 'a) Ioa.t ->
-    Boundmap.t -> ('s, 'a) Condition.t -> outcome
+    ?limit:int -> ?deadline_s:float -> ?domains:int ->
+    ?checkpoint:string * int -> ?resume:string ->
+    ('s, 'a) Ioa.t -> Boundmap.t -> ('s, 'a) Condition.t -> outcome
+
+  val fingerprint_reachable : ('s, 'a) Ioa.t -> Boundmap.t -> string
+
+  val fingerprint_invariant : ('s, 'a) Ioa.t -> Boundmap.t -> string
+
+  val fingerprint_condition :
+    ('s, 'a) Ioa.t -> Boundmap.t -> ('s, 'a) Condition.t -> string
 end
 
 (* The exploration discipline — waiting-list policy, subsumption,
@@ -125,6 +145,38 @@ module Make (K : Dbm_sig.S) : S = struct
       uppers;
     }
 
+  (* The job fingerprint ties a checkpoint to the run shape that wrote
+     it: kernel, entry point, and the whole timing side of the encoding
+     (class bounds, max constant, alphabet size, DBM dimension).  It
+     cannot observe the automaton's transition function — that is
+     re-supplied at resume (closures do not marshal) and trusted to be
+     the same program calling again. *)
+  let fingerprint_of ~kind bm (enc : _ enc) =
+    Format.asprintf "tmjob1|kernel=%s|kind=%s|nclocks=%d|maxc=%a|alpha=%d|%a"
+      K.name kind enc.nclocks Rational.pp enc.max_const
+      (Array.length enc.guards)
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_char f ',')
+         (fun f (c, iv) -> Format.fprintf f "%s:%a" c Interval.pp iv))
+      (Boundmap.to_list bm)
+
+  let cond_kind (c : _ Condition.t) =
+    Format.asprintf "condition:%s:%a" c.Condition.cname Interval.pp
+      c.Condition.bounds
+
+  let fingerprint_reachable a bm =
+    fingerprint_of ~kind:"reachable" bm
+      (make_enc a bm ~with_observer:false ~cond_bounds:None)
+
+  let fingerprint_invariant a bm =
+    fingerprint_of ~kind:"invariant" bm
+      (make_enc a bm ~with_observer:false ~cond_bounds:None)
+
+  let fingerprint_condition a bm c =
+    fingerprint_of ~kind:(cond_kind c) bm
+      (make_enc a bm ~with_observer:true
+         ~cond_bounds:(Some c.Condition.bounds))
+
   (* A stored zone doubling as a waiting-list entry.  [alive] is
      cleared when a later, larger zone at the same location subsumes
      it; [expanded] distinguishes passed-list members from entries
@@ -135,6 +187,29 @@ module Make (K : Dbm_sig.S) : S = struct
     seq : int;
     mutable alive : bool;
     mutable expanded : bool;
+  }
+
+  (* Checkpoint payload: the whole search frontier at a batch boundary.
+     Zones and waiting-list entries are plain data ([K.t] carries no
+     closures), and one [Marshal] call preserves the sharing between
+     [p_cells] and [p_pending], so pending entries come back as the
+     same records as their cell copies.  States must themselves be
+     marshalable — true of every system in this repository.  Counter
+     deltas are this job's contribution to the shared metrics, replayed
+     with [Metrics.add] at resume so a resumed run's totals equal an
+     uninterrupted one's. *)
+  type 's snap = {
+    p_keys : ('s * phase) array;  (** store keys in id order *)
+    p_cells : (int * zentry list) array;
+    p_pending : (int * zentry list) array;
+    p_locq : int array;
+    p_edges : int;
+    p_zones : int;
+    p_seq : int;
+    p_subsumed_d : int;
+    p_pruned_d : int;
+    p_interned_d : int;
+    p_waiting_max : float;
   }
 
   (* Per-domain expansion context for the parallel path: a private
@@ -166,8 +241,23 @@ module Make (K : Dbm_sig.S) : S = struct
      successors of entries that a same-batch commit prunes; their
      results are discarded exactly where the sequential engine would
      have skipped the dead entry.  [observe] and the automaton's
-     [delta] must be pure — they run on worker domains. *)
-  let explore (type s a) ?(limit = 200_000) ?deadline_s ?pool
+     [delta] must be pure — they run on worker domains.
+
+     Checkpointing discipline: snapshots, the (deterministic) zone
+     budget, and cooperative interrupts all act only at batch
+     boundaries — the top of the drain loop — where the frontier state
+     is exactly [cells]/[pending]/[locq] and (under a pool) every
+     worker has quiesced at the [parallel_for] commit barrier.  That is
+     what makes a resumed run replay the identical commit sequence.
+     The wall-clock deadline is the one check allowed to fire
+     mid-batch (per successor pipeline, so one slow pipeline cannot
+     overshoot by more than one zone expansion); its final snapshot
+     re-queues the unfinished remainder of the current batch, which
+     keeps resumption sound (subsumption absorbs re-derived
+     successors) at the cost of exact counter equality — the deadline
+     is documented as non-deterministic anyway. *)
+  let explore (type s a) ?(limit = 200_000) ?deadline_s ?pool ?checkpoint
+      ?resume ~fingerprint:fp
       (enc : (s, a) enc)
       ~(initial_phase : s -> phase)
       ~(observe :
@@ -213,20 +303,26 @@ module Make (K : Dbm_sig.S) : S = struct
     let zone_count = ref 0 in
     let waiting = ref 0 in
     let seq = ref 0 in
+    (* This job's baseline of the shared counters, taken before any
+       restore: [value - base] is the delta a snapshot must carry. *)
+    let base_subsumed = Metrics.value c_zones_subsumed in
+    let base_pruned = Metrics.value c_zones_pruned_waiting in
+    let base_interned = Metrics.value c_zones_interned in
     let exception Unsupported_shape of string in
-    let exception Budget of [ `States | `Deadline ] in
-    (* Absolute wall-clock deadline; probed per popped location and
-       every few hundred edges so the overhead stays off the per-zone
-       path. *)
+    let exception Budget of [ `States | `Deadline | `Interrupt ] in
+    (* Absolute wall-clock deadline; probed at every batch boundary and
+       before every successor pipeline, so a single expensive pipeline
+       cannot overshoot by more than one zone expansion. *)
     let deadline =
       match deadline_s with
       | None -> None
       | Some d -> Some (Tracing.now_s () +. d)
     in
-    let check_deadline () =
+    let check_deadline =
       match deadline with
-      | None -> ()
-      | Some t -> if Tracing.now_s () > t then raise (Budget `Deadline)
+      | None -> fun () -> ()
+      | Some t ->
+          fun () -> if Tracing.now_s () > t then raise (Budget `Deadline)
     in
     let cell_of id =
       match Hashtbl.find_opt cells id with
@@ -262,7 +358,6 @@ module Make (K : Dbm_sig.S) : S = struct
         cell := e :: !cell;
         incr zone_count;
         Metrics.incr c_zones_stored;
-        if !zone_count > limit then raise (Budget `States);
         inspect p s z;
         let bucket =
           match Hashtbl.find_opt pending id with
@@ -281,6 +376,155 @@ module Make (K : Dbm_sig.S) : S = struct
         Metrics.set_max g_waiting_max (float_of_int !waiting)
       end
     in
+    (* The unfinished tail of the batch being drained: the entry under
+       expansion plus the ones not yet reached.  Only a mid-batch
+       deadline can observe a nonempty tail; it is folded back into the
+       snapshot so no committed-but-unexpanded work is lost. *)
+    let batch_loc = ref (-1) in
+    let batch_left : zentry list ref = ref [] in
+    let pop_batch_left () =
+      batch_left := (match !batch_left with _ :: t -> t | [] -> [])
+    in
+    (* ---------------- checkpointing ---------------- *)
+    let wrote_snapshot = ref false in
+    let last_snap = ref 0 in
+    let save_snapshot () =
+      match checkpoint with
+      | None -> None
+      | Some (path, _) ->
+          Tracing.with_span "recover.snapshot" @@ fun () ->
+          let p_keys =
+            Array.init (Hstore.length store) (Hstore.key_of_id store)
+          in
+          let p_cells =
+            Array.of_seq
+              (Seq.map
+                 (fun (id, es) -> (id, !es))
+                 (Hashtbl.to_seq cells))
+          in
+          let base_pending =
+            List.of_seq
+              (Seq.map (fun (id, es) -> (id, !es)) (Hashtbl.to_seq pending))
+          in
+          (* Fold the unfinished batch tail back into the frontier. *)
+          let pend, q_extra =
+            match !batch_left with
+            | [] -> (base_pending, [])
+            | tail ->
+                let id = !batch_loc in
+                let merged =
+                  match List.assoc_opt id base_pending with
+                  | Some es -> (id, tail @ es) :: List.remove_assoc id base_pending
+                  | None -> (id, tail) :: base_pending
+                in
+                (merged, if Hashtbl.mem queued id then [] else [ id ])
+          in
+          let p_pending = Array.of_list pend in
+          let p_locq =
+            Array.of_list (q_extra @ List.of_seq (Queue.to_seq locq))
+          in
+          let snap =
+            {
+              p_keys;
+              p_cells;
+              p_pending;
+              p_locq;
+              p_edges = !edges;
+              p_zones = !zone_count;
+              p_seq = !seq;
+              p_subsumed_d = Metrics.value c_zones_subsumed - base_subsumed;
+              p_pruned_d =
+                Metrics.value c_zones_pruned_waiting - base_pruned;
+              p_interned_d = Metrics.value c_zones_interned - base_interned;
+              p_waiting_max = Metrics.gauge_value g_waiting_max;
+            }
+          in
+          let info =
+            Printf.sprintf "zones=%d locations=%d edges=%d" !zone_count
+              (Hstore.length store) !edges
+          in
+          Snapshot.write ~path ~fingerprint:fp ~info
+            (Marshal.to_bytes (snap : s snap) []);
+          wrote_snapshot := true;
+          last_snap := !zone_count;
+          Some path
+    in
+    let restore path =
+      let fp_got, info, payload = Snapshot.read path in
+      if fp_got <> fp then
+        raise
+          (Snapshot.Bad_snapshot
+             (Printf.sprintf
+                "%s: snapshot belongs to a different job\n\
+                \  snapshot: %s\n\
+                \  this run: %s" path fp_got fp));
+      let snap = (Marshal.from_bytes payload 0 : s snap) in
+      (* Dense Hstore ids are assigned in insertion order, so re-adding
+         the keys in id order reproduces every id exactly. *)
+      Array.iter (fun k -> ignore (Hstore.add store k)) snap.p_keys;
+      Array.iter
+        (fun (id, es) ->
+          Hashtbl.replace cells id (ref es);
+          (* Re-seed the hash-consing store.  Marshal preserved the
+             sharing among stored zones, so structurally equal zones
+             are still one pointer and each distinct zone is interned
+             once. *)
+          List.iter (fun e -> ignore (Hstore.intern zstore e.z)) es)
+        snap.p_cells;
+      Array.iter
+        (fun (id, es) -> Hashtbl.replace pending id (ref es))
+        snap.p_pending;
+      Array.iter
+        (fun id ->
+          Queue.add id locq;
+          Hashtbl.replace queued id ())
+        snap.p_locq;
+      edges := snap.p_edges;
+      zone_count := snap.p_zones;
+      seq := snap.p_seq;
+      waiting :=
+        Array.fold_left (fun n (_, es) -> n + List.length es) 0 snap.p_pending;
+      last_snap := !zone_count;
+      (* Replay this job's counter contribution so a resumed run's
+         totals equal an uninterrupted one's. *)
+      Metrics.add c_zones_stored snap.p_zones;
+      Metrics.add c_zone_edges snap.p_edges;
+      Metrics.add c_zones_subsumed snap.p_subsumed_d;
+      Metrics.add c_zones_pruned_waiting snap.p_pruned_d;
+      Metrics.add c_zones_interned snap.p_interned_d;
+      Metrics.set_max g_waiting_max snap.p_waiting_max;
+      Metrics.incr c_resumed;
+      Log.info "resumed from %s (%s)" path info;
+      (* Replay [inspect] over the restored frontier in original
+         storage order: reachable-set accumulators see every stored
+         location again, and condition probes re-audit zones that
+         already passed (pure, so they pass again). *)
+      let entries =
+        Hashtbl.fold
+          (fun id es acc ->
+            List.fold_left (fun acc e -> (id, e) :: acc) acc !es)
+          cells []
+      in
+      let entries =
+        List.sort (fun (_, e1) (_, e2) -> compare e1.seq e2.seq) entries
+      in
+      List.iter
+        (fun (id, e) ->
+          let s, p = Hstore.key_of_id store id in
+          inspect p s e.z)
+        entries
+    in
+    (* Batch-boundary discipline: deterministic budget, cooperative
+       interrupt, periodic snapshot — in that order, so an exhausted
+       run never first spends time snapshotting. *)
+    let boundary_checks () =
+      if !zone_count > limit then raise (Budget `States);
+      if Supervisor.interrupt_requested () then raise (Budget `Interrupt);
+      match checkpoint with
+      | Some (_, every) when every > 0 && !zone_count - !last_snap >= every ->
+          ignore (save_snapshot ())
+      | _ -> ()
+    in
     let expand s p pre z =
       Array.iter
         (fun (act, gopt, ci) ->
@@ -288,7 +532,7 @@ module Make (K : Dbm_sig.S) : S = struct
             (fun s' ->
               incr edges;
               Metrics.incr c_zone_edges;
-              if !edges land 511 = 0 then check_deadline ();
+              check_deadline ();
               K.Scratch.load scr z;
               (match gopt with
               | None -> ()
@@ -399,7 +643,7 @@ module Make (K : Dbm_sig.S) : S = struct
     let commit_edge out =
       incr edges;
       Metrics.incr c_zone_edges;
-      if !edges land 511 = 0 then check_deadline ();
+      check_deadline ();
       match out with
       | `Skip | `Dead -> ()
       | `Unsup m -> raise (Unsupported_shape m)
@@ -424,43 +668,50 @@ module Make (K : Dbm_sig.S) : S = struct
       List.iter
         (fun (e, was_alive) ->
           decr waiting;
-          if was_alive then begin
-            let base = !ai * ng in
-            incr ai;
-            if e.alive then begin
-              e.expanded <- true;
-              for gi = 0 to ng - 1 do
-                List.iter commit_edge res.(base + gi)
-              done
-            end
-          end)
+          (if was_alive then begin
+             let base = !ai * ng in
+             incr ai;
+             if e.alive then begin
+               e.expanded <- true;
+               for gi = 0 to ng - 1 do
+                 List.iter commit_edge res.(base + gi)
+               done
+             end
+           end);
+          pop_batch_left ())
         marks
     in
     let result =
       try
-        List.iter
-          (fun s0 ->
-            K.Scratch.load scr z_init;
-            let v0 = enabled_vec s0 in
-            for i = 0 to nclasses - 1 do
-              if not v0.(i) then K.Scratch.free scr (i + 1)
-            done;
-            let p0 = initial_phase s0 in
-            (match enc.y with
-            | Some y when p0 = Idle -> K.Scratch.free scr y
-            | Some _ | None -> ());
-            K.Scratch.up scr;
-            for i = 0 to nclasses - 1 do
-              if v0.(i) then
-                match enc.uppers.(i) with
-                | Some b -> K.Scratch.constrain scr (i + 1) 0 b
-                | None -> ()
-            done;
-            K.Scratch.extrapolate enc.max_const scr;
-            if not (K.Scratch.is_empty scr) then
-              add s0 p0 (K.Scratch.freeze scr))
-          a.Ioa.start;
-        while not (Queue.is_empty locq) do
+        (match resume with
+        | Some path -> restore path
+        | None ->
+            List.iter
+              (fun s0 ->
+                K.Scratch.load scr z_init;
+                let v0 = enabled_vec s0 in
+                for i = 0 to nclasses - 1 do
+                  if not v0.(i) then K.Scratch.free scr (i + 1)
+                done;
+                let p0 = initial_phase s0 in
+                (match enc.y with
+                | Some y when p0 = Idle -> K.Scratch.free scr y
+                | Some _ | None -> ());
+                K.Scratch.up scr;
+                for i = 0 to nclasses - 1 do
+                  if v0.(i) then
+                    match enc.uppers.(i) with
+                    | Some b -> K.Scratch.constrain scr (i + 1) 0 b
+                    | None -> ()
+                done;
+                K.Scratch.extrapolate enc.max_const scr;
+                if not (K.Scratch.is_empty scr) then
+                  add s0 p0 (K.Scratch.freeze scr))
+              a.Ioa.start);
+        while
+          boundary_checks ();
+          not (Queue.is_empty locq)
+        do
           check_deadline ();
           let id = Queue.pop locq in
           Hashtbl.remove queued id;
@@ -484,18 +735,34 @@ module Make (K : Dbm_sig.S) : S = struct
           in
           let s, p = Hstore.key_of_id store id in
           let pre = enabled_vec s in
+          batch_loc := id;
+          batch_left := batch;
           (match pool with
           | Some pl when Pool.size pl > 1 -> expand_batch_par pl s p pre batch
           | Some _ | None ->
               List.iter
                 (fun e ->
                   decr waiting;
-                  if e.alive then begin
-                    e.expanded <- true;
-                    expand s p pre e.z
-                  end)
+                  (if e.alive then begin
+                     e.expanded <- true;
+                     expand s p pre e.z
+                   end);
+                  pop_batch_left ())
                 batch)
         done;
+        (* The fixpoint was reached: a leftover snapshot — periodic from
+           this run, or the one this run resumed from when it doubles as
+           the checkpoint path — would only invite resuming a finished
+           job, so drop it.  A file at the checkpoint path this run
+           neither wrote nor consumed is someone else's and stays. *)
+        (match checkpoint with
+        | Some (path, _)
+          when !wrote_snapshot
+               || (match resume with
+                  | Some r -> String.equal r path
+                  | None -> false) -> (
+            try Sys.remove path with Sys_error _ -> ())
+        | _ -> ());
         Ok
           {
             locations = Hstore.length store;
@@ -507,7 +774,9 @@ module Make (K : Dbm_sig.S) : S = struct
       | Budget kind ->
           (* Exhaustion must never masquerade as a verdict: surface the
              partial stats so the caller can report how far the search
-             got before the budget ran out. *)
+             got before the budget ran out — and leave a final snapshot
+             behind so none of that work is lost. *)
+          let ck = save_snapshot () in
           let partial =
             {
               locations = Hstore.length store;
@@ -525,8 +794,11 @@ module Make (K : Dbm_sig.S) : S = struct
                 Metrics.incr c_budget_deadline;
                 let d = match deadline_s with Some d -> d | None -> 0. in
                 Printf.sprintf "deadline exceeded (%.0f ms)" (d *. 1000.)
+            | `Interrupt ->
+                Metrics.incr c_interrupted;
+                "interrupted (SIGINT/SIGTERM)"
           in
-          Error (`Budget { reason; partial })
+          Error (`Budget { reason; partial; checkpoint = ck })
     in
     result
 
@@ -540,16 +812,18 @@ module Make (K : Dbm_sig.S) : S = struct
   let span_args domains =
     [ ("domains", string_of_int (match domains with Some d -> max 1 d | None -> 1)) ]
 
-  let reachable ?limit ?deadline_s ?domains (a : ('s, 'a) Ioa.t) bm =
+  let reachable ?limit ?deadline_s ?domains ?checkpoint ?resume
+      (a : ('s, 'a) Ioa.t) bm =
     Tracing.with_span "zones.reachable" ~args:(span_args domains) @@ fun () ->
     let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
+    let fingerprint = fingerprint_of ~kind:"reachable" bm enc in
     let seen = ref [] in
     let inspect _ s _ =
       if not (List.exists (a.Ioa.equal_state s) !seen) then seen := s :: !seen
     in
     match
       with_domains domains @@ fun pool ->
-      explore ?limit ?deadline_s ?pool enc
+      explore ?limit ?deadline_s ?pool ?checkpoint ?resume ~fingerprint enc
         ~initial_phase:(fun _ -> Idle)
         ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
         ~inspect
@@ -558,16 +832,17 @@ module Make (K : Dbm_sig.S) : S = struct
     | Error (`Unsupported m) -> raise (Open_system m)
     | Error (`Budget e) -> raise (Out_of_budget e)
 
-  let check_state_invariant ?limit ?deadline_s ?domains (a : ('s, 'a) Ioa.t)
-      bm pred =
+  let check_state_invariant ?limit ?deadline_s ?domains ?checkpoint ?resume
+      (a : ('s, 'a) Ioa.t) bm pred =
     Tracing.with_span "zones.check_state_invariant" ~args:(span_args domains)
     @@ fun () ->
     let enc = make_enc a bm ~with_observer:false ~cond_bounds:None in
+    let fingerprint = fingerprint_of ~kind:"invariant" bm enc in
     let bad = ref None in
     let exception Found in
     match
       with_domains domains @@ fun pool ->
-      explore ?limit ?deadline_s ?pool enc
+      explore ?limit ?deadline_s ?pool ?checkpoint ?resume ~fingerprint enc
         ~initial_phase:(fun _ -> Idle)
         ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
         ~inspect:(fun _ s _ ->
@@ -582,14 +857,15 @@ module Make (K : Dbm_sig.S) : S = struct
     | Error (`Unsupported m) -> raise (Open_system m)
     | Error (`Budget e) -> raise (Out_of_budget e)
 
-  let check_condition ?limit ?deadline_s ?domains (a : ('s, 'a) Ioa.t) bm
-      (c : ('s, 'a) Condition.t) =
+  let check_condition ?limit ?deadline_s ?domains ?checkpoint ?resume
+      (a : ('s, 'a) Ioa.t) bm (c : ('s, 'a) Condition.t) =
     Tracing.with_span "zones.check_condition"
       ~args:(("cond", c.Condition.cname) :: span_args domains)
     @@ fun () ->
     let enc =
       make_enc a bm ~with_observer:true ~cond_bounds:(Some c.Condition.bounds)
     in
+    let fingerprint = fingerprint_of ~kind:(cond_kind c) bm enc in
     let y = match enc.y with Some y -> y | None -> assert false in
     let bl = Interval.lo c.Condition.bounds in
     let bu = Interval.hi c.Condition.bounds in
@@ -628,7 +904,7 @@ module Make (K : Dbm_sig.S) : S = struct
     in
     match
       with_domains domains @@ fun pool ->
-      explore ?limit ?deadline_s ?pool enc
+      explore ?limit ?deadline_s ?pool ?checkpoint ?resume ~fingerprint enc
         ~initial_phase:(fun s0 ->
           if c.Condition.t_start s0 then Armed else Idle)
         ~observe ~inspect
@@ -642,4 +918,55 @@ end
 
 module Default = Make (Dbm)
 module Ref = Make (Dbm_ref)
+
+(* Paranoid engine: the self-checking kernel, degrading to the
+   reference engine when a checked pipeline disagrees.  The degraded
+   rerun starts fresh — a snapshot written by the (suspect) fast
+   kernel must not seed the trustworthy run — but keeps writing to the
+   caller's checkpoint path, so preemption still works after a
+   degrade. *)
+module Paranoid : S = struct
+  module P = Make (Dbm_paranoid)
+
+  let c_degraded = Metrics.counter "recover.degraded"
+
+  let degrade what fallback f =
+    try f () with
+    | Tm_recover.Paranoid.Mismatch m ->
+        Metrics.incr c_degraded;
+        Log.warn
+          "paranoid %s: fast kernel self-check failed (%s) — degrading to \
+           the reference kernel"
+          what m;
+        fallback ()
+
+  let reachable ?limit ?deadline_s ?domains ?checkpoint ?resume a bm =
+    degrade "reachable"
+      (fun () -> Ref.reachable ?limit ?deadline_s ?domains ?checkpoint a bm)
+      (fun () ->
+        P.reachable ?limit ?deadline_s ?domains ?checkpoint ?resume a bm)
+
+  let check_state_invariant ?limit ?deadline_s ?domains ?checkpoint ?resume a
+      bm pred =
+    degrade "invariant"
+      (fun () ->
+        Ref.check_state_invariant ?limit ?deadline_s ?domains ?checkpoint a bm
+          pred)
+      (fun () ->
+        P.check_state_invariant ?limit ?deadline_s ?domains ?checkpoint
+          ?resume a bm pred)
+
+  let check_condition ?limit ?deadline_s ?domains ?checkpoint ?resume a bm c =
+    degrade "condition"
+      (fun () ->
+        Ref.check_condition ?limit ?deadline_s ?domains ?checkpoint a bm c)
+      (fun () ->
+        P.check_condition ?limit ?deadline_s ?domains ?checkpoint ?resume a bm
+          c)
+
+  let fingerprint_reachable = P.fingerprint_reachable
+  let fingerprint_invariant = P.fingerprint_invariant
+  let fingerprint_condition = P.fingerprint_condition
+end
+
 include Default

@@ -30,7 +30,20 @@
     Because the two share every policy decision (subsumption-aware
     waiting list bucketed by discrete location, largest-zone-first
     expansion, hash-consed zone store), their [stats] agree exactly —
-    the differential harness in test/ and bench/ checks this. *)
+    the differential harness in test/ and bench/ checks this.
+
+    {b Checkpointing.}  Every entry point can write a checkpoint — a
+    versioned, checksummed, atomically replaced snapshot of the whole
+    search frontier ([Tm_recover.Snapshot]) — and resume from one.
+    Snapshots are taken only at batch boundaries, where the frontier is
+    self-contained and (under [?domains]) every worker has quiesced at
+    the commit barrier, so a resumed run replays the identical commit
+    sequence: verdict, reachable set (as a set), [zones.stored] and the
+    other guarded counters all equal the uninterrupted run, at any
+    domain count.  Resuming requires the same kernel, entry point,
+    automaton and bounds — a job fingerprint embedded in the snapshot
+    is checked before any state is trusted, and automaton states must
+    be marshalable (no closures). *)
 
 type stats = {
   locations : int;  (** distinct (state, observer-phase) pairs *)
@@ -41,6 +54,9 @@ type stats = {
 type exhausted = {
   reason : string;  (** which budget ran out, human-readable *)
   partial : stats;  (** how far the search got before exhaustion *)
+  checkpoint : string option;
+      (** final snapshot written on the way out, when checkpointing was
+          enabled — resume from here to keep the partial work *)
 }
 
 type outcome =
@@ -48,9 +64,9 @@ type outcome =
   | Lower_violation of stats
   | Upper_violation of stats
   | Unknown of exhausted
-      (** The search exhausted its zone or wall-clock budget before
-          reaching a fixpoint — neither a proof nor a refutation.
-          Exhaustion is never reported as [Verified]. *)
+      (** The search exhausted its zone or wall-clock budget (or was
+          interrupted) before reaching a fixpoint — neither a proof nor
+          a refutation.  Exhaustion is never reported as [Verified]. *)
   | Unsupported of string
 
 exception Open_system of string
@@ -71,8 +87,14 @@ exception Out_of_budget of exhausted
     wall-clock seconds.  Running out of either yields an {!exhausted}
     carrying partial {!stats} — via {!Out_of_budget} or
     {!outcome.Unknown} — rather than a truncated (unsound) verdict.
-    Zone-budget exhaustion is deterministic and agrees exactly across
-    kernels; the wall-clock deadline, necessarily, does not.
+    The zone budget acts at batch boundaries (so a run can finish at
+    most one location batch beyond [limit], and a completed fixpoint is
+    reported [Verified] only when it stayed within [limit]); it is
+    deterministic and agrees exactly across kernels and domain counts.
+    The wall-clock deadline is probed before every successor pipeline,
+    so one expensive pipeline cannot overshoot it by more than a single
+    zone expansion — but which zone it stops at, necessarily, is not
+    deterministic.
 
     Every entry point also takes [?domains] (default 1): with
     [domains > 1] the exploration runs on a [Tm_par.Pool] of that many
@@ -82,20 +104,36 @@ exception Out_of_budget of exhausted
     exact sequential order.  Verdicts, the reachable base-state set,
     and every counter ([zones.stored], [zones.subsumed], edge counts,
     deterministic budget exhaustion) are bit-identical to [domains = 1]
-    at any domain count; only wall-clock time changes. *)
+    at any domain count; only wall-clock time changes.
+
+    [?checkpoint:(path, every)] snapshots the frontier to [path] after
+    every [every] newly stored zones ([every <= 0]: only final
+    snapshots), and always on budget exhaustion or a cooperative
+    interrupt ([Tm_recover.Supervisor]) — the resulting
+    {!exhausted.checkpoint} tells the caller where.  A checkpoint left
+    behind by a run that then completes is removed.  [?resume:path]
+    restores a snapshot instead of seeding from the initial states and
+    continues the fixpoint exactly; it raises
+    [Tm_recover.Snapshot.Bad_snapshot] on a corrupt, truncated,
+    wrong-version or wrong-job file — a bad snapshot can never produce
+    a wrong verdict. *)
 module type S = sig
   val reachable :
     ?limit:int -> ?deadline_s:float -> ?domains:int ->
+    ?checkpoint:string * int -> ?resume:string ->
     ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t -> stats * 's list
   (** Timed reachability: explored stats and the base states reachable
       under the timing assumptions (a subset of the untimed reachable
-      set).
+      set).  After a resume the list holds the same states, though not
+      necessarily in first-discovery order.
       @raise Out_of_budget when a budget is exhausted. *)
 
   val check_state_invariant :
     ?limit:int ->
     ?deadline_s:float ->
     ?domains:int ->
+    ?checkpoint:string * int ->
+    ?resume:string ->
     ('s, 'a) Tm_ioa.Ioa.t ->
     Tm_timed.Boundmap.t ->
     ('s -> bool) ->
@@ -108,12 +146,28 @@ module type S = sig
     ?limit:int ->
     ?deadline_s:float ->
     ?domains:int ->
+    ?checkpoint:string * int ->
+    ?resume:string ->
     ('s, 'a) Tm_ioa.Ioa.t ->
     Tm_timed.Boundmap.t ->
     ('s, 'a) Tm_timed.Condition.t ->
     outcome
   (** Exact verification that every timed execution of [(A, b)]
       satisfies the condition; [Unknown] when a budget is exhausted. *)
+
+  val fingerprint_reachable :
+    ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t -> string
+  (** The job fingerprint {!reachable} embeds in its checkpoints — the
+      CLI uses these to route a [--resume] file to the right job. *)
+
+  val fingerprint_invariant :
+    ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t -> string
+
+  val fingerprint_condition :
+    ('s, 'a) Tm_ioa.Ioa.t ->
+    Tm_timed.Boundmap.t ->
+    ('s, 'a) Tm_timed.Condition.t ->
+    string
 end
 
 module Make (K : Dbm_sig.S) : S
@@ -126,6 +180,14 @@ module Default : S
 module Ref : S
 (** The same exploration on the {!Dbm_ref} reference kernel — for the
     differential test/bench harness only. *)
+
+module Paranoid : S
+(** The fast kernel under a sampled in-flight self-check
+    ({!Dbm_paranoid}; period from [Tm_recover.Paranoid.set_every]).
+    Explores exactly like {!Default}; if any checked pipeline disagrees
+    with the reference kernel, the run is restarted from scratch on
+    {!Ref} (counting [recover.degraded]) instead of reporting a
+    possibly corrupt verdict. *)
 
 include S
 (** The default engine's operations, available unqualified. *)

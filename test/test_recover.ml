@@ -1,0 +1,456 @@
+(* Checkpoint/resume, snapshot integrity, retry supervision and the
+   paranoid self-checking kernel.
+
+   The load-bearing property is kill-and-resume equivalence: a run
+   interrupted at an arbitrary checkpoint boundary and resumed must
+   produce the same verdict, the same reachable base-state set and the
+   same zones.stored as the uninterrupted run — for both kernels and at
+   1/2/4 domains.  Snapshot corruption of any kind must surface as a
+   descriptive [Bad_snapshot], never as a wrong verdict. *)
+
+module Rational = Tm_base.Rational
+module Time = Tm_base.Time
+module Interval = Tm_base.Interval
+module Condition = Tm_timed.Condition
+module Reach = Tm_zones.Reach
+module Metrics = Tm_obs.Metrics
+module Snapshot = Tm_recover.Snapshot
+module Supervisor = Tm_recover.Supervisor
+module Paranoid = Tm_recover.Paranoid
+module F = Tm_systems.Fischer
+
+let q = Gen.q
+let domain_counts = [ 1; 2; 4 ]
+let c_stored = Metrics.counter "zones.stored"
+let c_resumed = Metrics.counter "recover.resumed"
+let c_written = Metrics.counter "recover.snapshot_written"
+let c_selfcheck = Metrics.counter "recover.selfcheck_total"
+let c_mismatch = Metrics.counter "recover.selfcheck_mismatch"
+let c_degraded = Metrics.counter "recover.degraded"
+
+let tmp_ck () = Filename.temp_file "tmtest" ".ckpt"
+let rm_f p = try Sys.remove p with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot envelope.                                                  *)
+
+let crc32_known_vector () =
+  (* The IEEE CRC-32 check value: crc32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int)
+    "check value" 0xCBF43926
+    (Snapshot.crc32 (Bytes.of_string "123456789"))
+
+let snapshot_roundtrip () =
+  let path = tmp_ck () in
+  Fun.protect ~finally:(fun () -> rm_f path) @@ fun () ->
+  let payload = Bytes.of_string "the payload \x00\x01\xff bytes" in
+  let w0 = Metrics.value c_written in
+  Snapshot.write ~path ~fingerprint:"job-fp" ~info:"zones=7" payload;
+  Alcotest.(check int) "write counted" (w0 + 1) (Metrics.value c_written);
+  let fp, info, got = Snapshot.read path in
+  Alcotest.(check string) "fingerprint" "job-fp" fp;
+  Alcotest.(check string) "info" "zones=7" info;
+  Alcotest.(check bytes) "payload" payload got;
+  Alcotest.(check (pair string string))
+    "inspect" ("job-fp", "zones=7") (Snapshot.inspect path);
+  (* overwrite is atomic-by-rename: the second write fully replaces *)
+  Snapshot.write ~path ~fingerprint:"job-fp2" ~info:"zones=9"
+    (Bytes.of_string "other");
+  let fp2, _, got2 = Snapshot.read path in
+  Alcotest.(check string) "second fingerprint" "job-fp2" fp2;
+  Alcotest.(check bytes) "second payload" (Bytes.of_string "other") got2
+
+let expect_bad path substr =
+  match Snapshot.read path with
+  | _ -> Alcotest.failf "expected Bad_snapshot mentioning %S" substr
+  | exception Snapshot.Bad_snapshot m ->
+      let lower = String.lowercase_ascii m in
+      if
+        not
+          (String.length lower >= String.length substr
+          && (let found = ref false in
+              for i = 0 to String.length lower - String.length substr do
+                if String.sub lower i (String.length substr) = substr then
+                  found := true
+              done;
+              !found))
+      then Alcotest.failf "message %S does not mention %S" m substr
+
+let write_sample path =
+  Snapshot.write ~path ~fingerprint:"fingerprint-string" ~info:"zones=3"
+    (Bytes.of_string "payload-bytes-here")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let snapshot_rejects_corruption () =
+  let path = tmp_ck () in
+  Fun.protect ~finally:(fun () -> rm_f path) @@ fun () ->
+  write_sample path;
+  let whole = read_file path in
+  (* truncated anywhere: descriptive truncation error *)
+  write_file path (String.sub whole 0 (String.length whole / 2));
+  expect_bad path "truncated";
+  write_file path (String.sub whole 0 3);
+  expect_bad path "truncated";
+  (* a flipped byte in the fingerprint region: checksum, not a
+     different job *)
+  let b = Bytes.of_string whole in
+  Bytes.set b 17 (Char.chr (Char.code (Bytes.get b 17) lxor 0x40));
+  write_file path (Bytes.to_string b);
+  expect_bad path "checksum";
+  (* a flipped payload byte: checksum *)
+  let b = Bytes.of_string whole in
+  let last = Bytes.length b - 2 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x01));
+  write_file path (Bytes.to_string b);
+  expect_bad path "checksum";
+  (* wrong magic *)
+  let b = Bytes.of_string whole in
+  Bytes.set b 0 'X';
+  write_file path (Bytes.to_string b);
+  expect_bad path "magic";
+  (* unsupported version (field sits right after the 8-byte magic) *)
+  let b = Bytes.of_string whole in
+  Bytes.set b 11 (Char.chr 99);
+  write_file path (Bytes.to_string b);
+  expect_bad path "version";
+  (* trailing garbage *)
+  write_file path (whole ^ "x");
+  expect_bad path "trailing"
+
+(* ------------------------------------------------------------------ *)
+(* Retry supervision.                                                  *)
+
+let with_retries_backoff () =
+  let sleeps = ref [] in
+  let sleep d = sleeps := d :: !sleeps in
+  let calls = ref 0 in
+  let r =
+    Supervisor.with_retries ~attempts:5 ~backoff_s:0.25 ~sleep
+      (fun ~attempt ->
+        incr calls;
+        Alcotest.(check int) "attempt number" !calls attempt;
+        if attempt < 3 then Supervisor.Transient "flaky"
+        else Supervisor.Done "ok")
+  in
+  Alcotest.(check (result string string)) "result" (Ok "ok") r;
+  Alcotest.(check int) "attempts used" 3 !calls;
+  Alcotest.(check (list (float 1e-9)))
+    "exponential backoff" [ 0.25; 0.5 ] (List.rev !sleeps)
+
+let with_retries_exhausts () =
+  let retried = ref [] in
+  let r =
+    Supervisor.with_retries ~attempts:3 ~backoff_s:0.
+      ~sleep:(fun _ -> ())
+      ~on_retry:(fun ~attempt ~delay_s:_ ~reason ->
+        retried := (attempt, reason) :: !retried)
+      (fun ~attempt -> Supervisor.Transient (Printf.sprintf "fail%d" attempt))
+  in
+  Alcotest.(check (result unit string)) "last reason" (Error "fail3") r;
+  Alcotest.(check (list (pair int string)))
+    "on_retry calls"
+    [ (1, "fail1"); (2, "fail2") ]
+    (List.rev !retried)
+
+let with_retries_validates () =
+  (match
+     Supervisor.with_retries ~attempts:0 (fun ~attempt:_ ->
+         Supervisor.Done ())
+   with
+  | _ -> Alcotest.fail "attempts=0 accepted"
+  | exception Invalid_argument _ -> ());
+  match
+    Supervisor.with_retries ~backoff_s:(-1.) (fun ~attempt:_ ->
+        Supervisor.Done ())
+  with
+  | _ -> Alcotest.fail "negative backoff accepted"
+  | exception Invalid_argument _ -> ()
+
+let interrupt_flag_basics () =
+  Supervisor.clear_interrupt ();
+  Alcotest.(check bool) "clear" false (Supervisor.interrupt_requested ());
+  Supervisor.request_interrupt ();
+  Alcotest.(check bool) "set" true (Supervisor.interrupt_requested ());
+  Supervisor.clear_interrupt ();
+  Alcotest.(check bool) "cleared" false (Supervisor.interrupt_requested ())
+
+(* ------------------------------------------------------------------ *)
+(* Kill-and-resume differential.                                       *)
+
+(* One uninterrupted run: stats, sorted reachable set, stored delta. *)
+let oneshot (module E : Reach.S) aut bm d =
+  let s0 = Metrics.value c_stored in
+  let st, states = E.reachable ~domains:d aut bm in
+  (st, List.sort compare states, Metrics.value c_stored - s0)
+
+(* Exhaust the zone budget at [limit] with a checkpoint, then resume
+   without a budget; measure the resumed leg's stored delta (which must
+   match the one-shot delta: the restore replays the counters).  When
+   the run fits under [limit] there is nothing to resume and the direct
+   result is returned. *)
+let interrupted_resumed (module E : Reach.S) aut bm d ~limit =
+  let ck = tmp_ck () in
+  Fun.protect ~finally:(fun () -> rm_f ck) @@ fun () ->
+  let s0 = Metrics.value c_stored in
+  match E.reachable ~limit ~domains:d ~checkpoint:(ck, 0) aut bm with
+  | st, states ->
+      (* fit under the limit: nothing to resume *)
+      (st, List.sort compare states, Metrics.value c_stored - s0)
+  | exception Reach.Out_of_budget e ->
+      Alcotest.(check (option string))
+        "exhaustion names the checkpoint" (Some ck) e.Reach.checkpoint;
+      let r0 = Metrics.value c_resumed in
+      let s0 = Metrics.value c_stored in
+      let st, states = E.reachable ~domains:d ~resume:ck aut bm in
+      Alcotest.(check int) "resume counted" (r0 + 1) (Metrics.value c_resumed);
+      (st, List.sort compare states, Metrics.value c_stored - s0)
+
+let kernels : (string * (module Reach.S)) list =
+  [ ("fast", (module Reach.Default)); ("ref", (module Reach.Ref)) ]
+
+let kill_resume_random =
+  Gen.check_holds
+    "kill+resume: verdict, reachable set and zones.stored equal one-shot \
+     (both kernels, 1/2/4 domains)"
+    ~count:12 ~print:Gen.print_raut Gen.boundmap_automaton (fun r ->
+      let aut, bm = Gen.build_boundmap_automaton r in
+      List.for_all
+        (fun (_, k) ->
+          let st, states, stored = oneshot k aut bm 1 in
+          (* interrupt at a boundary roughly mid-search, and at the
+             first boundary *)
+          let limits = [ 1; (st.Reach.zones / 2) + 1 ] in
+          List.for_all
+            (fun limit ->
+              List.for_all
+                (fun d ->
+                  let st', states', stored' =
+                    interrupted_resumed k aut bm d ~limit
+                  in
+                  st' = st && states' = states && stored' = stored)
+                domain_counts)
+            limits)
+        kernels)
+
+(* The same discipline on a real system, checking the exact condition
+   verdict and periodic snapshots along the way. *)
+let fischer_cond_resume () =
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let cond = F.u_enter p in
+  let base = Reach.Default.check_condition ~domains:1 sys bm cond in
+  (match base with
+  | Reach.Verified _ -> ()
+  | _ -> Alcotest.fail "fischer n=2 U_enter should verify");
+  List.iter
+    (fun (name, (module E : Reach.S)) ->
+      List.iter
+        (fun d ->
+          let ck = tmp_ck () in
+          Fun.protect ~finally:(fun () -> rm_f ck) @@ fun () ->
+          (match
+             E.check_condition ~limit:40 ~domains:d ~checkpoint:(ck, 10) sys
+               bm cond
+           with
+          | Reach.Unknown e ->
+              Alcotest.(check (option string))
+                "checkpoint advertised" (Some ck) e.Reach.checkpoint
+          | _ -> Alcotest.failf "%s d=%d: limit 40 should exhaust" name d);
+          match E.check_condition ~domains:d ~resume:ck sys bm cond with
+          | o when o = base -> ()
+          | _ -> Alcotest.failf "%s d=%d: resumed verdict differs" name d)
+        domain_counts)
+    kernels
+
+let cooperative_interrupt_resume () =
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let base = oneshot (module Reach.Default) sys bm 1 in
+  let ck = tmp_ck () in
+  Fun.protect
+    ~finally:(fun () ->
+      Supervisor.clear_interrupt ();
+      rm_f ck)
+  @@ fun () ->
+  Supervisor.request_interrupt ();
+  (match Reach.Default.reachable ~checkpoint:(ck, 0) sys bm with
+  | _ -> Alcotest.fail "interrupted run should not complete"
+  | exception Reach.Out_of_budget e ->
+      Alcotest.(check bool)
+        "reason mentions interrupt" true
+        (String.length e.Reach.reason >= 11
+        && String.sub e.Reach.reason 0 11 = "interrupted");
+      Alcotest.(check (option string))
+        "checkpoint written" (Some ck) e.Reach.checkpoint);
+  Supervisor.clear_interrupt ();
+  let s0 = Metrics.value c_stored in
+  let st, states = Reach.Default.reachable ~resume:ck sys bm in
+  let bst, bstates, bstored = base in
+  Alcotest.(check bool) "stats equal" true (st = bst);
+  Alcotest.(check bool)
+    "reachable set equal" true
+    (List.sort compare states = bstates);
+  Alcotest.(check int) "stored equal" bstored (Metrics.value c_stored - s0)
+
+let completed_run_removes_checkpoint () =
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let ck = tmp_ck () in
+  Fun.protect ~finally:(fun () -> rm_f ck) @@ fun () ->
+  let w0 = Metrics.value c_written in
+  let _ = Reach.Default.reachable ~checkpoint:(ck, 5) sys bm in
+  Alcotest.(check bool)
+    "periodic snapshots were written" true
+    (Metrics.value c_written > w0);
+  Alcotest.(check bool)
+    "checkpoint removed on completion" false (Sys.file_exists ck)
+
+let resume_rejects_wrong_job () =
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let ck = tmp_ck () in
+  Fun.protect ~finally:(fun () -> rm_f ck) @@ fun () ->
+  Snapshot.write ~path:ck ~fingerprint:"some-other-job" ~info:"zones=1"
+    (Marshal.to_bytes 42 []);
+  match Reach.Default.reachable ~resume:ck sys bm with
+  | _ -> Alcotest.fail "foreign snapshot accepted"
+  | exception Snapshot.Bad_snapshot m ->
+      Alcotest.(check bool)
+        "message names both jobs" true
+        (String.length m > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Paranoid self-checking kernel.                                      *)
+
+let with_paranoid ~every ~corrupt f =
+  Paranoid.set_every every;
+  Paranoid.set_corrupt corrupt;
+  Fun.protect
+    ~finally:(fun () ->
+      Paranoid.set_every 0;
+      Paranoid.set_corrupt false)
+    f
+
+let paranoid_clean_agrees () =
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let cond = F.u_enter p in
+  let base = Reach.Default.check_condition sys bm cond in
+  with_paranoid ~every:1 ~corrupt:false @@ fun () ->
+  let t0 = Metrics.value c_selfcheck and m0 = Metrics.value c_mismatch in
+  let o = Reach.Paranoid.check_condition sys bm cond in
+  Alcotest.(check bool) "verdict equals fast engine" true (o = base);
+  Alcotest.(check bool)
+    "pipelines were checked" true
+    (Metrics.value c_selfcheck > t0);
+  Alcotest.(check int) "no mismatches" m0 (Metrics.value c_mismatch)
+
+let paranoid_detects_corruption () =
+  let p = F.params_of_ints ~n:2 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let cond = F.u_enter p in
+  let base = Reach.Default.check_condition sys bm cond in
+  with_paranoid ~every:1 ~corrupt:true @@ fun () ->
+  let m0 = Metrics.value c_mismatch and d0 = Metrics.value c_degraded in
+  let o = Reach.Paranoid.check_condition sys bm cond in
+  Alcotest.(check bool)
+    "degraded run still reports the correct verdict" true (o = base);
+  Alcotest.(check bool)
+    "mismatch recorded" true
+    (Metrics.value c_mismatch > m0);
+  Alcotest.(check int) "degraded once" (d0 + 1) (Metrics.value c_degraded)
+
+(* ------------------------------------------------------------------ *)
+(* Deadline granularity.                                               *)
+
+(* An adversarially slow automaton: every successor computation burns
+   ~10 ms, and the full space has hundreds of zones, so an uninterrupted
+   run takes seconds.  A 50 ms deadline must stop the search after at
+   most one in-flight zone expansion — well under a second. *)
+let slow_automaton () =
+  let module Ioa = Tm_ioa.Ioa in
+  let n = 400 in
+  {
+    Ioa.name = "slow";
+    start = [ 0 ];
+    alphabet = [ 0 ];
+    kind_of = (fun _ -> Ioa.Output);
+    delta =
+      (fun s a ->
+        if a <> 0 then []
+        else begin
+          Unix.sleepf 0.01;
+          [ (s + 1) mod n ]
+        end);
+    classes = [ "k" ];
+    class_of = (fun _ -> Some "k");
+    equal_state = Int.equal;
+    hash_state = Hashtbl.hash;
+    pp_state = Format.pp_print_int;
+    equal_action = Int.equal;
+    pp_action = Format.pp_print_int;
+  }
+
+let deadline_overshoot_bounded () =
+  let aut = slow_automaton () in
+  let bm =
+    Tm_timed.Boundmap.of_list
+      [ ("k", Interval.make (q 1) (Time.Fin (q 2))) ]
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Reach.Default.reachable ~deadline_s:0.05 aut bm with
+  | _ -> Alcotest.fail "slow run should hit the deadline"
+  | exception Reach.Out_of_budget e ->
+      Alcotest.(check bool)
+        "reason names the deadline" true
+        (String.length e.Reach.reason >= 8
+        && String.sub e.Reach.reason 0 8 = "deadline"));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* one zone expansion here costs ~10 ms; allow generous CI slack but
+     stay far below the multi-second uninterrupted run *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stopped promptly (%.3f s)" elapsed)
+    true (elapsed < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot: crc32 check value" `Quick crc32_known_vector;
+    Alcotest.test_case "snapshot: write/read/inspect round-trip" `Quick
+      snapshot_roundtrip;
+    Alcotest.test_case "snapshot: corruption rejected descriptively" `Quick
+      snapshot_rejects_corruption;
+    Alcotest.test_case "retries: exponential backoff then success" `Quick
+      with_retries_backoff;
+    Alcotest.test_case "retries: exhaustion keeps last reason" `Quick
+      with_retries_exhausts;
+    Alcotest.test_case "retries: invalid arguments rejected" `Quick
+      with_retries_validates;
+    Alcotest.test_case "supervisor: interrupt flag" `Quick
+      interrupt_flag_basics;
+    kill_resume_random;
+    Alcotest.test_case "fischer: condition verdict survives kill+resume"
+      `Quick fischer_cond_resume;
+    Alcotest.test_case "interrupt: checkpoint then resume equals one-shot"
+      `Quick cooperative_interrupt_resume;
+    Alcotest.test_case "checkpoint: removed when the run completes" `Quick
+      completed_run_removes_checkpoint;
+    Alcotest.test_case "resume: foreign snapshot rejected" `Quick
+      resume_rejects_wrong_job;
+    Alcotest.test_case "paranoid: clean run agrees with fast" `Quick
+      paranoid_clean_agrees;
+    Alcotest.test_case "paranoid: injected corruption detected, degraded"
+      `Quick paranoid_detects_corruption;
+    Alcotest.test_case "deadline: overshoot bounded by one expansion" `Quick
+      deadline_overshoot_bounded;
+  ]
