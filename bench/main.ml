@@ -981,6 +981,7 @@ let () =
   let report =
     Tm_obs.Report.make
       ~command:("bench " ^ String.concat " " requested)
+      ~version:"bench" ~engine:"fast" ~domains:bench_domains
       ~wall_s:(Tm_obs.Tracing.now_s () -. t0)
       ()
   in

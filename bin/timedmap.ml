@@ -49,6 +49,9 @@ module Progress = Tm_core.Progress
 module Json = Tm_obs.Json
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
+module Events = Tm_obs.Events
+module Prof = Tm_obs.Prof
+module Export = Tm_obs.Export
 module Report = Tm_obs.Report
 module Log = Tm_obs.Log
 module Margin = Tm_faults.Margin
@@ -56,6 +59,10 @@ module Snapshot = Tm_recover.Snapshot
 module Supervisor = Tm_recover.Supervisor
 
 let q = Rational.of_int
+
+(* Tool version: shown by --version, stamped into run reports and the
+   event stream so saved artifacts are self-describing. *)
+let version = "1.1.0"
 
 (* One checkpointable verification item: a label for reports, the job
    fingerprint its snapshots carry (so [run --resume] can route a file
@@ -180,6 +187,9 @@ let generic_check (type s a) (aut : (s, a) TA.t)
    production in-place kernel, or the reference kernel for
    cross-checking a suspicious verdict. *)
 let engine : (module Reach.S) ref = ref (module Reach.Default : Reach.S)
+
+(* Kernel name for provenance; "" until a subcommand selects one. *)
+let engine_name = ref ""
 
 let cond_vitem (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
     (c : (s, a) Condition.t) =
@@ -912,6 +922,9 @@ let strategy_arg =
 type obs_opts = {
   metrics_out : string option;
   trace_out : string option;
+  events_out : string option;
+  prof_out : string option;
+  progress : bool;
   level : Log.level;
 }
 
@@ -954,7 +967,37 @@ let obs_term =
       & info [ "v"; "verbose" ]
           ~doc:"Increase verbosity ($(b,-v) info, $(b,-vv) debug).")
   in
-  let mk metrics_out trace_out level verbose =
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream NDJSON run events (batch boundaries, pool stats, \
+             snapshots, probes) to $(docv) as they happen; $(b,-) \
+             streams to stdout, moving normal output to stderr so \
+             stdout stays pure NDJSON. Flushed line-by-line, so an \
+             interrupted run leaves a well-formed stream.")
+  in
+  let prof_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prof-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable the phase profiler and write collapsed-stack lines \
+             (loadable in speedscope or flamegraph.pl) to $(docv) at \
+             exit.")
+  in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Live status line on stderr (stored zones, frontier, rate, \
+             GC heap words, ETA). Never touches stdout.")
+  in
+  let mk metrics_out trace_out events_out prof_out progress level verbose =
     let level =
       match level with
       | Some l -> l
@@ -964,19 +1007,40 @@ let obs_term =
           | 1 -> Log.Info
           | _ -> Log.Debug)
     in
-    { metrics_out; trace_out; level }
+    { metrics_out; trace_out; events_out; prof_out; progress; level }
   in
-  Term.(const mk $ metrics_arg $ trace_arg $ level_arg $ verbose_arg)
+  Term.(
+    const mk $ metrics_arg $ trace_arg $ events_arg $ prof_arg
+    $ progress_arg $ level_arg $ verbose_arg)
 
 (* Run a subcommand body under the requested observability setup and
-   flush metrics/trace files afterwards — also when the body raises or
-   plans to exit nonzero. *)
+   flush every sink afterwards — also when the body raises or plans to
+   exit nonzero, so an interrupt still leaves complete artifacts. *)
 let with_obs name o f =
   Log.set_level o.level;
   if o.trace_out <> None then Tracing.enable ();
+  if o.prof_out <> None then Prof.enable ();
+  (match o.events_out with
+  | Some spec ->
+      Events.open_path spec;
+      (* When the event stream owns stdout, human-facing output moves
+         to stderr so stdout stays parseable NDJSON. *)
+      if Events.sink_is_stdout () then
+        Format.set_formatter_out_channel stderr
+  | None -> ());
+  Events.set_progress o.progress;
   let t0 = Tracing.now_s () in
+  Events.emit "run.start"
+    [
+      ("command", Json.String name);
+      ("version", Json.String version);
+      ( "engine",
+        if !engine_name = "" then Json.Null else Json.String !engine_name );
+      ("domains", Json.Int !ndomains);
+    ];
   let finish () =
     let wall = Tracing.now_s () -. t0 in
+    Events.progress_clear ();
     (match o.metrics_out with
     | Some path ->
         Json.to_file path (Metrics.to_json (Metrics.snapshot ()));
@@ -989,8 +1053,20 @@ let with_obs name o f =
           (List.length (Tracing.events ()))
           path
     | None -> ());
+    (match o.prof_out with
+    | Some path ->
+        Prof.write_folded path;
+        Prof.disable ();
+        Log.info "phase profile (%d phases) written to %s"
+          (List.length (Prof.nodes ()))
+          path
+    | None -> ());
+    Events.emit "run.done" [ ("wall_s", Json.Float wall) ];
+    Events.close ();
     if Log.at_least Log.Info then
-      Format.eprintf "%a" Report.pp (Report.make ~command:name ~wall_s:wall ())
+      Format.eprintf "%a" Report.pp
+        (Report.make ~command:name ~version ~engine:!engine_name
+           ~domains:!ndomains ~wall_s:wall ())
   in
   match f () with
   | v ->
@@ -1155,12 +1231,16 @@ let engine_arg =
            disagreement degrades the run to the reference kernel). All \
            run the identical exploration and must agree.")
 
-let set_engine = function
+let set_engine name =
+  engine_name := name;
+  match name with
   | "ref" -> engine := (module Reach.Ref : Reach.S)
   | "paranoid" ->
       if Tm_recover.Paranoid.every () = 0 then Tm_recover.Paranoid.set_every 64;
       engine := (module Reach.Paranoid : Reach.S)
-  | _ -> engine := (module Reach.Default : Reach.S)
+  | _ ->
+      engine_name := "fast";
+      engine := (module Reach.Default : Reach.S)
 
 (* Checkpoint flags shared by verify/run; like [budget_term] the value
    is unit and evaluation stores the policy in globals. *)
@@ -1353,12 +1433,151 @@ let obs_cmd =
         | Error m ->
             Format.eprintf "obs: %s: %s@." file m;
             exit 2
-        | Ok snap -> Format.printf "%a" Metrics.pp snap)
+        | Ok snap ->
+            (* report-wrapped dumps are self-describing: surface the
+               provenance before the metrics *)
+            let str k = Option.bind (Json.member k j) Json.string_opt in
+            let num k = Option.bind (Json.member k j) Json.int_opt in
+            (match (str "command", str "engine", num "domains",
+                    str "version") with
+            | None, None, None, None -> ()
+            | cmd, eng, dom, ver ->
+                Format.printf "run: %s (engine=%s domains=%d version=%s)@."
+                  (Option.value cmd ~default:"?")
+                  (match eng with Some e when e <> "" -> e | _ -> "?")
+                  (Option.value dom ~default:1)
+                  (match ver with Some v when v <> "" -> v | _ -> "?"));
+            Format.printf "%a" Metrics.pp snap)
   in
   Cmd.v
     (Cmd.info "obs"
        ~doc:"Pretty-print a metrics dump written by --metrics-out")
     Term.(const run $ file_arg)
+
+(* Load a metrics artifact for bench-diff: a bare metrics document or a
+   run report nesting one, plus whatever provenance/timing it carries. *)
+type bench_doc = {
+  bd_metrics : Metrics.snapshot;
+  bd_wall_s : float option;
+  bd_engine : string option;
+  bd_domains : int option;
+}
+
+let load_bench_doc file =
+  match Json.of_file file with
+  | Error m -> Error (Printf.sprintf "%s: %s" file m)
+  | Ok j -> (
+      let parsed =
+        match Metrics.of_json j with
+        | Ok snap -> Ok snap
+        | Error _ as e -> (
+            match Json.member "metrics" j with
+            | Some nested -> Metrics.of_json nested
+            | None -> e)
+      in
+      match parsed with
+      | Error m -> Error (Printf.sprintf "%s: %s" file m)
+      | Ok snap ->
+          Ok
+            {
+              bd_metrics = snap;
+              bd_wall_s = Option.bind (Json.member "wall_s" j) Json.float_opt;
+              bd_engine = Option.bind (Json.member "engine" j) Json.string_opt;
+              bd_domains = Option.bind (Json.member "domains" j) Json.int_opt;
+            })
+
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE_JSON"
+          ~doc:"Committed baseline (BENCH_metrics.json or --metrics-out).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT_JSON" ~doc:"Freshly produced metrics file.")
+  in
+  let max_regress_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Also compare wall-clock time: fail when the current run is \
+             more than $(docv) percent slower than the baseline. Only \
+             meaningful when both files are run reports from the same \
+             machine; without this flag timings are ignored.")
+  in
+  let ignore_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore" ] ~docv:"PREFIX"
+          ~doc:
+            "Ignore metrics whose name starts with $(docv) (repeatable). \
+             The scheduling-dependent $(b,par.) family is always ignored.")
+  in
+  let run old_f new_f max_regress ignores =
+    match (load_bench_doc old_f, load_bench_doc new_f) with
+    | Error m, _ | _, Error m ->
+        Format.eprintf "bench-diff: %s@." m;
+        exit 2
+    | Ok old_d, Ok new_d ->
+        (* Counters, gauges and histograms in this project are
+           deterministic at any domain count — except the work-stealing
+           [par.*] family, which is scheduling noise by construction. *)
+        let ignore_prefixes = "par." :: ignores in
+        let drifts =
+          Export.diff ~ignore_prefixes ~baseline:old_d.bd_metrics
+            ~current:new_d.bd_metrics ()
+        in
+        List.iter (fun d -> Format.printf "DRIFT %a@." Export.pp_drift d)
+          drifts;
+        (match (old_d.bd_engine, new_d.bd_engine) with
+        | Some a, Some b when a <> b && a <> "" && b <> "" ->
+            Format.printf
+              "note: engines differ (baseline %s, current %s)@." a b
+        | _ -> ());
+        let regress =
+          match (max_regress, old_d.bd_wall_s, new_d.bd_wall_s) with
+          | Some pct, Some old_w, Some new_w ->
+              let budget = old_w *. (1. +. (pct /. 100.)) in
+              let slower = new_w > budget in
+              Format.printf
+                "wall: baseline %.3fs, current %.3fs, budget %.3fs (+%g%%) \
+                 — %s@."
+                old_w new_w budget pct
+                (if slower then "REGRESSION" else "ok");
+              slower
+          | Some _, _, _ ->
+              Format.printf
+                "wall: timing comparison requested but one file carries \
+                 no wall_s — skipped@.";
+              false
+          | None, _, _ -> false
+        in
+        if drifts = [] && not regress then begin
+          Format.printf "bench-diff: OK (%d baseline metrics, %d current)@."
+            (List.length old_d.bd_metrics)
+            (List.length new_d.bd_metrics);
+          ()
+        end
+        else begin
+          Format.printf "bench-diff: FAIL (%d drifts%s)@."
+            (List.length drifts)
+            (if regress then ", timing regression" else "");
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two metrics dumps as a perf-regression gate: counters \
+          and deterministic gauges/histograms must match exactly, \
+          wall-clock time within --max-regress percent.")
+    Term.(const run $ old_arg $ new_arg $ max_regress_arg $ ignore_arg)
 
 let () =
   (* Signals are routed through the supervisor for every subcommand, so
@@ -1368,9 +1587,9 @@ let () =
   let doc = "timing properties via mappings (Lynch & Attiya, PODC 1990)" in
   let group =
     Cmd.group
-      (Cmd.info "timedmap" ~version:"1.0.0" ~doc)
+      (Cmd.info "timedmap" ~version ~doc)
       [ simulate_cmd; check_cmd; verify_cmd; run_cmd; margin_cmd; map_cmd;
-        exact_cmd; progress_cmd; obs_cmd ]
+        exact_cmd; progress_cmd; obs_cmd; bench_diff_cmd ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code

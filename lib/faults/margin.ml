@@ -46,13 +46,26 @@ let search ?(eps_max = 8) ?(stable = 12) ?(max_probes = 96) ~family ~check bm
     | Ok bm' -> (
         incr probes;
         Metrics.incr c_probes;
-        match check bm' with
-        | Sat -> Ok true
-        | Unsat -> Ok false
-        | Unknown m ->
-            Error
-              (Printf.sprintf "inconclusive at e = %s: %s"
-                 (Rational.to_string e) m))
+        let res =
+          match check bm' with
+          | Sat -> Ok true
+          | Unsat -> Ok false
+          | Unknown m ->
+              Error
+                (Printf.sprintf "inconclusive at e = %s: %s"
+                   (Rational.to_string e) m)
+        in
+        (* Probe events stream from the pool workers [report] fans
+           over; the sink serializes concurrent emissions. *)
+        Tm_obs.Events.emit "faults.probe"
+          [
+            ("e", Json.String (Rational.to_string e));
+            ( "sat",
+              match res with
+              | Ok b -> Json.Bool b
+              | Error _ -> Json.Null );
+          ];
+        res)
   in
   let* sat0 = probe Rational.zero in
   if not sat0 then Error "refuted with no perturbation (e = 0)"
@@ -142,6 +155,9 @@ let report ?eps_max ?stable ?max_probes ?(domains = 1) ~subject ~check bm =
          (Boundmap.classes bm)
   in
   let results =
+    Tm_obs.Tracing.with_span "faults.margin_report"
+      ~args:[ ("subject", subject) ]
+    @@ fun () ->
     Tm_par.Pool.run ~domains (fun p ->
         Tm_par.Pool.map_list p (fun task -> task ()) tasks)
   in

@@ -1,0 +1,25 @@
+let source = ref Unix.gettimeofday
+
+(* The clamp is a single high-water mark shared by every domain.  A
+   mutex (rather than lock-free tricks) keeps it obviously correct;
+   uncontended lock/unlock costs tens of nanoseconds, far below the
+   cost of [gettimeofday] itself, and the hot paths that care (DBM
+   edges, simulator steps) only read the clock when a wall-clock
+   deadline is armed. *)
+let mu = Mutex.create ()
+let last = ref neg_infinity
+
+let now_s () =
+  let t = !source () in
+  Mutex.lock mu;
+  let t = if t < !last then !last else (last := t; t) in
+  Mutex.unlock mu;
+  t
+
+let set f =
+  Mutex.lock mu;
+  source := f;
+  last := neg_infinity;
+  Mutex.unlock mu
+
+let raw () = !source ()

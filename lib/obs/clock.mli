@@ -1,0 +1,27 @@
+(** The one process-wide wall clock behind every observability
+    timestamp (Tracing spans, Events lines, Prof phases, wall-clock
+    deadlines).
+
+    Readings are clamped non-decreasing across the whole process: an
+    NTP step or a VM suspend can make [Unix.gettimeofday] jump
+    backwards, which used to surface as negative Chrome-trace
+    durations.  [now_s] never goes backwards; during a backwards step
+    it reports the high-water mark until real time catches up, so
+    durations computed from two readings are always >= 0.
+
+    The source is injectable for tests ({!set}); injecting a new
+    source resets the clamp so a deterministic counter clock can start
+    below the last real reading. *)
+
+val now_s : unit -> float
+(** Current time in seconds, non-decreasing process-wide.  Safe to
+    call from any domain. *)
+
+val set : (unit -> float) -> unit
+(** Replace the time source (default [Unix.gettimeofday]) and reset
+    the monotonicity clamp.  Test hook — call from the main domain
+    with no workers live. *)
+
+val raw : unit -> float
+(** One unclamped reading of the current source (does not advance the
+    clamp). *)

@@ -1,0 +1,134 @@
+let mu = Mutex.create ()
+let chan : out_channel option ref = ref None
+let owned = ref false
+let is_stdout = ref false
+let seq_n = ref 0
+let epoch : float option ref = ref None
+
+(* [live] mirrors [chan <> None] outside the lock so that the no-sink
+   fast path — taken on every batch boundary of an untelemetered run —
+   is a single atomic read. *)
+let live = Atomic.make false
+
+let enabled () = Atomic.get live
+let sink_is_stdout () = !is_stdout
+let seq () = !seq_n
+
+let detach_locked () =
+  (match !chan with
+  | Some oc -> (
+      try
+        flush oc;
+        if !owned then close_out oc
+      with Sys_error _ -> ())
+  | None -> ());
+  chan := None;
+  owned := false;
+  is_stdout := false;
+  Atomic.set live false
+
+let attach ?(stdout_sink = false) oc =
+  Mutex.lock mu;
+  detach_locked ();
+  chan := Some oc;
+  owned := false;
+  is_stdout := stdout_sink;
+  seq_n := 0;
+  epoch := None;
+  Atomic.set live true;
+  Mutex.unlock mu
+
+let open_path path =
+  if path = "-" then attach ~stdout_sink:true stdout
+  else begin
+    let oc = open_out path in
+    attach oc;
+    Mutex.lock mu;
+    owned := true;
+    Mutex.unlock mu
+  end
+
+let close () =
+  Mutex.lock mu;
+  detach_locked ();
+  Mutex.unlock mu
+
+let emit ev fields =
+  if Atomic.get live then begin
+    Mutex.lock mu;
+    (match !chan with
+    | None -> ()
+    | Some oc -> (
+        let t = Clock.now_s () in
+        let e =
+          match !epoch with
+          | Some e -> e
+          | None ->
+              epoch := Some t;
+              t
+        in
+        let line =
+          Json.to_string
+            (Json.Obj
+               (("ts", Json.Float (t -. e))
+               :: ("seq", Json.Int !seq_n)
+               :: ("ev", Json.String ev)
+               :: fields))
+        in
+        incr seq_n;
+        try
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ ->
+          (* Broken pipe (reader went away): telemetry must never kill
+             the run it observes. *)
+          detach_locked ()));
+    Mutex.unlock mu
+  end
+
+(* ------------------------------------------------------------------ *)
+(* progress line *)
+
+let p_on = ref false
+let p_chan = ref stderr
+let p_last = ref neg_infinity
+let p_shown = ref false
+
+let progress_enabled () = !p_on
+let set_progress b = p_on := b
+
+let set_progress_channel oc =
+  p_chan := oc;
+  p_last := neg_infinity;
+  p_shown := false
+
+let progress_clear () =
+  if !p_shown then begin
+    output_string !p_chan "\r\027[K";
+    flush !p_chan;
+    p_shown := false
+  end
+
+let progress ?eta_s ~stored ~frontier ~rate () =
+  if !p_on then begin
+    let now = Clock.now_s () in
+    if now -. !p_last >= 0.1 then begin
+      p_last := now;
+      let heap_mw =
+        float_of_int (Gc.quick_stat ()).Gc.heap_words /. 1e6
+      in
+      let eta =
+        match eta_s with
+        | Some e when e >= 0. -> Printf.sprintf "%.0fs" e
+        | _ -> "-"
+      in
+      output_string !p_chan
+        (Printf.sprintf
+           "\r\027[K[timedmap] zones=%d frontier=%d rate=%.0f/s \
+            heap=%.1fMw eta=%s"
+           stored frontier rate heap_mw eta);
+      flush !p_chan;
+      p_shown := true
+    end
+  end

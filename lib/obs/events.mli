@@ -1,0 +1,68 @@
+(** Streaming NDJSON run events and the live [--progress] status line.
+
+    When a sink is attached, subsystems emit one JSON object per line:
+
+    {v {"ts":1.5,"seq":12,"ev":"zones.batch","stored":4096,...} v}
+
+    [ts] is seconds since the sink was attached, read from {!Clock}
+    (so it never goes backwards); [seq] is a process-wide sequence
+    number, strictly increasing across domains.  Every line is
+    flushed as it is written, so an interrupted run leaves a
+    well-formed stream up to the interrupt.
+
+    Emission is observation-only: subsystems read their own counters
+    and write a line, never influencing exploration order — verdicts
+    and [zones.stored] are byte-identical with the sink on or off at
+    any domain count.  With no sink attached, [emit] is one flag
+    read.
+
+    The progress line is independent of the event sink: a throttled,
+    carriage-return-overwritten one-liner on stderr (never stdout),
+    showing stored zones, frontier size, rate, GC heap words, and an
+    ETA when a deadline or state budget bounds the run. *)
+
+val enabled : unit -> bool
+
+val attach : ?stdout_sink:bool -> out_channel -> unit
+(** Start streaming to a channel the caller keeps ownership of; resets
+    [seq] and the [ts] epoch.  [stdout_sink] marks the sink as being
+    process stdout (see {!sink_is_stdout}). *)
+
+val open_path : string -> unit
+(** [open_path "-"] attaches process stdout; any other argument opens
+    (truncates) that file, owned and closed by {!close}.
+    @raise Sys_error when the file cannot be opened. *)
+
+val sink_is_stdout : unit -> bool
+(** True while the attached sink is process stdout — the CLI then
+    moves human output to stderr so stdout stays pure NDJSON. *)
+
+val close : unit -> unit
+(** Flush and detach the sink (closing the channel only if
+    {!open_path} opened it).  Idempotent; called on every CLI exit
+    path, including interrupts. *)
+
+val emit : string -> (string * Json.t) list -> unit
+(** [emit ev fields] writes one event line.  Safe from any domain;
+    a no-op without a sink.  A write error (e.g. broken pipe)
+    silently detaches the sink rather than killing the run. *)
+
+val seq : unit -> int
+(** Number of events emitted since the sink was attached. *)
+
+(** {1 Progress line} *)
+
+val progress_enabled : unit -> bool
+val set_progress : bool -> unit
+
+val set_progress_channel : out_channel -> unit
+(** Redirect the status line (default stderr) — test hook. *)
+
+val progress :
+  ?eta_s:float -> stored:int -> frontier:int -> rate:float -> unit -> unit
+(** Repaint the status line in place, throttled to at most ~10
+    repaints per second of {!Clock} time. *)
+
+val progress_clear : unit -> unit
+(** Erase the status line if one is on screen (end of run, or before
+    interleaving other stderr output). *)

@@ -1,0 +1,42 @@
+(** Exporters and comparators over {!Metrics} snapshots.
+
+    [to_prometheus] renders the Prometheus text exposition format
+    (counters, gauges, and histograms with cumulative [_bucket] /
+    [_sum] / [_count] samples; metric names have non-alphanumerics
+    mapped to underscores, label values are escaped).  Exact rational
+    sums are rendered as floats — Prometheus has no rationals — but
+    the NDJSON exporter keeps them exact.
+
+    [to_ndjson] / [of_ndjson] stream one metric entry per line using
+    the same JSON encoding as {!Metrics.to_json}, and round-trip
+    exactly.
+
+    [diff] is the engine behind [timedmap bench-diff]: a structural
+    comparison of two snapshots where every value must match exactly
+    — counters, gauges, and full histogram state — except for metrics
+    whose name starts with one of [ignore_prefixes] (scheduling-
+    dependent metrics such as the [par.*] family).  A metric that
+    appears only in the current snapshot with a zero value is noted
+    but not a drift: freshly registered instrumentation starts at
+    zero. *)
+
+val to_prometheus : Metrics.snapshot -> string
+val to_ndjson : Metrics.snapshot -> string
+val of_ndjson : string -> (Metrics.snapshot, string) result
+
+type drift = {
+  dname : string;
+  dlabels : (string * string) list;
+  dwhat : string;  (** human-readable description of the mismatch *)
+}
+
+val diff :
+  ?ignore_prefixes:string list ->
+  baseline:Metrics.snapshot ->
+  current:Metrics.snapshot ->
+  unit ->
+  drift list
+(** Sorted by metric name; empty means the snapshots agree on every
+    non-ignored metric. *)
+
+val pp_drift : Format.formatter -> drift -> unit

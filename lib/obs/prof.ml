@@ -1,0 +1,164 @@
+type node = {
+  path : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  alloc_bytes : float;
+  self_alloc_bytes : float;
+}
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* Aggregation table, shared by every domain under [mu].  It is only
+   touched at phase exit — phase entry just pushes a frame on the
+   calling domain's private stack. *)
+type acc = {
+  mutable acount : int;
+  mutable atotal : float;
+  mutable aself : float;
+  mutable aalloc : float;
+  mutable aself_alloc : float;
+}
+
+let mu = Mutex.create ()
+let table : (string, acc) Hashtbl.t = Hashtbl.create 64
+
+type frame = {
+  fpath : string;
+  t0 : float;
+  a0 : float;
+  mutable child_s : float;
+  mutable child_b : float;
+}
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let begin_phase name =
+  if !on then begin
+    let st = Domain.DLS.get stack_key in
+    let fpath =
+      match !st with [] -> name | f :: _ -> f.fpath ^ ";" ^ name
+    in
+    st :=
+      { fpath; t0 = Clock.now_s (); a0 = Gc.allocated_bytes ();
+        child_s = 0.; child_b = 0. }
+      :: !st
+  end
+
+let end_phase () =
+  let st = Domain.DLS.get stack_key in
+  match !st with
+  | [] -> ()
+  | f :: rest ->
+      st := rest;
+      let dt = Float.max 0. (Clock.now_s () -. f.t0) in
+      let db = Float.max 0. (Gc.allocated_bytes () -. f.a0) in
+      (match rest with
+      | parent :: _ ->
+          parent.child_s <- parent.child_s +. dt;
+          parent.child_b <- parent.child_b +. db
+      | [] -> ());
+      Mutex.lock mu;
+      let a =
+        match Hashtbl.find_opt table f.fpath with
+        | Some a -> a
+        | None ->
+            let a =
+              { acount = 0; atotal = 0.; aself = 0.; aalloc = 0.;
+                aself_alloc = 0. }
+            in
+            Hashtbl.add table f.fpath a;
+            a
+      in
+      a.acount <- a.acount + 1;
+      a.atotal <- a.atotal +. dt;
+      a.aself <- a.aself +. Float.max 0. (dt -. f.child_s);
+      a.aalloc <- a.aalloc +. db;
+      a.aself_alloc <- a.aself_alloc +. Float.max 0. (db -. f.child_b);
+      Mutex.unlock mu
+
+let with_phase name f =
+  if not !on then f ()
+  else begin
+    begin_phase name;
+    Fun.protect ~finally:end_phase f
+  end
+
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.reset table;
+  Mutex.unlock mu;
+  Domain.DLS.get stack_key := []
+
+let nodes () =
+  Mutex.lock mu;
+  let all =
+    Hashtbl.fold
+      (fun path a acc ->
+        {
+          path;
+          count = a.acount;
+          total_s = a.atotal;
+          self_s = a.aself;
+          alloc_bytes = a.aalloc;
+          self_alloc_bytes = a.aself_alloc;
+        }
+        :: acc)
+      table []
+  in
+  Mutex.unlock mu;
+  List.sort (fun n1 n2 -> compare n1.path n2.path) all
+
+let to_folded () =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun n ->
+      let us = int_of_float (Float.round (n.self_s *. 1e6)) in
+      if us > 0 then Buffer.add_string b (Printf.sprintf "%s %d\n" n.path us))
+    (nodes ());
+  Buffer.contents b
+
+let write_folded path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_folded ()))
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun n ->
+         Json.Obj
+           [
+             ("path", Json.String n.path);
+             ("count", Json.Int n.count);
+             ("total_s", Json.Float n.total_s);
+             ("self_s", Json.Float n.self_s);
+             ("alloc_bytes", Json.Float n.alloc_bytes);
+             ("self_alloc_bytes", Json.Float n.self_alloc_bytes);
+           ])
+       (nodes ()))
+
+let pp fmt () =
+  let depth path =
+    String.fold_left (fun d c -> if c = ';' then d + 1 else d) 0 path
+  in
+  let leaf path =
+    match String.rindex_opt path ';' with
+    | None -> path
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  in
+  Format.fprintf fmt "=== phase profile ===@.";
+  Format.fprintf fmt "%-44s %8s %12s %12s %12s@." "phase" "count"
+    "total(s)" "self(s)" "alloc(MB)";
+  List.iter
+    (fun n ->
+      let indent = String.make (2 * depth n.path) ' ' in
+      Format.fprintf fmt "%-44s %8d %12.6f %12.6f %12.3f@."
+        (indent ^ leaf n.path) n.count n.total_s n.self_s
+        (n.alloc_bytes /. 1e6))
+    (nodes ())

@@ -1,0 +1,58 @@
+(** Hierarchical phase profiler: aggregated wall time and GC
+    allocation per span *path*.
+
+    Where {!Tracing} records every span occurrence for a timeline
+    view, [Prof] folds occurrences of the same call path into one
+    node carrying call count, total and self wall time, and total and
+    self allocated bytes ([Gc.allocated_bytes] deltas).  Paths are
+    [";"]-joined span names ("zones.reachable;recover.snapshot"), the
+    collapsed-stack convention, so {!to_folded} output loads directly
+    into speedscope or any FlameGraph tool.
+
+    Phases are delimited by {!Tracing.with_span}: enabling the
+    profiler makes every existing span site feed it, on the main
+    domain and on pool workers alike (worker phases start their own
+    roots).  Aggregation is mutex-protected and happens only at phase
+    exit, so the disabled-path cost at a span site is one atomic-free
+    flag read. *)
+
+type node = {
+  path : string;  (** ";"-joined span names, root first *)
+  count : int;
+  total_s : float;  (** wall time inside the phase, children included *)
+  self_s : float;  (** total minus time spent in child phases *)
+  alloc_bytes : float;  (** GC-allocated bytes, children included *)
+  self_alloc_bytes : float;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all aggregated nodes (main domain, no phases in flight). *)
+
+val begin_phase : string -> unit
+val end_phase : unit -> unit
+(** Explicit phase delimiters for call sites that cannot use
+    {!with_phase}; must nest properly per domain.  [end_phase] on an
+    empty stack is a no-op. *)
+
+val with_phase : string -> (unit -> 'a) -> 'a
+(** Run a function inside a phase (exception-safe); a plain call when
+    the profiler is disabled. *)
+
+val nodes : unit -> node list
+(** Aggregated nodes sorted by path. *)
+
+val to_folded : unit -> string
+(** Collapsed-stack lines ["path self_microseconds\n"], one per node
+    with positive self time — the format speedscope and
+    [flamegraph.pl] import. *)
+
+val write_folded : string -> unit
+
+val to_json : unit -> Json.t
+
+val pp : Format.formatter -> unit -> unit
+(** Indented tree with count / total / self / allocation columns. *)

@@ -1,16 +1,22 @@
 type t = {
   command : string;
+  version : string;
+  engine : string;
+  domains : int;
   wall_s : float;
   metrics : Metrics.snapshot;
   span_count : int;
   span_total_us : float;
 }
 
-let make ~command ~wall_s () =
+let make ~command ?(version = "") ?(engine = "") ?(domains = 1) ~wall_s () =
   let events = Tracing.events () in
   let spans = List.filter (fun e -> not e.Tracing.instant) events in
   {
     command;
+    version;
+    engine;
+    domains;
     wall_s;
     metrics = Metrics.snapshot ();
     span_count = List.length spans;
@@ -23,6 +29,11 @@ let make ~command ~wall_s () =
 
 let pp fmt r =
   Format.fprintf fmt "=== run report: %s ===@." r.command;
+  if r.engine <> "" || r.version <> "" then
+    Format.fprintf fmt "engine: %s, domains: %d, version: %s@."
+      (if r.engine = "" then "?" else r.engine)
+      r.domains
+      (if r.version = "" then "?" else r.version);
   Format.fprintf fmt "wall time: %.6f s@." r.wall_s;
   if r.span_count > 0 then
     Format.fprintf fmt "spans: %d recorded, %.1f us in top-level spans@."
@@ -33,6 +44,9 @@ let to_json r =
   Json.Obj
     [
       ("command", Json.String r.command);
+      ("version", Json.String r.version);
+      ("engine", Json.String r.engine);
+      ("domains", Json.Int r.domains);
       ("wall_s", Json.Float r.wall_s);
       ("span_count", Json.Int r.span_count);
       ("span_total_us", Json.Float r.span_total_us);

@@ -22,7 +22,6 @@ type buf = {
 }
 
 let on = ref false
-let clock = ref Unix.gettimeofday
 let epoch = ref None
 let epoch_mu = Mutex.create ()
 let bufs_mu = Mutex.create ()
@@ -45,7 +44,10 @@ let buf () = Domain.DLS.get buf_key
 
 let enabled () = !on
 
-let now_s () = !clock ()
+(* All timestamps come from the shared process clock, which already
+   clamps non-monotonic sources (NTP steps) process-wide; [now_us]
+   adds a second, per-thread-row clamp relative to the trace epoch. *)
+let now_s = Clock.now_s
 
 (* Microseconds since the epoch, clamped non-decreasing per thread row:
    Chrome trace viewers reject or misrender events that go backwards in
@@ -61,14 +63,14 @@ let now_us b =
           match !epoch with
           | Some e -> e
           | None ->
-              let e = !clock () in
+              let e = Clock.now_s () in
               epoch := Some e;
               e
         in
         Mutex.unlock epoch_mu;
         e
   in
-  let t = (!clock () -. e) *. 1e6 in
+  let t = (Clock.now_s () -. e) *. 1e6 in
   let t = if t > b.blast then t else b.blast in
   b.blast <- t;
   t
@@ -77,7 +79,7 @@ let enable () = on := true
 let disable () = on := false
 
 let set_clock f =
-  clock := f;
+  Clock.set f;
   epoch := None;
   let b = buf () in
   b.blast <- 0.
@@ -96,9 +98,15 @@ let clear () =
 
 let depth () = (buf ()).bdepth
 
+(* Every span site doubles as a profiler phase: when [Prof] is enabled
+   the same begin/end pair feeds its aggregation, whether or not the
+   trace buffer is recording. *)
 let with_span ?(cat = "tm") ?(args = []) name f =
-  if not !on then f ()
+  let trace = !on and prof = Prof.enabled () in
+  if not (trace || prof) then f ()
+  else if not trace then Prof.with_phase name f
   else begin
+    if prof then Prof.begin_phase name;
     let b = buf () in
     let start = now_us b in
     let d = b.bdepth in
@@ -118,7 +126,8 @@ let with_span ?(cat = "tm") ?(args = []) name f =
             args;
             instant = false;
           }
-          :: b.bevents)
+          :: b.bevents;
+        if prof then Prof.end_phase ())
       f
   end
 

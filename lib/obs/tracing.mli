@@ -34,12 +34,14 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val set_clock : (unit -> float) -> unit
-(** Replace the wall clock (seconds).  Timestamps are clamped to be
-    non-decreasing regardless of the clock's behavior; the tests use a
-    deterministic counter clock. *)
+(** Replace the wall clock (seconds) — forwards to {!Clock.set}, so
+    the injected source also drives {!Events} and {!Prof}.  Timestamps
+    are clamped to be non-decreasing regardless of the clock's
+    behavior; the tests use a deterministic counter clock. *)
 
 val now_s : unit -> float
-(** Current clock reading, independent of enablement. *)
+(** Current (clamped) clock reading, independent of enablement —
+    equals {!Clock.now_s}. *)
 
 val with_span :
   ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a

@@ -1,5 +1,7 @@
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
+module Events = Tm_obs.Events
+module Json = Tm_obs.Json
 
 let c_tasks = Metrics.counter "par.tasks"
 let c_steals = Metrics.counter "par.steals"
@@ -61,6 +63,11 @@ let seq_pool () =
   }
 
 let size p = p.size
+
+(* Unsynchronized reads of each shard's queue length: a telemetry-only
+   gauge (reading a mutable int field is memory-safe in OCaml, the
+   value is just approximate while workers are draining). *)
+let queue_depths p = Array.map (fun sh -> Queue.length sh.jobs) p.shards
 
 let pop_locked sh =
   if Queue.is_empty sh.jobs then None else Some (Queue.pop sh.jobs)
@@ -162,7 +169,14 @@ let shutdown p =
     Metrics.add c_tasks (Atomic.get p.t_tasks);
     Metrics.add c_steals (Atomic.get p.t_steals);
     Metrics.add c_contention (Atomic.get p.t_contention);
-    Metrics.set_max g_domains (float_of_int p.size)
+    Metrics.set_max g_domains (float_of_int p.size);
+    Events.emit "par.pool"
+      [
+        ("domains", Json.Int p.size);
+        ("tasks", Json.Int (Atomic.get p.t_tasks));
+        ("steals", Json.Int (Atomic.get p.t_steals));
+        ("contention", Json.Int (Atomic.get p.t_contention));
+      ]
   end
 
 let run ?(domains = 1) f =

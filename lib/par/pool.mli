@@ -44,6 +44,11 @@ val run : ?domains:int -> (t -> 'a) -> 'a
 val size : t -> int
 (** Number of participating domains (1 for the inline pool). *)
 
+val queue_depths : t -> int array
+(** Jobs currently queued per shard (index = domain slot).  A racy,
+    telemetry-only gauge: safe to call from any domain at any time,
+    exact only when the pool is quiescent (e.g. at a barrier). *)
+
 val parallel_for : ?grain:int -> t -> n:int -> (domain:int -> int -> unit) -> unit
 (** [parallel_for p ~n body] runs [body ~domain i] for every
     [i] in [0 .. n-1] and returns when all are done.  [domain] is the

@@ -79,7 +79,13 @@ let write ~path ~fingerprint ~info payload =
    with e ->
      cleanup ();
      raise e);
-  Metrics.incr c_written
+  Metrics.incr c_written;
+  Tm_obs.Events.emit "recover.snapshot"
+    [
+      ("path", Tm_obs.Json.String path);
+      ("bytes", Tm_obs.Json.Int (Bytes.length payload));
+      ("info", Tm_obs.Json.String info);
+    ]
 
 (* Cursor-style decoding with truncation checks at every step. *)
 let fail fmt = Format.kasprintf (fun m -> raise (Bad_snapshot m)) fmt

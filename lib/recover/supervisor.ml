@@ -44,6 +44,12 @@ let with_retries ?(attempts = 3) ?(backoff_s = 0.5) ?(sleep = Unix.sleepf)
     | Transient reason when k < attempts ->
         Metrics.incr c_retries;
         let delay_s = backoff_s *. (2. ** float_of_int (k - 1)) in
+        Tm_obs.Events.emit "recover.retry"
+          [
+            ("attempt", Tm_obs.Json.Int k);
+            ("delay_s", Tm_obs.Json.Float delay_s);
+            ("reason", Tm_obs.Json.String reason);
+          ];
         on_retry ~attempt:k ~delay_s ~reason;
         if delay_s > 0. then sleep delay_s;
         go (k + 1)

@@ -2,6 +2,8 @@ module Time_automaton = Tm_core.Time_automaton
 module Execution = Tm_ioa.Execution
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
+module Events = Tm_obs.Events
+module Json = Tm_obs.Json
 module Pool = Tm_par.Pool
 
 type stop_reason = Step_limit | Deadlock | Strategy_stop | Stopped | Watchdog
@@ -19,18 +21,15 @@ let c_windows = Metrics.counter "sim.feasible_windows"
 let c_choices = Metrics.counter "sim.strategy_choices"
 let h_delay = Metrics.histogram "sim.step_delay"
 
+let stop_label = function
+  | Step_limit -> "step_limit"
+  | Deadlock -> "deadlock"
+  | Strategy_stop -> "strategy_stop"
+  | Stopped -> "stopped"
+  | Watchdog -> "watchdog"
+
 let c_stop reason =
-  Metrics.counter "sim.stop"
-    ~labels:
-      [
-        ( "reason",
-          match reason with
-          | Step_limit -> "step_limit"
-          | Deadlock -> "deadlock"
-          | Strategy_stop -> "strategy_stop"
-          | Stopped -> "stopped"
-          | Watchdog -> "watchdog" );
-      ]
+  Metrics.counter "sim.stop" ~labels:[ ("reason", stop_label reason) ]
 
 let c_stop_step_limit = c_stop Step_limit
 let c_stop_deadlock = c_stop Deadlock
@@ -79,6 +78,14 @@ let simulate_from ?(stop = fun _ -> false) ?deadline_s ~steps ~strategy aut s0
   in
   let reason = Tracing.with_span "sim.simulate" (fun () -> go s0 steps) in
   record_stop reason;
+  (* One event per run (not per step): carries the step count, so the
+     stream stays bounded at high step budgets.  Safe from the worker
+     domains [batch] fans out over. *)
+  Events.emit "sim.run"
+    [
+      ("steps", Json.Int (List.length !moves_rev));
+      ("reason", Json.String (stop_label reason));
+    ];
   { exec = Execution.of_states s0 (List.rev !moves_rev); reason }
 
 let simulate ?stop ?deadline_s ~steps ~strategy aut =

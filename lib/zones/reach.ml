@@ -7,6 +7,8 @@ module Boundmap = Tm_timed.Boundmap
 module Condition = Tm_timed.Condition
 module Metrics = Tm_obs.Metrics
 module Tracing = Tm_obs.Tracing
+module Events = Tm_obs.Events
+module Json = Tm_obs.Json
 module Log = Tm_obs.Log
 module Pool = Tm_par.Pool
 module Snapshot = Tm_recover.Snapshot
@@ -324,6 +326,70 @@ module Make (K : Dbm_sig.S) : S = struct
       | Some t ->
           fun () -> if Tracing.now_s () > t then raise (Budget `Deadline)
     in
+    (* Streaming telemetry.  Observation-only: it reads the loop's own
+       counters and never influences what gets explored, so verdicts
+       and [zones.stored] are byte-identical with telemetry on or off.
+       With neither an event sink nor the progress line active, the
+       per-batch cost is two flag reads and no clock access. *)
+    let t_start =
+      if Events.enabled () || Events.progress_enabled () then
+        Tracing.now_s ()
+      else 0.
+    in
+    let last_emit = ref neg_infinity in
+    let emit_telemetry ?(force = false) ?(ev = "zones.batch") () =
+      if Events.enabled () || Events.progress_enabled () then begin
+        let now = Tracing.now_s () in
+        if force || now -. !last_emit >= 0.05 then begin
+          last_emit := now;
+          let elapsed = now -. t_start in
+          let rate =
+            if elapsed > 0. then float_of_int !zone_count /. elapsed else 0.
+          in
+          if Events.enabled () then begin
+            let queues =
+              match pool with
+              | Some pl when Pool.size pl > 1 ->
+                  [ ( "queues",
+                      Json.List
+                        (Array.to_list
+                           (Array.map
+                              (fun d -> Json.Int d)
+                              (Pool.queue_depths pl))) ) ]
+              | Some _ | None -> []
+            in
+            Events.emit ev
+              ([
+                 ("stored", Json.Int !zone_count);
+                 ("frontier", Json.Int !waiting);
+                 ("locations", Json.Int (Hstore.length store));
+                 ("edges", Json.Int !edges);
+                 ( "subsumed",
+                   Json.Int (Metrics.value c_zones_subsumed - base_subsumed)
+                 );
+                 ( "pruned",
+                   Json.Int
+                     (Metrics.value c_zones_pruned_waiting - base_pruned) );
+                 ("rate", Json.Float rate);
+               ]
+              @ queues)
+          end;
+          let eta_s =
+            (* ETA toward whichever budget will end the run first: the
+               wall-clock deadline, or the state budget at the current
+               rate. *)
+            match deadline with
+            | Some t -> Some (Float.max 0. (t -. now))
+            | None ->
+                if rate > 0. then
+                  Some (float_of_int (max 0 (limit - !zone_count)) /. rate)
+                else None
+          in
+          Events.progress ?eta_s ~stored:!zone_count ~frontier:!waiting
+            ~rate ()
+        end
+      end
+    in
     let cell_of id =
       match Hashtbl.find_opt cells id with
       | Some c -> c
@@ -494,6 +560,13 @@ module Make (K : Dbm_sig.S) : S = struct
       Metrics.add c_zones_interned snap.p_interned_d;
       Metrics.set_max g_waiting_max snap.p_waiting_max;
       Metrics.incr c_resumed;
+      Events.emit "recover.resume"
+        [
+          ("path", Json.String path);
+          ("zones", Json.Int !zone_count);
+          ("edges", Json.Int !edges);
+          ("info", Json.String info);
+        ];
       Log.info "resumed from %s (%s)" path info;
       (* Replay [inspect] over the restored frontier in original
          storage order: reachable-set accumulators see every stored
@@ -713,6 +786,7 @@ module Make (K : Dbm_sig.S) : S = struct
           not (Queue.is_empty locq)
         do
           check_deadline ();
+          emit_telemetry ();
           let id = Queue.pop locq in
           Hashtbl.remove queued id;
           let batch =
@@ -763,6 +837,8 @@ module Make (K : Dbm_sig.S) : S = struct
                   | None -> false) -> (
             try Sys.remove path with Sys_error _ -> ())
         | _ -> ());
+        emit_telemetry ~force:true ~ev:"zones.done" ();
+        Events.progress_clear ();
         Ok
           {
             locations = Hstore.length store;
@@ -798,6 +874,16 @@ module Make (K : Dbm_sig.S) : S = struct
                 Metrics.incr c_interrupted;
                 "interrupted (SIGINT/SIGTERM)"
           in
+          emit_telemetry ~force:true ~ev:"zones.exhausted" ();
+          Events.emit "zones.budget"
+            [
+              ("reason", Json.String reason);
+              ( "checkpoint",
+                match ck with
+                | Some p -> Json.String p
+                | None -> Json.Null );
+            ];
+          Events.progress_clear ();
           Error (`Budget { reason; partial; checkpoint = ck })
     in
     result
@@ -934,6 +1020,8 @@ module Paranoid : S = struct
     try f () with
     | Tm_recover.Paranoid.Mismatch m ->
         Metrics.incr c_degraded;
+        Events.emit "recover.degraded"
+          [ ("what", Json.String what); ("mismatch", Json.String m) ];
         Log.warn
           "paranoid %s: fast kernel self-check failed (%s) — degrading to \
            the reference kernel"
