@@ -18,6 +18,7 @@
      E12 exact robustness margins (fault-injection subsystem)
      E13 multi-core scaling of the zone engine
      E14 checkpoint overhead and exhaust-and-resume discipline
+     E15 LU extrapolation ablation (zone counts with widening on/off)
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
@@ -739,9 +740,9 @@ let e10 () =
 (* E11: fast vs reference zone engine *)
 
 let e11 () =
-  section "E11: fast in-place DBM kernel vs reference kernel";
-  row "%-40s %-10s %-10s %-8s %s\n" "workload" "fast(ms)" "ref(ms)" "speedup"
-    "stats";
+  section "E11: fast in-place vs reference vs packed-int DBM kernel";
+  row "%-40s %-10s %-10s %-10s %-8s %s\n" "workload" "fast(ms)" "ref(ms)"
+    "int(ms)" "speedup" "stats";
   (* adaptive repetition: run each closure for >= 0.2 s and report the
      per-run mean, so sub-millisecond and multi-second workloads both
      get stable numbers *)
@@ -756,21 +757,31 @@ let e11 () =
     done;
     (Tm_obs.Tracing.now_s () -. t0) *. 1000. /. float_of_int reps
   in
-  let line name fast refr agree =
-    let tf = time_ms fast and tr = time_ms refr in
-    row "%-40s %-10.3f %-10.3f %-8.2f %s\n" name tf tr (tr /. tf)
+  (* Every workload below has integer bounds, so the packed-int kernel
+     is applicable; speedup is ref/int, the widest gap.  AGREE demands
+     all three kernels produce identical stats (and reachable-set size
+     / outcome) — this is the committed three-way differential gate. *)
+  let line name fast refr intk agree =
+    let tf = time_ms fast and tr = time_ms refr and ti = time_ms intk in
+    row "%-40s %-10.3f %-10.3f %-10.3f %-8.2f %s\n" name tf tr ti (tr /. ti)
       (if agree then "AGREE" else "DISAGREE")
   in
   let cmp_reach (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm =
     let fast () = Reach.Default.reachable sys bm in
     let refr () = Reach.Ref.reachable sys bm in
-    let fst_, fs = fast () and rst, rs = refr () in
-    line name fast refr (fst_ = rst && List.length fs = List.length rs)
+    let intk () = Reach.Int.reachable sys bm in
+    let fst_, fs = fast () and rst, rs = refr () and ist, is_ = intk () in
+    line name fast refr intk
+      (fst_ = rst && fst_ = ist
+      && List.length fs = List.length rs
+      && List.length fs = List.length is_)
   in
   let cmp_cond (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm c =
     let fast () = Reach.Default.check_condition sys bm c in
     let refr () = Reach.Ref.check_condition sys bm c in
-    line name fast refr (fast () = refr ())
+    let intk () = Reach.Int.check_condition sys bm c in
+    let f = fast () in
+    line name fast refr intk (f = refr () && f = intk ())
   in
   (let p = SR.params_of_ints ~n:6 ~d1:1 ~d2:2 in
    let u =
@@ -845,10 +856,12 @@ let e13 () =
      the reachable base-state set match the 1-domain run exactly.
      Speedup is relative to the 1-domain row — expect ~1.0 on a
      single-core box and ~N/⌈overhead⌉ on real hardware. *)
-  let scale (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm =
+  let scale (type s a) ?(engine = (module Reach.Default : Reach.S)) name
+      (sys : (s, a) Tm_ioa.Ioa.t) bm =
+    let module E = (val engine) in
     let run d =
       let t0 = Tm_obs.Tracing.now_s () in
-      let st, reach = Reach.reachable ~domains:d sys bm in
+      let st, reach = E.reachable ~domains:d sys bm in
       ((Tm_obs.Tracing.now_s () -. t0) *. 1000., st, reach)
     in
     let t1, st1, r1 = run 1 in
@@ -866,12 +879,25 @@ let e13 () =
           (Printf.sprintf "%d/%d" std.Reach.locations std.Reach.zones)
           (t1 /. td)
           (if agree then "AGREE" else "DISAGREE"))
-      [ 1; 2; 4 ]
+      [ 1; 2; 4 ];
+    st1
   in
   (let p = F.params_of_ints ~n:3 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
-   scale "fischer n=3" (F.system p) (F.boundmap p));
+   ignore (scale "fischer n=3" (F.system p) (F.boundmap p)));
   let p = F.params_of_ints ~n:4 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
-  scale "fischer n=4" (F.system p) (F.boundmap p)
+  let st_fast = scale "fischer n=4" (F.system p) (F.boundmap p) in
+  (* The packed-int leg: same exploration on the int kernel.  The
+     cross-kernel line demands its stats equal the fast kernel's —
+     zones.stored is kernel-independent by construction. *)
+  let st_int =
+    scale
+      ~engine:(module Reach.Int : Reach.S)
+      "fischer n=4 [int]" (F.system p) (F.boundmap p)
+  in
+  row "%-24s %-8s %-10s %-12s %-8s %s\n" "int vs fast stats" "-" "-"
+    (Printf.sprintf "%d/%d" st_int.Reach.locations st_int.Reach.zones)
+    "-"
+    (if st_int = st_fast then "AGREE" else "DISAGREE")
 
 (* E14: checkpoint overhead and exhaust-and-resume *)
 
@@ -912,17 +938,20 @@ let e14 () =
       row "%-42s %-10.1f %-10d %+.1f%%\n" label ms snaps
         ((ms -. base_ms) /. base_ms *. 100.))
     [
-      ("checkpoint every 500 zones", 500);
-      ("checkpoint every 2000 zones", 2000);
+      (* LU widening stores 337 zones on fischer n=3, so the periods
+         are sized to fire (or not) against that count *)
+      ("checkpoint every 100 zones", 100);
+      ("checkpoint every 1000 zones", 1000);
       ("exhaustion-only (every = inf)", 0);
     ];
-  (* Deterministic preemption: exhaust a 400-zone budget, resume from
-     the snapshot, and demand the resumed fixpoint match the one-shot
-     run exactly (verdict surrogate: stats + reachable-set size). *)
-  row "\n%-52s %s\n" "exhaust-and-resume (budget 400 zones)" "result";
+  (* Deterministic preemption: exhaust a 200-zone budget (under the
+     337-zone LU fixpoint), resume from the snapshot, and demand the
+     resumed fixpoint match the one-shot run exactly (verdict
+     surrogate: stats + reachable-set size). *)
+  row "\n%-52s %s\n" "exhaust-and-resume (budget 200 zones)" "result";
   let st1, states1 = Reach.reachable ~domains:bench_domains sys bm in
   (match
-     Reach.reachable ~limit:400 ~domains:bench_domains ~checkpoint:(ck, 0)
+     Reach.reachable ~limit:200 ~domains:bench_domains ~checkpoint:(ck, 0)
        sys bm
    with
   | _ -> row "%-52s %s\n" "budgeted run" "UNEXPECTED COMPLETION"
@@ -945,13 +974,91 @@ let e14 () =
         (if agree then "AGREE" else "DISAGREE"));
   rm_ck ()
 
+(* E15: LU extrapolation ablation *)
+
+let e15 () =
+  section "E15: LU extrapolation ablation — zone counts with widening on/off";
+  (* The same exploration under the two widening modes: LU bounds (the
+     default) vs classic max-constant ([TM_NO_LU=1]).  Locations and
+     the reachable base-state set must be identical — only the zone
+     abstraction coarsens — while zones(LU) <= zones(maxc) by
+     construction.  E15 is NOT part of the committed metrics baseline
+     (its counters depend on the ablation, not the product), so run it
+     standalone: dune exec bench/main.exe -- e15. *)
+  row "%-24s %-12s %-12s %-8s %-8s %s\n" "workload" "zones(LU)" "zones(maxc)"
+    "shrink" "locs" "agreement";
+  let with_no_lu f =
+    Unix.putenv "TM_NO_LU" "1";
+    Fun.protect ~finally:(fun () -> Unix.putenv "TM_NO_LU" "") f
+  in
+  let ablate (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm =
+    let st_lu, r_lu = Reach.reachable ~domains:bench_domains sys bm in
+    let st_mc, r_mc =
+      with_no_lu (fun () -> Reach.reachable ~domains:bench_domains sys bm)
+    in
+    let agree =
+      st_lu.Reach.locations = st_mc.Reach.locations
+      && st_lu.Reach.zones <= st_mc.Reach.zones
+      && List.length r_lu = List.length r_mc
+      && List.for_all
+           (fun s -> List.exists (sys.Tm_ioa.Ioa.equal_state s) r_mc)
+           r_lu
+    in
+    row "%-24s %-12d %-12d %-8.2f %-8d %s\n" name st_lu.Reach.zones
+      st_mc.Reach.zones
+      (float_of_int st_mc.Reach.zones /. float_of_int (max 1 st_lu.Reach.zones))
+      st_lu.Reach.locations
+      (if agree then "AGREE" else "DISAGREE")
+  in
+  (let p = SR.params_of_ints ~n:6 ~d1:1 ~d2:2 in
+   ablate "relay n=6" (SR.line p) (SR.boundmap p));
+  (let p = TR.params_of_ints ~n:6 ~d1:1 ~d2:2 in
+   ablate "token ring n=6" (TR.system p) (TR.boundmap p));
+  (let p = F.params_of_ints ~n:3 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   ablate "fischer n=3" (F.system p) (F.boundmap p));
+  (let p = F.params_of_ints ~n:4 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   ablate "fischer n=4" (F.system p) (F.boundmap p));
+  (* verdict metamorphism: the condition checker must agree under the
+     ablation too (the observer clock's LU bounds come from the probe
+     constants, so this exercises the inverted-bound arm) *)
+  row "\n%-52s %s\n" "condition verdicts, LU vs maxc" "agreement";
+  let cond_ablate (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm c =
+    let o_lu = Reach.check_condition ~domains:bench_domains sys bm c in
+    let o_mc =
+      with_no_lu (fun () ->
+          Reach.check_condition ~domains:bench_domains sys bm c)
+    in
+    let verdict_of = function
+      | Reach.Verified _ -> "VERIFIED"
+      | Reach.Lower_violation _ -> "LOWER"
+      | Reach.Upper_violation _ -> "UPPER"
+      | Reach.Unknown _ -> "UNKNOWN"
+      | Reach.Unsupported _ -> "UNSUPPORTED"
+    in
+    row "%-52s %s\n" name
+      (if String.equal (verdict_of o_lu) (verdict_of o_mc) then "AGREE"
+       else
+         Printf.sprintf "DISAGREE (%s vs %s)" (verdict_of o_lu)
+           (verdict_of o_mc))
+  in
+  (let p = F.params_of_ints ~n:3 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   cond_ablate "fischer n=3 SET->ENTER window" (F.system p) (F.boundmap p)
+     (F.u_enter p));
+  (let p = SR.params_of_ints ~n:6 ~d1:1 ~d2:2 in
+   cond_ablate "relay n=6 U(0,6)" (SR.line p) (SR.boundmap p)
+     (Tm_timed.Condition.make ~name:"U0n"
+        ~t_step:(fun _ a _ -> a = SR.Signal 0)
+        ~bounds:(SR.delay_interval p)
+        ~in_pi:(fun a -> a = SR.Signal 6)
+        ()))
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
 let () =

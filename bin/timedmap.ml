@@ -400,7 +400,9 @@ let print_margin_report (r : Margin.report) =
 
 let margin_reports (type s a) name (sys : (s, a) Tm_ioa.Ioa.t) bm
     (props : (s, a) prop list) () =
-  let module E = (val !engine) in
+  (* Margin probes perturb bounds to non-integer rationals; a forced
+     int kernel must be pinned back onto the rational kernel here. *)
+  let module E = (val Margin.probe_engine ~name:!engine_name !engine) in
   List.map
     (fun prop ->
       let subject, check =
@@ -1081,7 +1083,9 @@ let build_instance system k c1 c2 l n d1 d2 a b g1 g2 m =
   | "rm" -> rm_instance ~k ~c1 ~c2 ~l
   | "im" -> im_instance ~k ~c1 ~c2 ~l
   | "relay" -> relay_instance ~n ~d1 ~d2
-  | "fischer" -> fischer_instance ~n:(max 2 (min n 3)) ~a ~b
+  (* LU extrapolation + the int kernel keep fischer tractable well past
+     the old n=3 cap; n=5 completes in CI, n=6 is the safety stop. *)
+  | "fischer" -> fischer_instance ~n:(max 2 (min n 6)) ~a ~b
   | "rg" -> rg_instance ~r1:2 ~r2:5 ~w1:1 ~w2:3
   | "ring" -> ring_instance ~n ~d1 ~d2
   | "fd" -> fd_instance ~g1 ~g2 ~m
@@ -1211,36 +1215,43 @@ let simple_cmd name ~doc select =
 let engine_arg =
   let engine_conv =
     let parse = function
-      | ("fast" | "ref" | "paranoid") as name -> Ok name
+      | ("auto" | "int" | "fast" | "ref" | "paranoid") as name -> Ok name
       | other ->
           Error
             (`Msg
-              (Printf.sprintf "unknown engine %S (fast | ref | paranoid)"
+              (Printf.sprintf
+                 "unknown engine %S (auto | int | fast | ref | paranoid)"
                  other))
     in
     Arg.conv (parse, Format.pp_print_string)
   in
   Arg.(
-    value & opt engine_conv "fast"
+    value & opt engine_conv "auto"
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "DBM kernel for zone exploration: $(b,fast) (in-place, \
-           default), $(b,ref) (reference kernel, for cross-checking a \
-           verdict) or $(b,paranoid) (fast kernel with a sampled \
-           in-flight self-check against the reference kernel; a \
-           disagreement degrades the run to the reference kernel). All \
-           run the identical exploration and must agree.")
+          "DBM kernel for zone exploration: $(b,auto) (default: the \
+           packed-int kernel when the system's bounds are integral, \
+           the fast rational kernel otherwise), $(b,int) (force the \
+           packed-int kernel; rejects non-integer bounds), $(b,fast) \
+           (in-place rational kernel), $(b,ref) (reference kernel, for \
+           cross-checking a verdict) or $(b,paranoid) (fast kernel \
+           with a sampled in-flight self-check against the reference \
+           and packed-int kernels; a disagreement degrades the run to \
+           the reference kernel). All run the identical exploration \
+           and must agree.")
 
 let set_engine name =
   engine_name := name;
   match name with
+  | "int" -> engine := (module Reach.Int : Reach.S)
+  | "fast" -> engine := (module Reach.Default : Reach.S)
   | "ref" -> engine := (module Reach.Ref : Reach.S)
   | "paranoid" ->
       if Tm_recover.Paranoid.every () = 0 then Tm_recover.Paranoid.set_every 64;
       engine := (module Reach.Paranoid : Reach.S)
   | _ ->
-      engine_name := "fast";
-      engine := (module Reach.Default : Reach.S)
+      engine_name := "auto";
+      engine := (module Reach.Auto : Reach.S)
 
 (* Checkpoint flags shared by verify/run; like [budget_term] the value
    is unit and evaluation stores the policy in globals. *)

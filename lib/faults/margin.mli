@@ -80,6 +80,15 @@ val report :
     [check] then runs on worker domains and must be self-contained
     (the zone-engine adapters below are). *)
 
+val probe_engine :
+  name:string -> (module Tm_zones.Reach.S) -> (module Tm_zones.Reach.S)
+(** The engine margin probes must run on, given the engine the caller
+    selected under [name].  A forced ["int"] engine is replaced by the
+    fast rational engine: mediant probes perturb boundmaps to
+    non-integer rationals, which the packed-int kernel rejects rather
+    than truncates.  Every other engine (including ["auto"], which
+    re-checks integrality per probe on its own) passes through. *)
+
 (** {1 Property checks}
 
     Adapters from the zone engine to [check] functions; pick the engine

@@ -46,6 +46,32 @@ let add t c iv =
     invalid_arg (Printf.sprintf "Boundmap.add: class %S already bound" c)
   else (c, iv) :: t
 
+let is_integral t =
+  List.for_all
+    (fun (_, iv) ->
+      Rational.is_integer (Interval.lo iv)
+      &&
+      match Interval.hi iv with
+      | Time.Fin q -> Rational.is_integer q
+      | Time.Inf -> true)
+    t
+
+(* LU bounds in the zone encoding's sense: the class clock is compared
+   against b_l only by the guard (which only exists when b_l > 0) and
+   against b_u only by the invariant (which only exists when b_u is
+   finite).  [None] means the comparison never happens, so the clock is
+   unbounded on that side for extrapolation purposes. *)
+let lu_bounds t c =
+  let iv = find t c in
+  let l =
+    let lo = Interval.lo iv in
+    if Rational.sign lo > 0 then Some lo else None
+  in
+  let u =
+    match Interval.hi iv with Time.Fin q -> Some q | Time.Inf -> None
+  in
+  (l, u)
+
 let max_constant t =
   List.fold_left
     (fun acc (_, iv) ->

@@ -44,4 +44,20 @@ val max_constant : t -> Tm_base.Rational.t
 (** The largest finite endpoint appearing in the map (used to pick
     normalization clamps and zone extrapolation constants). *)
 
+val is_integral : t -> bool
+(** Every finite interval endpoint is an integer.  True for all shipped
+    systems; the zone engine uses it to dispatch to the packed-int DBM
+    kernel.  Margin's mediant probes perturb endpoints to non-integer
+    rationals, which this probe rejects — that is what transparently
+    pins the rational kernel during a margin walk. *)
+
+val lu_bounds :
+  t -> string -> Tm_base.Rational.t option * Tm_base.Rational.t option
+(** [(l, u)] for a class clock in the LU-extrapolation sense: [l] is
+    [b_l] when positive (the guard constant), [u] is [b_u] when finite
+    (the invariant constant); [None] when the respective comparison
+    does not exist in the zone encoding, letting extrapolation discard
+    that side entirely (clock-activity reduction).
+    @raise Invalid_argument like {!find} on an unbound class. *)
+
 val pp : Format.formatter -> t -> unit

@@ -60,15 +60,28 @@ let mk n m empty = { n; m; empty; hmemo = min_int }
    path uses [tighten_arr]. *)
 let canonicalize_arr n m =
   Metrics.incr c_canonicalize;
-  let idx i j = (i * n) + j in
+  (* Floyd–Warshall with the [i -> k] hop hoisted: an [Inf] hop can
+     tighten nothing through [k], so the inner loop is skipped — under
+     LU widening (inactive clocks are all-[Inf] rows) this saves most
+     of the n^3 work on the per-edge re-closure path. *)
   (try
      for k = 0 to n - 1 do
+       let rowk = k * n in
        for i = 0 to n - 1 do
-         for j = 0 to n - 1 do
-           let via = bnd_add m.(idx i k) m.(idx k j) in
-           if bnd_compare via m.(idx i j) < 0 then m.(idx i j) <- via
-         done;
-         if not (bnd_neg_ok m.(idx i i)) then raise Exit
+         let rowi = i * n in
+         (match m.(rowi + k) with
+         | Inf -> ()
+         | ik when k <> i ->
+             for j = 0 to n - 1 do
+               match m.(rowk + j) with
+               | Inf -> ()
+               | kj ->
+                   let via = bnd_add ik kj in
+                   if bnd_compare via m.(rowi + j) < 0 then
+                     m.(rowi + j) <- via
+             done
+         | _ -> ());
+         if not (bnd_neg_ok m.(rowi + i)) then raise Exit
        done
      done
    with Exit -> m.(0) <- Lt Rational.zero);
@@ -127,6 +140,45 @@ let free_arr n m x =
       m.((j * n) + x) <- m.(j * n)
     end
   done
+
+(* LU relaxation: entry (i, j) with constant c goes to Inf when
+   c > lower.(i), else to Lt (-upper.(j)) when c < -upper.(j); a [None]
+   bound is -inf and wipes unconditionally.  Comparisons are on the
+   constant only (strictness does not matter), exactly as in the int
+   kernel, so the differential harness can demand bit-equal results.
+   Returns whether anything changed. *)
+let extrapolate_lu_arr n m lower upper =
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    let row = i * n in
+    for j = 0 to n - 1 do
+      if i <> j then
+        match m.(row + j) with
+        | Inf -> ()
+        | Le c | Lt c -> (
+            let wipe =
+              match lower.(i) with
+              | None -> true
+              | Some l -> Rational.compare c l > 0
+            in
+            if wipe then begin
+              m.(row + j) <- Inf;
+              changed := true
+            end
+            else
+              match upper.(j) with
+              | None ->
+                  m.(row + j) <- Inf;
+                  changed := true
+              | Some u ->
+                  let nu = Rational.neg u in
+                  if Rational.compare c nu < 0 then begin
+                    m.(row + j) <- Lt nu;
+                    changed := true
+                  end)
+    done
+  done;
+  !changed
 
 (* Relax entries beyond the max constant; returns whether anything
    changed (in which case the matrix needs re-closing). *)
@@ -254,6 +306,20 @@ let extrapolate mc z =
     end
   end
 
+let extrapolate_lu ~lower ~upper z =
+  Metrics.incr c_extrapolate;
+  if z.empty then z
+  else begin
+    let m = Array.copy z.m in
+    if not (extrapolate_lu_arr z.n m lower upper) then z
+    else begin
+      (* LU extrapolation only relaxes entries, so nonempty stays
+         nonempty. *)
+      ignore (canonicalize_arr z.n m);
+      mk z.n m false
+    end
+  end
+
 let sat z i j b =
   Metrics.incr c_sat;
   if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm.sat";
@@ -346,6 +412,11 @@ module Scratch = struct
   let extrapolate mc s =
     Metrics.incr c_extrapolate;
     if (not s.sempty) && extrapolate_arr s.sn s.sm mc (Rational.neg mc) then
+      ignore (canonicalize_arr s.sn s.sm)
+
+  let extrapolate_lu ~lower ~upper s =
+    Metrics.incr c_extrapolate;
+    if (not s.sempty) && extrapolate_lu_arr s.sn s.sm lower upper then
       ignore (canonicalize_arr s.sn s.sm)
 
   let sat s i j b =

@@ -1,0 +1,451 @@
+(* Integer-specialized DBM kernel: an unboxed flat [int array] with the
+   strictness packed in the low bit.
+
+   Every shipped system (fischer, relay, token ring, resource manager)
+   has an integral boundmap, so all DBM constants are integers and the
+   rational kernel's boxing and GCD normalization are pure overhead.
+   A bound is packed as
+
+     Lt c  ->  2c          Le c  ->  2c + 1          Inf  ->  max_int
+
+   which makes the tightness order ([Lt c < Le c < Inf]) the native
+   integer order, bound addition two adds and a mask, and the whole
+   Scratch pipeline allocation-free.  {!Reach.Auto} selects this kernel
+   whenever the boundmap (and condition bounds) are integral; the
+   rational kernels stay the fallback for Margin's mediant walks.
+   Feeding a non-integer bound to [constrain]/[sat]/[extrapolate] is a
+   dispatch bug, never a truncation: it raises [Invalid_argument] so
+   the differential wall notices immediately.
+
+   Structure mirrors {!Dbm} op for op (same tighten/canonicalize/reset
+   recurrences, same memoized hash and physical-equality fast paths),
+   which is what lets test/test_dbm_diff.ml demand trace equality
+   across int == fast == ref on integral scripts. *)
+
+module Rational = Tm_base.Rational
+module Metrics = Tm_obs.Metrics
+
+let op name = Metrics.counter "dbm.ops" ~labels:[ ("op", name) ]
+let c_canonicalize = op "canonicalize"
+let c_constrain = op "constrain"
+let c_up = op "up"
+let c_reset = op "reset"
+let c_free = op "free"
+let c_intersect = op "intersect"
+let c_includes = op "includes"
+let c_extrapolate = op "extrapolate"
+let c_sat = op "sat"
+
+(* Packed bounds.  Constants in this repository are tiny (single-digit
+   boundmap endpoints), so overflow of [2c] or packed addition is a
+   logic error, not a case to handle. *)
+let inf = max_int
+let le_zero = 1 (* Le 0 *)
+
+let pack = function
+  | Dbm_bound.Inf -> inf
+  | Dbm_bound.Le q ->
+      if q.Rational.den <> 1 then
+        invalid_arg "Dbm_int: non-integer bound (kernel misdispatched)";
+      (q.Rational.num lsl 1) lor 1
+  | Dbm_bound.Lt q ->
+      if q.Rational.den <> 1 then
+        invalid_arg "Dbm_int: non-integer bound (kernel misdispatched)";
+      q.Rational.num lsl 1
+
+let unpack p =
+  if p = inf then Dbm_bound.Inf
+  else if p land 1 = 1 then Dbm_bound.Le (Rational.of_int (p asr 1))
+  else Dbm_bound.Lt (Rational.of_int (p asr 1))
+
+(* Le x + Le y keeps the weak bit; any strict operand clears it:
+   (2x+1) + (2y+1) - 1 = 2(x+y) + 1, and with a strict operand the
+   subtracted [(a lor b) land 1] is exactly the surviving weak bit. *)
+let bnd_add a b = if a = inf || b = inf then inf else a + b - ((a lor b) land 1)
+
+(* Does the bound admit 0?  Le 0 = 1, Lt 0 = 0, so the test is a sign
+   check — this is why the weak bit lives in the LOW bit. *)
+let bnd_neg_ok p = p > 0
+
+(* A non-integer rational has no exact packed form; both extrapolation
+   entry points take rationals, so clamp the direction soundly:
+   rounding an L/U bound or the max constant UP only makes the
+   abstraction finer, never unsound.  (On integral systems — the only
+   ones dispatched here — this is exact.) *)
+let ceil_int q = Rational.ceil q
+
+type t = { n : int; m : int array; empty : bool; mutable hmemo : int }
+
+let name = "int"
+let dim z = z.n
+let get z i j = unpack z.m.((i * z.n) + j)
+let is_empty z = z.empty
+let mk n m empty = { n; m; empty; hmemo = min_int }
+
+(* ------------------------------------------------------------------ *)
+(* In-place core, mirroring {!Dbm} recurrence for recurrence.          *)
+
+let canonicalize_arr n m =
+  Metrics.incr c_canonicalize;
+  (* Floyd–Warshall with the [i -> k] hop hoisted out of the inner
+     loop: when [m.(i,k) = inf] no path through [k] can tighten row
+     [i], so the whole inner loop is skipped.  Under LU widening most
+     rows of an inactive clock are [inf], which turns the n^3 closure
+     into roughly (active clocks)^3 — this is the kernel's hottest
+     loop, re-run after every per-edge extrapolation. *)
+  (try
+     for k = 0 to n - 1 do
+       let rowk = k * n in
+       for i = 0 to n - 1 do
+         let rowi = i * n in
+         let ik = m.(rowi + k) in
+         if ik <> inf && k <> i then
+           for j = 0 to n - 1 do
+             let kj = m.(rowk + j) in
+             if kj <> inf then begin
+               let via = ik + kj - ((ik lor kj) land 1) in
+               if via < m.(rowi + j) then m.(rowi + j) <- via
+             end
+           done;
+         if m.(rowi + i) <= 0 then raise Exit
+       done
+     done
+   with Exit -> m.(0) <- 0 (* Lt 0 *));
+  not (bnd_neg_ok m.(0))
+
+let tighten_arr n m i j b =
+  let rowj = j * n in
+  for x = 0 to n - 1 do
+    let x_to_i = m.((x * n) + i) in
+    if x_to_i <> inf then begin
+      let via = bnd_add x_to_i b in
+      let rowx = x * n in
+      for y = 0 to n - 1 do
+        let jy = m.(rowj + y) in
+        if jy <> inf then begin
+          let cand = bnd_add via jy in
+          if cand < m.(rowx + y) then m.(rowx + y) <- cand
+        end
+      done
+    end
+  done
+
+let unsat_with n m i j b = not (bnd_neg_ok (bnd_add b m.((j * n) + i)))
+
+let up_arr n m =
+  for i = 1 to n - 1 do
+    m.(i * n) <- inf
+  done
+
+let reset_arr n m x =
+  for j = 0 to n - 1 do
+    if j <> x then begin
+      m.((x * n) + j) <- m.(j);
+      m.((j * n) + x) <- m.(j * n)
+    end
+  done;
+  m.((x * n) + x) <- le_zero
+
+let free_arr n m x =
+  for j = 0 to n - 1 do
+    if j <> x then begin
+      m.((x * n) + j) <- inf;
+      m.((j * n) + x) <- m.(j * n)
+    end
+  done
+
+let extrapolate_arr n m mc neg_mc =
+  (* mc / neg_mc are plain integer constants; entry constant is
+     [p asr 1] for either strictness, so both rules are integer
+     compares.  [Lt (-mc)] packs to [neg_mc * 2]. *)
+  let lt_neg_mc = neg_mc lsl 1 in
+  let changed = ref false in
+  for k = 0 to (n * n) - 1 do
+    let p = m.(k) in
+    if p <> inf then
+      if p asr 1 > mc then begin
+        m.(k) <- inf;
+        changed := true
+      end
+      else if p asr 1 < neg_mc then begin
+        m.(k) <- lt_neg_mc;
+        changed := true
+      end
+  done;
+  !changed
+
+(* LU relaxation on packed entries; the constant-only rules match
+   {!Dbm.extrapolate_lu_arr} exactly, so on integral inputs all three
+   kernels extrapolate to the same zone.  The per-clock thresholds are
+   hoisted into int rows up front: [lceil.(i) = ceil L_i] (a [None]
+   lower bound is -inf, encoded [min_int] so every constant exceeds
+   it) and [nuc.(j) = -ceil U_j] ([None] upper encoded [max_int],
+   meaning wipe). *)
+let extrapolate_lu_arr n m lower upper =
+  let lceil = Array.make n min_int in
+  let nuc = Array.make n max_int in
+  for k = 0 to n - 1 do
+    (match lower.(k) with None -> () | Some l -> lceil.(k) <- ceil_int l);
+    match upper.(k) with None -> () | Some u -> nuc.(k) <- -ceil_int u
+  done;
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    let row = i * n in
+    let li = lceil.(i) in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let p = m.(row + j) in
+        if p <> inf then begin
+          let c = p asr 1 in
+          if c > li then begin
+            m.(row + j) <- inf;
+            changed := true
+          end
+          else begin
+            let nu = nuc.(j) in
+            if nu = max_int then begin
+              m.(row + j) <- inf;
+              changed := true
+            end
+            else if c < nu then begin
+              m.(row + j) <- nu lsl 1;
+              changed := true
+            end
+          end
+        end
+      end
+    done
+  done;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Persistent API.                                                     *)
+
+let zero n =
+  if n < 1 then invalid_arg "Dbm_int.zero";
+  mk n (Array.make (n * n) le_zero) false
+
+let top n =
+  if n < 1 then invalid_arg "Dbm_int.top";
+  let m = Array.make (n * n) inf in
+  for i = 0 to n - 1 do
+    m.((i * n) + i) <- le_zero;
+    m.(i) <- le_zero
+  done;
+  mk n m false
+
+let constrain z i j b =
+  Metrics.incr c_constrain;
+  if i < 0 || i >= z.n || j < 0 || j >= z.n then
+    invalid_arg "Dbm_int.constrain";
+  let b = pack b in
+  if z.empty then z
+  else if b >= z.m.((i * z.n) + j) then z
+  else if unsat_with z.n z.m i j b then
+    { n = z.n; m = z.m; empty = true; hmemo = 0 }
+  else begin
+    let m = Array.copy z.m in
+    tighten_arr z.n m i j b;
+    mk z.n m false
+  end
+
+let up z =
+  Metrics.incr c_up;
+  if z.empty then z
+  else begin
+    let m = Array.copy z.m in
+    up_arr z.n m;
+    mk z.n m false
+  end
+
+let reset z x =
+  Metrics.incr c_reset;
+  if x < 1 || x >= z.n then invalid_arg "Dbm_int.reset";
+  if z.empty then z
+  else begin
+    let m = Array.copy z.m in
+    reset_arr z.n m x;
+    mk z.n m false
+  end
+
+let free z x =
+  Metrics.incr c_free;
+  if x < 1 || x >= z.n then invalid_arg "Dbm_int.free";
+  if z.empty then z
+  else begin
+    let m = Array.copy z.m in
+    free_arr z.n m x;
+    mk z.n m false
+  end
+
+let includes big small =
+  Metrics.incr c_includes;
+  if big.n <> small.n then invalid_arg "Dbm_int.includes";
+  if big == small then true
+  else if small.empty then true
+  else if big.empty then false
+  else begin
+    let len = big.n * big.n in
+    let k = ref 0 in
+    let ok = ref true in
+    while !ok && !k < len do
+      if small.m.(!k) > big.m.(!k) then ok := false;
+      incr k
+    done;
+    !ok
+  end
+
+let intersect a b =
+  Metrics.incr c_intersect;
+  if a.n <> b.n then invalid_arg "Dbm_int.intersect";
+  if a == b then a
+  else if a.empty then a
+  else if b.empty then b
+  else begin
+    let m = Array.init (a.n * a.n) (fun k -> min a.m.(k) b.m.(k)) in
+    let empty = canonicalize_arr a.n m in
+    mk a.n m empty
+  end
+
+let extrapolate mc z =
+  Metrics.incr c_extrapolate;
+  if not (Rational.is_integer mc) then
+    invalid_arg "Dbm_int.extrapolate: non-integer max constant";
+  if z.empty then z
+  else begin
+    let mci = ceil_int mc in
+    let m = Array.copy z.m in
+    if not (extrapolate_arr z.n m mci (-mci)) then z
+    else begin
+      ignore (canonicalize_arr z.n m);
+      mk z.n m false
+    end
+  end
+
+let extrapolate_lu ~lower ~upper z =
+  Metrics.incr c_extrapolate;
+  if z.empty then z
+  else begin
+    let m = Array.copy z.m in
+    if not (extrapolate_lu_arr z.n m lower upper) then z
+    else begin
+      ignore (canonicalize_arr z.n m);
+      mk z.n m false
+    end
+  end
+
+let sat z i j b =
+  Metrics.incr c_sat;
+  if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm_int.sat";
+  (not z.empty) && not (unsat_with z.n z.m i j (pack b))
+
+let loose z =
+  if z.empty then 0
+  else Array.fold_left (fun acc p -> if p = inf then acc + 1 else acc) 0 z.m
+
+(* Memoized structural hash over the packed entries; like {!Dbm} the
+   cost is once per distinct zone and [min_int] is the "uncomputed"
+   sentinel (shifted if the fold lands on it). *)
+let hash z =
+  if z.empty then 0
+  else if z.hmemo <> min_int then z.hmemo
+  else begin
+    let h =
+      Array.fold_left
+        (fun h p -> (h * 31) + if p = inf then 7 else p)
+        z.n z.m
+    in
+    let h = if h = min_int then min_int + 1 else h in
+    z.hmemo <- h;
+    h
+  end
+
+let equal a b =
+  a == b
+  || a.n = b.n && a.empty = b.empty
+     && (a.empty
+        || (a.hmemo = min_int || b.hmemo = min_int || a.hmemo = b.hmemo)
+           &&
+           let len = a.n * a.n in
+           let k = ref 0 in
+           let eq = ref true in
+           while !eq && !k < len do
+             if a.m.(!k) <> b.m.(!k) then eq := false;
+             incr k
+           done;
+           !eq)
+
+let pp fmt z =
+  if z.empty then Format.pp_print_string fmt "empty"
+  else begin
+    Format.fprintf fmt "@[<v>";
+    for i = 0 to z.n - 1 do
+      for j = 0 to z.n - 1 do
+        Format.fprintf fmt "%a " Dbm_bound.pp (get z i j)
+      done;
+      Format.fprintf fmt "@,"
+    done;
+    Format.fprintf fmt "@]"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scratch: allocation-free between [load] and [freeze].               *)
+
+module Scratch = struct
+  type scratch = { sn : int; sm : int array; mutable sempty : bool }
+
+  let create n =
+    if n < 1 then invalid_arg "Dbm_int.Scratch.create";
+    { sn = n; sm = Array.make (n * n) inf; sempty = true }
+
+  let load s z =
+    if s.sn <> z.n then invalid_arg "Dbm_int.Scratch.load";
+    Array.blit z.m 0 s.sm 0 (s.sn * s.sn);
+    s.sempty <- z.empty
+
+  let is_empty s = s.sempty
+
+  let constrain s i j b =
+    Metrics.incr c_constrain;
+    if i < 0 || i >= s.sn || j < 0 || j >= s.sn then
+      invalid_arg "Dbm_int.Scratch.constrain";
+    let b = pack b in
+    if (not s.sempty) && b < s.sm.((i * s.sn) + j) then
+      if unsat_with s.sn s.sm i j b then s.sempty <- true
+      else tighten_arr s.sn s.sm i j b
+
+  let up s =
+    Metrics.incr c_up;
+    if not s.sempty then up_arr s.sn s.sm
+
+  let reset s x =
+    Metrics.incr c_reset;
+    if x < 1 || x >= s.sn then invalid_arg "Dbm_int.Scratch.reset";
+    if not s.sempty then reset_arr s.sn s.sm x
+
+  let free s x =
+    Metrics.incr c_free;
+    if x < 1 || x >= s.sn then invalid_arg "Dbm_int.Scratch.free";
+    if not s.sempty then free_arr s.sn s.sm x
+
+  let extrapolate mc s =
+    Metrics.incr c_extrapolate;
+    if not (Rational.is_integer mc) then
+      invalid_arg "Dbm_int.Scratch.extrapolate: non-integer max constant";
+    let mci = ceil_int mc in
+    if (not s.sempty) && extrapolate_arr s.sn s.sm mci (-mci) then
+      ignore (canonicalize_arr s.sn s.sm)
+
+  let extrapolate_lu ~lower ~upper s =
+    Metrics.incr c_extrapolate;
+    if (not s.sempty) && extrapolate_lu_arr s.sn s.sm lower upper then
+      ignore (canonicalize_arr s.sn s.sm)
+
+  let sat s i j b =
+    Metrics.incr c_sat;
+    if i < 0 || i >= s.sn || j < 0 || j >= s.sn then
+      invalid_arg "Dbm_int.Scratch.sat";
+    (not s.sempty) && not (unsat_with s.sn s.sm i j (pack b))
+
+  let freeze s = mk s.sn (Array.copy s.sm) s.sempty
+end

@@ -26,6 +26,7 @@ let free = Dbm.free
 let intersect = Dbm.intersect
 let includes = Dbm.includes
 let extrapolate = Dbm.extrapolate
+let extrapolate_lu = Dbm.extrapolate_lu
 let sat = Dbm.sat
 let loose = Dbm.loose
 let equal = Dbm.equal
@@ -55,6 +56,40 @@ let ref_of_fast z =
   done;
   !r
 
+(* The int-kernel cross-check only makes sense while everything in the
+   pipeline is exactly representable as a packed integer; integrality
+   is probed at load and re-probed per operand, and the mirror simply
+   drops out of the pipeline (no verdict either way) on the first
+   non-integral value it sees — e.g. a margin-perturbed invariant. *)
+let int_q q = q.Tm_base.Rational.den = 1
+
+let int_bound = function
+  | Dbm_bound.Inf -> true
+  | Dbm_bound.Le q | Dbm_bound.Lt q -> int_q q
+
+let int_zone z =
+  let n = Dbm.dim z in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if not (int_bound (Dbm.get z i j)) then ok := false
+    done
+  done;
+  !ok
+
+let int_of_fast z =
+  let n = Dbm.dim z in
+  let r = ref (Dbm_int.top n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        match Dbm.get z i j with
+        | Dbm_bound.Inf -> ()
+        | b -> r := Dbm_int.constrain !r i j b
+    done
+  done;
+  !r
+
 (* Test hook: derange a frozen fast zone into a legitimately different
    zone using only public kernel operations, so the entry-by-entry
    comparison below must notice.  Tightening clock 1 against the
@@ -77,16 +112,21 @@ module Scratch = struct
   type scratch = {
     fast : Dbm.Scratch.scratch;
     refk : Dbm_ref.Scratch.scratch;
+    intk : Dbm_int.Scratch.scratch;
     mutable loads : int;  (** pipelines seen by this arena *)
     mutable checking : bool;  (** current pipeline is being mirrored *)
+    mutable int_checking : bool;
+        (** int kernel also mirrors this (so-far integral) pipeline *)
   }
 
   let create n =
     {
       fast = Dbm.Scratch.create n;
       refk = Dbm_ref.Scratch.create n;
+      intk = Dbm_int.Scratch.create n;
       loads = 0;
       checking = false;
+      int_checking = false;
     }
 
   let load s z =
@@ -94,30 +134,69 @@ module Scratch = struct
     let k = Paranoid.every () in
     s.loads <- s.loads + 1;
     s.checking <- k > 0 && s.loads mod k = 0;
+    s.int_checking <- false;
     if s.checking then begin
       Metrics.incr c_selfcheck;
-      Dbm_ref.Scratch.load s.refk (ref_of_fast z)
+      Dbm_ref.Scratch.load s.refk (ref_of_fast z);
+      if int_zone z then begin
+        s.int_checking <- true;
+        Dbm_int.Scratch.load s.intk (int_of_fast z)
+      end
     end
 
   let constrain s i j b =
     Dbm.Scratch.constrain s.fast i j b;
-    if s.checking then Dbm_ref.Scratch.constrain s.refk i j b
+    if s.checking then begin
+      Dbm_ref.Scratch.constrain s.refk i j b;
+      if s.int_checking then
+        if int_bound b then Dbm_int.Scratch.constrain s.intk i j b
+        else s.int_checking <- false
+    end
 
   let up s =
     Dbm.Scratch.up s.fast;
-    if s.checking then Dbm_ref.Scratch.up s.refk
+    if s.checking then begin
+      Dbm_ref.Scratch.up s.refk;
+      if s.int_checking then Dbm_int.Scratch.up s.intk
+    end
 
   let reset s x =
     Dbm.Scratch.reset s.fast x;
-    if s.checking then Dbm_ref.Scratch.reset s.refk x
+    if s.checking then begin
+      Dbm_ref.Scratch.reset s.refk x;
+      if s.int_checking then Dbm_int.Scratch.reset s.intk x
+    end
 
   let free s x =
     Dbm.Scratch.free s.fast x;
-    if s.checking then Dbm_ref.Scratch.free s.refk x
+    if s.checking then begin
+      Dbm_ref.Scratch.free s.refk x;
+      if s.int_checking then Dbm_int.Scratch.free s.intk x
+    end
 
   let extrapolate mc s =
     Dbm.Scratch.extrapolate mc s.fast;
-    if s.checking then Dbm_ref.Scratch.extrapolate mc s.refk
+    if s.checking then begin
+      Dbm_ref.Scratch.extrapolate mc s.refk;
+      if s.int_checking then
+        if int_q mc then Dbm_int.Scratch.extrapolate mc s.intk
+        else s.int_checking <- false
+    end
+
+  let extrapolate_lu ~lower ~upper s =
+    Dbm.Scratch.extrapolate_lu ~lower ~upper s.fast;
+    if s.checking then begin
+      Dbm_ref.Scratch.extrapolate_lu ~lower ~upper s.refk;
+      if s.int_checking then begin
+        (* The int kernel rounds non-integer L/U bounds up, which is
+           sound but no longer the same abstraction — only mirror an
+           exactly representable extrapolation. *)
+        let int_opt = function None -> true | Some q -> int_q q in
+        if Array.for_all int_opt lower && Array.for_all int_opt upper then
+          Dbm_int.Scratch.extrapolate_lu ~lower ~upper s.intk
+        else s.int_checking <- false
+      end
+    end
 
   let is_empty s =
     let fa = Dbm.Scratch.is_empty s.fast in
@@ -126,7 +205,14 @@ module Scratch = struct
       if fa <> ra then
         mismatch
           "selfcheck: emptiness disagrees mid-pipeline (fast=%b, ref=%b)" fa
-          ra
+          ra;
+      if s.int_checking then begin
+        let ia = Dbm_int.Scratch.is_empty s.intk in
+        if ia <> ra then
+          mismatch
+            "selfcheck: emptiness disagrees mid-pipeline (int=%b, ref=%b)" ia
+            ra
+      end
     end;
     fa
 
@@ -135,7 +221,13 @@ module Scratch = struct
     if s.checking then begin
       let ra = Dbm_ref.Scratch.sat s.refk i j b in
       if fa <> ra then
-        mismatch "selfcheck: sat(%d,%d) disagrees (fast=%b, ref=%b)" i j fa ra
+        mismatch "selfcheck: sat(%d,%d) disagrees (fast=%b, ref=%b)" i j fa ra;
+      if s.int_checking && int_bound b then begin
+        let ia = Dbm_int.Scratch.sat s.intk i j b in
+        if ia <> ra then
+          mismatch "selfcheck: sat(%d,%d) disagrees (int=%b, ref=%b)" i j ia
+            ra
+      end
     end;
     fa
 
@@ -163,6 +255,28 @@ module Scratch = struct
                 i j Dbm_bound.pp bf Dbm_bound.pp br
           done
         done
+      end;
+      (* Int-vs-ref leg of the cross-check: on an all-integral pipeline
+         the packed-int kernel must land on the very same zone. *)
+      if s.int_checking then begin
+        let zi = Dbm_int.Scratch.freeze s.intk in
+        let ie = Dbm_int.is_empty zi in
+        if ie <> re then
+          mismatch "selfcheck: frozen emptiness disagrees (int=%b, ref=%b)"
+            ie re;
+        if not ie then begin
+          let n = Dbm_ref.dim zr in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              let bi = Dbm_int.get zi i j and br = Dbm_ref.get zr i j in
+              if Dbm_bound.compare bi br <> 0 then
+                mismatch
+                  "selfcheck: frozen zone disagrees at (%d,%d): int %a, ref \
+                   %a"
+                  i j Dbm_bound.pp bi Dbm_bound.pp br
+            done
+          done
+        end
       end;
       zf
     end

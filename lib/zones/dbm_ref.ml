@@ -179,6 +179,49 @@ let extrapolate mc z =
     end
   end
 
+(* LU relaxation by the same constant-only rules as the fast kernel —
+   see {!Dbm.extrapolate_lu_arr}.  Straightforward copy-and-reclose. *)
+let extrapolate_lu ~lower ~upper z =
+  if z.empty then z
+  else begin
+    let n = z.n in
+    let m = Array.copy z.m in
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then
+          match m.((i * n) + j) with
+          | Inf -> ()
+          | Le c | Lt c -> (
+              let wipe =
+                match lower.(i) with
+                | None -> true
+                | Some l -> Rational.compare c l > 0
+              in
+              if wipe then begin
+                m.((i * n) + j) <- Inf;
+                changed := true
+              end
+              else
+                match upper.(j) with
+                | None ->
+                    m.((i * n) + j) <- Inf;
+                    changed := true
+                | Some u ->
+                    let nu = Rational.neg u in
+                    if Rational.compare c nu < 0 then begin
+                      m.((i * n) + j) <- Lt nu;
+                      changed := true
+                    end)
+      done
+    done;
+    if not !changed then z
+    else begin
+      ignore (canonicalize_arr n m);
+      { z with m }
+    end
+  end
+
 let sat z i j b = not (is_empty (constrain z i j b))
 
 let loose z =
@@ -219,6 +262,10 @@ module Scratch = struct
   let reset s x = s.cur <- reset s.cur x
   let free s x = s.cur <- free s.cur x
   let extrapolate mc s = s.cur <- extrapolate mc s.cur
+
+  let extrapolate_lu ~lower ~upper s =
+    s.cur <- extrapolate_lu ~lower ~upper s.cur
+
   let is_empty s = is_empty s.cur
   let sat s i j b = sat s.cur i j b
   let freeze s = s.cur

@@ -52,6 +52,23 @@ module type S = sig
   (** Max-constant extrapolation: bounds above [mc] become [Inf],
       bounds below [-mc] become [Lt (-mc)]. *)
 
+  val extrapolate_lu :
+    lower:Tm_base.Rational.t option array ->
+    upper:Tm_base.Rational.t option array ->
+    t ->
+    t
+  (** LU-bound extrapolation (Behrmann–Bouyer–Larsen–Pelánek): entry
+      [(i, j)] with constant [c] becomes [Inf] when [c > lower.(i)],
+      else [Lt (-upper.(j))] when [c < -upper.(j)].  [lower.(x)] /
+      [upper.(x)] are the largest constants appearing in lower-bound
+      (resp. upper-bound) comparisons against clock [x]; [None] means
+      no such comparison exists ([-inf]), which wipes the whole
+      row/column — clock-activity reduction falls out for free.  Index
+      [0] is the reference clock and must carry [Some 0].  Coarser than
+      (so at least as aggressive as) max-constant extrapolation when
+      the arrays dominate the constraint constants, and sound for
+      verdicts for the same reason. *)
+
   val sat : t -> int -> int -> Dbm_bound.t -> bool
   (** [sat z i j b]: is [z /\ (x_i - x_j <= b)] nonempty? *)
 
@@ -81,6 +98,15 @@ module type S = sig
     val reset : scratch -> int -> unit
     val free : scratch -> int -> unit
     val extrapolate : Tm_base.Rational.t -> scratch -> unit
+
+    val extrapolate_lu :
+      lower:Tm_base.Rational.t option array ->
+      upper:Tm_base.Rational.t option array ->
+      scratch ->
+      unit
+    (** In-place LU-bound extrapolation; see the persistent
+        [extrapolate_lu]. *)
+
     val is_empty : scratch -> bool
 
     val sat : scratch -> int -> int -> Dbm_bound.t -> bool

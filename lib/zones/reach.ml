@@ -52,6 +52,16 @@ exception Out_of_budget of exhausted
 
 type phase = Idle | Armed
 
+(* LU extrapolation is the default widening; TM_NO_LU=1 falls back to
+   classic max-constant extrapolation — the escape hatch CI uses to
+   keep the non-LU path covered, and the toggle the metamorphic
+   soundness tests flip.  Read per encoding, so one process can build
+   both modes in sequence. *)
+let lu_disabled () =
+  match Sys.getenv_opt "TM_NO_LU" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 module type S = sig
   val reachable :
     ?limit:int -> ?deadline_s:float -> ?domains:int ->
@@ -98,6 +108,9 @@ module Make (K : Dbm_sig.S) : S = struct
             ([-1] when classless) *)
     uppers : Dbm_bound.t option array;
         (** per class index: invariant bound [Le b_u] when finite *)
+    lu : (Rational.t option array * Rational.t option array) option;
+        (** per DBM clock LU-extrapolation bounds, [None] when LU is
+            disabled (fall back to max-constant widening) *)
   }
 
   let make_enc a bm ~with_observer ~cond_bounds =
@@ -138,14 +151,44 @@ module Make (K : Dbm_sig.S) : S = struct
           | Time.Inf -> None)
         cenc.Clock_enc.classes
     in
-    {
-      cenc;
-      nclocks = nreal + 1 + (if with_observer then 1 else 0);
-      y = (if with_observer then Some (nreal + 1) else None);
-      max_const;
-      guards;
-      uppers;
-    }
+    let nclocks = nreal + 1 + (if with_observer then 1 else 0) in
+    let y = if with_observer then Some (nreal + 1) else None in
+    let lu =
+      if lu_disabled () then None
+      else begin
+        (* L(x) / U(x) must dominate every constant the exploration
+           ever compares clock x against.  Class clocks only meet their
+           guard (x >= b_l, a lower comparison) and their invariant
+           (x <= b_u, an upper comparison) — {!Boundmap.lu_bounds}.
+           The observer clock is only met by the condition probes, and
+           those INVERT: [y < b_l] is an upper-type comparison (so b_l
+           feeds U(y)) and [y > b_u] is a lower-type one (so b_u feeds
+           L(y)).  The reference clock carries [Some 0] on both sides.
+           A clock with no comparison on a side keeps [None] (-inf)
+           there, which wipes the corresponding entries — inactive
+           clocks vanish from the zone for free. *)
+        let lower = Array.make nclocks None in
+        let upper = Array.make nclocks None in
+        lower.(0) <- Some Rational.zero;
+        upper.(0) <- Some Rational.zero;
+        Array.iteri
+          (fun i c ->
+            let l, u = Boundmap.lu_bounds bm c in
+            lower.(i + 1) <- l;
+            upper.(i + 1) <- u)
+          cenc.Clock_enc.classes;
+        (match (y, cond_bounds) with
+        | Some yi, Some iv ->
+            let bl = Interval.lo iv in
+            if Rational.sign bl > 0 then upper.(yi) <- Some bl;
+            (match Interval.hi iv with
+            | Time.Fin q -> lower.(yi) <- Some q
+            | Time.Inf -> ())
+        | Some _, None | None, _ -> ());
+        Some (lower, upper)
+      end
+    in
+    { cenc; nclocks; y; max_const; guards; uppers; lu }
 
   (* The job fingerprint ties a checkpoint to the run shape that wrote
      it: kernel, entry point, and the whole timing side of the encoding
@@ -154,8 +197,11 @@ module Make (K : Dbm_sig.S) : S = struct
      re-supplied at resume (closures do not marshal) and trusted to be
      the same program calling again. *)
   let fingerprint_of ~kind bm (enc : _ enc) =
-    Format.asprintf "tmjob1|kernel=%s|kind=%s|nclocks=%d|maxc=%a|alpha=%d|%a"
-      K.name kind enc.nclocks Rational.pp enc.max_const
+    Format.asprintf
+      "tmjob1|kernel=%s|widen=%s|kind=%s|nclocks=%d|maxc=%a|alpha=%d|%a"
+      K.name
+      (match enc.lu with Some _ -> "lu" | None -> "maxc")
+      kind enc.nclocks Rational.pp enc.max_const
       (Array.length enc.guards)
       (Format.pp_print_list
          ~pp_sep:(fun f () -> Format.pp_print_char f ',')
@@ -300,6 +346,16 @@ module Make (K : Dbm_sig.S) : S = struct
           v
     in
     let scr = K.Scratch.create enc.nclocks in
+    (* The one widening applied to every zone before it is stored —
+       LU-bound extrapolation by default, classic max-constant when
+       disabled.  Uniform across kernels and across the sequential,
+       speculative and seeding paths, so [zones.stored] stays identical
+       by construction whatever the kernel or domain count. *)
+    let widen scr =
+      match enc.lu with
+      | Some (lower, upper) -> K.Scratch.extrapolate_lu ~lower ~upper scr
+      | None -> K.Scratch.extrapolate enc.max_const scr
+    in
     let z_init = K.zero enc.nclocks in
     let edges = ref 0 in
     let zone_count = ref 0 in
@@ -633,7 +689,7 @@ module Make (K : Dbm_sig.S) : S = struct
                         | Some b -> K.Scratch.constrain scr (i + 1) 0 b
                         | None -> ()
                     done;
-                    K.Scratch.extrapolate enc.max_const scr;
+                    widen scr;
                     if not (K.Scratch.is_empty scr) then
                       add s' p' (K.Scratch.freeze scr)
               end)
@@ -707,7 +763,7 @@ module Make (K : Dbm_sig.S) : S = struct
                     | Some b -> K.Scratch.constrain scr (i + 1) 0 b
                     | None -> ()
                 done;
-                K.Scratch.extrapolate enc.max_const scr;
+                widen scr;
                 if K.Scratch.is_empty scr then `Dead
                 else `Succ (s', p', K.Scratch.freeze scr))
         (a.Ioa.delta s act)
@@ -777,7 +833,7 @@ module Make (K : Dbm_sig.S) : S = struct
                     | Some b -> K.Scratch.constrain scr (i + 1) 0 b
                     | None -> ()
                 done;
-                K.Scratch.extrapolate enc.max_const scr;
+                widen scr;
                 if not (K.Scratch.is_empty scr) then
                   add s0 p0 (K.Scratch.freeze scr))
               a.Ioa.start);
@@ -1004,6 +1060,58 @@ end
 
 module Default = Make (Dbm)
 module Ref = Make (Dbm_ref)
+module Int = Make (Dbm_int)
+
+(* Automatic kernel selection, decided per call: the packed-int kernel
+   whenever every constant the exploration will see is an integer —
+   the boundmap's endpoints and, for a condition check, the condition
+   bounds — and the fast rational kernel otherwise.  The check runs on
+   the arguments of each call, so a margin walk whose mediant probe
+   perturbs an integral boundmap into a non-integral one transparently
+   falls back to the rational kernel for exactly that probe.  The
+   fingerprints dispatch identically, so a checkpoint written through
+   [Auto] records which kernel actually ran and resumes on it. *)
+module Auto : S = struct
+  let pick bm : (module S) =
+    if Boundmap.is_integral bm then (module Int) else (module Default)
+
+  let integral_cond (c : _ Condition.t) =
+    Rational.is_integer (Interval.lo c.Condition.bounds)
+    &&
+    match Interval.hi c.Condition.bounds with
+    | Time.Fin q -> Rational.is_integer q
+    | Time.Inf -> true
+
+  let pick_cond bm c : (module S) =
+    if Boundmap.is_integral bm && integral_cond c then (module Int)
+    else (module Default)
+
+  let reachable ?limit ?deadline_s ?domains ?checkpoint ?resume a bm =
+    let (module E : S) = pick bm in
+    E.reachable ?limit ?deadline_s ?domains ?checkpoint ?resume a bm
+
+  let check_state_invariant ?limit ?deadline_s ?domains ?checkpoint ?resume a
+      bm pred =
+    let (module E : S) = pick bm in
+    E.check_state_invariant ?limit ?deadline_s ?domains ?checkpoint ?resume a
+      bm pred
+
+  let check_condition ?limit ?deadline_s ?domains ?checkpoint ?resume a bm c =
+    let (module E : S) = pick_cond bm c in
+    E.check_condition ?limit ?deadline_s ?domains ?checkpoint ?resume a bm c
+
+  let fingerprint_reachable a bm =
+    let (module E : S) = pick bm in
+    E.fingerprint_reachable a bm
+
+  let fingerprint_invariant a bm =
+    let (module E : S) = pick bm in
+    E.fingerprint_invariant a bm
+
+  let fingerprint_condition a bm c =
+    let (module E : S) = pick_cond bm c in
+    E.fingerprint_condition a bm c
+end
 
 (* Paranoid engine: the self-checking kernel, degrading to the
    reference engine when a checked pipeline disagrees.  The degraded

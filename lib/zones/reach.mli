@@ -6,8 +6,27 @@
     class fires or becomes (re-)enabled; an action of class [C] is
     guarded by [x_C >= b_l(C)]; every location carries the invariant
     [x_C <= b_u(C)] for each enabled class.  Zones are explored as
-    DBMs with max-constant extrapolation and inclusion subsumption —
-    exact verification, no time discretization.
+    DBMs with extrapolation and inclusion subsumption — exact
+    verification, no time discretization.
+
+    {b Widening.}  Zones are widened with LU-bound extrapolation: each
+    clock carries the largest constant it is compared against from
+    below (its guard constant [b_l]) and from above (its invariant
+    constant [b_u], plus the inverted condition-probe constants for the
+    observer clock), and entries beyond those per-clock bounds are
+    discarded.  LU is coarser than the classic max-constant widening —
+    the zone graph is smaller, often dramatically so on systems like
+    fischer — while verdicts are unchanged, because the per-clock
+    bounds dominate every constraint and probe the engine evaluates.  A
+    clock compared against nothing on a side is unbounded there, which
+    erases inactive clocks from zones entirely (clock-activity
+    reduction).  The widening is applied uniformly by all kernels and
+    on the sequential, speculative and seeding paths, so [zones.stored]
+    stays kernel- and domain-independent.  Setting [TM_NO_LU=1] in the
+    environment falls back to max-constant extrapolation (verdicts must
+    not change — the metamorphic suite in test/ checks exactly that);
+    the widening mode is part of the checkpoint fingerprint, so
+    snapshots never cross modes.
 
     A timing condition is checked by an observer with one extra clock
     [y], armed by the condition's triggers and disarmed by [Π]-actions
@@ -180,6 +199,19 @@ module Default : S
 module Ref : S
 (** The same exploration on the {!Dbm_ref} reference kernel — for the
     differential test/bench harness only. *)
+
+module Int : S
+(** The same exploration on the packed-int {!Dbm_int} kernel.  Only
+    sound on integral inputs (integer boundmap endpoints and condition
+    bounds); a non-integer constant raises [Invalid_argument] instead
+    of being truncated.  Prefer {!Auto}, which performs that check. *)
+
+module Auto : S
+(** Per-call kernel selection: {!Int} when the boundmap (and, for
+    condition checks, the condition bounds) are integral, {!Default}
+    otherwise.  This is the CLI's default engine.  Margin's mediant
+    walks perturb boundmaps to non-integral rationals, so their probes
+    transparently land back on the rational kernel. *)
 
 module Paranoid : S
 (** The fast kernel under a sampled in-flight self-check

@@ -8,6 +8,8 @@ module RM = Tm_systems.Resource_manager
 module IM = Tm_systems.Interrupt_manager
 module SR = Tm_systems.Signal_relay
 module D = Tm_core.Dummify
+module Reach = Tm_zones.Reach
+module Region = Tm_zones.Region
 open Gen
 
 let p = RM.params_of_ints ~k:3 ~c1:2 ~c2:3 ~l:1
@@ -80,6 +82,60 @@ let test_relay_exact_delay () =
       Alcotest.(check time_t) "n d1" (Time.of_int 4) lo;
       Alcotest.(check time_t) "n d2" (Time.of_int 12) hi
   | None -> Alcotest.fail "no SIGNAL_0 edges"
+
+(* The completeness analysis derives the relay window from the region
+   construction; the packed-int zone kernel (running under LU
+   widening) is an independent decision procedure and must certify the
+   very same window as tight, and agree with the region engine on the
+   reachable base states. *)
+let test_relay_window_matches_int_kernel () =
+  let rp = SR.params_of_ints ~n:4 ~d1:1 ~d2:3 in
+  let a =
+    Completeness.analyze ~source:(SR.impl rp) ~conds:[| SR.u_cond rp ~k:0 |] ()
+  in
+  (match
+     Completeness.bounds_after a
+       ~trigger:(fun _ act _ -> act = D.Base (SR.Signal 0))
+       ~cond:0
+   with
+  | None -> Alcotest.fail "no SIGNAL_0 edges"
+  | Some (lo, hi) -> (
+      match (lo, hi) with
+      | Time.Fin lo_q, Time.Fin hi_q ->
+          let line = SR.line rp and rbm = SR.boundmap rp in
+          let u bounds =
+            Tm_timed.Condition.make ~name:"U"
+              ~t_step:(fun _ act _ -> act = SR.Signal 0)
+              ~bounds
+              ~in_pi:(fun act -> act = SR.Signal rp.SR.n)
+              ()
+          in
+          (* whole-unit tightenings: the int kernel rejects non-integer
+             bounds, and the window is tight at integer granularity *)
+          let one = q 1 in
+          let v bounds = Reach.Int.check_condition line rbm (u bounds) in
+          Alcotest.(check bool) "analysis window verified by int kernel" true
+            (match v (Interval.make lo_q hi) with
+            | Reach.Verified _ -> true
+            | _ -> false);
+          Alcotest.(check bool) "upper - 1 refuted" true
+            (match
+               v (Interval.make lo_q (Time.Fin (Rational.sub hi_q one)))
+             with
+            | Reach.Upper_violation _ -> true
+            | _ -> false);
+          Alcotest.(check bool) "lower + 1 refuted" true
+            (match v (Interval.make (Rational.add lo_q one) hi) with
+            | Reach.Lower_violation _ -> true
+            | _ -> false)
+      | _ -> Alcotest.fail "relay window should be finite"));
+  let rp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2 in
+  let line = SR.line rp and rbm = SR.boundmap rp in
+  let _, zstates = Reach.Int.reachable line rbm in
+  let _, rstates = Region.reachable line rbm in
+  Alcotest.(check bool) "regions agree with the int kernel" true
+    (List.sort compare (List.map Array.to_list zstates)
+    = List.sort compare (List.map Array.to_list rstates))
 
 (* Theorem 7.1 is stated under the hypothesis that the conditions hold;
    with a condition the system violates, the constructed mapping must
@@ -168,6 +224,8 @@ let suite =
       test_thm_7_1_manager;
     Alcotest.test_case "Theorem 7.1 on the relay" `Quick test_thm_7_1_relay;
     Alcotest.test_case "relay exact delay" `Quick test_relay_exact_delay;
+    Alcotest.test_case "relay window certified by int kernel" `Quick
+      test_relay_window_matches_int_kernel;
     Alcotest.test_case "false spec rejected" `Quick
       test_completeness_needs_truth;
     Alcotest.test_case "dead states detected" `Quick test_dead_state_detected;

@@ -1,20 +1,23 @@
-(* Differential harness for the fast in-place DBM kernel.
+(* Differential harness for the DBM kernels.
 
-   Every random operation script runs through three interpreters — the
-   fast persistent API ({!Tm_zones.Dbm}), its destructive [Scratch]
-   API, and the reference kernel ({!Tm_zones.Dbm_ref}) — and must
-   produce identical canonical matrices, emptiness flags, [sat]
-   verdicts and pairwise inclusion verdicts after every single op.
-   Random boundmap automata then check the two engines fixpoint for
-   fixpoint: {!Tm_zones.Reach} (fast) and {!Tm_zones.Reach.Ref}
-   (reference) share one exploration discipline, so their stats and
-   reachable state sets must agree exactly. *)
+   Every random operation script runs through several interpreters —
+   the fast persistent API ({!Tm_zones.Dbm}), the destructive
+   [Scratch] APIs, the reference kernel ({!Tm_zones.Dbm_ref}) and, on
+   integral scripts, the packed-int kernel ({!Tm_zones.Dbm_int}) —
+   and must produce identical canonical matrices, emptiness flags,
+   [sat] verdicts and pairwise inclusion verdicts after every single
+   op.  Random boundmap automata then check the engines fixpoint for
+   fixpoint: {!Tm_zones.Reach} (fast), {!Tm_zones.Reach.Ref}
+   (reference), {!Tm_zones.Reach.Int} and the dispatching
+   {!Tm_zones.Reach.Auto} share one exploration discipline, so their
+   stats and reachable state sets must agree exactly. *)
 
 module Rational = Tm_base.Rational
 module Interval = Tm_base.Interval
 module Bnd = Tm_zones.Dbm_bound
 module Dbm = Tm_zones.Dbm
 module Dbm_ref = Tm_zones.Dbm_ref
+module Dbm_int = Tm_zones.Dbm_int
 module Reach = Tm_zones.Reach
 module Condition = Tm_timed.Condition
 
@@ -93,14 +96,15 @@ let run_persistent (type z) (module K : Tm_zones.Dbm_sig.S with type t = z)
     incl = !incl;
   }
 
-(* Interpret the same script with the fast kernel's destructive
-   Scratch API (intersect round-trips through freeze, the one
-   operation Scratch does not provide). *)
-let run_scratch (s : Gen.dbm_script) : trace =
+(* Interpret the same script with a kernel's destructive Scratch API
+   (intersect round-trips through freeze, the one operation Scratch
+   does not provide). *)
+let run_scratch (type z) (module K : Tm_zones.Dbm_sig.S with type t = z)
+    (s : Gen.dbm_script) : trace =
   let n = s.Gen.ds_clocks in
-  let module Sc = Dbm.Scratch in
+  let module Sc = K.Scratch in
   let scr = Sc.create n in
-  Sc.load scr (Dbm.top n);
+  Sc.load scr (K.top n);
   let step op =
     match op with
     | Gen.Constrain c ->
@@ -122,10 +126,10 @@ let run_scratch (s : Gen.dbm_script) : trace =
           List.fold_left
             (fun acc c ->
               let i, j, b = norm_constraint n c in
-              Dbm.constrain acc i j b)
-            (Dbm.top n) cs
+              K.constrain acc i j b)
+            (K.top n) cs
         in
-        Sc.load scr (Dbm.intersect (Sc.freeze scr) other);
+        Sc.load scr (K.intersect (Sc.freeze scr) other);
         None
     | Gen.Extrapolate m ->
         Sc.extrapolate (Rational.of_int m) scr;
@@ -137,8 +141,8 @@ let run_scratch (s : Gen.dbm_script) : trace =
         let sat = step op in
         let z = Sc.freeze scr in
         ( z :: zs,
-          Dbm.is_empty z :: es,
-          snapshot (module Dbm) z :: ms,
+          K.is_empty z :: es,
+          snapshot (module K) z :: ms,
           match sat with Some v -> v :: ss | None -> ss ))
       ([], [], [], [])
       s.Gen.ds_ops
@@ -147,7 +151,7 @@ let run_scratch (s : Gen.dbm_script) : trace =
   let incl = ref [] in
   for i = Array.length zones - 1 downto 0 do
     for j = Array.length zones - 1 downto 0 do
-      incl := Dbm.includes zones.(i) zones.(j) :: !incl
+      incl := K.includes zones.(i) zones.(j) :: !incl
     done
   done;
   {
@@ -182,7 +186,24 @@ let script_diff_fast_vs_ref =
 let script_diff_scratch_vs_persistent =
   Gen.check_holds "script: scratch replay == persistent fast" ~count:300
     ~print:Gen.print_dbm_script Gen.dbm_script (fun s ->
-      traces_equal (run_scratch s) (run_persistent (module Dbm) s))
+      traces_equal (run_scratch (module Dbm) s) (run_persistent (module Dbm) s))
+
+(* Three-way: on integral scripts the packed-int kernel must agree
+   op-for-op with both rational kernels — the unpacked snapshots and
+   every boolean verdict are compared after every single op. *)
+let script_diff_3way_int =
+  Gen.check_holds "script: int kernel == fast == ref (integral scripts)"
+    ~count:500 ~print:Gen.print_dbm_script Gen.int_dbm_script (fun s ->
+      let ti = run_persistent (module Dbm_int) s in
+      traces_equal ti (run_persistent (module Dbm) s)
+      && traces_equal ti (run_persistent (module Dbm_ref) s))
+
+let script_diff_int_scratch =
+  Gen.check_holds "script: int scratch replay == persistent int" ~count:300
+    ~print:Gen.print_dbm_script Gen.int_dbm_script (fun s ->
+      traces_equal
+        (run_scratch (module Dbm_int) s)
+        (run_persistent (module Dbm_int) s))
 
 (* ------------------------------------------------------------------ *)
 (* Engine-level differential on random boundmap automata.              *)
@@ -202,6 +223,25 @@ let fixpoint_diff =
       let aut, bm = Gen.build_boundmap_automaton r in
       reach_outcome (module Reach.Default) aut bm
       = reach_outcome (module Reach.Ref) aut bm)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* On integral automata the dispatching engine must (a) actually pick
+   the int kernel — visible in the checkpoint fingerprint — and
+   (b) agree with both the forced int engine and the reference. *)
+let fixpoint_diff_int_auto =
+  Gen.check_holds
+    "automaton: auto engine selects int kernel and agrees (integral)"
+    ~count:120 ~print:Gen.print_raut Gen.int_boundmap_automaton (fun r ->
+      let aut, bm = Gen.build_boundmap_automaton r in
+      Tm_timed.Boundmap.is_integral bm
+      && contains (Reach.Auto.fingerprint_reachable aut bm) "|kernel=int|"
+      && (let auto = reach_outcome (module Reach.Auto) aut bm in
+          auto = reach_outcome (module Reach.Int) aut bm
+          && auto = reach_outcome (module Reach.Ref) aut bm))
 
 (* Both kernels run the one shared exploration, so running out of the
    zone budget must be deterministic: same reason, same partial stats,
@@ -260,6 +300,38 @@ let margin_diff =
       margin_report (module Reach.Default) aut bm c
       = margin_report (module Reach.Ref) aut bm c)
 
+(* Margin regression for the int kernel: mediant probes perturb an
+   integral boundmap to non-integral rationals, which the packed-int
+   kernel rejects outright.  A caller who forced [--engine int] is
+   pinned back onto the rational engine by [Margin.probe_engine], and
+   the dispatching engine re-checks integrality per probe — both must
+   reproduce the rational report (thresholds, probe counts, critical
+   class) bit for bit, with no truncation and no exception. *)
+let margin_int_pin =
+  let module Margin = Tm_faults.Margin in
+  let margin_report (module E : Reach.S) aut bm c =
+    Margin.report ~eps_max:2 ~stable:5 ~max_probes:24 ~subject:"m"
+      ~check:(fun bm' ->
+        Margin.condition_status (module E) ~limit:2000 aut c bm')
+      bm
+  in
+  Gen.check_holds
+    "automaton: forced int engine is pinned to rational for margins"
+    ~count:30 ~print:Gen.print_raut Gen.int_boundmap_automaton (fun r ->
+      let aut, bm = Gen.build_boundmap_automaton r in
+      let c =
+        Condition.make ~name:"D"
+          ~t_step:(fun _ a _ -> a = 0)
+          ~bounds:(Interval.make Rational.zero (Tm_base.Time.Fin (Gen.q 3)))
+          ~in_pi:(fun a -> a = 0)
+          ()
+      in
+      let base = margin_report (module Reach.Default) aut bm c in
+      margin_report (Margin.probe_engine ~name:"int" (module Reach.Int)) aut
+        bm c
+      = base
+      && margin_report (module Reach.Auto) aut bm c = base)
+
 (* A couple of deterministic regressions pinning kernel corner cases
    the random scripts found valuable to keep explicit. *)
 let unit_empty_freeze () =
@@ -294,10 +366,14 @@ let suite =
   [
     script_diff_fast_vs_ref;
     script_diff_scratch_vs_persistent;
+    script_diff_3way_int;
+    script_diff_int_scratch;
     fixpoint_diff;
+    fixpoint_diff_int_auto;
     budget_diff;
     condition_diff;
     margin_diff;
+    margin_int_pin;
     Alcotest.test_case "scratch: unsat constrain empties and freezes" `Quick
       unit_empty_freeze;
     Alcotest.test_case "sat: O(1) formula matches definition" `Quick

@@ -1,12 +1,17 @@
 module Rational = Tm_base.Rational
 module Time = Tm_base.Time
+module Interval = Tm_base.Interval
 module Prng = Tm_base.Prng
 module Tstate = Tm_core.Tstate
 module Mapping = Tm_core.Mapping
 module Hierarchy = Tm_core.Hierarchy
+module Condition = Tm_timed.Condition
+module Reach = Tm_zones.Reach
 module SR = Tm_systems.Signal_relay
 module Simulator = Tm_sim.Simulator
 module Strategy = Tm_sim.Strategy
+module Measure = Tm_sim.Measure
+module D = Tm_core.Dummify
 open Gen
 
 let rp = SR.params_of_ints ~n:3 ~d1:1 ~d2:2
@@ -97,6 +102,64 @@ let test_broken_level_detected () =
   | Error e -> Alcotest.(check int) "failure at level 2" 2 e.Hierarchy.level_index
   | Ok _ -> Alcotest.fail "broken level must be detected"
 
+(* The mapping chain proves the end-to-end bound abstractly; the
+   packed-int zone kernel (running under LU widening) and the
+   simulator are two independent oracles for the same claim.  The int
+   kernel must certify exactly the chain's [n d1, n d2] window —
+   refuting both half-unit tightenings, so agreement is on the tight
+   interval — and every sampled execution must land inside it. *)
+let test_int_kernel_agrees_with_chain () =
+  let line = SR.line rp and rbm = SR.boundmap rp in
+  let iv = SR.delay_interval rp in
+  let u bounds =
+    Condition.make ~name:"U0n"
+      ~t_step:(fun _ a _ -> a = SR.Signal 0)
+      ~bounds
+      ~in_pi:(fun a -> a = SR.Signal rp.SR.n)
+      ()
+  in
+  (* the int kernel rejects non-integer bounds outright, so the
+     tightenings are whole units — still refuted, since the window is
+     tight at integer granularity *)
+  let one = q 1 in
+  let hi_q = match Interval.hi iv with Time.Fin q -> q | Time.Inf -> assert false in
+  let v bounds = Reach.Int.check_condition line rbm (u bounds) in
+  Alcotest.(check bool) "int kernel verifies [n d1, n d2]" true
+    (match v iv with Reach.Verified _ -> true | _ -> false);
+  Alcotest.(check bool) "upper - 1 refuted" true
+    (match
+       v (Interval.make (Interval.lo iv) (Time.Fin (Rational.sub hi_q one)))
+     with
+    | Reach.Upper_violation _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "lower + 1 refuted" true
+    (match
+       v (Interval.make (Rational.add (Interval.lo iv) one) (Interval.hi iv))
+     with
+    | Reach.Lower_violation _ -> true
+    | _ -> false);
+  let delays = ref [] in
+  for seed = 0 to 29 do
+    let prng = Prng.create seed in
+    let run =
+      Simulator.simulate ~steps:40
+        ~strategy:(Strategy.random ~prng ~denominator:2 ~cap:(q 2))
+        impl
+    in
+    let seq = Simulator.project run in
+    let at i =
+      Measure.occurrence_times (fun a -> a = D.Base (SR.Signal i)) seq
+    in
+    match (at 0, at rp.SR.n) with
+    | [ t0 ], [ tn ] -> delays := Rational.sub tn t0 :: !delays
+    | _ -> ()
+  done;
+  match Measure.envelope !delays with
+  | None -> Alcotest.fail "no complete relay traversals sampled"
+  | Some env ->
+      Alcotest.(check bool) "sampled delays within the verified window" true
+        (Measure.within iv env)
+
 let prop_chain_on_random_traces =
   check_holds "hierarchy holds on random traces"
     QCheck2.Gen.(int_range 0 150)
@@ -117,5 +180,7 @@ let suite =
     Alcotest.test_case "n=6 on a trace" `Quick test_larger_n_exec;
     Alcotest.test_case "broken level detected" `Quick
       test_broken_level_detected;
+    Alcotest.test_case "int kernel + simulator agree with the chain" `Quick
+      test_int_kernel_agrees_with_chain;
     prop_chain_on_random_traces;
   ]

@@ -146,6 +146,109 @@ let test_fractional_constants () =
   Alcotest.(check bool) "21/4 < 11/2 refuted" true
     (is_upper (Reach.check_condition fsys fbm tighter))
 
+(* --- Metamorphic LU-widening tests ----------------------------------
+   LU extrapolation is a pure state-space reduction: it may merge or
+   drop zones but must never change a verdict or the reachable base
+   states.  TM_NO_LU=1 switches every engine back to classic
+   max-constant extrapolation, giving a second, independent
+   implementation of the same semantics to diff against. *)
+
+let with_no_lu f =
+  (* restore the previous value, not blank: CI runs the whole suite
+     with TM_NO_LU=1, and these tests must not flip widening back on
+     for everything that runs after them *)
+  let prev = Sys.getenv_opt "TM_NO_LU" in
+  Unix.putenv "TM_NO_LU" "1";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "TM_NO_LU" (Option.value prev ~default:""))
+    f
+
+let verdict_tag = function
+  | Reach.Verified _ -> "verified"
+  | Reach.Lower_violation _ -> "lower"
+  | Reach.Upper_violation _ -> "upper"
+  | Reach.Unknown _ -> "unknown"
+  | Reach.Unsupported m -> "unsupported:" ^ m
+
+let zones_of = function
+  | Reach.Verified st | Reach.Lower_violation st | Reach.Upper_violation st
+    ->
+      st.Reach.zones
+  | Reach.Unknown e -> e.Reach.partial.Reach.zones
+  | Reach.Unsupported _ -> -1
+
+let test_lu_metamorphic_verdicts () =
+  let check (module E : Reach.S) name sys bm c =
+    let lu = E.check_condition sys bm c in
+    let off = with_no_lu (fun () -> E.check_condition sys bm c) in
+    Alcotest.(check string)
+      (name ^ ": verdict invariant under widening mode")
+      (verdict_tag off) (verdict_tag lu);
+    Alcotest.(check bool)
+      (name ^ ": LU stores no more zones than max-constant")
+      true
+      (zones_of lu <= zones_of off)
+  in
+  check (module Reach.Default) "manager G1" sys bm (RM.g1 p);
+  check (module Reach.Default) "manager G2" sys bm (RM.g2 p);
+  check (module Reach.Default) "manager refuted" sys bm
+    (g1_with (q 6) (Time.of_int 9));
+  let rp = SR.params_of_ints ~n:5 ~d1:1 ~d2:2 in
+  let u lo hi =
+    Condition.make ~name:"U"
+      ~t_step:(fun _ a _ -> a = SR.Signal 0)
+      ~bounds:(Interval.make lo hi)
+      ~in_pi:(fun a -> a = SR.Signal rp.SR.n)
+      ()
+  in
+  check (module Reach.Default) "relay verified" (SR.line rp)
+    (SR.boundmap rp)
+    (u (q 5) (Time.of_int 10));
+  check (module Reach.Int) "relay verified [int]" (SR.line rp)
+    (SR.boundmap rp)
+    (u (q 5) (Time.of_int 10));
+  check (module Reach.Int) "relay refuted [int]" (SR.line rp)
+    (SR.boundmap rp)
+    (u (q 5) (Time.of_int 9));
+  (* non-integral bounds exercise the rational kernels' LU path *)
+  let pf = RM.params ~k:2 ~c1:(qq 3 2) ~c2:(qq 5 2) ~l:(qq 1 2) in
+  check (module Reach.Default) "fractional manager" (RM.system pf)
+    (RM.boundmap pf) (RM.g1 pf);
+  check (module Reach.Ref) "fractional manager [ref]" (RM.system pf)
+    (RM.boundmap pf) (RM.g1 pf)
+
+let test_lu_metamorphic_reachable () =
+  let norm states = List.sort compare states in
+  let st_lu, r_lu = Reach.reachable sys bm in
+  let st_off, r_off = with_no_lu (fun () -> Reach.reachable sys bm) in
+  Alcotest.(check bool) "same reachable base states" true
+    (norm r_lu = norm r_off);
+  Alcotest.(check bool) "LU stores no more zones" true
+    (st_lu.Reach.zones <= st_off.Reach.zones);
+  (* and the int kernel agrees with the rational one, stat for stat *)
+  let st_int, r_int = Reach.Int.reachable sys bm in
+  Alcotest.(check bool) "int kernel: same stats" true (st_int = st_lu);
+  Alcotest.(check bool) "int kernel: same states" true
+    (norm r_int = norm r_lu)
+
+let test_lu_domain_invariance () =
+  (* LU widening happens per worker domain; the merged result must not
+     depend on how the frontier was split *)
+  let base, rbase = Reach.reachable ~domains:1 sys bm in
+  let rbase = List.sort compare rbase in
+  List.iter
+    (fun d ->
+      let st, r = Reach.reachable ~domains:d sys bm in
+      Alcotest.(check bool)
+        (Printf.sprintf "stats identical at domains=%d" d)
+        true (st = base);
+      Alcotest.(check bool)
+        (Printf.sprintf "states identical at domains=%d" d)
+        true
+        (List.sort compare r = rbase))
+    [ 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "manager bounds verified" `Quick
@@ -167,4 +270,10 @@ let suite =
       test_uncovered_class_rejected;
     Alcotest.test_case "fractional constants exact" `Quick
       test_fractional_constants;
+    Alcotest.test_case "LU metamorphic: verdicts" `Quick
+      test_lu_metamorphic_verdicts;
+    Alcotest.test_case "LU metamorphic: reachable set" `Quick
+      test_lu_metamorphic_reachable;
+    Alcotest.test_case "LU metamorphic: domain invariance" `Quick
+      test_lu_domain_invariance;
   ]
