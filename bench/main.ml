@@ -19,6 +19,7 @@
      E13 multi-core scaling of the zone engine
      E14 checkpoint overhead and exhaust-and-resume discipline
      E15 LU extrapolation ablation (zone counts with widening on/off)
+     E16 serving layer: verdict-cache duplicate suppression, admission
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
@@ -1053,12 +1054,102 @@ let e15 () =
         ()))
 
 (* ------------------------------------------------------------------ *)
+(* E16: the serving layer — duplicate suppression and load shedding.
+   In-process (no sockets): the daemon's catalog, cache and admission
+   modules are driven directly, measuring what `timedmap serve` claims
+   — a duplicate verdict is O(1) instead of a recomputation, and a
+   flood against a bounded queue is shed with priced retry hints
+   instead of queuing without bound.  Not part of the committed
+   baseline; CI runs it twice and bench-diffs the two sessions. *)
+
+let e16 () =
+  section "E16: serving layer — verdict cache and admission control";
+  let module Catalog = Tm_serve.Catalog in
+  let module Cache = Tm_serve.Cache in
+  let module Admission = Tm_serve.Admission in
+  let fischer =
+    match
+      Tm_obs.Json.of_string
+        "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3},\
+         \"item\":0}"
+    with
+    | Ok j -> j
+    | Error m -> failwith m
+  in
+  let job =
+    match Catalog.of_request fischer with
+    | Ok j -> j
+    | Error m -> failwith ("e16: " ^ m)
+  in
+  let t0 = Tm_obs.Tracing.now_s () in
+  let verdict =
+    match
+      job.Catalog.exec ~limit:None ~deadline_s:None ~domains:bench_domains
+        ~checkpoint:None ~resume:None
+    with
+    | Ok v -> Tm_obs.Json.to_string v
+    | Error e -> failwith ("e16: job exhausted: " ^ e.Reach.reason)
+  in
+  let cold_ms = (Tm_obs.Tracing.now_s () -. t0) *. 1000. in
+  let cache = Cache.create () in
+  Cache.store cache ~fingerprint:job.Catalog.fingerprint verdict;
+  let hits = 10_000 in
+  let bytes_stable = ref true in
+  let t0 = Tm_obs.Tracing.now_s () in
+  for _ = 1 to hits do
+    match Cache.find cache ~fingerprint:job.Catalog.fingerprint with
+    | Some v -> if not (String.equal v verdict) then bytes_stable := false
+    | None -> bytes_stable := false
+  done;
+  let hit_us = (Tm_obs.Tracing.now_s () -. t0) *. 1e6 /. float_of_int hits in
+  row "%-36s %-12s %-12s %s\n" "duplicate suppression" "cold (ms)" "hit (us)"
+    "bytes";
+  row "%-36s %-12.2f %-12.3f %s\n"
+    (Printf.sprintf "fischer n=3 verify, %d hits" hits)
+    cold_ms hit_us
+    (if !bytes_stable then "AGREE" else "DISAGREE");
+  (* flood a queue of depth 4 with 64 requests over 8 distinct jobs:
+     the four queued jobs keep absorbing their duplicates, the other
+     four are shed every time with a positive retry hint *)
+  let adm = Admission.create ~max_depth:4 in
+  let admitted = ref 0 and coalesced = ref 0 and shed = ref 0 in
+  let hints_priced = ref true in
+  for i = 0 to 63 do
+    let fp = Printf.sprintf "job-%d" (i mod 8) in
+    match
+      Admission.try_admit adm ~fingerprint:fp ~request:Tm_obs.Json.Null i
+    with
+    | Admission.Admitted _ -> incr admitted
+    | Admission.Coalesced _ -> incr coalesced
+    | Admission.Shed h ->
+        incr shed;
+        if h <= 0. then hints_priced := false
+  done;
+  let rec run_all n =
+    match Admission.pop adm with
+    | None -> n
+    | Some j ->
+        Admission.finished adm j ~note_wall_s:0.01;
+        run_all (n + 1)
+  in
+  let ran = run_all 0 in
+  let discipline =
+    !admitted + !coalesced + !shed = 64
+    && ran = !admitted && !admitted = 4 && !hints_priced
+  in
+  row "\n%-36s %-10s %-10s %-7s %-6s %s\n" "admission flood (queue=4)"
+    "admitted" "coalesced" "shed" "ran" "discipline";
+  row "%-36s %-10d %-10d %-7d %-6d %s\n" "64 requests, 8 distinct jobs"
+    !admitted !coalesced !shed ran
+    (if discipline then "AGREE" else "DISAGREE")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
 let () =

@@ -1590,6 +1590,191 @@ let bench_diff_cmd =
           wall-clock time within --max-regress percent.")
     Term.(const run $ old_arg $ new_arg $ max_regress_arg $ ignore_arg)
 
+(* ------------------------------------------------------------------ *)
+(* the verification daemon and its client *)
+
+module Server = Tm_serve.Server
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "timedmap.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable state: verdict cache and job checkpoints. Without \
+             it the daemon still serves, but a restart forgets verdicts \
+             and in-flight progress.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue depth. A request arriving on a full queue \
+             is shed: answered UNKNOWN with a retry hint, never left \
+             hanging.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Per-job zone budget cap (and default). Requests may ask \
+             for less, never for more.")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value & opt float 30_000.
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-job wall-clock cap (and default).")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Supervisor attempts per job: contained worker failures and \
+             checkpoint-chained budget exhaustions retry up to $(docv) \
+             times with jittered backoff.")
+  in
+  let run socket state_dir queue max_states max_deadline_ms attempts ename
+      () obs =
+    if queue < 0 then failwith "--queue must be >= 0";
+    if max_states < 1 then failwith "--max-states must be >= 1";
+    if attempts < 1 then failwith "--attempts must be >= 1";
+    engine_name := ename;
+    let cfg =
+      {
+        (Server.default_config ~socket_path:socket) with
+        Server.state_dir;
+        max_queue = queue;
+        max_limit = Some max_states;
+        max_deadline_s = Some (max_deadline_ms /. 1000.);
+        domains = !ndomains;
+        attempts;
+        default_engine = ename;
+      }
+    in
+    with_obs "serve" obs (fun () ->
+        match Server.run cfg with
+        | () -> ()
+        | exception Server.Already_running path ->
+            Format.eprintf
+              "serve: %s is live — another daemon answered; refusing to \
+               steal the socket@."
+              path;
+            exit 3
+        | exception Unix.Unix_error (err, syscall, arg) ->
+            Format.eprintf "serve: %s %s: %s@." syscall arg
+              (Unix.error_message err);
+            exit 3)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running verification daemon: length-prefixed JSON jobs \
+          over a Unix socket, with admission control, verdict caching \
+          and crash tolerance")
+    Term.(
+      const run $ socket_arg $ state_dir_arg $ queue_arg $ max_states_arg
+      $ max_deadline_arg $ attempts_arg $ engine_arg $ domains_term
+      $ obs_term)
+
+let client_cmd =
+  let requests_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request JSON objects, or the bare words $(b,ping), \
+             $(b,stats), $(b,shutdown). All requests are pipelined, \
+             then every response is printed as one NDJSON line.")
+  in
+  let run socket requests =
+    if requests = [] then failwith "client: no requests given";
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect sock (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+        Format.eprintf "client: cannot connect to %s: %s@." socket
+          (Unix.error_message err);
+        exit 3);
+    (* Tag each request with an id so pipelined responses (which may
+       arrive out of order: cache hits and sheds answer immediately,
+       computed jobs later) stay attributable. *)
+    List.iteri
+      (fun i req ->
+        let payload =
+          if String.length req > 0 && req.[0] = '{' then
+            match Json.of_string req with
+            | Ok (Json.Obj kvs) when not (List.mem_assoc "id" kvs) ->
+                Json.to_string (Json.Obj (("id", Json.Int i) :: kvs))
+            | _ -> req
+          else Json.to_string (Json.Obj [ ("id", Json.Int i);
+                                          ("op", Json.String req) ])
+        in
+        Tm_serve.Protocol.write_frame sock payload)
+      requests;
+    let worst = ref 0 in
+    let note_status = function
+      | Some "error" -> worst := max !worst 2
+      | Some "unknown" -> worst := max !worst 1
+      | _ -> ()
+    in
+    let stdout_open = ref true in
+    (* one reader for the whole connection: pipelined responses may
+       coalesce into a single read, and the surplus frames live in the
+       reader between calls *)
+    let rd = Tm_serve.Protocol.reader () in
+    let rec read_all n =
+      if n > 0 then
+        match Tm_serve.Protocol.read_frame_with rd sock with
+        | None ->
+            Format.eprintf "client: daemon closed after %d of %d responses@."
+              (List.length requests - n)
+              (List.length requests);
+            worst := max !worst 2
+        | Some payload ->
+            (match Json.of_string payload with
+            | Ok doc -> note_status (Tm_serve.Protocol.status_of_response doc)
+            | Error _ -> worst := max !worst 2);
+            (if !stdout_open then
+               (* a consumer that stopped reading (head, closed pipe) must
+                  not kill the client: stop printing, keep draining so the
+                  exit code still reflects every response *)
+               try
+                 print_string payload;
+                 print_newline ();
+                 flush stdout
+               with Sys_error _ -> stdout_open := false);
+            read_all (n - 1)
+    in
+    (match read_all (List.length requests) with
+    | () -> ()
+    | exception Failure m ->
+        Format.eprintf "client: %s@." m;
+        worst := max !worst 2
+    | exception Unix.Unix_error (err, _, _) ->
+        Format.eprintf "client: %s@." (Unix.error_message err);
+        worst := max !worst 2);
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    match !worst with 0 -> () | 1 -> exit 4 | _ -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running $(b,timedmap serve) daemon and \
+          print the NDJSON responses")
+    Term.(const run $ socket_arg $ requests_arg)
+
 let () =
   (* Signals are routed through the supervisor for every subcommand, so
      a Ctrl-C still flushes --metrics-out/--trace-out (the with_obs
@@ -1600,7 +1785,8 @@ let () =
     Cmd.group
       (Cmd.info "timedmap" ~version ~doc)
       [ simulate_cmd; check_cmd; verify_cmd; run_cmd; margin_cmd; map_cmd;
-        exact_cmd; progress_cmd; obs_cmd; bench_diff_cmd ]
+        exact_cmd; progress_cmd; obs_cmd; bench_diff_cmd; serve_cmd;
+        client_cmd ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code

@@ -103,11 +103,22 @@ let set_progress_channel oc =
   p_last := neg_infinity;
   p_shown := false
 
+(* The progress line shares the telemetry discipline: a vanished
+   reader (closed stderr, broken pipe) detaches the repaint instead of
+   killing the run it decorates. *)
+let p_write s =
+  try
+    output_string !p_chan s;
+    flush !p_chan;
+    true
+  with Sys_error _ ->
+    p_on := false;
+    p_shown := false;
+    false
+
 let progress_clear () =
   if !p_shown then begin
-    output_string !p_chan "\r\027[K";
-    flush !p_chan;
-    p_shown := false
+    if p_write "\r\027[K" then p_shown := false
   end
 
 let progress ?eta_s ~stored ~frontier ~rate () =
@@ -123,12 +134,12 @@ let progress ?eta_s ~stored ~frontier ~rate () =
         | Some e when e >= 0. -> Printf.sprintf "%.0fs" e
         | _ -> "-"
       in
-      output_string !p_chan
-        (Printf.sprintf
-           "\r\027[K[timedmap] zones=%d frontier=%d rate=%.0f/s \
-            heap=%.1fMw eta=%s"
-           stored frontier rate heap_mw eta);
-      flush !p_chan;
-      p_shown := true
+      if
+        p_write
+          (Printf.sprintf
+             "\r\027[K[timedmap] zones=%d frontier=%d rate=%.0f/s \
+              heap=%.1fMw eta=%s"
+             stored frontier rate heap_mw eta)
+      then p_shown := true
     end
   end

@@ -25,7 +25,14 @@ let install_handlers () =
   if not !installed then begin
     installed := true;
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    (* With the default disposition a reader going away (events piped
+       into [head], a serve client disconnecting mid-response) kills
+       the whole process with SIGPIPE before any OCaml code can react.
+       Ignoring it turns the condition into EPIPE / [Sys_error], which
+       the individual writers handle by detaching their sink. *)
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+    with Invalid_argument _ -> ()
   end
 
 let graceful f =
@@ -34,16 +41,39 @@ let graceful f =
 
 type 'a attempt = Done of 'a | Transient of string
 
-let with_retries ?(attempts = 3) ?(backoff_s = 0.5) ?(sleep = Unix.sleepf)
+let with_retries ?(attempts = 3) ?(backoff_s = 0.5) ?jitter ?max_backoff_s
+    ?(sleep = Unix.sleepf)
     ?(on_retry = fun ~attempt:_ ~delay_s:_ ~reason:_ -> ()) f =
   if attempts < 1 then invalid_arg "Supervisor.with_retries: attempts < 1";
   if backoff_s < 0. then invalid_arg "Supervisor.with_retries: backoff_s < 0";
+  (match max_backoff_s with
+  | Some m when m < backoff_s ->
+      invalid_arg "Supervisor.with_retries: max_backoff_s < backoff_s"
+  | _ -> ());
+  let cap d = match max_backoff_s with Some m -> Float.min m d | None -> d in
+  (* Decorrelated-jitter state: the previous slept delay.  Without a
+     PRNG the schedule is the historical pure exponential. *)
+  let prev = ref backoff_s in
+  let next_delay k =
+    match jitter with
+    | None -> cap (backoff_s *. (2. ** float_of_int (k - 1)))
+    | Some g ->
+        (* sleep_k ~ uniform [base, 3 * sleep_{k-1}], capped — a fleet
+           of retriers decorrelates instead of thundering in lockstep,
+           yet the schedule is a pure function of the injected PRNG. *)
+        let hi = Float.max backoff_s (3. *. !prev) in
+        let d =
+          cap (backoff_s +. (Tm_base.Prng.float g *. (hi -. backoff_s)))
+        in
+        prev := d;
+        d
+  in
   let rec go k =
     match f ~attempt:k with
     | Done v -> Ok v
     | Transient reason when k < attempts ->
         Metrics.incr c_retries;
-        let delay_s = backoff_s *. (2. ** float_of_int (k - 1)) in
+        let delay_s = next_delay k in
         Tm_obs.Events.emit "recover.retry"
           [
             ("attempt", Tm_obs.Json.Int k);

@@ -52,16 +52,30 @@ type 'a attempt = Done of 'a | Transient of string
 val with_retries :
   ?attempts:int ->
   ?backoff_s:float ->
+  ?jitter:Tm_base.Prng.t ->
+  ?max_backoff_s:float ->
   ?sleep:(float -> unit) ->
   ?on_retry:(attempt:int -> delay_s:float -> reason:string -> unit) ->
   (attempt:int -> 'a attempt) ->
   ('a, string) result
 (** [with_retries f] calls [f ~attempt:1], then [~attempt:2], ... up to
-    [attempts] (default 3) times, sleeping [backoff_s * 2^(k-1)]
-    (default base 0.5 s) between attempt [k] and [k+1] and incrementing
-    the [recover.retries] counter.  [Error reason] carries the last
-    transient reason once attempts are exhausted.  [on_retry] is called
-    before each backoff sleep; [sleep] (default [Unix.sleepf]) is
-    injectable so tests run instantly.  An {!Interrupted} raised by the
-    attempt propagates — interrupts are never retried.
-    @raise Invalid_argument if [attempts < 1] or [backoff_s < 0]. *)
+    [attempts] (default 3) times, sleeping between attempt [k] and
+    [k+1] and incrementing the [recover.retries] counter.
+
+    Without [jitter] the delay before retry [k+1] is the historical
+    pure exponential [backoff_s * 2^(k-1)] (default base 0.5 s).  With
+    [jitter] the schedule uses {e decorrelated jitter}: each delay is
+    drawn uniformly from [[backoff_s, 3 * previous_delay]], so a fleet
+    of retrying clients spreads out instead of thundering back in
+    lockstep — and because the draw comes from the injected
+    deterministic {!Tm_base.Prng.t}, the whole schedule is a pure
+    function of the seed (pin the seed, pin the schedule).  Either
+    schedule is clamped to [max_backoff_s] when given.
+
+    [Error reason] carries the last transient reason once attempts are
+    exhausted.  [on_retry] is called before each backoff sleep; [sleep]
+    (default [Unix.sleepf]) is injectable so tests run instantly.  An
+    {!Interrupted} raised by the attempt propagates — interrupts are
+    never retried.
+    @raise Invalid_argument if [attempts < 1], [backoff_s < 0], or
+    [max_backoff_s < backoff_s]. *)

@@ -1,0 +1,81 @@
+module Metrics = Tm_obs.Metrics
+
+let c_admitted = Metrics.counter "serve.admitted"
+let c_coalesced = Metrics.counter "serve.coalesced"
+let c_shed = Metrics.counter "serve.shed"
+let g_depth = Metrics.gauge "serve.queue_depth"
+let g_depth_max = Metrics.gauge "serve.queue_depth_max"
+
+type 'r job = {
+  fingerprint : string;
+  request : Tm_obs.Json.t;
+  mutable respondents : 'r list;
+}
+
+type 'r t = {
+  max_depth : int;
+  q : 'r job Queue.t;
+  (* fingerprint -> pending job (queued or running): the coalescing
+     index.  Entries leave at [finished], not at [pop], so a request
+     arriving while its twin computes still piggybacks. *)
+  pending : (string, 'r job) Hashtbl.t;
+  mutable ewma_s : float;  (** recent job wall time; prices retry hints *)
+}
+
+let create ~max_depth =
+  if max_depth < 0 then invalid_arg "Admission.create: max_depth < 0";
+  { max_depth; q = Queue.create (); pending = Hashtbl.create 16; ewma_s = 0.1 }
+
+let depth t = Queue.length t.q
+
+let set_depth_gauges t =
+  let d = float_of_int (depth t) in
+  Metrics.set g_depth d;
+  Metrics.set_max g_depth_max d
+
+let retry_hint_s t =
+  (* Everything ahead of a hypothetical re-submission, priced at the
+     recent per-job wall time, floored so a hint is never "retry
+     immediately" during a flood. *)
+  Float.max 0.1 (t.ewma_s *. float_of_int (depth t + 1))
+
+type 'r admitted = Admitted of 'r job | Coalesced of 'r job | Shed of float
+
+let try_admit t ~fingerprint ~request r =
+  match Hashtbl.find_opt t.pending fingerprint with
+  | Some job ->
+      job.respondents <- r :: job.respondents;
+      Metrics.incr c_coalesced;
+      Coalesced job
+  | None ->
+      if Queue.length t.q >= t.max_depth then begin
+        Metrics.incr c_shed;
+        Shed (retry_hint_s t)
+      end
+      else begin
+        let job = { fingerprint; request; respondents = [ r ] } in
+        Queue.add job t.q;
+        Hashtbl.replace t.pending fingerprint job;
+        Metrics.incr c_admitted;
+        set_depth_gauges t;
+        Admitted job
+      end
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some job ->
+      set_depth_gauges t;
+      Some job
+
+let finished t job ~note_wall_s =
+  Hashtbl.remove t.pending job.fingerprint;
+  if note_wall_s >= 0. then
+    t.ewma_s <- (0.7 *. t.ewma_s) +. (0.3 *. note_wall_s)
+
+let drain t =
+  let jobs = List.of_seq (Queue.to_seq t.q) in
+  Queue.clear t.q;
+  List.iter (fun j -> Hashtbl.remove t.pending j.fingerprint) jobs;
+  set_depth_gauges t;
+  jobs

@@ -1,0 +1,472 @@
+module Json = Tm_obs.Json
+module Metrics = Tm_obs.Metrics
+module Events = Tm_obs.Events
+module Prng = Tm_base.Prng
+module Supervisor = Tm_recover.Supervisor
+module Snapshot = Tm_recover.Snapshot
+module Reach = Tm_zones.Reach
+
+let c_conns = Metrics.counter "serve.conns"
+let c_frames = Metrics.counter "serve.frames"
+let c_bad_frame = Metrics.counter "serve.bad_frame"
+let c_oversized = Metrics.counter "serve.oversized"
+let c_truncated = Metrics.counter "serve.truncated"
+let c_rejected = Metrics.counter "serve.rejected"
+let c_jobs = Metrics.counter "serve.jobs"
+let c_job_ok = Metrics.counter "serve.job_ok"
+let c_job_unknown = Metrics.counter "serve.job_unknown"
+let c_job_error = Metrics.counter "serve.job_error"
+let c_epipe = Metrics.counter "serve.epipe"
+let c_drained = Metrics.counter "serve.drained"
+
+type config = {
+  socket_path : string;
+  state_dir : string option;
+  max_queue : int;
+  max_frame : int;
+  max_limit : int option;
+  max_deadline_s : float option;
+  domains : int;
+  attempts : int;
+  backoff_s : float;
+  default_engine : string;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    state_dir = None;
+    max_queue = 16;
+    max_frame = Protocol.default_max_frame;
+    max_limit = Some 200_000;
+    max_deadline_s = Some 30.;
+    domains = 1;
+    attempts = 3;
+    backoff_s = 0.05;
+    default_engine = "auto";
+  }
+
+exception Already_running of string
+
+(* ------------------------------------------------------------------ *)
+(* connections *)
+
+type conn = {
+  fd : Unix.file_descr;
+  rd : Protocol.reader;
+  mutable alive : bool;
+}
+
+type respondent = { r_conn : conn; r_id : Json.t option }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  cache : Cache.t;
+  adm : respondent Admission.t;
+  mutable running : bool;
+}
+
+let drop_conn t c =
+  if c.alive then begin
+    c.alive <- false;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c' -> c' != c) t.conns
+  end
+
+(* A vanished peer is routine, not fatal: detach and count it.  SIGPIPE
+   is already ignored ([Supervisor.install_handlers]), so a write to a
+   dead socket surfaces as EPIPE here instead of killing the daemon. *)
+let respond t (r : respondent) doc =
+  if r.r_conn.alive then begin
+    let doc =
+      match (r.r_id, doc) with
+      | Some id, Json.Obj kvs -> Json.Obj (("id", id) :: kvs)
+      | _ -> doc
+    in
+    try Protocol.write_frame r.r_conn.fd (Json.to_string doc)
+    with Unix.Unix_error _ | Sys_error _ ->
+      Metrics.incr c_epipe;
+      Events.emit "serve.conn" [ ("op", Json.String "epipe") ];
+      drop_conn t r.r_conn
+  end
+
+(* ------------------------------------------------------------------ *)
+(* budgets *)
+
+let clamp_limit cap req =
+  match (cap, req) with
+  | None, r -> r
+  | Some c, None -> Some c
+  | Some c, Some r -> Some (min c (max 1 r))
+
+let clamp_deadline cap req =
+  match (cap, req) with
+  | None, r -> r
+  | Some c, None -> Some c
+  | Some c, Some r -> Some (Float.min c (Float.max 0.01 r))
+
+let zones_of_info info =
+  try Scanf.sscanf info "zones=%d" (fun z -> z) with _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* job execution: bounded retries, checkpoint chaining, containment *)
+
+type job_result =
+  | R_ok of Json.t  (** definite verdict — cacheable *)
+  | R_unknown of string  (** budget / interrupt — retryable by client *)
+  | R_error of string  (** contained failure *)
+
+let checkpoint_path t fingerprint =
+  Option.map
+    (fun d -> Filename.concat d (Cache.digest fingerprint ^ ".ckpt"))
+    t.cfg.state_dir
+
+(* Adopt a checkpoint a killed daemon left behind — but only one that
+   provably belongs to this job (fingerprint match) and is readable
+   (CRC); anything else is deleted, not trusted. *)
+let stale_checkpoint t fingerprint =
+  match checkpoint_path t fingerprint with
+  | Some p when Sys.file_exists p -> (
+      match Snapshot.inspect p with
+      | fp, _info when String.equal fp fingerprint -> Some p
+      | _ ->
+          (try Sys.remove p with Sys_error _ -> ());
+          None
+      | exception Snapshot.Bad_snapshot _ ->
+          (try Sys.remove p with Sys_error _ -> ());
+          None)
+  | _ -> None
+
+let run_job t (job : Catalog.job) =
+  Metrics.incr c_jobs;
+  let limit0 = clamp_limit t.cfg.max_limit job.Catalog.req_limit in
+  let deadline_s =
+    clamp_deadline t.cfg.max_deadline_s job.Catalog.req_deadline_s
+  in
+  let ckpt = checkpoint_path t job.Catalog.fingerprint in
+  let checkpoint = Option.map (fun p -> (p, 512)) ckpt in
+  let next_resume = ref (stale_checkpoint t job.Catalog.fingerprint) in
+  let last_reason = ref "budget exhausted" in
+  let attempt ~attempt:_ =
+    if Supervisor.interrupt_requested () then
+      Supervisor.Done (R_unknown "interrupted: daemon shutting down")
+    else
+      let resume = !next_resume in
+      let limit =
+        (* re-base the zone budget on restored progress so every
+           chained attempt gets [limit0] fresh zones *)
+        match (limit0, resume) with
+        | Some b, Some path -> (
+            match Snapshot.inspect path with
+            | _, info -> Some (zones_of_info info + b)
+            | exception _ -> Some b)
+        | Some b, None -> Some b
+        | None, _ -> None
+      in
+      match
+        job.Catalog.exec ~limit ~deadline_s ~domains:t.cfg.domains
+          ~checkpoint ~resume
+      with
+      | Ok v -> Supervisor.Done (R_ok v)
+      | Error (e : Reach.exhausted) ->
+          last_reason := e.Reach.reason;
+          (match e.Reach.checkpoint with
+          | Some _ as ck -> next_resume := ck
+          | None -> ());
+          if Supervisor.interrupt_requested () then
+            Supervisor.Done (R_unknown e.Reach.reason)
+          else if e.Reach.checkpoint <> None && job.Catalog.checkpointable
+          then Supervisor.Transient e.Reach.reason
+          else Supervisor.Done (R_unknown e.Reach.reason)
+      | exception Supervisor.Interrupted ->
+          Supervisor.Done (R_unknown "interrupted: daemon shutting down")
+      | exception ex ->
+          (* contain the worker: a crashing job is this job's problem *)
+          Supervisor.Transient (Printexc.to_string ex)
+  in
+  (* decorrelated jitter, deterministically seeded per fingerprint: a
+     fleet of retries spreads out, a repeated run replays exactly *)
+  let jitter =
+    Prng.create (Snapshot.crc32 (Bytes.of_string job.Catalog.fingerprint))
+  in
+  let result =
+    match
+      Supervisor.with_retries ~attempts:t.cfg.attempts
+        ~backoff_s:t.cfg.backoff_s ~jitter ~max_backoff_s:2.0 attempt
+    with
+    | Ok r -> r
+    | Error reason ->
+        if !last_reason = reason then R_unknown reason else R_error reason
+  in
+  (match result with
+  | R_ok v ->
+      Metrics.incr c_job_ok;
+      Cache.store t.cache ~fingerprint:job.Catalog.fingerprint
+        (Json.to_string v)
+  | R_unknown _ -> Metrics.incr c_job_unknown
+  | R_error _ -> Metrics.incr c_job_error);
+  Events.emit "serve.job"
+    [
+      ("label", Json.String job.Catalog.label);
+      ("op", Json.String job.Catalog.op);
+      ("status",
+       Json.String
+         (match result with
+         | R_ok _ -> "ok"
+         | R_unknown _ -> "unknown"
+         | R_error _ -> "error"));
+    ];
+  result
+
+let response_of_result t ?cached result =
+  match result with
+  | R_ok v -> Protocol.response ?cached ~verdict:v ~status:"ok" ()
+  | R_unknown reason ->
+      Protocol.response ~reason
+        ~retry_after_s:(Admission.retry_hint_s t.adm)
+        ~status:"unknown" ()
+  | R_error e -> Protocol.response ~error:e ~status:"error" ()
+
+(* ------------------------------------------------------------------ *)
+(* dispatch *)
+
+let stats_doc t =
+  let snap = Metrics.snapshot () in
+  let c name = (name, Json.Int (Metrics.counter_total snap ("serve." ^ name))) in
+  Json.Obj
+    [
+      ("queue_depth", Json.Int (Admission.depth t.adm));
+      ("cache_entries", Json.Int (Cache.size t.cache));
+      c "conns"; c "frames"; c "admitted"; c "coalesced"; c "shed";
+      c "cache_hit"; c "cache_miss"; c "cache_store";
+      c "jobs"; c "job_ok"; c "job_unknown"; c "job_error";
+      c "bad_frame"; c "oversized"; c "truncated"; c "rejected";
+      c "epipe"; c "drained";
+    ]
+
+let handle_request t conn req =
+  let r_id = Json.member "id" req in
+  let r = { r_conn = conn; r_id } in
+  let op =
+    match Option.bind (Json.member "op" req) Json.string_opt with
+    | Some s -> s
+    | None -> "verify"
+  in
+  match op with
+  | "ping" -> respond t r (Protocol.response ~reason:"pong" ~status:"ok" ())
+  | "stats" ->
+      respond t r (Protocol.response ~verdict:(stats_doc t) ~status:"ok" ())
+  | "shutdown" ->
+      respond t r (Protocol.response ~reason:"draining" ~status:"ok" ());
+      t.running <- false
+  | _ -> (
+      match Catalog.of_request ~default_engine:t.cfg.default_engine req with
+      | Error m ->
+          Metrics.incr c_rejected;
+          respond t r (Protocol.response ~error:m ~status:"error" ())
+      | Ok job -> (
+          match Cache.find t.cache ~fingerprint:job.Catalog.fingerprint with
+          | Some text ->
+              let doc =
+                match Json.of_string text with
+                | Ok v ->
+                    Protocol.response ~cached:true ~verdict:v ~status:"ok" ()
+                | Error m ->
+                    Protocol.response ~error:("corrupt cache entry: " ^ m)
+                      ~status:"error" ()
+              in
+              respond t r doc
+          | None -> (
+              match
+                Admission.try_admit t.adm
+                  ~fingerprint:job.Catalog.fingerprint ~request:req r
+              with
+              | Admission.Shed hint ->
+                  Events.emit "serve.shed"
+                    [ ("label", Json.String job.Catalog.label) ];
+                  respond t r
+                    (Protocol.response ~reason:"queue full"
+                       ~retry_after_s:hint ~status:"unknown" ())
+              | Admission.Admitted _ | Admission.Coalesced _ ->
+                  (* answered when the job runs *)
+                  ())))
+
+let handle_frame t conn payload =
+  Metrics.incr c_frames;
+  match Json.of_string payload with
+  | Error m ->
+      Metrics.incr c_bad_frame;
+      respond t
+        { r_conn = conn; r_id = None }
+        (Protocol.response ~error:("bad json: " ^ m) ~status:"error" ())
+  | Ok req -> handle_request t conn req
+
+(* ------------------------------------------------------------------ *)
+(* the select loop *)
+
+let read_buf = Bytes.create 65536
+
+let pump_conn t conn =
+  let closed =
+    match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+    | 0 -> true
+    | n ->
+        Protocol.feed conn.rd read_buf 0 n;
+        false
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  in
+  let rec drain () =
+    if conn.alive then
+      match Protocol.next conn.rd with
+      | Protocol.Frame payload ->
+          handle_frame t conn payload;
+          drain ()
+      | Protocol.Oversized n ->
+          Metrics.incr c_oversized;
+          respond t
+            { r_conn = conn; r_id = None }
+            (Protocol.response
+               ~error:
+                 (Printf.sprintf "oversized frame: %d bytes > max %d" n
+                    t.cfg.max_frame)
+               ~status:"error" ());
+          drain ()
+      | Protocol.Await -> ()
+  in
+  drain ();
+  if closed then begin
+    if not (Protocol.at_frame_boundary conn.rd) then begin
+      Metrics.incr c_truncated;
+      Events.emit "serve.conn" [ ("op", Json.String "truncated") ]
+    end;
+    drop_conn t conn
+  end
+
+let run_next_job t =
+  match Admission.pop t.adm with
+  | None -> ()
+  | Some ajob ->
+      let t0 = Unix.gettimeofday () in
+      let result =
+        (* the request parsed once already; a failure here is a bug,
+           but even then the client gets a structured error *)
+        match
+          Catalog.of_request ~default_engine:t.cfg.default_engine
+            ajob.Admission.request
+        with
+        | Error m -> R_error m
+        | Ok job -> run_job t job
+        | exception ex -> R_error (Printexc.to_string ex)
+      in
+      Admission.finished t.adm ajob
+        ~note_wall_s:(Unix.gettimeofday () -. t0);
+      let cached = match result with R_ok _ -> Some false | _ -> None in
+      List.iter
+        (fun r -> respond t r (response_of_result t ?cached result))
+        (List.rev ajob.Admission.respondents)
+
+let drain_queue t ~reason =
+  List.iter
+    (fun (ajob : respondent Admission.job) ->
+      Metrics.incr c_drained;
+      List.iter
+        (fun r ->
+          respond t r
+            (Protocol.response ~reason
+               ~retry_after_s:(Admission.retry_hint_s t.adm)
+               ~status:"unknown" ()))
+        (List.rev ajob.Admission.respondents))
+    (Admission.drain t.adm)
+
+let loop t =
+  while t.running && not (Supervisor.interrupt_requested ()) do
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+    (match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listen_fd then begin
+              match Unix.accept t.listen_fd with
+              | cfd, _ ->
+                  Metrics.incr c_conns;
+                  t.conns <-
+                    { fd = cfd;
+                      rd = Protocol.reader ~max_frame:t.cfg.max_frame ();
+                      alive = true }
+                    :: t.conns
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd) t.conns with
+              | Some conn -> pump_conn t conn
+              | None -> ())
+          ready);
+    run_next_job t
+  done;
+  let reason =
+    if Supervisor.interrupt_requested () then "interrupted: daemon shutting down"
+    else "daemon shutting down"
+  in
+  drain_queue t ~reason
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle *)
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then raise (Already_running path);
+    (* a stale socket from a killed daemon: reclaim it *)
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let run cfg =
+  Supervisor.install_handlers ();
+  Option.iter mkdir_p cfg.state_dir;
+  claim_socket cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      conns = [];
+      cache =
+        Cache.create
+          ?dir:(Option.map (fun d -> Filename.concat d "cache") cfg.state_dir)
+          ();
+      adm = Admission.create ~max_depth:cfg.max_queue;
+      running = true;
+    }
+  in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  Events.emit "serve.start"
+    [
+      ("socket", Json.String cfg.socket_path);
+      ("queue", Json.Int cfg.max_queue);
+    ];
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> drop_conn t c) t.conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+      Events.emit "serve.stop" [ ("socket", Json.String cfg.socket_path) ])
+    (fun () -> Supervisor.graceful (fun () -> loop t))

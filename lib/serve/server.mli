@@ -1,0 +1,68 @@
+(** The verification daemon: a single-threaded [select] loop over a
+    Unix-domain stream socket, serving {!Catalog} jobs with admission
+    control, verdict caching and crash tolerance.
+
+    {b Life of a request.}  A frame arrives ({!Protocol}), parses to
+    JSON, and is dispatched:
+
+    - admin ops ([ping], [stats], [shutdown]) answer immediately;
+    - anything malformed — bad JSON, unknown op/system/engine/param,
+      oversized frame — answers a structured [status = "error"] frame;
+      the daemon never dies on input;
+    - a job whose fingerprint is in the verdict {!Cache} answers
+      [status = "ok", cached = true] in O(1), with the verdict bytes
+      identical to a fresh computation (the cache stores the rendered
+      verdict document itself);
+    - otherwise the job goes through {!Admission}: coalesced onto an
+      identical in-flight job, shed with [status = "unknown"] and a
+      [retry_after_s] hint when the queue is full, or enqueued.
+
+    {b Execution.}  One job runs at a time (jobs parallelize
+    internally over [domains]); budgets are the request's, clamped to
+    the server's caps.  Each job runs under
+    {!Tm_recover.Supervisor.with_retries} with decorrelated-jitter
+    backoff seeded from the job fingerprint: worker exceptions are
+    contained and retried, budget exhaustions that left a checkpoint
+    chain into the next attempt with the zone limit re-based on
+    restored progress, deterministic failures are answered directly.
+    Only definite verdicts are cached.
+
+    {b Crash tolerance.}  SIGTERM/SIGINT inside the loop's
+    {!Tm_recover.Supervisor.graceful} scope requests a cooperative
+    stop: the in-flight job checkpoints at its next batch boundary and
+    is answered UNKNOWN, queued jobs are drained with
+    UNKNOWN-plus-retry answers, the socket is unlinked.  A [kill -9]
+    loses nothing durable: verdicts are already on disk, and the
+    orphaned checkpoint of the interrupted job is adopted by the next
+    run of the same fingerprint (stale or corrupt checkpoints are
+    detected by fingerprint/CRC and deleted).
+
+    Every degradation path increments a [serve.*] metric and emits a
+    [serve.*] event, so floods and failures are visible in the
+    Prometheus export and the NDJSON event stream. *)
+
+type config = {
+  socket_path : string;
+  state_dir : string option;
+      (** verdict cache + checkpoint directory; [None] = memory only,
+          losing kill-9 durability but nothing else *)
+  max_queue : int;  (** admission queue depth before shedding *)
+  max_frame : int;  (** per-frame byte cap (see {!Protocol}) *)
+  max_limit : int option;  (** cap and default for per-job zone budgets *)
+  max_deadline_s : float option;  (** cap and default for job deadlines *)
+  domains : int;  (** worker domains per job *)
+  attempts : int;  (** supervisor attempts per job *)
+  backoff_s : float;  (** retry backoff base *)
+  default_engine : string;  (** engine when the request names none *)
+}
+
+val default_config : socket_path:string -> config
+(** queue 16, 1 MiB frames, limit 200000 zones, deadline 30 s,
+    1 domain, 3 attempts, 0.05 s backoff, engine ["auto"]. *)
+
+exception Already_running of string
+(** The socket path is live: another daemon answered a probe connect. *)
+
+val run : config -> unit
+(** Serve until [shutdown] or SIGTERM/SIGINT; returns after draining.
+    @raise Already_running instead of stealing a live socket. *)

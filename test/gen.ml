@@ -357,3 +357,78 @@ let print_raut (r : raut) =
         row)
     r.ra_delta;
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level scripts for the serve-protocol fuzz tests.  A script is
+   rendered to one byte stream (length-prefixed frames, oversized
+   announcements, raw garbage, a frame cut off mid-payload) and fed to
+   the reader in arbitrary chunk sizes; encoding lives here so the
+   generator stays independent of the library under test. *)
+
+type frame_item =
+  | Wire_frame of string  (* well-formed: header + payload *)
+  | Wire_oversized of int  (* header announcing [n] > max_frame, body sent *)
+  | Wire_garbage of string  (* raw bytes: desyncs framing on purpose *)
+  | Wire_truncated of string  (* header claims one byte more than sent *)
+
+let frame_header n =
+  String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff))
+
+(* [max_frame] the matching reader must use; oversized bodies stay small
+   so rendering an announcement of millions of bytes costs nothing. *)
+let fuzz_max_frame = 256
+
+let render_frame_item = function
+  | Wire_frame p -> frame_header (String.length p) ^ p
+  | Wire_oversized n -> frame_header n ^ String.make (min n 4096) 'x'
+  | Wire_garbage g -> g
+  | Wire_truncated p -> frame_header (String.length p + 1) ^ p
+
+let render_frame_script items = String.concat "" (List.map render_frame_item items)
+
+let frame_payload : string QCheck2.Gen.t =
+  QCheck2.Gen.(string_size ~gen:char (int_range 0 fuzz_max_frame))
+
+let frame_item : frame_item QCheck2.Gen.t =
+  QCheck2.Gen.(
+    frequency
+      [
+        (5, map (fun p -> Wire_frame p) frame_payload);
+        ( 1,
+          map
+            (fun n -> Wire_oversized n)
+            (int_range (fuzz_max_frame + 1) (1 lsl 28)) );
+        (1, map (fun g -> Wire_garbage g) (string_size ~gen:char (int_range 1 40)));
+        (1, map (fun p -> Wire_truncated p) frame_payload);
+      ])
+
+(* Scripts whose decode is exactly predictable: only complete frames and
+   oversized announcements small enough that the full body is sent, so
+   the expected event list is the script. *)
+let clean_frame_script : frame_item list QCheck2.Gen.t =
+  QCheck2.Gen.(
+    list_size (int_range 0 8)
+      (frequency
+         [
+           (4, map (fun p -> Wire_frame p) frame_payload);
+           ( 1,
+             map
+               (fun n -> Wire_oversized n)
+               (int_range (fuzz_max_frame + 1) 4096) );
+         ]))
+
+let frame_script : frame_item list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 0 8) frame_item)
+
+(* Chunk sizes used to slice the stream on its way into the reader. *)
+let chunk_sizes : int list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 1 12) (int_range 1 17))
+
+let print_frame_item = function
+  | Wire_frame p -> Printf.sprintf "frame(%d)" (String.length p)
+  | Wire_oversized n -> Printf.sprintf "oversized(%d)" n
+  | Wire_garbage g -> Printf.sprintf "garbage(%d)" (String.length g)
+  | Wire_truncated p -> Printf.sprintf "truncated(%d)" (String.length p)
+
+let print_frame_script items =
+  String.concat "; " (List.map print_frame_item items)

@@ -163,7 +163,51 @@ let with_retries_exhausts () =
     [ (1, "fail1"); (2, "fail2") ]
     (List.rev !retried)
 
+let jitter_schedule seed =
+  let sleeps = ref [] in
+  ignore
+    (Supervisor.with_retries ~attempts:6 ~backoff_s:0.1
+       ~jitter:(Tm_base.Prng.create seed) ~max_backoff_s:0.5
+       ~sleep:(fun d -> sleeps := d :: !sleeps)
+       (fun ~attempt:_ -> Supervisor.Transient "always"));
+  List.rev !sleeps
+
+let with_retries_jitter () =
+  let a = jitter_schedule 7 in
+  Alcotest.(check int) "five sleeps for six attempts" 5 (List.length a);
+  (* deterministic: the schedule is a pure function of the seed *)
+  Alcotest.(check (list (float 1e-12))) "replayable" a (jitter_schedule 7);
+  (* decorrelated: a different seed spreads differently *)
+  Alcotest.(check bool) "seeds decorrelate" false (a = jitter_schedule 8);
+  (* every delay within [backoff_s, max_backoff_s], and the first draw
+     within the decorrelated-jitter window [base, 3*base] *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %.4f in bounds" d)
+        true
+        (d >= 0.1 && d <= 0.5))
+    a;
+  (match a with
+  | d1 :: _ ->
+      Alcotest.(check bool) "first draw <= 3*base" true (d1 <= 0.3 +. 1e-12)
+  | [] -> assert false);
+  (* without jitter, a cap still clamps the pure exponential *)
+  let sleeps = ref [] in
+  ignore
+    (Supervisor.with_retries ~attempts:4 ~backoff_s:0.25 ~max_backoff_s:0.3
+       ~sleep:(fun d -> sleeps := d :: !sleeps)
+       (fun ~attempt:_ -> Supervisor.Transient "always"));
+  Alcotest.(check (list (float 1e-9)))
+    "clamped exponential" [ 0.25; 0.3; 0.3 ] (List.rev !sleeps)
+
 let with_retries_validates () =
+  (match
+     Supervisor.with_retries ~backoff_s:0.5 ~max_backoff_s:0.1
+       (fun ~attempt:_ -> Supervisor.Done ())
+   with
+  | _ -> Alcotest.fail "max_backoff_s < backoff_s accepted"
+  | exception Invalid_argument _ -> ());
   (match
      Supervisor.with_retries ~attempts:0 (fun ~attempt:_ ->
          Supervisor.Done ())
@@ -441,6 +485,8 @@ let suite =
       with_retries_backoff;
     Alcotest.test_case "retries: exhaustion keeps last reason" `Quick
       with_retries_exhausts;
+    Alcotest.test_case "retries: decorrelated jitter deterministic" `Quick
+      with_retries_jitter;
     Alcotest.test_case "retries: invalid arguments rejected" `Quick
       with_retries_validates;
     Alcotest.test_case "supervisor: interrupt flag" `Quick

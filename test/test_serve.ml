@@ -1,0 +1,569 @@
+(* The verification daemon: protocol framing (unit + fuzz), admission
+   control, the verdict cache, and end-to-end robustness of forked
+   daemon processes — duplicate requests answered byte-identically from
+   the cache, floods shed instead of hanging, budget exhaustions
+   chained through checkpoints, kill -9 mid-job recovered on restart,
+   SIGTERM drained gracefully.  Daemons run as spawned child processes
+   (their own metrics, their own crash domain), exactly like
+   production. *)
+
+module Json = Tm_obs.Json
+module Protocol = Tm_serve.Protocol
+module Cache = Tm_serve.Cache
+module Admission = Tm_serve.Admission
+module Server = Tm_serve.Server
+module Snapshot = Tm_recover.Snapshot
+
+(* ------------------------------------------------------------------ *)
+(* protocol: reader units *)
+
+let feed_all ?(chunks = [ 7 ]) rd s =
+  (* slice [s] into the cyclic chunk sizes — exercises every partial
+     header/payload boundary *)
+  let n = String.length s in
+  let rec go off i =
+    if off < n then begin
+      let sz = min (List.nth chunks (i mod List.length chunks)) (n - off) in
+      Protocol.feed rd (Bytes.of_string (String.sub s off sz)) 0 sz;
+      go (off + sz) (i + 1)
+    end
+  in
+  go 0 0
+
+let drain_events rd =
+  let rec go acc =
+    match Protocol.next rd with
+    | Protocol.Frame p -> go (`Frame p :: acc)
+    | Protocol.Oversized n -> go (`Oversized n :: acc)
+    | Protocol.Await -> List.rev acc
+  in
+  go []
+
+let event_str = function
+  | `Frame p -> Printf.sprintf "frame(%S)" p
+  | `Oversized n -> Printf.sprintf "oversized(%d)" n
+
+let events_t =
+  Alcotest.testable
+    (fun fmt es ->
+      Format.pp_print_string fmt (String.concat "; " (List.map event_str es)))
+    ( = )
+
+let reader_roundtrip () =
+  let rd = Protocol.reader () in
+  let payloads = [ "hello"; ""; "{\"op\":\"ping\"}"; String.make 1000 'z' ] in
+  feed_all ~chunks:[ 1; 3; 2 ] rd
+    (String.concat "" (List.map Protocol.encode_frame payloads));
+  Alcotest.check events_t "all frames decoded"
+    (List.map (fun p -> `Frame p) payloads)
+    (drain_events rd);
+  Alcotest.(check bool) "boundary" true (Protocol.at_frame_boundary rd)
+
+let reader_oversized_resync () =
+  let rd = Protocol.reader ~max_frame:8 () in
+  let stream =
+    Protocol.encode_frame "ok1"
+    ^ Protocol.encode_frame (String.make 100 'x')
+    ^ Protocol.encode_frame "ok2"
+  in
+  feed_all ~chunks:[ 5 ] rd stream;
+  Alcotest.check events_t "oversized reported once, framing recovers"
+    [ `Frame "ok1"; `Oversized 100; `Frame "ok2" ]
+    (drain_events rd);
+  Alcotest.(check bool) "boundary" true (Protocol.at_frame_boundary rd)
+
+let reader_truncation_visible () =
+  let rd = Protocol.reader () in
+  let whole = Protocol.encode_frame "abcdef" in
+  feed_all rd (String.sub whole 0 (String.length whole - 2));
+  Alcotest.check events_t "no frame from a cut-off payload" []
+    (drain_events rd);
+  Alcotest.(check bool) "mid-frame EOF detectable" false
+    (Protocol.at_frame_boundary rd)
+
+(* ------------------------------------------------------------------ *)
+(* protocol: fuzz *)
+
+let expected_of_clean_script items =
+  List.filter_map
+    (function
+      | Gen.Wire_frame p -> Some (`Frame p)
+      | Gen.Wire_oversized n -> Some (`Oversized n)
+      | _ -> None)
+    items
+
+let fuzz_clean_decode =
+  Gen.check_holds "fuzz: chunked decode matches script" ~count:300
+    ~print:(fun (s, c) ->
+      Printf.sprintf "%s / chunks=%s" (Gen.print_frame_script s)
+        (String.concat "," (List.map string_of_int c)))
+    QCheck2.Gen.(pair Gen.clean_frame_script Gen.chunk_sizes)
+    (fun (script, chunks) ->
+      let chunks = if chunks = [] then [ 1 ] else chunks in
+      let rd = Protocol.reader ~max_frame:Gen.fuzz_max_frame () in
+      feed_all ~chunks rd (Gen.render_frame_script script);
+      drain_events rd = expected_of_clean_script script
+      && Protocol.at_frame_boundary rd)
+
+let fuzz_reader_total =
+  Gen.check_holds "fuzz: reader total on hostile bytes" ~count:300
+    ~print:(fun (s, c) ->
+      Printf.sprintf "%s / chunks=%s" (Gen.print_frame_script s)
+        (String.concat "," (List.map string_of_int c)))
+    QCheck2.Gen.(pair Gen.frame_script Gen.chunk_sizes)
+    (fun (script, chunks) ->
+      let chunks = if chunks = [] then [ 1 ] else chunks in
+      let rd = Protocol.reader ~max_frame:Gen.fuzz_max_frame () in
+      let stream = Gen.render_frame_script script in
+      feed_all ~chunks rd stream;
+      (* never raises, terminates, and every decoded frame fits the
+         limit the reader was given *)
+      List.for_all
+        (function
+          | `Frame p -> String.length p <= Gen.fuzz_max_frame
+          | `Oversized n -> n > Gen.fuzz_max_frame)
+        (drain_events rd))
+
+(* ------------------------------------------------------------------ *)
+(* admission control *)
+
+let admission_unit () =
+  let adm = Admission.create ~max_depth:2 in
+  let admit fp r = Admission.try_admit adm ~fingerprint:fp ~request:Json.Null r in
+  (match admit "a" 1 with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "first request should be admitted");
+  (match admit "a" 2 with
+  | Admission.Coalesced j ->
+      Alcotest.(check (list int)) "both respondents" [ 2; 1 ] j.respondents
+  | _ -> Alcotest.fail "duplicate should coalesce");
+  (match admit "b" 3 with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "second distinct request fits");
+  (match admit "c" 4 with
+  | Admission.Shed hint -> Alcotest.(check bool) "hint > 0" true (hint > 0.)
+  | _ -> Alcotest.fail "queue of 2 must shed the third");
+  (* the running job keeps coalescing until finished *)
+  let running = Option.get (Admission.pop adm) in
+  (match admit "a" 5 with
+  | Admission.Coalesced _ -> ()
+  | _ -> Alcotest.fail "running job should still coalesce");
+  Admission.finished adm running ~note_wall_s:0.2;
+  (* once finished, "a" no longer coalesces — it re-enters the queue *)
+  (match admit "a" 6 with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "finished job must be re-admitted, not coalesced");
+  (match admit "d" 7 with
+  | Admission.Shed _ -> ()
+  | _ -> Alcotest.fail "queue of 2 must shed again once refilled");
+  let drained = Admission.drain adm in
+  Alcotest.(check int) "drain returns the queue" 2 (List.length drained);
+  Alcotest.(check int) "drain empties" 0 (Admission.depth adm)
+
+(* ------------------------------------------------------------------ *)
+(* verdict cache *)
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tm_serve_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let cache_roundtrip () =
+  let dir = tmp_dir () in
+  let c = Cache.create ~dir () in
+  Alcotest.(check (option string)) "miss" None (Cache.find c ~fingerprint:"fp1");
+  Cache.store c ~fingerprint:"fp1" "verdict-1";
+  Alcotest.(check (option string)) "hit" (Some "verdict-1")
+    (Cache.find c ~fingerprint:"fp1");
+  (* a new process with the same directory sees the verdict *)
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check (option string)) "disk hit" (Some "verdict-1")
+    (Cache.find c2 ~fingerprint:"fp1");
+  (* same digest file, different fingerprint: not trusted *)
+  Alcotest.(check (option string)) "other fp misses" None
+    (Cache.find c2 ~fingerprint:"fp2")
+
+let cache_corruption_dropped () =
+  let dir = tmp_dir () in
+  let c = Cache.create ~dir () in
+  Cache.store c ~fingerprint:"fp1" "verdict-1";
+  let path = Filename.concat dir (Cache.digest "fp1" ^ ".tmv") in
+  Alcotest.(check bool) "stored on disk" true (Sys.file_exists path);
+  (* flip a payload byte: CRC must reject, and the entry is deleted *)
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  let b = Bytes.of_string b in
+  Bytes.set b (n - 1) (Char.chr (Char.code (Bytes.get b (n - 1)) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check (option string)) "corrupt entry is a miss" None
+    (Cache.find c2 ~fingerprint:"fp1");
+  Alcotest.(check bool) "and is removed" false (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
+(* forked daemons *)
+
+let fischer_req =
+  "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3},\"item\":0}"
+
+let sock_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tm_srv_%d_%d.sock" (Unix.getpid ()) !counter)
+
+(* Daemons run as real child processes (their own metrics, their own
+   crash domain) via [serve_helper.exe] — [Unix.fork] is forbidden once
+   the par suite has spawned domains, so we [create_process] instead. *)
+let spawn_server cfg =
+  let helper =
+    Filename.concat (Filename.dirname Sys.executable_name) "serve_helper.exe"
+  in
+  let args =
+    [
+      helper;
+      "socket=" ^ cfg.Server.socket_path;
+      "queue=" ^ string_of_int cfg.Server.max_queue;
+      "max_frame=" ^ string_of_int cfg.Server.max_frame;
+      "attempts=" ^ string_of_int cfg.Server.attempts;
+      Printf.sprintf "backoff_ms=%g" (cfg.Server.backoff_s *. 1000.);
+    ]
+    @ (match cfg.Server.state_dir with
+      | Some d -> [ "state_dir=" ^ d ]
+      | None -> [])
+    @
+    match cfg.Server.max_deadline_s with
+    | Some s -> [ Printf.sprintf "deadline_ms=%g" (s *. 1000.) ]
+    | None -> []
+  in
+  let pid =
+    Unix.create_process helper (Array.of_list args) Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  (* wait until the daemon answers a probe connect *)
+  let rec wait n =
+    if n = 0 then Alcotest.fail "daemon did not come up";
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let ok =
+      match Unix.connect fd (Unix.ADDR_UNIX cfg.Server.socket_path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if not ok then begin
+      Unix.sleepf 0.025;
+      wait (n - 1)
+    end
+  in
+  wait 400;
+  pid
+
+(* One test-side connection.  The reader must persist across [recv]
+   calls: pipelined responses coalesce into one [read], and a
+   throwaway reader would silently drop the frames it had already
+   buffered — the daemon-side regression that [daemon_pipeline]
+   originally caught. *)
+type cx = { cfd : Unix.file_descr; crd : Protocol.reader }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* a hung daemon must fail the test, not hang the suite *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.;
+  { cfd = fd; crd = Protocol.reader () }
+
+let send cx payload = Protocol.write_frame cx.cfd payload
+let close_cx cx = try Unix.close cx.cfd with Unix.Unix_error _ -> ()
+
+let recv cx =
+  match Protocol.read_frame_with cx.crd cx.cfd with
+  | Some payload -> (
+      match Json.of_string payload with
+      | Ok doc -> doc
+      | Error m -> Alcotest.fail ("response is not JSON: " ^ m))
+  | None -> Alcotest.fail "daemon closed before responding"
+
+let status doc = Option.value (Protocol.status_of_response doc) ~default:"?"
+
+let verdict_text doc =
+  match Json.member "verdict" doc with
+  | Some v -> Json.to_string v
+  | None -> Alcotest.fail ("response has no verdict: " ^ Json.to_string doc)
+
+let shutdown_server pid sock =
+  (match connect sock with
+  | cx ->
+      send cx "{\"op\":\"shutdown\"}";
+      ignore (Protocol.read_frame_with cx.crd cx.cfd);
+      close_cx cx
+  | exception Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let base_cfg sock =
+  {
+    (Server.default_config ~socket_path:sock) with
+    Server.backoff_s = 0.01;
+    max_deadline_s = Some 60.;
+  }
+
+(* The regression scenario from bring-up: one pipelined connection
+   sending ping + job + duplicate job + stats must get exactly four
+   responses, and the duplicate's verdict must be byte-identical
+   whether it was coalesced onto the in-flight job or served from the
+   cache. *)
+let daemon_pipeline () =
+  let sock = sock_path () in
+  let cfg = { (base_cfg sock) with Server.state_dir = Some (tmp_dir ()) } in
+  let pid = spawn_server cfg in
+  Fun.protect
+    ~finally:(fun () -> shutdown_server pid sock)
+    (fun () ->
+      let cx = connect sock in
+      List.iter (send cx)
+        [ "{\"op\":\"ping\"}"; fischer_req; fischer_req; "{\"op\":\"stats\"}" ];
+      let replies = List.init 4 (fun _ -> recv cx) in
+      close_cx cx;
+      let verdicts =
+        List.filter_map
+          (fun d ->
+            if Json.member "verdict" d <> None && Json.member "cached" d <> None
+            then Some (verdict_text d)
+            else None)
+          replies
+      in
+      Alcotest.(check int) "two job responses" 2 (List.length verdicts);
+      (match verdicts with
+      | [ a; b ] -> Alcotest.(check string) "byte-identical verdicts" a b
+      | _ -> assert false);
+      Alcotest.(check (list string))
+        "every response structured, none lost"
+        [ "ok"; "ok"; "ok"; "ok" ]
+        (List.map status replies))
+
+(* Budget exhaustion chains through checkpoints: a per-request zone
+   limit far below the fixpoint still verifies, because each supervised
+   attempt resumes the previous frontier with a re-based budget — and
+   the verdict is byte-identical to an unbudgeted run. *)
+let daemon_budget_chaining () =
+  let run_one ~req =
+    let sock = sock_path () in
+    let cfg =
+      {
+        (base_cfg sock) with
+        Server.state_dir = Some (tmp_dir ());
+        attempts = 6;
+      }
+    in
+    let pid = spawn_server cfg in
+    Fun.protect
+      ~finally:(fun () -> shutdown_server pid sock)
+      (fun () ->
+        let cx = connect sock in
+        send cx req;
+        let doc = recv cx in
+        close_cx cx;
+        doc)
+  in
+  let free = run_one ~req:fischer_req in
+  let capped =
+    run_one
+      ~req:
+        "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3},\
+         \"item\":0,\"limit\":120}"
+  in
+  Alcotest.(check string) "uncapped verifies" "ok" (status free);
+  Alcotest.(check string) "capped verifies via chaining" "ok" (status capped);
+  Alcotest.(check string) "identical verdict bytes" (verdict_text free)
+    (verdict_text capped)
+
+(* Flood a queue of depth 0: every job is shed with a structured
+   UNKNOWN + retry hint, nothing hangs, and the daemon still answers
+   pings afterwards. *)
+let daemon_sheds_under_flood () =
+  let sock = sock_path () in
+  let cfg = { (base_cfg sock) with Server.max_queue = 0 } in
+  let pid = spawn_server cfg in
+  Fun.protect
+    ~finally:(fun () -> shutdown_server pid sock)
+    (fun () ->
+      let cx = connect sock in
+      let n = 8 in
+      for _ = 1 to n do
+        send cx fischer_req
+      done;
+      let replies = List.init n (fun _ -> recv cx) in
+      List.iter
+        (fun d ->
+          Alcotest.(check string) "shed is unknown" "unknown" (status d);
+          Alcotest.(check bool) "carries retry hint" true
+            (Json.member "retry_after_s" d <> None))
+        replies;
+      send cx "{\"op\":\"ping\"}";
+      Alcotest.(check string) "alive after flood" "ok" (status (recv cx));
+      close_cx cx)
+
+(* Hostile input against a live daemon: framed garbage payloads are
+   answered with structured errors on the same connection; raw byte
+   vomit and truncated frames at worst kill that one connection — a
+   fresh connection always works. *)
+let daemon_survives_garbage () =
+  let sock = sock_path () in
+  let cfg = { (base_cfg sock) with Server.max_frame = 4096 } in
+  let pid = spawn_server cfg in
+  Fun.protect
+    ~finally:(fun () -> shutdown_server pid sock)
+    (fun () ->
+      let prng = Tm_base.Prng.create 0xFEED in
+      let rand_string n =
+        String.init n (fun _ -> Char.chr (Tm_base.Prng.int prng 256))
+      in
+      (* framed garbage: every frame gets exactly one error back *)
+      let cx = connect sock in
+      for i = 1 to 10 do
+        send cx (rand_string (i * 7));
+        Alcotest.(check string) "framed garbage answered" "error"
+          (status (recv cx))
+      done;
+      (* an oversized announcement is answered and framing survives *)
+      send cx (String.make 5000 'x');
+      Alcotest.(check string) "oversized answered" "error" (status (recv cx));
+      send cx "{\"op\":\"ping\"}";
+      Alcotest.(check string) "same connection usable" "ok" (status (recv cx));
+      close_cx cx;
+      (* raw unframed bytes, then vanish mid-frame *)
+      for i = 1 to 5 do
+        let cx = connect sock in
+        let junk = rand_string (20 * i) in
+        ignore
+          (Unix.write cx.cfd (Bytes.of_string junk) 0 (String.length junk));
+        close_cx cx
+      done;
+      let cx = connect sock in
+      send cx "{\"op\":\"ping\"}";
+      Alcotest.(check string) "daemon alive after byte vomit" "ok"
+        (status (recv cx));
+      (* malformed requests: structured errors, not crashes *)
+      List.iter
+        (fun req ->
+          send cx req;
+          Alcotest.(check string)
+            (Printf.sprintf "rejected: %s" req)
+            "error" (status (recv cx)))
+        [
+          "{\"op\":\"warp\"}";
+          "{\"system\":\"vax\"}";
+          "{\"engine\":\"gpu\"}";
+          "{\"system\":\"rm\",\"params\":{\"q\":1}}";
+          "{\"system\":\"rm\",\"params\":{\"k\":\"three\"}}";
+          "{\"system\":\"rm\",\"item\":99}";
+          "{\"op\":\"simulate\",\"strategy\":\"clairvoyant\"}";
+          "[1,2,3]";
+          (* rm with c1 > c2: constructor validation, contained *)
+          "{\"system\":\"rm\",\"params\":{\"c1\":9,\"c2\":1}}";
+        ];
+      close_cx cx)
+
+(* kill -9 mid-job, restart on the same state dir, resubmit: the
+   recovered verdict must be byte-identical to an undisturbed daemon's.
+   Whether the kill landed mid-computation (checkpoint or recompute)
+   or just after (cache hit) the bytes must not change. *)
+let daemon_kill9_restart () =
+  let state = tmp_dir () in
+  let sock = sock_path () in
+  let reference =
+    let sock = sock_path () in
+    let cfg = { (base_cfg sock) with Server.state_dir = Some (tmp_dir ()) } in
+    let pid = spawn_server cfg in
+    Fun.protect
+      ~finally:(fun () -> shutdown_server pid sock)
+      (fun () ->
+        let cx = connect sock in
+        send cx fischer_req;
+        let doc = recv cx in
+        close_cx cx;
+        verdict_text doc)
+  in
+  let cfg = { (base_cfg sock) with Server.state_dir = Some state } in
+  let pid = spawn_server cfg in
+  let cx = connect sock in
+  send cx fischer_req;
+  (* let the job start, then pull the plug — no drain, no checkpoint
+     flush beyond what the engine already wrote *)
+  Unix.sleepf 0.3;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  close_cx cx;
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let pid2 = spawn_server cfg in
+  Fun.protect
+    ~finally:(fun () -> shutdown_server pid2 sock)
+    (fun () ->
+      let cx = connect sock in
+      send cx fischer_req;
+      let doc = recv cx in
+      close_cx cx;
+      Alcotest.(check string) "recovered verdict" "ok" (status doc);
+      Alcotest.(check string) "byte-identical to undisturbed daemon"
+        reference (verdict_text doc))
+
+(* SIGTERM mid-job: the daemon answers the in-flight job (UNKNOWN if it
+   had to stop, OK if it won the race), drains, unlinks its socket and
+   exits 0. *)
+let daemon_sigterm_drains () =
+  let sock = sock_path () in
+  let cfg = { (base_cfg sock) with Server.state_dir = Some (tmp_dir ()) } in
+  let pid = spawn_server cfg in
+  let cx = connect sock in
+  send cx fischer_req;
+  Unix.sleepf 0.2;
+  Unix.kill pid Sys.sigterm;
+  let doc = recv cx in
+  Alcotest.(check bool)
+    (Printf.sprintf "in-flight job answered (%s)" (status doc))
+    true
+    (List.mem (status doc) [ "ok"; "unknown" ]);
+  close_cx cx;
+  let _, exit_status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "clean exit" true (exit_status = Unix.WEXITED 0);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: chunked roundtrip" `Quick reader_roundtrip;
+    Alcotest.test_case "protocol: oversized reported, framing resyncs" `Quick
+      reader_oversized_resync;
+    Alcotest.test_case "protocol: truncation visible at EOF" `Quick
+      reader_truncation_visible;
+    fuzz_clean_decode;
+    fuzz_reader_total;
+    Alcotest.test_case "admission: coalesce, shed, drain" `Quick
+      admission_unit;
+    Alcotest.test_case "cache: memory + disk roundtrip" `Quick cache_roundtrip;
+    Alcotest.test_case "cache: corruption detected and dropped" `Quick
+      cache_corruption_dropped;
+    Alcotest.test_case "daemon: pipelined ping/job/dup/stats" `Slow
+      daemon_pipeline;
+    Alcotest.test_case "daemon: budget chains through checkpoints" `Slow
+      daemon_budget_chaining;
+    Alcotest.test_case "daemon: flood sheds, never hangs" `Slow
+      daemon_sheds_under_flood;
+    Alcotest.test_case "daemon: survives garbage, truncation, oversize" `Slow
+      daemon_survives_garbage;
+    Alcotest.test_case "daemon: kill -9 then restart recovers verdict" `Slow
+      daemon_kill9_restart;
+    Alcotest.test_case "daemon: SIGTERM drains gracefully" `Slow
+      daemon_sigterm_drains;
+  ]
