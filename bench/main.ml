@@ -20,6 +20,7 @@
      E14 checkpoint overhead and exhaust-and-resume discipline
      E15 LU extrapolation ablation (zone counts with widening on/off)
      E16 serving layer: verdict-cache duplicate suppression, admission
+     E17 zero-copy zone storage: allocation ablation (TM_STORE)
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
@@ -1144,12 +1145,85 @@ let e16 () =
     (if discipline then "AGREE" else "DISAGREE")
 
 (* ------------------------------------------------------------------ *)
+(* E17: zero-copy zone storage — allocation ablation.  TM_STORE picks
+   the storage path in lib/zones/reach.ml: "arena" (the default)
+   probes the successor scratch in place and bump-copies survivors
+   into per-domain arenas, "heap" probes in place but copies survivors
+   to fresh heap arrays, and "seed" is the pre-arena freeze-then-
+   intern path.  Verdicts and zones.stored must be identical in all
+   three modes; only where (and how often) zone matrices are allocated
+   moves.  GC stats are domain-local under OCaml 5, so E17 pins
+   domains=1 (the domains 1/2/4 equivalence lives in the test suite
+   and the CLI determinism checks).  Not part of the committed metrics
+   baseline; CI runs it standalone and gates the arena legs'
+   minor-words-per-stored-zone against BENCH_alloc_baseline.json. *)
+
+let e17 () =
+  section "E17: zero-copy zone storage — allocation ablation (TM_STORE)";
+  let with_store mode f =
+    Unix.putenv "TM_STORE" mode;
+    Fun.protect ~finally:(fun () -> Unix.putenv "TM_STORE" "") f
+  in
+  row "%-16s %-6s %-8s %-12s %-8s %-11s %-12s %s\n" "workload" "mode" "zones"
+    "minorw/zone" "shrink" "alloc(MB)" "majpeak(Mw)" "agreement";
+  let ablate (type s a) name (module E : Reach.S) (sys : (s, a) Tm_ioa.Ioa.t)
+      bm =
+    (* A tiny budgeted warmup so one-time initialization (lazy tables,
+       first-use code paths) is not billed to the first measured leg. *)
+    (try ignore (E.reachable ~limit:1 ~domains:1 sys bm)
+     with Reach.Out_of_budget _ -> ());
+    let legs =
+      List.map
+        (fun mode ->
+          let (st, states), minor, bytes, peak =
+            with_gc_stats (fun () ->
+                with_store mode (fun () -> E.reachable ~domains:1 sys bm))
+          in
+          (mode, st, List.length states, minor, bytes, peak))
+        [ "arena"; "heap"; "seed" ]
+    in
+    let st0, ns0, minor0 =
+      match legs with
+      | (_, st, ns, minor, _, _) :: _ -> (st, ns, minor)
+      | [] -> assert false
+    in
+    List.iter
+      (fun (mode, st, ns, minor, bytes, peak) ->
+        let agree =
+          st.Reach.zones = st0.Reach.zones
+          && st.Reach.locations = st0.Reach.locations
+          && ns = ns0
+        in
+        row "%-16s %-6s %-8d %-12.1f %-8s %-11.2f %-12.2f %s\n" name mode
+          st.Reach.zones
+          (minor /. float_of_int (max 1 st.Reach.zones))
+          (* zones whose matrices exceed the minor-alloc cutoff live on
+             the major heap in every mode; minor words then measure
+             nothing useful, so show no ratio *)
+          (if minor0 > 0. then Printf.sprintf "%.2f" (minor /. minor0)
+           else "-")
+          (bytes /. 1e6)
+          (float_of_int peak /. 1e6)
+          (if mode = "arena" then "-"
+           else if agree then "AGREE"
+           else "DISAGREE"))
+      legs
+  in
+  (let p = F.params_of_ints ~n:4 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   ablate "fischer-n4-int" (module Reach.Int) (F.system p) (F.boundmap p));
+  (let p = F.params_of_ints ~n:5 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+   ablate "fischer-n5-int" (module Reach.Int) (F.system p) (F.boundmap p));
+  (let p = SR.params_of_ints ~n:8 ~d1:1 ~d2:2 in
+   ablate "relay-n8" (module Reach.Default) (SR.line p) (SR.boundmap p))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e17", e17);
   ]
 
 let () =

@@ -66,6 +66,40 @@ let add t k =
 let intern t k =
   match add t k with `Added _ -> k | `Present id -> t.keys.(id)
 
+(* Probe-in-place interning: the candidate key lives in a mutable
+   scratch buffer, so hashing and equality run against the buffer
+   directly and the immutable key is only materialized (via [freeze])
+   on a genuine miss.  The caller promises [t.hash (freeze ()) = hash]
+   and [equal k <=> t.equal (freeze ()) k] — the differential harness
+   checks both ways. *)
+let intern_scratch t ~hash ~equal ~freeze =
+  check_owner t;
+  let hit =
+    match Hashtbl.find_opt t.buckets hash with
+    | None -> None
+    | Some entries ->
+        List.find_map (fun (_, k') -> if equal k' then Some k' else None) entries
+  in
+  match hit with
+  | Some k -> `Hit k
+  | None ->
+      let k = freeze () in
+      let id = t.count in
+      let entries =
+        match Hashtbl.find_opt t.buckets hash with None -> [] | Some e -> e
+      in
+      Hashtbl.replace t.buckets hash ((id, k) :: entries);
+      let cap = Array.length t.keys in
+      if id >= cap then begin
+        let ncap = if cap = 0 then 16 else cap * 2 in
+        let keys = Array.make ncap k in
+        Array.blit t.keys 0 keys 0 cap;
+        t.keys <- keys
+      end;
+      t.keys.(id) <- k;
+      t.count <- id + 1;
+      `Miss k
+
 let key_of_id t id =
   if id < 0 || id >= t.count then invalid_arg "Hstore.key_of_id";
   t.keys.(id)

@@ -33,6 +33,22 @@ val intern : 'k t -> 'k -> 'k
     This is what makes hash-consing work: two structurally equal zones
     interned through the same store are the same pointer. *)
 
+val intern_scratch :
+  'k t ->
+  hash:int ->
+  equal:('k -> bool) ->
+  freeze:(unit -> 'k) ->
+  [ `Hit of 'k | `Miss of 'k ]
+(** Copy-on-intern: probe the store for a key still sitting in a
+    mutable scratch buffer without materializing it.  [hash] is the
+    hash the frozen key would have; [equal k] compares the scratch
+    contents against a stored key [k]; [freeze] is called only on a
+    miss to build the immutable key that is then added under [hash].
+    [`Hit k] returns the stored representative (no allocation);
+    [`Miss k] returns the freshly frozen-and-added key.  The caller
+    must guarantee [t.hash (freeze ()) = hash] and that [equal]
+    agrees with [t.equal] on the frozen key. *)
+
 val key_of_id : 'k t -> int -> 'k
 (** @raise Invalid_argument if the id was never assigned. *)
 

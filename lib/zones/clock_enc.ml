@@ -12,6 +12,7 @@ type ('s, 'a) t = {
   classes : string array;
   nclasses : int;
   max_const : Rational.t;
+  members : 'a array array;
 }
 
 let make (a : ('s, 'a) Ioa.t) bm =
@@ -24,12 +25,28 @@ let make (a : ('s, 'a) Ioa.t) bm =
   | Ok () -> ()
   | Error m -> raise (Open_system m));
   let classes = Array.of_list a.Ioa.classes in
+  (* Class membership of every action, resolved once: [Ioa.class_of]
+     may build its class name on every call (systems typically
+     [sprintf] it), so the per-state paths below must never consult it
+     again — {!Reach} computes an enabled-vector per discrete location,
+     and an alphabet-times-classes name scan there dominates the whole
+     exploration's allocation. *)
+  let members =
+    Array.map
+      (fun c ->
+        Array.of_list
+          (List.filter
+             (fun act -> a.Ioa.class_of act = Some c)
+             a.Ioa.alphabet))
+      classes
+  in
   {
     aut = a;
     bm;
     classes;
     nclasses = Array.length classes;
     max_const = Boundmap.max_constant bm;
+    members;
   }
 
 let clock enc c =
@@ -45,8 +62,12 @@ let class_index enc act =
   | None -> None
   | Some c -> Some (clock enc c - 1)
 
-let enabled_vec enc s =
-  Array.map (fun c -> Ioa.class_enabled enc.aut c s) enc.classes
+(* Enabledness of class [i] in [s] over the precomputed members —
+   allocation-free except for the successor lists [delta] builds. *)
+let class_on enc i s =
+  Array.exists (fun act -> enc.aut.Ioa.delta s act <> []) enc.members.(i)
+
+let enabled_vec enc s = Array.init enc.nclasses (fun i -> class_on enc i s)
 
 let guard enc act =
   match enc.aut.Ioa.class_of act with
@@ -62,11 +83,9 @@ let step_ops enc s act s' =
   Array.iteri
     (fun i c ->
       let x = i + 1 in
-      if Ioa.class_enabled enc.aut c s' then begin
-        if
-          enc.aut.Ioa.class_of act = Some c
-          || not (Ioa.class_enabled enc.aut c s)
-        then ops := Reset x :: !ops
+      if class_on enc i s' then begin
+        if enc.aut.Ioa.class_of act = Some c || not (class_on enc i s) then
+          ops := Reset x :: !ops
       end
       else ops := Free x :: !ops)
     enc.classes;
@@ -75,8 +94,8 @@ let step_ops enc s act s' =
 let start_ops enc s =
   let ops = ref [] in
   Array.iteri
-    (fun i c ->
-      if not (Ioa.class_enabled enc.aut c s) then ops := Free (i + 1) :: !ops)
+    (fun i _ ->
+      if not (class_on enc i s) then ops := Free (i + 1) :: !ops)
     enc.classes;
   List.rev !ops
 
@@ -84,7 +103,7 @@ let invariant enc s =
   let invs = ref [] in
   Array.iteri
     (fun i c ->
-      if Ioa.class_enabled enc.aut c s then
+      if class_on enc i s then
         match Boundmap.upper enc.bm c with
         | Time.Fin q -> invs := (i + 1, q) :: !invs
         | Time.Inf -> ())

@@ -19,6 +19,11 @@ type ('s, 'a) t = {
   classes : string array;
   nclasses : int;
   max_const : Tm_base.Rational.t;  (** largest finite bound constant *)
+  members : 'a array array;
+      (** actions of each class, indexed by class index — resolved once
+          at {!make} so the per-state enabledness scans never call
+          [Ioa.class_of] (whose class names are typically built afresh
+          per call) *)
 }
 
 val make : ('s, 'a) Tm_ioa.Ioa.t -> Tm_timed.Boundmap.t -> ('s, 'a) t

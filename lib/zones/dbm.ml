@@ -33,6 +33,8 @@ let c_intersect = op "intersect"
 let c_includes = op "includes"
 let c_extrapolate = op "extrapolate"
 let c_sat = op "sat"
+let c_minimize = op "minimize"
+let c_min_subsumes = op "min_subsumes"
 
 type bnd = Dbm_bound.t = Lt of Rational.t | Le of Rational.t | Inf
 
@@ -42,14 +44,23 @@ let bnd_add = Dbm_bound.add
 let bnd_neg_ok = Dbm_bound.neg_ok
 
 (* [hmemo] caches the structural hash ([min_int] = not yet computed);
-   persistent values are immutable apart from this memo. *)
-type t = { n : int; m : bnd array; empty : bool; mutable hmemo : int }
+   persistent values are immutable apart from this memo.  [off] is the
+   start of this zone's n*n slice inside [m]: zones frozen into an
+   {!Arena} share one large chunk array (off > 0 possible), heap zones
+   own a exactly-sized array at off 0. *)
+type t = { n : int; m : bnd array; off : int; empty : bool; mutable hmemo : int }
 
 let name = "fast"
 let dim z = z.n
-let get z i j = z.m.(i * z.n + j)
+let get z i j = z.m.(z.off + (i * z.n) + j)
 let is_empty z = z.empty
-let mk n m empty = { n; m; empty; hmemo = min_int }
+let mk n m empty = { n; m; off = 0; empty; hmemo = min_int }
+
+(* Copy a zone's payload out to a fresh exactly-sized array (the
+   in-place core always works at offset 0 on owned arrays). *)
+let dup z =
+  if z.off = 0 && Array.length z.m = z.n * z.n then Array.copy z.m
+  else Array.sub z.m z.off (z.n * z.n)
 
 (* ------------------------------------------------------------------ *)
 (* In-place core: all operations work directly on a flat array and
@@ -112,8 +123,10 @@ let tighten_arr n m i j b =
   done
 
 (* Emptiness of [z /\ (x_i - x_j <= b)] for canonical nonempty m in
-   O(1): the only candidate negative cycle is i -> j (new edge) -> i. *)
-let unsat_with n m i j b = not (bnd_neg_ok (bnd_add b m.((j * n) + i)))
+   O(1): the only candidate negative cycle is i -> j (new edge) -> i.
+   Takes the slice offset so it works on arena zones directly. *)
+let unsat_with n m off i j b =
+  not (bnd_neg_ok (bnd_add b m.(off + (j * n) + i)))
 
 let up_arr n m =
   for i = 1 to n - 1 do
@@ -147,7 +160,16 @@ let free_arr n m x =
    constant only (strictness does not matter), exactly as in the int
    kernel, so the differential harness can demand bit-equal results.
    Returns whether anything changed. *)
-let extrapolate_lu_arr n m lower upper =
+(* Per-clock [Lt (-U_j)] replacement bounds, hoisted out of the sweep:
+   [Inf] encodes a missing upper bound (wipe the entry).  Sharing one
+   bound value per clock keeps the sweep allocation-free — the scratch
+   caches this array per exploration under the physical identity of
+   [upper]. *)
+let lu_negs n upper =
+  Array.init n (fun j ->
+      match upper.(j) with None -> Inf | Some u -> Lt (Rational.neg u))
+
+let extrapolate_lu_wide n m lower nlt =
   let changed = ref false in
   for i = 0 to n - 1 do
     let row = i * n in
@@ -166,14 +188,14 @@ let extrapolate_lu_arr n m lower upper =
               changed := true
             end
             else
-              match upper.(j) with
-              | None ->
+              match nlt.(j) with
+              | Le _ -> assert false
+              | Inf ->
                   m.(row + j) <- Inf;
                   changed := true
-              | Some u ->
-                  let nu = Rational.neg u in
+              | Lt nu as b ->
                   if Rational.compare c nu < 0 then begin
-                    m.(row + j) <- Lt nu;
+                    m.(row + j) <- b;
                     changed := true
                   end)
     done
@@ -223,14 +245,14 @@ let constrain z i j b =
   if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm.constrain";
   if z.empty then z
   else if bnd_compare b (get z i j) >= 0 then z
-  else if unsat_with z.n z.m i j b then
+  else if unsat_with z.n z.m z.off i j b then
     (* Keep the untouched matrix; [equal]/[hash]/[includes] never look
        at the entries of an empty zone. *)
-    { n = z.n; m = z.m; empty = true; hmemo = 0 }
+    { n = z.n; m = z.m; off = z.off; empty = true; hmemo = 0 }
   else begin
     (* i = j would require b < Le 0, which [unsat_with] already caught
        (m[i][i] = Le 0), so the tightening pass only sees i <> j. *)
-    let m = Array.copy z.m in
+    let m = dup z in
     tighten_arr z.n m i j b;
     mk z.n m false
   end
@@ -239,7 +261,7 @@ let up z =
   Metrics.incr c_up;
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     up_arr z.n m;
     mk z.n m false
   end
@@ -249,7 +271,7 @@ let reset z x =
   if x < 1 || x >= z.n then invalid_arg "Dbm.reset";
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     reset_arr z.n m x;
     mk z.n m false
   end
@@ -259,7 +281,7 @@ let free z x =
   if x < 1 || x >= z.n then invalid_arg "Dbm.free";
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     free_arr z.n m x;
     mk z.n m false
   end
@@ -272,10 +294,11 @@ let includes big small =
   else if big.empty then false
   else begin
     let len = big.n * big.n in
+    let bo = big.off and so = small.off in
     let k = ref 0 in
     let ok = ref true in
     while !ok && !k < len do
-      if bnd_compare small.m.(!k) big.m.(!k) > 0 then ok := false;
+      if bnd_compare small.m.(so + !k) big.m.(bo + !k) > 0 then ok := false;
       incr k
     done;
     !ok
@@ -288,7 +311,9 @@ let intersect a b =
   else if a.empty then a
   else if b.empty then b
   else begin
-    let m = Array.init (a.n * a.n) (fun k -> bnd_min a.m.(k) b.m.(k)) in
+    let m =
+      Array.init (a.n * a.n) (fun k -> bnd_min a.m.(a.off + k) b.m.(b.off + k))
+    in
     let empty = canonicalize_arr a.n m in
     mk a.n m empty
   end
@@ -297,7 +322,7 @@ let extrapolate mc z =
   Metrics.incr c_extrapolate;
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     if not (extrapolate_arr z.n m mc (Rational.neg mc)) then z
     else begin
       (* Extrapolation relaxes a nonempty zone, so it stays nonempty. *)
@@ -310,8 +335,8 @@ let extrapolate_lu ~lower ~upper z =
   Metrics.incr c_extrapolate;
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
-    if not (extrapolate_lu_arr z.n m lower upper) then z
+    let m = dup z in
+    if not (extrapolate_lu_wide z.n m lower (lu_negs z.n upper)) then z
     else begin
       (* LU extrapolation only relaxes entries, so nonempty stays
          nonempty. *)
@@ -323,20 +348,34 @@ let extrapolate_lu ~lower ~upper z =
 let sat z i j b =
   Metrics.incr c_sat;
   if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm.sat";
-  (not z.empty) && not (unsat_with z.n z.m i j b)
+  (not z.empty) && not (unsat_with z.n z.m z.off i j b)
 
 let loose z =
   if z.empty then 0
-  else Array.fold_left (fun acc b -> if b = Inf then acc + 1 else acc) 0 z.m
+  else begin
+    let acc = ref 0 in
+    for k = z.off to z.off + (z.n * z.n) - 1 do
+      if z.m.(k) = Inf then incr acc
+    done;
+    !acc
+  end
+
+(* One hash recurrence for persistent zones and in-place scratches —
+   [Scratch.hash] feeding [Hstore.intern_scratch] must produce exactly
+   the value the frozen zone would memoize, or the hash-consed store
+   would miss genuine duplicates. *)
+let hash_arr n m off =
+  let h = ref n in
+  for k = off to off + (n * n) - 1 do
+    h := (!h * 31) + Dbm_bound.hash m.(k)
+  done;
+  if !h = min_int then min_int + 1 else !h
 
 let hash z =
   if z.empty then 0
   else if z.hmemo <> min_int then z.hmemo
   else begin
-    let h =
-      Array.fold_left (fun h b -> (h * 31) + Dbm_bound.hash b) z.n z.m
-    in
-    let h = if h = min_int then min_int + 1 else h in
+    let h = hash_arr z.n z.m z.off in
     z.hmemo <- h;
     h
   end
@@ -348,10 +387,11 @@ let equal a b =
         || (a.hmemo = min_int || b.hmemo = min_int || a.hmemo = b.hmemo)
            &&
            let len = a.n * a.n in
+           let ao = a.off and bo = b.off in
            let k = ref 0 in
            let eq = ref true in
            while !eq && !k < len do
-             if bnd_compare a.m.(!k) b.m.(!k) <> 0 then eq := false;
+             if bnd_compare a.m.(ao + !k) b.m.(bo + !k) <> 0 then eq := false;
              incr k
            done;
            !eq)
@@ -370,20 +410,112 @@ let pp fmt z =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Arena: bump allocation for stored-zone payloads.  Chunks start at
+   512 entries so they land on the major heap directly — freezing a
+   zone into the arena costs no minor-heap words beyond its record.
+   Growth swaps in a doubled chunk and abandons the old one to the
+   zones already pointing into it; [reset] rewinds only the current
+   chunk, which is exactly right for the per-domain speculative arenas
+   (everything since the last reset is discarded or was copied out by
+   the commit loop).                                                   *)
+
+let arena_chunk_min = 512
+
+module Arena = struct
+  type arena = { mutable buf : bnd array; mutable pos : int }
+
+  let create () = { buf = [||]; pos = 0 }
+  let reset a = a.pos <- 0
+
+  let alloc a size =
+    if a.pos + size > Array.length a.buf then begin
+      a.buf <-
+        Array.make (max (2 * Array.length a.buf) (max size arena_chunk_min)) Inf;
+      a.pos <- 0
+    end;
+    let off = a.pos in
+    a.pos <- a.pos + size;
+    (a.buf, off)
+end
+
+let copy_into a z =
+  if z.empty then z
+  else begin
+    let len = z.n * z.n in
+    let buf, off = Arena.alloc a len in
+    Array.blit z.m z.off buf off len;
+    { n = z.n; m = buf; off; empty = false; hmemo = z.hmemo }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Minimal-constraint form; the reduction itself lives in {!Dbm_min}.  *)
+
+module Min = struct
+  type min = MEmpty of int | M of Dbm_min.t
+
+  let of_zone z =
+    if z.empty then MEmpty z.n
+    else begin
+      Metrics.incr c_minimize;
+      M (Dbm_min.reduce z.n (fun i j -> z.m.(z.off + (i * z.n) + j)))
+    end
+
+  let to_zone = function
+    | MEmpty n -> { n; m = Array.make (n * n) Inf; off = 0; empty = true; hmemo = 0 }
+    | M r -> mk r.Dbm_min.mn (Dbm_min.to_matrix r) false
+
+  let subsumes mn z =
+    Metrics.incr c_min_subsumes;
+    match mn with
+    | MEmpty _ -> z.empty
+    | M r ->
+        if z.n <> r.Dbm_min.mn then invalid_arg "Dbm.Min.subsumes";
+        z.empty || Dbm_min.subsumes r (fun i j -> z.m.(z.off + (i * z.n) + j))
+
+  let equal a b =
+    match (a, b) with
+    | MEmpty n, MEmpty n' -> n = n'
+    | M r, M r' -> Dbm_min.equal r r'
+    | _ -> false
+
+  let count = function MEmpty _ -> 0 | M r -> Dbm_min.count r
+end
+
+(* ------------------------------------------------------------------ *)
 (* Scratch: one reusable matrix per exploration; every op mutates it
-   in place and keeps it canonical, so [freeze] is a plain copy.       *)
+   in place and keeps it canonical, so [freeze] is a plain copy.
+   [ssrc] remembers the zone last loaded: when a whole edge pipeline
+   turns out to be a no-op, [freeze] hands back the already-interned
+   original instead of copying.                                        *)
 
 module Scratch = struct
-  type scratch = { sn : int; sm : bnd array; mutable sempty : bool }
+  type scratch = {
+    sn : int;
+    sm : bnd array;
+    mutable sempty : bool;
+    mutable ssrc : t option;
+    (* [lu_negs] of the last ~upper seen, cached under its physical
+       identity: one conversion per exploration, not one per edge. *)
+    mutable slu_upper : Rational.t option array;
+    mutable slu_negs : bnd array;
+  }
 
   let create n =
     if n < 1 then invalid_arg "Dbm.Scratch.create";
-    { sn = n; sm = Array.make (n * n) Inf; sempty = true }
+    {
+      sn = n;
+      sm = Array.make (n * n) Inf;
+      sempty = true;
+      ssrc = None;
+      slu_upper = [||];
+      slu_negs = [||];
+    }
 
   let load s z =
     if s.sn <> z.n then invalid_arg "Dbm.Scratch.load";
-    Array.blit z.m 0 s.sm 0 (s.sn * s.sn);
-    s.sempty <- z.empty
+    Array.blit z.m z.off s.sm 0 (s.sn * s.sn);
+    s.sempty <- z.empty;
+    s.ssrc <- Some z
 
   let is_empty s = s.sempty
 
@@ -392,7 +524,7 @@ module Scratch = struct
     if i < 0 || i >= s.sn || j < 0 || j >= s.sn then
       invalid_arg "Dbm.Scratch.constrain";
     if (not s.sempty) && bnd_compare b s.sm.((i * s.sn) + j) < 0 then
-      if unsat_with s.sn s.sm i j b then s.sempty <- true
+      if unsat_with s.sn s.sm 0 i j b then s.sempty <- true
       else tighten_arr s.sn s.sm i j b
 
   let up s =
@@ -416,14 +548,73 @@ module Scratch = struct
 
   let extrapolate_lu ~lower ~upper s =
     Metrics.incr c_extrapolate;
-    if (not s.sempty) && extrapolate_lu_arr s.sn s.sm lower upper then
-      ignore (canonicalize_arr s.sn s.sm)
+    if not s.sempty then begin
+      if s.slu_upper != upper then begin
+        s.slu_negs <- lu_negs s.sn upper;
+        s.slu_upper <- upper
+      end;
+      if extrapolate_lu_wide s.sn s.sm lower s.slu_negs then
+        ignore (canonicalize_arr s.sn s.sm)
+    end
 
   let sat s i j b =
     Metrics.incr c_sat;
     if i < 0 || i >= s.sn || j < 0 || j >= s.sn then
       invalid_arg "Dbm.Scratch.sat";
-    (not s.sempty) && not (unsat_with s.sn s.sm i j b)
+    (not s.sempty) && not (unsat_with s.sn s.sm 0 i j b)
 
-  let freeze s = mk s.sn (Array.copy s.sm) s.sempty
+  (* Is the scratch still (structurally) the zone it was loaded from?
+     Emptiness matching is enough for empty zones — nothing ever reads
+     an empty zone's entries. *)
+  let unchanged s =
+    match s.ssrc with
+    | None -> None
+    | Some z ->
+        if z.n <> s.sn || z.empty <> s.sempty then None
+        else if s.sempty then Some z
+        else begin
+          let len = s.sn * s.sn in
+          let zo = z.off in
+          let k = ref 0 in
+          let eq = ref true in
+          while !eq && !k < len do
+            if bnd_compare s.sm.(!k) z.m.(zo + !k) <> 0 then eq := false;
+            incr k
+          done;
+          if !eq then Some z else None
+        end
+
+  let freeze s =
+    match unchanged s with
+    | Some z -> z
+    | None -> mk s.sn (Array.copy s.sm) s.sempty
+
+  let hash s = if s.sempty then 0 else hash_arr s.sn s.sm 0
+
+  let equal_zone s z =
+    s.sn = z.n && s.sempty = z.empty
+    && (s.sempty
+       ||
+       let len = s.sn * s.sn in
+       let zo = z.off in
+       let k = ref 0 in
+       let eq = ref true in
+       while !eq && !k < len do
+         if bnd_compare s.sm.(!k) z.m.(zo + !k) <> 0 then eq := false;
+         incr k
+       done;
+       !eq)
+
+  let freeze_into ?hash a s =
+    match unchanged s with
+    | Some z -> z
+    | None ->
+        if s.sempty then mk s.sn (Array.copy s.sm) true
+        else begin
+          let len = s.sn * s.sn in
+          let buf, off = Arena.alloc a len in
+          Array.blit s.sm 0 buf off len;
+          let hmemo = match hash with Some h -> h | None -> min_int in
+          { n = s.sn; m = buf; off; empty = false; hmemo }
+        end
 end

@@ -35,6 +35,8 @@ let c_intersect = op "intersect"
 let c_includes = op "includes"
 let c_extrapolate = op "extrapolate"
 let c_sat = op "sat"
+let c_minimize = op "minimize"
+let c_min_subsumes = op "min_subsumes"
 
 (* Packed bounds.  Constants in this repository are tiny (single-digit
    boundmap endpoints), so overflow of [2c] or packed addition is a
@@ -74,13 +76,20 @@ let bnd_neg_ok p = p > 0
    ones dispatched here — this is exact.) *)
 let ceil_int q = Rational.ceil q
 
-type t = { n : int; m : int array; empty : bool; mutable hmemo : int }
+(* [off] is the start of this zone's n*n slice inside [m]: arena zones
+   share one large chunk array, heap zones own an exactly-sized array
+   at offset 0. *)
+type t = { n : int; m : int array; off : int; empty : bool; mutable hmemo : int }
 
 let name = "int"
 let dim z = z.n
-let get z i j = unpack z.m.((i * z.n) + j)
+let get z i j = unpack z.m.(z.off + (i * z.n) + j)
 let is_empty z = z.empty
-let mk n m empty = { n; m; empty; hmemo = min_int }
+let mk n m empty = { n; m; off = 0; empty; hmemo = min_int }
+
+let dup z =
+  if z.off = 0 && Array.length z.m = z.n * z.n then Array.copy z.m
+  else Array.sub z.m z.off (z.n * z.n)
 
 (* ------------------------------------------------------------------ *)
 (* In-place core, mirroring {!Dbm} recurrence for recurrence.          *)
@@ -92,7 +101,15 @@ let canonicalize_arr n m =
      [i], so the whole inner loop is skipped.  Under LU widening most
      rows of an inactive clock are [inf], which turns the n^3 closure
      into roughly (active clocks)^3 — this is the kernel's hottest
-     loop, re-run after every per-edge extrapolation. *)
+     loop, re-run after every per-edge extrapolation.
+
+     The inner loop is branchless: packing makes tightness native int
+     order, so "keep the min" is a select, expressed as masked blends
+     flambda can keep in registers and unroll.  [via] wraps around
+     when [kj = inf], but [take] is forced to 0 in exactly that case,
+     so the blend writes back [cur] untouched.  Bounds are in range by
+     construction ([rowi + j], [rowk + j] < n*n), hence the unsafe
+     accesses. *)
   (try
      for k = 0 to n - 1 do
        let rowk = k * n in
@@ -101,11 +118,13 @@ let canonicalize_arr n m =
          let ik = m.(rowi + k) in
          if ik <> inf && k <> i then
            for j = 0 to n - 1 do
-             let kj = m.(rowk + j) in
-             if kj <> inf then begin
-               let via = ik + kj - ((ik lor kj) land 1) in
-               if via < m.(rowi + j) then m.(rowi + j) <- via
-             end
+             let kj = Array.unsafe_get m (rowk + j) in
+             let cur = Array.unsafe_get m (rowi + j) in
+             let via = ik + kj - ((ik lor kj) land 1) in
+             let take = Bool.to_int (kj <> inf) land Bool.to_int (via < cur) in
+             let mask = -take in
+             Array.unsafe_set m (rowi + j)
+               ((via land mask) lor (cur land lnot mask))
            done;
          if m.(rowi + i) <= 0 then raise Exit
        done
@@ -113,6 +132,9 @@ let canonicalize_arr n m =
    with Exit -> m.(0) <- 0 (* Lt 0 *));
   not (bnd_neg_ok m.(0))
 
+(* [b] is a genuinely tightening bound, hence finite — so [via] below
+   is finite too and the branchless blend only has to mask the
+   [jy = inf] wrap-around, mirroring the closure loop. *)
 let tighten_arr n m i j b =
   let rowj = j * n in
   for x = 0 to n - 1 do
@@ -121,16 +143,18 @@ let tighten_arr n m i j b =
       let via = bnd_add x_to_i b in
       let rowx = x * n in
       for y = 0 to n - 1 do
-        let jy = m.(rowj + y) in
-        if jy <> inf then begin
-          let cand = bnd_add via jy in
-          if cand < m.(rowx + y) then m.(rowx + y) <- cand
-        end
+        let jy = Array.unsafe_get m (rowj + y) in
+        let cur = Array.unsafe_get m (rowx + y) in
+        let cand = via + jy - ((via lor jy) land 1) in
+        let take = Bool.to_int (jy <> inf) land Bool.to_int (cand < cur) in
+        let mask = -take in
+        Array.unsafe_set m (rowx + y) ((cand land mask) lor (cur land lnot mask))
       done
     end
   done
 
-let unsat_with n m i j b = not (bnd_neg_ok (bnd_add b m.((j * n) + i)))
+let unsat_with n m off i j b =
+  not (bnd_neg_ok (bnd_add b m.(off + (j * n) + i)))
 
 let up_arr n m =
   for i = 1 to n - 1 do
@@ -181,13 +205,16 @@ let extrapolate_arr n m mc neg_mc =
    lower bound is -inf, encoded [min_int] so every constant exceeds
    it) and [nuc.(j) = -ceil U_j] ([None] upper encoded [max_int],
    meaning wipe). *)
-let extrapolate_lu_arr n m lower upper =
+let lu_thresholds n lower upper =
   let lceil = Array.make n min_int in
   let nuc = Array.make n max_int in
   for k = 0 to n - 1 do
     (match lower.(k) with None -> () | Some l -> lceil.(k) <- ceil_int l);
     match upper.(k) with None -> () | Some u -> nuc.(k) <- -ceil_int u
   done;
+  (lceil, nuc)
+
+let extrapolate_lu_packed n m lceil nuc =
   let changed = ref false in
   for i = 0 to n - 1 do
     let row = i * n in
@@ -240,11 +267,11 @@ let constrain z i j b =
     invalid_arg "Dbm_int.constrain";
   let b = pack b in
   if z.empty then z
-  else if b >= z.m.((i * z.n) + j) then z
-  else if unsat_with z.n z.m i j b then
-    { n = z.n; m = z.m; empty = true; hmemo = 0 }
+  else if b >= z.m.(z.off + (i * z.n) + j) then z
+  else if unsat_with z.n z.m z.off i j b then
+    { n = z.n; m = z.m; off = z.off; empty = true; hmemo = 0 }
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     tighten_arr z.n m i j b;
     mk z.n m false
   end
@@ -253,7 +280,7 @@ let up z =
   Metrics.incr c_up;
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     up_arr z.n m;
     mk z.n m false
   end
@@ -263,7 +290,7 @@ let reset z x =
   if x < 1 || x >= z.n then invalid_arg "Dbm_int.reset";
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     reset_arr z.n m x;
     mk z.n m false
   end
@@ -273,7 +300,7 @@ let free z x =
   if x < 1 || x >= z.n then invalid_arg "Dbm_int.free";
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
+    let m = dup z in
     free_arr z.n m x;
     mk z.n m false
   end
@@ -286,10 +313,11 @@ let includes big small =
   else if big.empty then false
   else begin
     let len = big.n * big.n in
+    let bo = big.off and so = small.off in
     let k = ref 0 in
     let ok = ref true in
     while !ok && !k < len do
-      if small.m.(!k) > big.m.(!k) then ok := false;
+      if small.m.(so + !k) > big.m.(bo + !k) then ok := false;
       incr k
     done;
     !ok
@@ -302,7 +330,9 @@ let intersect a b =
   else if a.empty then a
   else if b.empty then b
   else begin
-    let m = Array.init (a.n * a.n) (fun k -> min a.m.(k) b.m.(k)) in
+    let m =
+      Array.init (a.n * a.n) (fun k -> min a.m.(a.off + k) b.m.(b.off + k))
+    in
     let empty = canonicalize_arr a.n m in
     mk a.n m empty
   end
@@ -314,7 +344,7 @@ let extrapolate mc z =
   if z.empty then z
   else begin
     let mci = ceil_int mc in
-    let m = Array.copy z.m in
+    let m = dup z in
     if not (extrapolate_arr z.n m mci (-mci)) then z
     else begin
       ignore (canonicalize_arr z.n m);
@@ -326,8 +356,9 @@ let extrapolate_lu ~lower ~upper z =
   Metrics.incr c_extrapolate;
   if z.empty then z
   else begin
-    let m = Array.copy z.m in
-    if not (extrapolate_lu_arr z.n m lower upper) then z
+    let m = dup z in
+    let lceil, nuc = lu_thresholds z.n lower upper in
+    if not (extrapolate_lu_packed z.n m lceil nuc) then z
     else begin
       ignore (canonicalize_arr z.n m);
       mk z.n m false
@@ -337,11 +368,28 @@ let extrapolate_lu ~lower ~upper z =
 let sat z i j b =
   Metrics.incr c_sat;
   if i < 0 || i >= z.n || j < 0 || j >= z.n then invalid_arg "Dbm_int.sat";
-  (not z.empty) && not (unsat_with z.n z.m i j (pack b))
+  (not z.empty) && not (unsat_with z.n z.m z.off i j (pack b))
 
 let loose z =
   if z.empty then 0
-  else Array.fold_left (fun acc p -> if p = inf then acc + 1 else acc) 0 z.m
+  else begin
+    let acc = ref 0 in
+    for k = z.off to z.off + (z.n * z.n) - 1 do
+      if z.m.(k) = inf then incr acc
+    done;
+    !acc
+  end
+
+(* One hash recurrence for persistent zones and in-place scratches;
+   [Scratch.hash] must match the frozen zone's memo exactly or the
+   hash-consed store misses duplicates. *)
+let hash_arr n m off =
+  let h = ref n in
+  for k = off to off + (n * n) - 1 do
+    let p = m.(k) in
+    h := (!h * 31) + if p = inf then 7 else p
+  done;
+  if !h = min_int then min_int + 1 else !h
 
 (* Memoized structural hash over the packed entries; like {!Dbm} the
    cost is once per distinct zone and [min_int] is the "uncomputed"
@@ -350,12 +398,7 @@ let hash z =
   if z.empty then 0
   else if z.hmemo <> min_int then z.hmemo
   else begin
-    let h =
-      Array.fold_left
-        (fun h p -> (h * 31) + if p = inf then 7 else p)
-        z.n z.m
-    in
-    let h = if h = min_int then min_int + 1 else h in
+    let h = hash_arr z.n z.m z.off in
     z.hmemo <- h;
     h
   end
@@ -367,10 +410,11 @@ let equal a b =
         || (a.hmemo = min_int || b.hmemo = min_int || a.hmemo = b.hmemo)
            &&
            let len = a.n * a.n in
+           let ao = a.off and bo = b.off in
            let k = ref 0 in
            let eq = ref true in
            while !eq && !k < len do
-             if a.m.(!k) <> b.m.(!k) then eq := false;
+             if a.m.(ao + !k) <> b.m.(bo + !k) then eq := false;
              incr k
            done;
            !eq)
@@ -389,19 +433,207 @@ let pp fmt z =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Scratch: allocation-free between [load] and [freeze].               *)
+(* Arena: bump allocation for stored-zone payloads; see {!Dbm.Arena}
+   (chunks >= 512 words go straight to the major heap, [reset] rewinds
+   the current chunk only — per-domain speculative arenas reset at
+   batch boundaries, the main arena never does).                       *)
+
+let arena_chunk_min = 512
+
+module Arena = struct
+  type arena = { mutable buf : int array; mutable pos : int }
+
+  let create () = { buf = [||]; pos = 0 }
+  let reset a = a.pos <- 0
+
+  let alloc a size =
+    if a.pos + size > Array.length a.buf then begin
+      a.buf <-
+        Array.make (max (2 * Array.length a.buf) (max size arena_chunk_min)) inf;
+      a.pos <- 0
+    end;
+    let off = a.pos in
+    a.pos <- a.pos + size;
+    (a.buf, off)
+end
+
+let copy_into a z =
+  if z.empty then z
+  else begin
+    let len = z.n * z.n in
+    let buf, off = Arena.alloc a len in
+    Array.blit z.m z.off buf off len;
+    { n = z.n; m = buf; off; empty = false; hmemo = z.hmemo }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Minimal-constraint form: the {!Dbm_min} reduction hand-specialized
+   to packed ints so the waiting/passed-list subsumption probe is a
+   tight loop over two int arrays — no closures, no boxing.  Same
+   class-cycle + representative-edge construction, in the same
+   deterministic order, so [equal] is structural here too.             *)
+
+module Min = struct
+  type min = { mn : int; mempty : bool; midx : int array; mbnd : int array }
+
+  let of_zone z =
+    if z.empty then { mn = z.n; mempty = true; midx = [||]; mbnd = [||] }
+    else begin
+      Metrics.incr c_minimize;
+      let n = z.n and m = z.m and o = z.off in
+      let r i j = m.(o + (i * n) + j) in
+      (* Zero-equivalence: the 2-cycle adds up to exactly Le 0 = 1. *)
+      let rep = Array.init n (fun i -> i) in
+      for i = 1 to n - 1 do
+        (try
+           for j = 0 to i - 1 do
+             if rep.(j) = j && bnd_add (r j i) (r i j) = le_zero then begin
+               rep.(i) <- j;
+               raise Exit
+             end
+           done
+         with Exit -> ())
+      done;
+      let idx = ref [] and bnd = ref [] in
+      let keep i j b =
+        idx := ((i * n) + j) :: !idx;
+        bnd := b :: !bnd
+      in
+      for c = 0 to n - 1 do
+        if rep.(c) = c then begin
+          let members = ref [] in
+          for i = n - 1 downto c do
+            if rep.(i) = c then members := i :: !members
+          done;
+          match !members with
+          | [] | [ _ ] -> ()
+          | first :: _ as ms ->
+              let rec cyc = function
+                | [ last ] -> keep last first (r last first)
+                | a :: (b :: _ as tl) ->
+                    keep a b (r a b);
+                    cyc tl
+                | [] -> ()
+              in
+              cyc ms
+        end
+      done;
+      for i = 0 to n - 1 do
+        if rep.(i) = i then
+          for j = 0 to n - 1 do
+            if j <> i && rep.(j) = j then begin
+              let b = r i j in
+              if b <> inf then begin
+                let redundant = ref false in
+                let k = ref 0 in
+                while (not !redundant) && !k < n do
+                  if !k <> i && !k <> j && rep.(!k) = !k then
+                    if bnd_add (r i !k) (r !k j) <= b then redundant := true;
+                  incr k
+                done;
+                if not !redundant then keep i j b
+              end
+            end
+          done
+      done;
+      {
+        mn = n;
+        mempty = false;
+        midx = Array.of_list (List.rev !idx);
+        mbnd = Array.of_list (List.rev !bnd);
+      }
+    end
+
+  let to_zone mn =
+    if mn.mempty then
+      { n = mn.mn; m = Array.make (mn.mn * mn.mn) inf; off = 0; empty = true;
+        hmemo = 0 }
+    else begin
+      let n = mn.mn in
+      let m = Array.make (n * n) inf in
+      for i = 0 to n - 1 do
+        m.((i * n) + i) <- le_zero
+      done;
+      Array.iteri (fun e ij -> m.(ij) <- mn.mbnd.(e)) mn.midx;
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let via = bnd_add m.((i * n) + k) m.((k * n) + j) in
+            if via < m.((i * n) + j) then m.((i * n) + j) <- via
+          done
+        done
+      done;
+      mk n m false
+    end
+
+  (* [subsumes mn z]: does the zone [mn] was reduced from include [z]?
+     Checking the kept constraints suffices: every reconstructed entry
+     is a path sum of kept bounds, and canonical [z] satisfies the
+     triangle inequality along that path. *)
+  let subsumes mn z =
+    Metrics.incr c_min_subsumes;
+    if mn.mempty then z.empty
+    else if z.empty then true
+    else begin
+      if z.n <> mn.mn then invalid_arg "Dbm_int.Min.subsumes";
+      let m = z.m and o = z.off in
+      let midx = mn.midx and mbnd = mn.mbnd in
+      let ne = Array.length midx in
+      let ok = ref true in
+      let e = ref 0 in
+      while !ok && !e < ne do
+        if m.(o + Array.unsafe_get midx !e) > Array.unsafe_get mbnd !e then
+          ok := false;
+        incr e
+      done;
+      !ok
+    end
+
+  let equal a b =
+    a.mn = b.mn && a.mempty = b.mempty && a.midx = b.midx && a.mbnd = b.mbnd
+
+  let count mn = Array.length mn.midx
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scratch: allocation-free between [load] and [freeze].  [ssrc]
+   remembers the zone last loaded so a no-op pipeline freezes to the
+   already-interned original.                                          *)
 
 module Scratch = struct
-  type scratch = { sn : int; sm : int array; mutable sempty : bool }
+  type scratch = {
+    sn : int;
+    sm : int array;
+    mutable sempty : bool;
+    mutable ssrc : t option;
+    (* LU thresholds, cached under the physical identity of the bound
+       arrays: an exploration extrapolates every pipeline with the same
+       two arrays, so the rational-to-int conversion runs once per
+       exploration instead of once per edge. *)
+    mutable slu_lower : Rational.t option array;
+    mutable slu_upper : Rational.t option array;
+    mutable slu_lceil : int array;
+    mutable slu_nuc : int array;
+  }
 
   let create n =
     if n < 1 then invalid_arg "Dbm_int.Scratch.create";
-    { sn = n; sm = Array.make (n * n) inf; sempty = true }
+    {
+      sn = n;
+      sm = Array.make (n * n) inf;
+      sempty = true;
+      ssrc = None;
+      slu_lower = [||];
+      slu_upper = [||];
+      slu_lceil = [||];
+      slu_nuc = [||];
+    }
 
   let load s z =
     if s.sn <> z.n then invalid_arg "Dbm_int.Scratch.load";
-    Array.blit z.m 0 s.sm 0 (s.sn * s.sn);
-    s.sempty <- z.empty
+    Array.blit z.m z.off s.sm 0 (s.sn * s.sn);
+    s.sempty <- z.empty;
+    s.ssrc <- Some z
 
   let is_empty s = s.sempty
 
@@ -411,7 +643,7 @@ module Scratch = struct
       invalid_arg "Dbm_int.Scratch.constrain";
     let b = pack b in
     if (not s.sempty) && b < s.sm.((i * s.sn) + j) then
-      if unsat_with s.sn s.sm i j b then s.sempty <- true
+      if unsat_with s.sn s.sm 0 i j b then s.sempty <- true
       else tighten_arr s.sn s.sm i j b
 
   let up s =
@@ -438,14 +670,76 @@ module Scratch = struct
 
   let extrapolate_lu ~lower ~upper s =
     Metrics.incr c_extrapolate;
-    if (not s.sempty) && extrapolate_lu_arr s.sn s.sm lower upper then
-      ignore (canonicalize_arr s.sn s.sm)
+    if not s.sempty then begin
+      if s.slu_lower != lower || s.slu_upper != upper then begin
+        let lceil, nuc = lu_thresholds s.sn lower upper in
+        s.slu_lower <- lower;
+        s.slu_upper <- upper;
+        s.slu_lceil <- lceil;
+        s.slu_nuc <- nuc
+      end;
+      if extrapolate_lu_packed s.sn s.sm s.slu_lceil s.slu_nuc then
+        ignore (canonicalize_arr s.sn s.sm)
+    end
 
   let sat s i j b =
     Metrics.incr c_sat;
     if i < 0 || i >= s.sn || j < 0 || j >= s.sn then
       invalid_arg "Dbm_int.Scratch.sat";
-    (not s.sempty) && not (unsat_with s.sn s.sm i j (pack b))
+    (not s.sempty) && not (unsat_with s.sn s.sm 0 i j (pack b))
 
-  let freeze s = mk s.sn (Array.copy s.sm) s.sempty
+  (* Is the scratch still (structurally) the zone it was loaded from?
+     Empty zones match on the flag alone — their entries are never
+     read. *)
+  let unchanged s =
+    match s.ssrc with
+    | None -> None
+    | Some z ->
+        if z.n <> s.sn || z.empty <> s.sempty then None
+        else if s.sempty then Some z
+        else begin
+          let len = s.sn * s.sn in
+          let zo = z.off in
+          let k = ref 0 in
+          let eq = ref true in
+          while !eq && !k < len do
+            if s.sm.(!k) <> z.m.(zo + !k) then eq := false;
+            incr k
+          done;
+          if !eq then Some z else None
+        end
+
+  let freeze s =
+    match unchanged s with
+    | Some z -> z
+    | None -> mk s.sn (Array.copy s.sm) s.sempty
+
+  let hash s = if s.sempty then 0 else hash_arr s.sn s.sm 0
+
+  let equal_zone s z =
+    s.sn = z.n && s.sempty = z.empty
+    && (s.sempty
+       ||
+       let len = s.sn * s.sn in
+       let zo = z.off in
+       let k = ref 0 in
+       let eq = ref true in
+       while !eq && !k < len do
+         if s.sm.(!k) <> z.m.(zo + !k) then eq := false;
+         incr k
+       done;
+       !eq)
+
+  let freeze_into ?hash a s =
+    match unchanged s with
+    | Some z -> z
+    | None ->
+        if s.sempty then mk s.sn (Array.copy s.sm) true
+        else begin
+          let len = s.sn * s.sn in
+          let buf, off = Arena.alloc a len in
+          Array.blit s.sm 0 buf off len;
+          let hmemo = match hash with Some h -> h | None -> min_int in
+          { n = s.sn; m = buf; off; empty = false; hmemo }
+        end
 end

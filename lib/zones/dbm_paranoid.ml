@@ -33,6 +33,15 @@ let equal = Dbm.equal
 let hash = Dbm.hash
 let pp = Dbm.pp
 
+(* Zones are Dbm.t values, so arena and minimal-constraint storage
+   delegate wholesale — the self-check happens at freeze time, before
+   a zone enters either. *)
+module Arena = Dbm.Arena
+
+let copy_into = Dbm.copy_into
+
+module Min = Dbm.Min
+
 let mismatch fmt =
   Format.kasprintf
     (fun m ->
@@ -231,8 +240,9 @@ module Scratch = struct
     end;
     fa
 
-  let freeze s =
-    let zf = Dbm.Scratch.freeze s.fast in
+  (* Cross-kernel comparison of a frozen fast zone against the mirror
+     pipelines; shared by [freeze] and [freeze_into]. *)
+  let check_frozen s zf =
     if not s.checking then zf
     else begin
       let zf = if Paranoid.corrupt () then corrupt_fast zf else zf in
@@ -280,4 +290,12 @@ module Scratch = struct
       end;
       zf
     end
+
+  let freeze s = check_frozen s (Dbm.Scratch.freeze s.fast)
+
+  let freeze_into ?hash a s =
+    check_frozen s (Dbm.Scratch.freeze_into ?hash a s.fast)
+
+  let hash s = Dbm.Scratch.hash s.fast
+  let equal_zone s z = Dbm.Scratch.equal_zone s.fast z
 end

@@ -249,14 +249,62 @@ let pp fmt z =
     Format.fprintf fmt "@]"
   end
 
+(* The reference kernel stores plain persistent zones, so its arena is
+   a unit token: [copy_into] and [freeze_into] change nothing, which is
+   exactly what the oracle should do — the differential wall then pins
+   the arena-backed kernels to these semantics. *)
+module Arena = struct
+  type arena = unit
+
+  let create () = ()
+  let reset () = ()
+end
+
+let copy_into () z = z
+
+(* Minimal-constraint form via the shared {!Dbm_min} reduction. *)
+module Min = struct
+  type min = MEmpty of int | M of Dbm_min.t
+
+  let of_zone z =
+    if z.empty then MEmpty z.n
+    else M (Dbm_min.reduce z.n (fun i j -> z.m.((i * z.n) + j)))
+
+  let to_zone = function
+    | MEmpty n -> { n; m = Array.make (n * n) Inf; empty = true }
+    | M r -> { n = r.Dbm_min.mn; m = Dbm_min.to_matrix r; empty = false }
+
+  let subsumes mn z =
+    match mn with
+    | MEmpty _ -> z.empty
+    | M r ->
+        if z.n <> r.Dbm_min.mn then invalid_arg "Dbm_ref.Min.subsumes";
+        z.empty || Dbm_min.subsumes r (fun i j -> z.m.((i * z.n) + j))
+
+  let equal a b =
+    match (a, b) with
+    | MEmpty n, MEmpty n' -> n = n'
+    | M r, M r' -> Dbm_min.equal r r'
+    | _ -> false
+
+  let count = function MEmpty _ -> 0 | M r -> Dbm_min.count r
+end
+
 (* Scratch for the reference kernel is just a cell holding a persistent
    zone: every "destructive" op pays the full persistent cost, which is
-   exactly what the differential benchmark wants to compare against. *)
+   exactly what the differential benchmark wants to compare against.
+   [src] remembers the loaded zone so a pipeline that rebuilt an equal
+   matrix still freezes to the original (matching the fast kernels'
+   short-circuit). *)
 module Scratch = struct
-  type scratch = { mutable cur : t }
+  type scratch = { mutable cur : t; mutable src : t option }
 
-  let create n = { cur = zero n }
-  let load s z = s.cur <- z
+  let create n = { cur = zero n; src = None }
+
+  let load s z =
+    s.cur <- z;
+    s.src <- Some z
+
   let constrain s i j b = s.cur <- constrain s.cur i j b
   let up s = s.cur <- up s.cur
   let reset s x = s.cur <- reset s.cur x
@@ -268,5 +316,11 @@ module Scratch = struct
 
   let is_empty s = is_empty s.cur
   let sat s i j b = sat s.cur i j b
-  let freeze s = s.cur
+
+  let freeze s =
+    match s.src with Some z when equal z s.cur -> z | _ -> s.cur
+
+  let hash s = hash s.cur
+  let equal_zone s z = equal s.cur z
+  let freeze_into ?hash:_ () s = freeze s
 end

@@ -80,6 +80,51 @@ module type S = sig
   val hash : t -> int
   val pp : Format.formatter -> t -> unit
 
+  (** Bump arena for stored-zone payloads.  Zones frozen into an arena
+      are slices of a shared chunk (grow-by-doubling, chunks large
+      enough to be major-heap allocated), so storing a zone costs no
+      minor-heap traffic beyond its small record.  [reset] rewinds the
+      bump pointer — only safe when every zone frozen since the last
+      reset is discarded speculative work (the per-domain arenas in
+      {!Reach} reset at batch boundaries; the main arena never does).
+      Already-handed-out slices keep their chunk alive through their
+      own pointer, so a reset after a chunk swap never corrupts live
+      zones. *)
+  module Arena : sig
+    type arena
+
+    val create : unit -> arena
+    val reset : arena -> unit
+  end
+
+  val copy_into : Arena.arena -> t -> t
+  (** Re-home a zone's payload into the arena (used when a
+      speculatively frozen zone is committed into the shared store). *)
+
+  (** Minimal-constraint form (Larsen et al., RTSS'97): the
+      non-redundant subset of a canonical DBM's constraints, enough to
+      reconstruct the exact matrix by re-closing.  Stored alongside
+      each zone in the waiting/passed lists so subsumption probes scan
+      O(active constraints) instead of O(n²).  Construction is
+      deterministic, so structural [equal] is exact. *)
+  module Min : sig
+    type min
+
+    val of_zone : t -> min
+    val to_zone : min -> t
+    (** Re-closes the kept constraints; round-trips to the identical
+        canonical matrix. *)
+
+    val subsumes : min -> t -> bool
+    (** [subsumes m z]: does the zone [m] came from include [z]?
+        Exact — equivalent to [includes (to_zone m) z]. *)
+
+    val equal : min -> min -> bool
+
+    val count : min -> int
+    (** Number of kept constraints (diagnostic / bench column). *)
+  end
+
   (** Destructive operations on a reusable scratch matrix.  One scratch
       lives for a whole exploration; each edge loads a stored zone,
       applies the guard/reset/delay/invariant pipeline in place, and
@@ -113,6 +158,22 @@ module type S = sig
     (** Satisfiability of one extra constraint, without mutating. *)
 
     val freeze : scratch -> t
-    (** Snapshot the scratch as a persistent zone. *)
+    (** Snapshot the scratch as a persistent zone.  When the scratch is
+        still byte-equal to the zone it was loaded from, returns that
+        original (already-interned) zone instead of copying. *)
+
+    val hash : scratch -> int
+    (** The hash [freeze] 's result would have — same formula as the
+        persistent [hash], computed over the scratch in place. *)
+
+    val equal_zone : scratch -> t -> bool
+    (** Would [freeze] 's result be [equal] to this stored zone?
+        Compared in place, no allocation. *)
+
+    val freeze_into : ?hash:int -> Arena.arena -> scratch -> t
+    (** Like [freeze] (including the loaded-zone short-circuit) but a
+        genuine copy lands in the arena instead of the minor heap.
+        [?hash] seeds the zone's hash memo when the caller already
+        computed {!hash}. *)
   end
 end

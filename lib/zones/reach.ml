@@ -52,6 +52,15 @@ exception Out_of_budget of exhausted
 
 type phase = Idle | Armed
 
+(* The no-op observer shared by [reachable] and [check_state_invariant]:
+   phases never change and the observer clock is untouched.  The result
+   values are preallocated — this runs once per explored edge. *)
+let keep_idle = Ok (Idle, `Keep)
+let keep_armed = Ok (Armed, `Keep)
+
+let keep_phase p _ _ _ ~sat:_ =
+  match p with Idle -> keep_idle | Armed -> keep_armed
+
 (* LU extrapolation is the default widening; TM_NO_LU=1 falls back to
    classic max-constant extrapolation — the escape hatch CI uses to
    keep the non-LU path covered, and the toggle the metamorphic
@@ -61,6 +70,22 @@ let lu_disabled () =
   match Sys.getenv_opt "TM_NO_LU" with
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
+
+(* Zone-storage ablation toggle, read per exploration like TM_NO_LU.
+   [arena] (default): scratches are probed in place against the
+   hash-consed store and only copied — into bump arenas — on a genuine
+   miss.  [heap]: probe in place but freeze misses to the minor heap
+   (isolates the probe-in-place win from the arena win).  [seed]: the
+   pre-arena path — freeze a copy first, intern it afterwards.  All
+   three store the same zones in the same order by construction; e17
+   measures the allocation difference and CI pins the agreement. *)
+type store_mode = Store_arena | Store_heap | Store_seed
+
+let store_mode () =
+  match Sys.getenv_opt "TM_STORE" with
+  | Some "heap" -> Store_heap
+  | Some "seed" -> Store_seed
+  | _ -> Store_arena
 
 module type S = sig
   val reachable :
@@ -228,9 +253,13 @@ module Make (K : Dbm_sig.S) : S = struct
   (* A stored zone doubling as a waiting-list entry.  [alive] is
      cleared when a later, larger zone at the same location subsumes
      it; [expanded] distinguishes passed-list members from entries
-     pruned while still waiting (the [zones.pruned_waiting] signal). *)
+     pruned while still waiting (the [zones.pruned_waiting] signal).
+     [zmin] is the minimal-constraint form of [z], computed once at
+     store time: both subsumption directions probe it in O(kept
+     constraints) instead of scanning the full n² matrix. *)
   type zentry = {
     z : K.t;
+    zmin : K.Min.min;
     zloose : int;
     seq : int;
     mutable alive : bool;
@@ -266,8 +295,15 @@ module Make (K : Dbm_sig.S) : S = struct
      lazily by the domain that uses it. *)
   type 's dctx = {
     dscr : K.Scratch.scratch;
+    darena : K.Arena.arena;
+        (** speculative zones freeze into this bump arena; it rewinds
+            at the end of every batch, after the commit loop has copied
+            the survivors into the main arena *)
     dvids : 's Hstore.t;
     dvecs : (int, bool array) Hashtbl.t;
+    dsat : int -> int -> Dbm_bound.t -> bool;
+        (** shared satisfiability probe over [dscr], so the per-edge
+            [observe] call allocates no closure *)
   }
 
   (* Generic exploration.  [observe] sees each discrete step plus a
@@ -346,6 +382,14 @@ module Make (K : Dbm_sig.S) : S = struct
           v
     in
     let scr = K.Scratch.create enc.nclocks in
+    (* One shared satisfiability probe over [scr]: building the partial
+       application here keeps the per-edge [observe] call closure-free. *)
+    let sat_scr i j b = K.Scratch.sat scr i j b in
+    let smode = store_mode () in
+    (* The main arena holds every stored zone's payload (arena mode).
+       It is never reset: everything frozen into it on the sequential
+       path, or copied into it by the commit loop, is a stored zone. *)
+    let arena = K.Arena.create () in
     (* The one widening applied to every zone before it is stored —
        LU-bound extrapolation by default, classic max-constant when
        disabled.  Uniform across kernels and across the sequential,
@@ -454,19 +498,22 @@ module Make (K : Dbm_sig.S) : S = struct
           Hashtbl.add cells id c;
           c
     in
-    let add s p z =
-      let z0 = z in
-      let z = Hstore.intern zstore z in
-      if z != z0 then Metrics.incr c_zones_interned;
+    (* Store one already-interned zone: subsumption (both directions
+       through the minimal-constraint forms), storing, inspection,
+       queueing.  All callers run on the main domain in sequential
+       commit order, so everything here is deterministic at any domain
+       count. *)
+    let add_interned s p z =
       let id = match Hstore.add store (s, p) with `Added i | `Present i -> i in
       let cell = cell_of id in
-      if List.exists (fun e -> K.includes e.z z) !cell then
+      if List.exists (fun e -> K.Min.subsumes e.zmin z) !cell then
         Metrics.incr c_zones_subsumed
       else begin
+        let zmin = K.Min.of_zone z in
         cell :=
           List.filter
             (fun e ->
-              if K.includes z e.z then begin
+              if K.Min.subsumes zmin e.z then begin
                 e.alive <- false;
                 if not e.expanded then Metrics.incr c_zones_pruned_waiting;
                 false
@@ -475,7 +522,14 @@ module Make (K : Dbm_sig.S) : S = struct
             !cell;
         incr seq;
         let e =
-          { z; zloose = K.loose z; seq = !seq; alive = true; expanded = false }
+          {
+            z;
+            zmin;
+            zloose = K.loose z;
+            seq = !seq;
+            alive = true;
+            expanded = false;
+          }
         in
         cell := e :: !cell;
         incr zone_count;
@@ -497,6 +551,58 @@ module Make (K : Dbm_sig.S) : S = struct
         incr waiting;
         Metrics.set_max g_waiting_max (float_of_int !waiting)
       end
+    in
+    (* Sequential path: the surviving successor is still in [scr].
+       Arena/heap modes hash and probe it in place — a hit never copies
+       the matrix at all; a miss freezes exactly once (into the main
+       arena, or the heap).  Seed mode keeps the pre-arena discipline:
+       freeze a copy first, intern it afterwards. *)
+    let add_scratch s p =
+      match smode with
+      | Store_seed ->
+          let z0 = K.Scratch.freeze scr in
+          let z = Hstore.intern zstore z0 in
+          if z != z0 then Metrics.incr c_zones_interned;
+          add_interned s p z
+      | Store_heap | Store_arena -> (
+          let h = K.Scratch.hash scr in
+          match
+            Hstore.intern_scratch zstore ~hash:h
+              ~equal:(K.Scratch.equal_zone scr)
+              ~freeze:(fun () ->
+                match smode with
+                | Store_arena -> K.Scratch.freeze_into ~hash:h arena scr
+                | Store_heap | Store_seed -> K.Scratch.freeze scr)
+          with
+          | `Hit z ->
+              Metrics.incr c_zones_interned;
+              add_interned s p z
+          | `Miss z -> add_interned s p z)
+    in
+    (* Commit path: the speculated zone was frozen on a worker domain
+       (into its per-domain arena under arena mode).  Probe it against
+       the store; only a genuine miss is copied into the main arena —
+       the worker arenas rewind at the end of the batch. *)
+    let add_spec s p z =
+      match smode with
+      | Store_seed ->
+          let z0 = z in
+          let z = Hstore.intern zstore z in
+          if z != z0 then Metrics.incr c_zones_interned;
+          add_interned s p z
+      | Store_heap | Store_arena -> (
+          match
+            Hstore.intern_scratch zstore ~hash:(K.hash z)
+              ~equal:(fun k -> K.equal k z)
+              ~freeze:(fun () ->
+                match smode with
+                | Store_arena -> K.copy_into arena z
+                | Store_heap | Store_seed -> z)
+          with
+          | `Hit z ->
+              Metrics.incr c_zones_interned;
+              add_interned s p z
+          | `Miss z -> add_interned s p z)
     in
     (* The unfinished tail of the batch being drained: the entry under
        expansion plus the ones not yet reached.  Only a mid-batch
@@ -667,7 +773,7 @@ module Make (K : Dbm_sig.S) : S = struct
               | None -> ()
               | Some (x, b) -> K.Scratch.constrain scr 0 x b);
               if not (K.Scratch.is_empty scr) then begin
-                match observe p s act s' ~sat:(K.Scratch.sat scr) with
+                match observe p s act s' ~sat:sat_scr with
                 | Error m -> raise (Unsupported_shape m)
                 | Ok (p', y_op) ->
                     let post = enabled_vec s' in
@@ -690,8 +796,7 @@ module Make (K : Dbm_sig.S) : S = struct
                         | None -> ()
                     done;
                     widen scr;
-                    if not (K.Scratch.is_empty scr) then
-                      add s' p' (K.Scratch.freeze scr)
+                    if not (K.Scratch.is_empty scr) then add_scratch s' p'
               end)
             (a.Ioa.delta s act))
         enc.guards
@@ -708,13 +813,16 @@ module Make (K : Dbm_sig.S) : S = struct
       match dctxs.(d) with
       | Some c -> c
       | None ->
+          let dscr = K.Scratch.create enc.nclocks in
           let c =
             {
-              dscr = K.Scratch.create enc.nclocks;
+              dscr;
+              darena = K.Arena.create ();
               dvids =
                 Hstore.create ~equal:a.Ioa.equal_state ~hash:a.Ioa.hash_state
                   64;
               dvecs = Hashtbl.create 64;
+              dsat = (fun i j b -> K.Scratch.sat dscr i j b);
             }
           in
           dctxs.(d) <- Some c;
@@ -741,7 +849,7 @@ module Make (K : Dbm_sig.S) : S = struct
           | Some (x, b) -> K.Scratch.constrain scr 0 x b);
           if K.Scratch.is_empty scr then `Skip
           else
-            match observe p s act s' ~sat:(K.Scratch.sat scr) with
+            match observe p s act s' ~sat:dc.dsat with
             | exception ex -> `Raised ex
             | Error m -> `Unsup m
             | Ok (p', y_op) ->
@@ -765,7 +873,13 @@ module Make (K : Dbm_sig.S) : S = struct
                 done;
                 widen scr;
                 if K.Scratch.is_empty scr then `Dead
-                else `Succ (s', p', K.Scratch.freeze scr))
+                else
+                  `Succ
+                    ( s',
+                      p',
+                      match smode with
+                      | Store_arena -> K.Scratch.freeze_into dc.darena scr
+                      | Store_heap | Store_seed -> K.Scratch.freeze scr ))
         (a.Ioa.delta s act)
     in
     (* Sequential-order replay of one speculated edge. *)
@@ -777,7 +891,7 @@ module Make (K : Dbm_sig.S) : S = struct
       | `Skip | `Dead -> ()
       | `Unsup m -> raise (Unsupported_shape m)
       | `Raised ex -> raise ex
-      | `Succ (s', p', z) -> add s' p' z
+      | `Succ (s', p', z) -> add_spec s' p' z
     in
     let expand_batch_par pl s p pre batch =
       (* Aliveness is sampled twice, exactly like the sequential loop:
@@ -808,7 +922,13 @@ module Make (K : Dbm_sig.S) : S = struct
              end
            end);
           pop_batch_left ())
-        marks
+        marks;
+      (* Batch boundary: every committed zone was re-homed into the
+         main arena, so whatever the workers froze this batch is now
+         discarded speculative work — rewind the per-domain arenas. *)
+      Array.iter
+        (function Some dc -> K.Arena.reset dc.darena | None -> ())
+        dctxs
     in
     let result =
       try
@@ -834,8 +954,7 @@ module Make (K : Dbm_sig.S) : S = struct
                     | None -> ()
                 done;
                 widen scr;
-                if not (K.Scratch.is_empty scr) then
-                  add s0 p0 (K.Scratch.freeze scr))
+                if not (K.Scratch.is_empty scr) then add_scratch s0 p0)
               a.Ioa.start);
         while
           boundary_checks ();
@@ -967,7 +1086,7 @@ module Make (K : Dbm_sig.S) : S = struct
       with_domains domains @@ fun pool ->
       explore ?limit ?deadline_s ?pool ?checkpoint ?resume ~fingerprint enc
         ~initial_phase:(fun _ -> Idle)
-        ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
+        ~observe:keep_phase
         ~inspect
     with
     | Ok stats -> (stats, List.rev !seen)
@@ -986,7 +1105,7 @@ module Make (K : Dbm_sig.S) : S = struct
       with_domains domains @@ fun pool ->
       explore ?limit ?deadline_s ?pool ?checkpoint ?resume ~fingerprint enc
         ~initial_phase:(fun _ -> Idle)
-        ~observe:(fun p _ _ _ ~sat:_ -> Ok (p, `Keep))
+        ~observe:keep_phase
         ~inspect:(fun _ s _ ->
           if not (pred s) then begin
             bad := Some s;

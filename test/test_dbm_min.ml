@@ -1,0 +1,272 @@
+(* Minimal-constraint storage and arena interning.
+
+   The kernels' [Min] modules keep the non-redundant constraint subset
+   of each stored zone (Larsen et al., RTSS'97); {!Tm_zones.Reach} uses
+   them for waiting/passed subsumption.  These tests pin all three
+   kernels to the dense semantics: [of_zone |> to_zone] must rebuild
+   the identical canonical matrix, [subsumes] must agree with dense
+   [includes] on every snapshot pair, and reductions of equal zones
+   must be structurally equal (the construction is deterministic).
+
+   The arena tests pin the zero-copy storage discipline:
+   [copy_into]/[freeze_into] round-trip zone payloads through bump
+   arenas (across chunk growth), a no-op edge pipeline still freezes
+   to the original interned zone, and an engine-level regression holds
+   verdicts fixed across TM_STORE modes and domain counts — a worker
+   arena reset must discard exactly the speculative zones and nothing
+   else. *)
+
+module Rational = Tm_base.Rational
+module Bnd = Tm_zones.Dbm_bound
+module Dbm = Tm_zones.Dbm
+module Dbm_ref = Tm_zones.Dbm_ref
+module Dbm_int = Tm_zones.Dbm_int
+module Reach = Tm_zones.Reach
+module F = Tm_systems.Fischer
+
+(* Normalize raw generated indices into valid kernel arguments —
+   mirrors the differential harness so both draw the same zones from
+   one script. *)
+let norm_constraint n (c : Gen.dbm_constraint) =
+  let i = c.ci mod n in
+  let j = c.cj mod n in
+  let j = if i = j then (j + 1) mod n else j in
+  let q = Rational.make c.cnum c.cden in
+  (i, j, if c.cstrict then Bnd.Lt q else Bnd.Le q)
+
+let norm_clock n x = 1 + (x mod (n - 1))
+
+(* Every zone a script's persistent interpretation passes through,
+   including [top] and any empties. *)
+let zones_of_script (type z) (module K : Tm_zones.Dbm_sig.S with type t = z)
+    (s : Gen.dbm_script) : z list =
+  let n = s.Gen.ds_clocks in
+  let step z op =
+    match op with
+    | Gen.Constrain c ->
+        let i, j, b = norm_constraint n c in
+        K.constrain z i j b
+    | Gen.Up -> K.up z
+    | Gen.Reset x -> K.reset z (norm_clock n x)
+    | Gen.Free x -> K.free z (norm_clock n x)
+    | Gen.Intersect cs ->
+        K.intersect z
+          (List.fold_left
+             (fun acc c ->
+               let i, j, b = norm_constraint n c in
+               K.constrain acc i j b)
+             (K.top n) cs)
+    | Gen.Extrapolate m -> K.extrapolate (Rational.of_int m) z
+  in
+  let zs, _ =
+    List.fold_left
+      (fun (zs, z) op ->
+        let z' = step z op in
+        (z' :: zs, z'))
+      ([ K.top n ], K.top n)
+      s.Gen.ds_ops
+  in
+  List.rev zs
+
+let snapshot (type z) (module K : Tm_zones.Dbm_sig.S with type t = z) (z : z)
+    =
+  if K.is_empty z then None
+  else
+    let n = K.dim z in
+    Some (Array.init (n * n) (fun k -> K.get z (k / n) (k mod n)))
+
+let snap_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y ->
+      Array.length x = Array.length y
+      && Array.for_all2 (fun u v -> Bnd.compare u v = 0) x y
+  | _ -> false
+
+let finite_offdiag = function
+  | None -> 0
+  | Some m ->
+      let n = int_of_float (sqrt (float_of_int (Array.length m))) in
+      let c = ref 0 in
+      Array.iteri
+        (fun k b ->
+          if k / n <> k mod n && b <> Bnd.Inf then incr c)
+        m;
+      !c
+
+(* of_zone |> to_zone rebuilds the identical canonical matrix; the
+   reduction is deterministic (re-reducing the rebuilt zone gives a
+   structurally equal value) and never keeps more constraints than the
+   matrix has finite off-diagonal entries. *)
+let roundtrip (type z) (module K : Tm_zones.Dbm_sig.S with type t = z) s =
+  List.for_all
+    (fun z ->
+      let m = K.Min.of_zone z in
+      let z' = K.Min.to_zone m in
+      K.equal z z'
+      && snap_equal (snapshot (module K) z) (snapshot (module K) z')
+      && K.Min.equal m (K.Min.of_zone z')
+      && K.Min.count m <= finite_offdiag (snapshot (module K) z))
+    (zones_of_script (module K) s)
+
+let roundtrip_fast =
+  Gen.check_holds "min: of_zone |> to_zone is identity (fast)" ~count:200
+    ~print:Gen.print_dbm_script Gen.dbm_script (fun s ->
+      roundtrip (module Dbm) s)
+
+let roundtrip_ref =
+  Gen.check_holds "min: of_zone |> to_zone is identity (ref)" ~count:200
+    ~print:Gen.print_dbm_script Gen.dbm_script (fun s ->
+      roundtrip (module Dbm_ref) s)
+
+let roundtrip_int =
+  Gen.check_holds "min: of_zone |> to_zone is identity (int)" ~count:200
+    ~print:Gen.print_dbm_script Gen.int_dbm_script (fun s ->
+      roundtrip (module Dbm_int) s)
+
+(* The sparse probe must equal the dense verdict on every ordered pair
+   of zones a script produces — including empty operands on both
+   sides. *)
+let subsumes_agrees (type z) (module K : Tm_zones.Dbm_sig.S with type t = z)
+    s =
+  let zs = Array.of_list (zones_of_script (module K) s) in
+  let ok = ref true in
+  Array.iter
+    (fun zi ->
+      let m = K.Min.of_zone zi in
+      Array.iter
+        (fun zj -> if K.Min.subsumes m zj <> K.includes zi zj then ok := false)
+        zs)
+    zs;
+  !ok
+
+let subsumes_fast =
+  Gen.check_holds "min: subsumes == dense includes (fast)" ~count:150
+    ~print:Gen.print_dbm_script Gen.dbm_script (fun s ->
+      subsumes_agrees (module Dbm) s)
+
+let subsumes_ref =
+  Gen.check_holds "min: subsumes == dense includes (ref)" ~count:150
+    ~print:Gen.print_dbm_script Gen.dbm_script (fun s ->
+      subsumes_agrees (module Dbm_ref) s)
+
+let subsumes_int =
+  Gen.check_holds "min: subsumes == dense includes (int)" ~count:150
+    ~print:Gen.print_dbm_script Gen.int_dbm_script (fun s ->
+      subsumes_agrees (module Dbm_int) s)
+
+(* ------------------------------------------------------------------ *)
+(* Arena unit tests (fast and int kernels; paranoid delegates to fast,
+   ref ignores the arena by construction).                             *)
+
+let unit_copy_into (type z) (module K : Tm_zones.Dbm_sig.S with type t = z)
+    () =
+  let z = K.constrain (K.up (K.zero 4)) 1 0 (Bnd.Lt (Gen.q 7)) in
+  let a = K.Arena.create () in
+  Alcotest.(check bool) "copy_into preserves the zone" true
+    (K.equal z (K.copy_into a z));
+  (* enough copies to force chunk growth; every slice must stay intact *)
+  let copies = List.init 300 (fun _ -> K.copy_into a z) in
+  Alcotest.(check bool) "all slices equal after chunk growth" true
+    (List.for_all (K.equal z) copies)
+
+let unit_freeze_into (type z) (module K : Tm_zones.Dbm_sig.S with type t = z)
+    () =
+  let a = K.Arena.create () in
+  let scr = K.Scratch.create 3 in
+  K.Scratch.load scr (K.zero 3);
+  K.Scratch.up scr;
+  K.Scratch.constrain scr 1 0 (Bnd.Le (Gen.q 5));
+  let via_arena = K.Scratch.freeze_into a scr in
+  let persistent = K.constrain (K.up (K.zero 3)) 1 0 (Bnd.Le (Gen.q 5)) in
+  Alcotest.(check bool) "freeze_into equals the persistent pipeline" true
+    (K.equal via_arena persistent)
+
+let unit_short_circuit (type z)
+    (module K : Tm_zones.Dbm_sig.S with type t = z) () =
+  let z = K.up (K.zero 3) in
+  let a = K.Arena.create () in
+  let scr = K.Scratch.create 3 in
+  K.Scratch.load scr z;
+  Alcotest.(check bool) "no-op pipeline freezes to the original zone" true
+    (K.Scratch.freeze_into a scr == z)
+
+let unit_reset_reuse (type z) (module K : Tm_zones.Dbm_sig.S with type t = z)
+    () =
+  (* Speculative freeze, discard, rewind — zones frozen after the
+     reset land on the recycled space and must be exactly right. *)
+  let a = K.Arena.create () in
+  let scr = K.Scratch.create 3 in
+  K.Scratch.load scr (K.zero 3);
+  K.Scratch.up scr;
+  ignore (K.Scratch.freeze_into a scr);
+  K.Arena.reset a;
+  K.Scratch.load scr (K.top 3);
+  K.Scratch.reset scr 1;
+  let after = K.Scratch.freeze_into a scr in
+  Alcotest.(check bool) "post-reset freeze is exact" true
+    (K.equal after (K.reset (K.top 3) 1))
+
+(* ------------------------------------------------------------------ *)
+(* Engine regression: a worker arena reset discards exactly the
+   speculative zones.  Any leak of recycled payloads into the shared
+   store would perturb the verdict, the zone count or the reachable
+   state set somewhere across store modes and domain counts — all
+   nine combinations must agree bit for bit, on both the rational and
+   the packed-int engine. *)
+
+let store_modes_agree (module E : Reach.S) () =
+  let p = F.params_of_ints ~n:3 ~r:2 ~t:1 ~a:1 ~b:2 ~b2:3 ~e:2 in
+  let sys = F.system p and bm = F.boundmap p in
+  let run mode d =
+    Unix.putenv "TM_STORE" mode;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "TM_STORE" "")
+      (fun () ->
+        let st, states = E.reachable ~domains:d sys bm in
+        (st, List.sort compare states))
+  in
+  let base = run "arena" 1 in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s @ domains=%d matches arena @ 1" mode d)
+            true
+            (run mode d = base))
+        [ 1; 2; 4 ])
+    [ "arena"; "heap"; "seed" ]
+
+let suite =
+  [
+    roundtrip_fast;
+    roundtrip_ref;
+    roundtrip_int;
+    subsumes_fast;
+    subsumes_ref;
+    subsumes_int;
+    Alcotest.test_case "arena: copy_into round-trips (fast)" `Quick
+      (unit_copy_into (module Dbm));
+    Alcotest.test_case "arena: copy_into round-trips (int)" `Quick
+      (unit_copy_into (module Dbm_int));
+    Alcotest.test_case "arena: freeze_into matches persistent (fast)" `Quick
+      (unit_freeze_into (module Dbm));
+    Alcotest.test_case "arena: freeze_into matches persistent (int)" `Quick
+      (unit_freeze_into (module Dbm_int));
+    Alcotest.test_case "arena: no-op freeze returns the original (fast)"
+      `Quick
+      (unit_short_circuit (module Dbm));
+    Alcotest.test_case "arena: no-op freeze returns the original (int)"
+      `Quick
+      (unit_short_circuit (module Dbm_int));
+    Alcotest.test_case "arena: reset recycles space exactly (fast)" `Quick
+      (unit_reset_reuse (module Dbm));
+    Alcotest.test_case "arena: reset recycles space exactly (int)" `Quick
+      (unit_reset_reuse (module Dbm_int));
+    Alcotest.test_case "engine: TM_STORE modes x domains agree (rational)"
+      `Quick
+      (store_modes_agree (module Reach.Default));
+    Alcotest.test_case "engine: TM_STORE modes x domains agree (int)" `Quick
+      (store_modes_agree (module Reach.Int));
+  ]

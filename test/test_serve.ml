@@ -356,7 +356,11 @@ let daemon_pipeline () =
 (* Budget exhaustion chains through checkpoints: a per-request zone
    limit far below the fixpoint still verifies, because each supervised
    attempt resumes the previous frontier with a re-based budget — and
-   the verdict is byte-identical to an unbudgeted run. *)
+   the verdict is byte-identical to an unbudgeted run.  The limit must
+   stay below the LU fixpoint (~337 stored zones) so chaining is
+   actually exercised, while attempts x limit must cover the non-LU
+   exploration (~913 zones) — CI runs this suite under TM_NO_LU=1
+   too. *)
 let daemon_budget_chaining () =
   let run_one ~req =
     let sock = sock_path () in
@@ -382,7 +386,7 @@ let daemon_budget_chaining () =
     run_one
       ~req:
         "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3},\
-         \"item\":0,\"limit\":120}"
+         \"item\":0,\"limit\":200}"
   in
   Alcotest.(check string) "uncapped verifies" "ok" (status free);
   Alcotest.(check string) "capped verifies via chaining" "ok" (status capped);
