@@ -21,6 +21,7 @@
      E15 LU extrapolation ablation (zone counts with widening on/off)
      E16 serving layer: verdict-cache duplicate suppression, admission
      E17 zero-copy zone storage: allocation ablation (TM_STORE)
+     E18 worker-process pool: throughput and verdict agreement
 
    Run all:        dune exec bench/main.exe
    Run a subset:   dune exec bench/main.exe -- e1 e3 e7 *)
@@ -1217,16 +1218,123 @@ let e17 () =
    ablate "relay-n8" (module Reach.Default) (SR.line p) (SR.boundmap p))
 
 (* ------------------------------------------------------------------ *)
+(* E18: worker-process pool — throughput and verdict agreement.  The
+   same four-job fischer mix runs once through the shared in-process
+   runner and once through a 2-worker pool (this bench binary re-execs
+   itself as the workers), checking that every verdict document is
+   byte-identical and reporting the wall-clock ratio.  The pool pays
+   process spawns and frame shipping; it earns overlap — two jobs in
+   flight at once.  Not part of the committed baseline; CI runs it in
+   the twin-session bench-diff gate so the serve.worker_* counters are
+   checked for determinism. *)
+
+let e18 () =
+  section "E18: worker-process pool — throughput vs in-process";
+  let module Workers = Tm_serve.Workers in
+  let module Json = Tm_obs.Json in
+  let req s =
+    match Json.of_string s with Ok j -> j | Error m -> failwith ("e18: " ^ m)
+  in
+  let jobs =
+    [
+      ("fischer n=2",
+       req "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":2},\
+            \"item\":0}");
+      ("fischer n=3",
+       req "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3},\
+            \"item\":0}");
+      ("fischer n=3 b=3",
+       req "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3,\
+            \"b\":3},\"item\":0}");
+      ("fischer n=4",
+       req "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":4},\
+            \"item\":0}");
+    ]
+  in
+  let caps =
+    {
+      Workers.state_dir = None;
+      max_limit = Some 200_000;
+      max_deadline_s = Some 60.;
+      domains = 1;
+      attempts = 3;
+      backoff_s = 0.05;
+      default_engine = "auto";
+    }
+  in
+  let render = function
+    | Workers.E_ok v -> "ok:" ^ Json.to_string v
+    | Workers.E_unknown m -> "unknown:" ^ m
+    | Workers.E_error m -> "error:" ^ m
+  in
+  (* leg 1: the shared runner, one job at a time in this process *)
+  let t0 = Tm_obs.Tracing.now_s () in
+  let inproc =
+    List.map (fun (name, r) -> (name, render (Workers.execute caps r))) jobs
+  in
+  let inproc_s = Tm_obs.Tracing.now_s () -. t0 in
+  (* leg 2: the same mix through two worker processes *)
+  let t0 = Tm_obs.Tracing.now_s () in
+  let pool = Workers.create caps ~n:2 in
+  let results : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let todo = ref jobs in
+  let deadline = Tm_obs.Tracing.now_s () +. 120. in
+  while
+    Hashtbl.length results < List.length jobs
+    && Tm_obs.Tracing.now_s () < deadline
+  do
+    (match !todo with
+    | (name, r) :: rest when Workers.has_idle pool ->
+        if Workers.submit pool ~fingerprint:name ~request:r (name, r) then
+          todo := rest
+    | _ -> ());
+    let handle = function
+      | Workers.Completed ((name, _), result, _) ->
+          Hashtbl.replace results name (render result)
+      | Workers.Crash_retry p -> todo := p :: !todo
+      | Workers.Crash_quarantined ((name, _), why) ->
+          Hashtbl.replace results name ("error:" ^ why)
+    in
+    (match Unix.select (Workers.fds pool) [] [] 0.02 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd -> List.iter handle (Workers.on_readable pool fd))
+          ready);
+    List.iter handle (Workers.tick pool)
+  done;
+  Workers.shutdown pool;
+  let pool_s = Tm_obs.Tracing.now_s () -. t0 in
+  row "%-20s %-14s %-14s %-9s %s\n" "job mix" "inproc (s)" "pool-2 (s)"
+    "ratio" "verdicts";
+  let agree =
+    List.for_all
+      (fun (name, v) ->
+        match Hashtbl.find_opt results name with
+        | Some v' -> String.equal v v'
+        | None -> false)
+      inproc
+  in
+  row "%-20s %-14.2f %-14.2f %-9.2f %s\n"
+    (Printf.sprintf "%d fischer jobs" (List.length jobs))
+    inproc_s pool_s
+    (inproc_s /. Float.max 1e-9 pool_s)
+    (if agree then "AGREE" else "DISAGREE")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17);
+    ("e17", e17); ("e18", e18);
   ]
 
 let () =
+  (* when the pool in E18 re-execs this binary as a worker, the guard
+     takes over before any experiment runs *)
+  Tm_serve.Workers.maybe_worker_main ();
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

@@ -1645,11 +1645,54 @@ let serve_cmd =
              checkpoint-chained budget exhaustions retry up to $(docv) \
              times with jittered backoff.")
   in
-  let run socket state_dir queue max_states max_deadline_ms attempts ename
-      () obs =
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Run jobs in $(docv) supervised worker processes instead of \
+             in-process: a crashing or killed job costs one worker (it \
+             is restarted with backoff), never the daemon, and up to \
+             $(docv) jobs run concurrently. 0 (the default) keeps the \
+             classic in-process execution; verdicts are byte-identical \
+             either way.")
+  in
+  let quarantine_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "quarantine-after" ] ~docv:"K"
+          ~doc:
+            "Quarantine a job fingerprint after it crashes $(docv) \
+             workers: further requests for it answer a structured error \
+             instead of grinding the pool down.")
+  in
+  let hb_timeout_arg =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "hb-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Declare a worker wedged (and SIGKILL it) after $(docv) of \
+             heartbeat silence.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "chaos-kill-every" ] ~docv:"MS"
+          ~doc:
+            "Chaos harness: SIGKILL a random worker (preferring a busy \
+             one) every $(docv) milliseconds. The $(b,TM_CHAOS) \
+             environment variable (in seconds) does the same. Testing \
+             only.")
+  in
+  let run socket state_dir queue max_states max_deadline_ms attempts workers
+      quarantine_after hb_timeout_ms chaos_ms ename () obs =
     if queue < 0 then failwith "--queue must be >= 0";
     if max_states < 1 then failwith "--max-states must be >= 1";
     if attempts < 1 then failwith "--attempts must be >= 1";
+    if workers < 0 then failwith "--workers must be >= 0";
+    if quarantine_after < 1 then failwith "--quarantine-after must be >= 1";
+    if hb_timeout_ms <= 0. then failwith "--hb-timeout-ms must be > 0";
     engine_name := ename;
     let cfg =
       {
@@ -1661,6 +1704,10 @@ let serve_cmd =
         domains = !ndomains;
         attempts;
         default_engine = ename;
+        workers;
+        quarantine_after;
+        hb_timeout_s = hb_timeout_ms /. 1000.;
+        chaos_kill_every_s = Option.map (fun ms -> ms /. 1000.) chaos_ms;
       }
     in
     with_obs "serve" obs (fun () ->
@@ -1685,8 +1732,8 @@ let serve_cmd =
           and crash tolerance")
     Term.(
       const run $ socket_arg $ state_dir_arg $ queue_arg $ max_states_arg
-      $ max_deadline_arg $ attempts_arg $ engine_arg $ domains_term
-      $ obs_term)
+      $ max_deadline_arg $ attempts_arg $ workers_arg $ quarantine_arg
+      $ hb_timeout_arg $ chaos_arg $ engine_arg $ domains_term $ obs_term)
 
 let client_cmd =
   let requests_arg =
@@ -1698,8 +1745,22 @@ let client_cmd =
              $(b,stats), $(b,shutdown). All requests are pipelined, \
              then every response is printed as one NDJSON line.")
   in
-  let run socket requests =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:
+            "Give up if all responses have not arrived within $(docv) \
+             milliseconds (a single deadline for the whole pipeline) \
+             and exit 3 — a wedged or drowned daemon never hangs the \
+             caller.")
+  in
+  let run socket timeout_ms requests =
     if requests = [] then failwith "client: no requests given";
+    (match timeout_ms with
+    | Some ms when ms <= 0. -> failwith "client: --timeout must be > 0"
+    | _ -> ());
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (match Unix.connect sock (Unix.ADDR_UNIX socket) with
     | () -> ()
@@ -1734,9 +1795,18 @@ let client_cmd =
        coalesce into a single read, and the surplus frames live in the
        reader between calls *)
     let rd = Tm_serve.Protocol.reader () in
+    let deadline =
+      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) timeout_ms
+    in
+    let read_one () =
+      match deadline with
+      | None -> Tm_serve.Protocol.read_frame_with rd sock
+      | Some deadline ->
+          Tm_serve.Protocol.read_frame_deadline rd sock ~deadline
+    in
     let rec read_all n =
       if n > 0 then
-        match Tm_serve.Protocol.read_frame_with rd sock with
+        match read_one () with
         | None ->
             Format.eprintf "client: daemon closed after %d of %d responses@."
               (List.length requests - n)
@@ -1759,6 +1829,12 @@ let client_cmd =
     in
     (match read_all (List.length requests) with
     | () -> ()
+    | exception Tm_serve.Protocol.Timeout ->
+        Format.eprintf
+          "client: timed out after %.0f ms waiting for responses@."
+          (Option.value ~default:0. timeout_ms);
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        exit 3
     | exception Failure m ->
         Format.eprintf "client: %s@." m;
         worst := max !worst 2
@@ -1773,9 +1849,12 @@ let client_cmd =
        ~doc:
          "Send requests to a running $(b,timedmap serve) daemon and \
           print the NDJSON responses")
-    Term.(const run $ socket_arg $ requests_arg)
+    Term.(const run $ socket_arg $ timeout_arg $ requests_arg)
 
 let () =
+  (* If this process was re-executed as a serve worker, the guard runs
+     the worker loop and never returns — before any CLI parsing. *)
+  Tm_serve.Workers.maybe_worker_main ();
   (* Signals are routed through the supervisor for every subcommand, so
      a Ctrl-C still flushes --metrics-out/--trace-out (the with_obs
      cleanup runs on the Interrupted exception) before exiting. *)

@@ -62,19 +62,45 @@ let encode ~fingerprint ~info payload =
   Buffer.add_bytes buf payload;
   Buffer.contents buf
 
+(* Injectable I/O faults, for the robustness tests only: a short write
+   (the kernel persisting fewer bytes than asked, without an error — a
+   torn file that must read as corruption, never as a snapshot) and a
+   failure raised between the write and the rename (ENOSPC at fsync,
+   media death, a crash) after which the temp file must be gone and any
+   previous snapshot at [path] untouched. *)
+module For_testing = struct
+  let truncate_write_to : int option ref = ref None
+  let fail_before_rename : exn option ref = ref None
+
+  let reset () =
+    truncate_write_to := None;
+    fail_before_rename := None
+end
+
+let temp_prefix = ".tmckpt"
+
 let write ~path ~fingerprint ~info payload =
   let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir ".tmckpt" ".tmp" in
+  let tmp = Filename.temp_file ~temp_dir:dir temp_prefix ".tmp" in
   let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
   (try
      let oc = open_out_bin tmp in
      Fun.protect
        ~finally:(fun () -> close_out_noerr oc)
        (fun () ->
-         output_string oc (encode ~fingerprint ~info payload);
+         let body = encode ~fingerprint ~info payload in
+         let body =
+           match !For_testing.truncate_write_to with
+           | Some n when n < String.length body -> String.sub body 0 n
+           | _ -> body
+         in
+         output_string oc body;
          flush oc;
          (* Data must hit the disk before the rename publishes it. *)
          Unix.fsync (Unix.descr_of_out_channel oc));
+     (match !For_testing.fail_before_rename with
+     | Some e -> raise e
+     | None -> ());
      Sys.rename tmp path
    with e ->
      cleanup ();
@@ -147,3 +173,25 @@ let read path =
 let inspect path =
   let fingerprint, info, _ = read path in
   (fingerprint, info)
+
+(* A crash between the temp write and the rename (kill -9, power loss)
+   leaks the temp file: no exception handler ever ran.  The temp name
+   is never adopted by [read]/[inspect] — callers only ever look at the
+   published path — but left alone they accumulate forever in a daemon
+   state dir, so long-lived processes sweep on startup. *)
+let sweep_temps dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun n entry ->
+          if
+            String.length entry > String.length temp_prefix + 4
+            && String.sub entry 0 (String.length temp_prefix) = temp_prefix
+            && Filename.check_suffix entry ".tmp"
+          then (
+            match Sys.remove (Filename.concat dir entry) with
+            | () -> n + 1
+            | exception Sys_error _ -> n)
+          else n)
+        0 entries

@@ -45,3 +45,29 @@ val inspect : string -> string * string
 
 val crc32 : bytes -> int
 (** IEEE CRC-32 (the zlib/PNG polynomial), exposed for tests. *)
+
+val sweep_temps : string -> int
+(** Remove orphaned snapshot temp files ([.tmckpt*.tmp]) left in [dir]
+    by a crash between the temp write and the publishing rename, and
+    return how many were removed.  Temp files are never adopted as
+    snapshots — this is hygiene for long-lived state directories, run
+    by the serve daemon on startup.  A missing/unreadable directory is
+    0, not an error. *)
+
+(** Injectable write faults — tests only.  {!write} consults these on
+    every call; both default to off and {!For_testing.reset} restores
+    that. *)
+module For_testing : sig
+  val truncate_write_to : int option ref
+  (** Persist only the first [n] bytes of the envelope (a short write
+      the kernel never reported): the published file must then read as
+      {!Bad_snapshot}, never as a snapshot. *)
+
+  val fail_before_rename : exn option ref
+  (** Raise this exception after the temp file is written but before
+      the rename publishes it (ENOSPC at fsync, media failure): the
+      temp must be unlinked and a pre-existing snapshot at the target
+      path left untouched. *)
+
+  val reset : unit -> unit
+end

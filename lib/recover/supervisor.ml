@@ -39,6 +39,46 @@ let graceful f =
   Atomic.incr graceful_depth;
   Fun.protect ~finally:(fun () -> Atomic.decr graceful_depth) f
 
+(* The backoff schedule is its own little machine so that callers other
+   than [with_retries] — the worker-process supervisor restarting dead
+   workers, most notably — share the exact same decorrelated-jitter
+   discipline instead of reinventing a divergent one. *)
+module Backoff = struct
+  type t = {
+    base_s : float;
+    max_s : float option;
+    jitter : Tm_base.Prng.t option;
+    mutable prev : float;  (** last delay handed out (jitter state) *)
+    mutable k : int;  (** delays handed out so far (exponential state) *)
+  }
+
+  let create ?jitter ?max_s ~base_s () =
+    if base_s < 0. then invalid_arg "Backoff.create: base_s < 0";
+    (match max_s with
+    | Some m when m < base_s -> invalid_arg "Backoff.create: max_s < base_s"
+    | _ -> ());
+    { base_s; max_s; jitter; prev = base_s; k = 0 }
+
+  let cap t d = match t.max_s with Some m -> Float.min m d | None -> d
+
+  let next t =
+    t.k <- t.k + 1;
+    match t.jitter with
+    | None -> cap t (t.base_s *. (2. ** float_of_int (t.k - 1)))
+    | Some g ->
+        (* sleep_k ~ uniform [base, 3 * sleep_{k-1}], capped — a fleet
+           of retriers decorrelates instead of thundering in lockstep,
+           yet the schedule is a pure function of the injected PRNG. *)
+        let hi = Float.max t.base_s (3. *. t.prev) in
+        let d = cap t (t.base_s +. (Tm_base.Prng.float g *. (hi -. t.base_s))) in
+        t.prev <- d;
+        d
+
+  let reset t =
+    t.prev <- t.base_s;
+    t.k <- 0
+end
+
 type 'a attempt = Done of 'a | Transient of string
 
 let with_retries ?(attempts = 3) ?(backoff_s = 0.5) ?jitter ?max_backoff_s
@@ -50,24 +90,10 @@ let with_retries ?(attempts = 3) ?(backoff_s = 0.5) ?jitter ?max_backoff_s
   | Some m when m < backoff_s ->
       invalid_arg "Supervisor.with_retries: max_backoff_s < backoff_s"
   | _ -> ());
-  let cap d = match max_backoff_s with Some m -> Float.min m d | None -> d in
-  (* Decorrelated-jitter state: the previous slept delay.  Without a
-     PRNG the schedule is the historical pure exponential. *)
-  let prev = ref backoff_s in
-  let next_delay k =
-    match jitter with
-    | None -> cap (backoff_s *. (2. ** float_of_int (k - 1)))
-    | Some g ->
-        (* sleep_k ~ uniform [base, 3 * sleep_{k-1}], capped — a fleet
-           of retriers decorrelates instead of thundering in lockstep,
-           yet the schedule is a pure function of the injected PRNG. *)
-        let hi = Float.max backoff_s (3. *. !prev) in
-        let d =
-          cap (backoff_s +. (Tm_base.Prng.float g *. (hi -. backoff_s)))
-        in
-        prev := d;
-        d
+  let schedule =
+    Backoff.create ?jitter ?max_s:max_backoff_s ~base_s:backoff_s ()
   in
+  let next_delay _k = Backoff.next schedule in
   let rec go k =
     match f ~attempt:k with
     | Done v -> Ok v

@@ -45,6 +45,27 @@ val request_interrupt : unit -> unit
 val clear_interrupt : unit -> unit
 (** Reset the flag — between supervised attempts, or in tests. *)
 
+(** Reusable backoff schedules, shared by {!with_retries} and the
+    serve-layer worker-process supervisor (restarting crashed worker
+    processes).  Without [jitter] the schedule is the pure exponential
+    [base_s * 2^(k-1)]; with an injected deterministic PRNG it is
+    {e decorrelated jitter}: each delay drawn uniformly from
+    [[base_s, 3 * previous]], capped at [max_s] when given. *)
+module Backoff : sig
+  type t
+
+  val create :
+    ?jitter:Tm_base.Prng.t -> ?max_s:float -> base_s:float -> unit -> t
+  (** @raise Invalid_argument if [base_s < 0] or [max_s < base_s]. *)
+
+  val next : t -> float
+  (** The next delay in seconds; advances the schedule. *)
+
+  val reset : t -> unit
+  (** Back to the first delay — after the supervised thing proved
+      healthy again. *)
+end
+
 type 'a attempt = Done of 'a | Transient of string
 (** What one attempt produced: a result, or a failure worth retrying
     (the string says why, for the retry log). *)

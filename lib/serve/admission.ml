@@ -5,6 +5,7 @@ let c_coalesced = Metrics.counter "serve.coalesced"
 let c_shed = Metrics.counter "serve.shed"
 let g_depth = Metrics.gauge "serve.queue_depth"
 let g_depth_max = Metrics.gauge "serve.queue_depth_max"
+let g_capacity = Metrics.gauge "serve.capacity"
 
 type 'r job = {
   fingerprint : string;
@@ -20,13 +21,28 @@ type 'r t = {
      arriving while its twin computes still piggybacks. *)
   pending : (string, 'r job) Hashtbl.t;
   mutable ewma_s : float;  (** recent job wall time; prices retry hints *)
+  mutable capacity : int;  (** live executor slots; prices retry hints *)
 }
 
 let create ~max_depth =
   if max_depth < 0 then invalid_arg "Admission.create: max_depth < 0";
-  { max_depth; q = Queue.create (); pending = Hashtbl.create 16; ewma_s = 0.1 }
+  Metrics.set g_capacity 1.;
+  {
+    max_depth;
+    q = Queue.create ();
+    pending = Hashtbl.create 16;
+    ewma_s = 0.1;
+    capacity = 1;
+  }
 
 let depth t = Queue.length t.q
+
+let set_capacity t n =
+  if n < 0 then invalid_arg "Admission.set_capacity: capacity < 0";
+  t.capacity <- n;
+  Metrics.set g_capacity (float_of_int n)
+
+let capacity t = t.capacity
 
 let set_depth_gauges t =
   let d = float_of_int (depth t) in
@@ -36,8 +52,13 @@ let set_depth_gauges t =
 let retry_hint_s t =
   (* Everything ahead of a hypothetical re-submission, priced at the
      recent per-job wall time, floored so a hint is never "retry
-     immediately" during a flood. *)
-  Float.max 0.1 (t.ewma_s *. float_of_int (depth t + 1))
+     immediately" during a flood.  Capacity scales the price: more live
+     executors drain the queue proportionally faster, and a pool with
+     zero live workers (all crashed, none respawned yet) prices at a
+     hard one-second floor — "come back when something is alive". *)
+  let base = t.ewma_s *. float_of_int (depth t + 1) in
+  if t.capacity = 0 then Float.max 1.0 base
+  else Float.max 0.1 (base /. float_of_int t.capacity)
 
 type 'r admitted = Admitted of 'r job | Coalesced of 'r job | Shed of float
 

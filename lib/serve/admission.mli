@@ -47,6 +47,16 @@ val finished : 'r t -> 'r job -> note_wall_s:float -> unit
 val depth : 'r t -> int
 (** Queued jobs (excluding the one running). *)
 
+val set_capacity : 'r t -> int -> unit
+(** Tell admission how many live executor slots exist (gauge
+    [serve.capacity]).  Defaults to 1 — the classic in-process daemon.
+    The worker-mode server updates it every tick as workers die and
+    respawn, so shed prices track real capacity: more workers cheapen
+    the hint, zero live workers floors it at a full second.
+    @raise Invalid_argument on a negative capacity. *)
+
+val capacity : 'r t -> int
+
 val drain : 'r t -> 'r job list
 (** Remove and return every queued job, oldest first — the SIGTERM
     path answers them UNKNOWN-with-retry instead of dropping them. *)

@@ -82,6 +82,19 @@ val read_frame : ?max_frame:int -> Unix.file_descr -> string option
     most one frame will ever arrive on [fd] — any buffered surplus is
     lost with the reader. *)
 
+exception Timeout
+(** Raised by {!read_frame_deadline} when the deadline passes. *)
+
+val read_frame_deadline :
+  reader -> Unix.file_descr -> deadline:float -> string option
+(** Like {!read_frame_with}, but gives up once [Unix.gettimeofday ()]
+    passes [deadline] — the client's [--timeout] and the worker-drain
+    path both need "a frame or a clock", never an indefinite block on a
+    daemon that stopped answering.  Same reader-reuse rule as
+    {!read_frame_with}.
+    @raise Timeout when the deadline passes with no complete frame.
+    @raise Failure on a truncated or oversized frame. *)
+
 (** {1 Request/response envelopes}
 
     Thin helpers shared by server and client so both sides agree on

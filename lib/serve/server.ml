@@ -30,6 +30,10 @@ type config = {
   attempts : int;
   backoff_s : float;
   default_engine : string;
+  workers : int;
+  quarantine_after : int;
+  hb_timeout_s : float;
+  chaos_kill_every_s : float option;
 }
 
 let default_config ~socket_path =
@@ -44,6 +48,21 @@ let default_config ~socket_path =
     attempts = 3;
     backoff_s = 0.05;
     default_engine = "auto";
+    workers = 0;
+    quarantine_after = 3;
+    hb_timeout_s = 5.;
+    chaos_kill_every_s = None;
+  }
+
+let caps_of_config cfg =
+  {
+    Workers.state_dir = cfg.state_dir;
+    max_limit = cfg.max_limit;
+    max_deadline_s = cfg.max_deadline_s;
+    domains = cfg.domains;
+    attempts = cfg.attempts;
+    backoff_s = cfg.backoff_s;
+    default_engine = cfg.default_engine;
   }
 
 exception Already_running of string
@@ -59,12 +78,23 @@ type conn = {
 
 type respondent = { r_conn : conn; r_id : Json.t option }
 
+(* A job that has been handed to (or is waiting for) a worker process:
+   the admission record plus what the completion paths need to account
+   it — label/op for the event, submission time for the EWMA. *)
+type pending = {
+  p_ajob : respondent Admission.job;
+  p_label : string;
+  p_op : string;
+}
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
   cache : Cache.t;
   adm : respondent Admission.t;
+  workers : pending Workers.t option;  (** [None] = in-process execution *)
+  retryq : pending Queue.t;  (** crashed-worker jobs awaiting resubmission *)
   mutable running : bool;
 }
 
@@ -93,141 +123,47 @@ let respond t (r : respondent) doc =
   end
 
 (* ------------------------------------------------------------------ *)
-(* budgets *)
+(* job accounting: execution itself lives in {!Workers.execute_job}
+   (shared verbatim by worker processes and the in-process path) *)
 
-let clamp_limit cap req =
-  match (cap, req) with
-  | None, r -> r
-  | Some c, None -> Some c
-  | Some c, Some r -> Some (min c (max 1 r))
-
-let clamp_deadline cap req =
-  match (cap, req) with
-  | None, r -> r
-  | Some c, None -> Some c
-  | Some c, Some r -> Some (Float.min c (Float.max 0.01 r))
-
-let zones_of_info info =
-  try Scanf.sscanf info "zones=%d" (fun z -> z) with _ -> 0
-
-(* ------------------------------------------------------------------ *)
-(* job execution: bounded retries, checkpoint chaining, containment *)
-
-type job_result =
-  | R_ok of Json.t  (** definite verdict — cacheable *)
-  | R_unknown of string  (** budget / interrupt — retryable by client *)
-  | R_error of string  (** contained failure *)
-
-let checkpoint_path t fingerprint =
-  Option.map
-    (fun d -> Filename.concat d (Cache.digest fingerprint ^ ".ckpt"))
-    t.cfg.state_dir
-
-(* Adopt a checkpoint a killed daemon left behind — but only one that
-   provably belongs to this job (fingerprint match) and is readable
-   (CRC); anything else is deleted, not trusted. *)
-let stale_checkpoint t fingerprint =
-  match checkpoint_path t fingerprint with
-  | Some p when Sys.file_exists p -> (
-      match Snapshot.inspect p with
-      | fp, _info when String.equal fp fingerprint -> Some p
-      | _ ->
-          (try Sys.remove p with Sys_error _ -> ());
-          None
-      | exception Snapshot.Bad_snapshot _ ->
-          (try Sys.remove p with Sys_error _ -> ());
-          None)
-  | _ -> None
-
-let run_job t (job : Catalog.job) =
-  Metrics.incr c_jobs;
-  let limit0 = clamp_limit t.cfg.max_limit job.Catalog.req_limit in
-  let deadline_s =
-    clamp_deadline t.cfg.max_deadline_s job.Catalog.req_deadline_s
-  in
-  let ckpt = checkpoint_path t job.Catalog.fingerprint in
-  let checkpoint = Option.map (fun p -> (p, 512)) ckpt in
-  let next_resume = ref (stale_checkpoint t job.Catalog.fingerprint) in
-  let last_reason = ref "budget exhausted" in
-  let attempt ~attempt:_ =
-    if Supervisor.interrupt_requested () then
-      Supervisor.Done (R_unknown "interrupted: daemon shutting down")
-    else
-      let resume = !next_resume in
-      let limit =
-        (* re-base the zone budget on restored progress so every
-           chained attempt gets [limit0] fresh zones *)
-        match (limit0, resume) with
-        | Some b, Some path -> (
-            match Snapshot.inspect path with
-            | _, info -> Some (zones_of_info info + b)
-            | exception _ -> Some b)
-        | Some b, None -> Some b
-        | None, _ -> None
-      in
-      match
-        job.Catalog.exec ~limit ~deadline_s ~domains:t.cfg.domains
-          ~checkpoint ~resume
-      with
-      | Ok v -> Supervisor.Done (R_ok v)
-      | Error (e : Reach.exhausted) ->
-          last_reason := e.Reach.reason;
-          (match e.Reach.checkpoint with
-          | Some _ as ck -> next_resume := ck
-          | None -> ());
-          if Supervisor.interrupt_requested () then
-            Supervisor.Done (R_unknown e.Reach.reason)
-          else if e.Reach.checkpoint <> None && job.Catalog.checkpointable
-          then Supervisor.Transient e.Reach.reason
-          else Supervisor.Done (R_unknown e.Reach.reason)
-      | exception Supervisor.Interrupted ->
-          Supervisor.Done (R_unknown "interrupted: daemon shutting down")
-      | exception ex ->
-          (* contain the worker: a crashing job is this job's problem *)
-          Supervisor.Transient (Printexc.to_string ex)
-  in
-  (* decorrelated jitter, deterministically seeded per fingerprint: a
-     fleet of retries spreads out, a repeated run replays exactly *)
-  let jitter =
-    Prng.create (Snapshot.crc32 (Bytes.of_string job.Catalog.fingerprint))
-  in
-  let result =
-    match
-      Supervisor.with_retries ~attempts:t.cfg.attempts
-        ~backoff_s:t.cfg.backoff_s ~jitter ~max_backoff_s:2.0 attempt
-    with
-    | Ok r -> r
-    | Error reason ->
-        if !last_reason = reason then R_unknown reason else R_error reason
-  in
+(* Commit a finished job: cache the verdict, bump the counters, emit
+   the event.  In worker mode this runs in the PARENT only — workers
+   compute, the daemon commits, so a worker dying mid-job can never
+   half-commit. *)
+let account_result t ~fingerprint ~label ~op result =
   (match result with
-  | R_ok v ->
+  | Workers.E_ok v ->
       Metrics.incr c_job_ok;
-      Cache.store t.cache ~fingerprint:job.Catalog.fingerprint
-        (Json.to_string v)
-  | R_unknown _ -> Metrics.incr c_job_unknown
-  | R_error _ -> Metrics.incr c_job_error);
+      Cache.store t.cache ~fingerprint (Json.to_string v)
+  | Workers.E_unknown _ -> Metrics.incr c_job_unknown
+  | Workers.E_error _ -> Metrics.incr c_job_error);
   Events.emit "serve.job"
     [
-      ("label", Json.String job.Catalog.label);
-      ("op", Json.String job.Catalog.op);
+      ("label", Json.String label);
+      ("op", Json.String op);
       ("status",
        Json.String
          (match result with
-         | R_ok _ -> "ok"
-         | R_unknown _ -> "unknown"
-         | R_error _ -> "error"));
-    ];
+         | Workers.E_ok _ -> "ok"
+         | Workers.E_unknown _ -> "unknown"
+         | Workers.E_error _ -> "error"));
+    ]
+
+let run_job t (job : Catalog.job) =
+  Metrics.incr c_jobs;
+  let result = Workers.execute_job (caps_of_config t.cfg) job in
+  account_result t ~fingerprint:job.Catalog.fingerprint
+    ~label:job.Catalog.label ~op:job.Catalog.op result;
   result
 
 let response_of_result t ?cached result =
   match result with
-  | R_ok v -> Protocol.response ?cached ~verdict:v ~status:"ok" ()
-  | R_unknown reason ->
+  | Workers.E_ok v -> Protocol.response ?cached ~verdict:v ~status:"ok" ()
+  | Workers.E_unknown reason ->
       Protocol.response ~reason
         ~retry_after_s:(Admission.retry_hint_s t.adm)
         ~status:"unknown" ()
-  | R_error e -> Protocol.response ~error:e ~status:"error" ()
+  | Workers.E_error e -> Protocol.response ~error:e ~status:"error" ()
 
 (* ------------------------------------------------------------------ *)
 (* dispatch *)
@@ -244,6 +180,11 @@ let stats_doc t =
       c "jobs"; c "job_ok"; c "job_unknown"; c "job_error";
       c "bad_frame"; c "oversized"; c "truncated"; c "rejected";
       c "epipe"; c "drained";
+      c "worker_spawned"; c "worker_restarted"; c "worker_crashed";
+      c "worker_hb_timeout"; c "worker_quarantined"; c "worker_jobs";
+      c "worker_retried";
+      ("workers_live",
+       Json.Int (match t.workers with Some p -> Workers.capacity p | None -> 0));
     ]
 
 let handle_request t conn req =
@@ -278,6 +219,26 @@ let handle_request t conn req =
                       ~status:"error" ()
               in
               respond t r doc
+          | None
+            when (match t.workers with
+                 | Some pool ->
+                     Workers.quarantined pool
+                       ~fingerprint:job.Catalog.fingerprint
+                     <> None
+                 | None -> false) ->
+              (* this job killed too many workers: a permanent,
+                 structured refusal instead of another crash *)
+              let why =
+                match
+                  Option.bind t.workers (fun pool ->
+                      Workers.quarantined pool
+                        ~fingerprint:job.Catalog.fingerprint)
+                with
+                | Some why -> why
+                | None -> assert false
+              in
+              Metrics.incr c_rejected;
+              respond t r (Protocol.response ~error:why ~status:"error" ())
           | None -> (
               match
                 Admission.try_admit t.adm
@@ -346,6 +307,13 @@ let pump_conn t conn =
     drop_conn t conn
   end
 
+let answer_result t (ajob : respondent Admission.job) result ~wall_s =
+  Admission.finished t.adm ajob ~note_wall_s:wall_s;
+  let cached = match result with Workers.E_ok _ -> Some false | _ -> None in
+  List.iter
+    (fun r -> respond t r (response_of_result t ?cached result))
+    (List.rev ajob.Admission.respondents)
+
 let run_next_job t =
   match Admission.pop t.adm with
   | None -> ()
@@ -358,16 +326,11 @@ let run_next_job t =
           Catalog.of_request ~default_engine:t.cfg.default_engine
             ajob.Admission.request
         with
-        | Error m -> R_error m
+        | Error m -> Workers.E_error m
         | Ok job -> run_job t job
-        | exception ex -> R_error (Printexc.to_string ex)
+        | exception ex -> Workers.E_error (Printexc.to_string ex)
       in
-      Admission.finished t.adm ajob
-        ~note_wall_s:(Unix.gettimeofday () -. t0);
-      let cached = match result with R_ok _ -> Some false | _ -> None in
-      List.iter
-        (fun r -> respond t r (response_of_result t ?cached result))
-        (List.rev ajob.Admission.respondents)
+      answer_result t ajob result ~wall_s:(Unix.gettimeofday () -. t0)
 
 let drain_queue t ~reason =
   List.iter
@@ -382,16 +345,134 @@ let drain_queue t ~reason =
         (List.rev ajob.Admission.respondents))
     (Admission.drain t.adm)
 
+(* ------------------------------------------------------------------ *)
+(* worker-mode plumbing *)
+
+let handle_worker_event t = function
+  | Workers.Completed (p, result, wall_s) ->
+      account_result t ~fingerprint:p.p_ajob.Admission.fingerprint
+        ~label:p.p_label ~op:p.p_op result;
+      answer_result t p.p_ajob result ~wall_s
+  | Workers.Crash_retry p ->
+      (* the worker died holding this job; it goes to the front of the
+         line so a coalesced crowd is not starved by fresh admissions *)
+      Events.emit "serve.job"
+        [
+          ("label", Json.String p.p_label);
+          ("op", Json.String p.p_op);
+          ("status", Json.String "worker_crash_retry");
+        ];
+      Queue.push p t.retryq
+  | Workers.Crash_quarantined (p, why) ->
+      Metrics.incr c_job_error;
+      Events.emit "serve.job"
+        [
+          ("label", Json.String p.p_label);
+          ("op", Json.String p.p_op);
+          ("status", Json.String "quarantined");
+        ];
+      answer_result t p.p_ajob (Workers.E_error why) ~wall_s:(-1.)
+
+(* Keep idle workers fed: crashed-job retries first, then the admission
+   queue.  A job whose submission fails (the chosen worker died under
+   us) stays pending for the next tick. *)
+let dispatch_to_workers t pool =
+  let rec go () =
+    if Workers.has_idle pool then
+      if not (Queue.is_empty t.retryq) then begin
+        let p = Queue.pop t.retryq in
+        if
+          Workers.submit pool ~fingerprint:p.p_ajob.Admission.fingerprint
+            ~request:p.p_ajob.Admission.request p
+        then go ()
+        else Queue.push p t.retryq
+      end
+      else
+        match Admission.pop t.adm with
+        | None -> ()
+        | Some ajob -> (
+            match
+              Catalog.of_request ~default_engine:t.cfg.default_engine
+                ajob.Admission.request
+            with
+            | Error m ->
+                answer_result t ajob (Workers.E_error m) ~wall_s:(-1.);
+                go ()
+            | exception ex ->
+                answer_result t ajob
+                  (Workers.E_error (Printexc.to_string ex))
+                  ~wall_s:(-1.);
+                go ()
+            | Ok job ->
+                Metrics.incr c_jobs;
+                let p =
+                  {
+                    p_ajob = ajob;
+                    p_label = job.Catalog.label;
+                    p_op = job.Catalog.op;
+                  }
+                in
+                if
+                  Workers.submit pool
+                    ~fingerprint:job.Catalog.fingerprint
+                    ~request:ajob.Admission.request p
+                then go ()
+                else Queue.push p t.retryq)
+  in
+  go ()
+
+(* SIGTERM with jobs on workers: forward the stop so each in-flight job
+   checkpoints and answers UNKNOWN (exactly the in-process drain
+   semantics), wait out the stragglers, then answer whatever is left. *)
+let drain_workers t pool ~reason =
+  Workers.interrupt_busy pool;
+  let deadline =
+    Unix.gettimeofday ()
+    +. Option.value ~default:30. t.cfg.max_deadline_s
+    +. 5.
+  in
+  let rec wait () =
+    if Workers.busy_count pool > 0 && Unix.gettimeofday () < deadline then begin
+      (match Unix.select (Workers.fds pool) [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              List.iter (handle_worker_event t) (Workers.on_readable pool fd))
+            ready);
+      wait ()
+    end
+  in
+  wait ();
+  (* anything still on a wedged worker, plus crashed jobs that never
+     got resubmitted: answered, not dropped *)
+  let answer_pending p =
+    Metrics.incr c_drained;
+    List.iter
+      (fun r ->
+        respond t r
+          (Protocol.response ~reason
+             ~retry_after_s:(Admission.retry_hint_s t.adm)
+             ~status:"unknown" ()))
+      (List.rev p.p_ajob.Admission.respondents)
+  in
+  Queue.iter answer_pending t.retryq;
+  Queue.clear t.retryq;
+  List.iter answer_pending (Workers.drain_busy pool);
+  Workers.shutdown pool
+
 let loop t =
+  let timeout = match t.workers with Some _ -> 0.05 | None -> 0.25 in
   while t.running && not (Supervisor.interrupt_requested ()) do
-    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
-    (match Unix.select fds [] [] 0.25 with
+    let wfds = match t.workers with Some p -> Workers.fds p | None -> [] in
+    let fds = (t.listen_fd :: wfds) @ List.map (fun c -> c.fd) t.conns in
+    (match Unix.select fds [] [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | ready, _, _ ->
         List.iter
           (fun fd ->
             if fd = t.listen_fd then begin
-              match Unix.accept t.listen_fd with
+              match Unix.accept ~cloexec:true t.listen_fd with
               | cfd, _ ->
                   Metrics.incr c_conns;
                   t.conns <-
@@ -401,18 +482,32 @@ let loop t =
                     :: t.conns
               | exception Unix.Unix_error _ -> ()
             end
+            else if List.exists (fun wfd -> wfd = fd) wfds then
+              match t.workers with
+              | Some pool ->
+                  List.iter (handle_worker_event t)
+                    (Workers.on_readable pool fd)
+              | None -> ()
             else
               match List.find_opt (fun c -> c.fd = fd) t.conns with
               | Some conn -> pump_conn t conn
               | None -> ())
           ready);
-    run_next_job t
+    match t.workers with
+    | None -> run_next_job t
+    | Some pool ->
+        List.iter (handle_worker_event t) (Workers.tick pool);
+        Admission.set_capacity t.adm (Workers.capacity pool);
+        dispatch_to_workers t pool
   done;
   let reason =
     if Supervisor.interrupt_requested () then "interrupted: daemon shutting down"
     else "daemon shutting down"
   in
-  drain_queue t ~reason
+  drain_queue t ~reason;
+  match t.workers with
+  | None -> ()
+  | Some pool -> drain_workers t pool ~reason
 
 (* ------------------------------------------------------------------ *)
 (* lifecycle *)
@@ -441,8 +536,30 @@ let claim_socket path =
 let run cfg =
   Supervisor.install_handlers ();
   Option.iter mkdir_p cfg.state_dir;
+  (* a kill -9 between a checkpoint's temp write and its rename leaks
+     the temp file; long-lived daemons sweep the debris on startup *)
+  Option.iter
+    (fun d ->
+      let swept = Snapshot.sweep_temps d in
+      if swept > 0 then
+        Events.emit "serve.sweep"
+          [ ("dir", Json.String d); ("removed", Json.Int swept) ])
+    cfg.state_dir;
   claim_socket cfg.socket_path;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let chaos_kill_every_s =
+    match cfg.chaos_kill_every_s with
+    | Some _ as s -> s
+    | None -> Option.bind (Sys.getenv_opt "TM_CHAOS") float_of_string_opt
+  in
+  let workers =
+    if cfg.workers > 0 then
+      Some
+        (Workers.create ?chaos_kill_every_s ~hb_timeout_s:cfg.hb_timeout_s
+           ~quarantine_after:cfg.quarantine_after (caps_of_config cfg)
+           ~n:cfg.workers)
+    else None
+  in
   let t =
     {
       cfg;
@@ -453,6 +570,8 @@ let run cfg =
           ?dir:(Option.map (fun d -> Filename.concat d "cache") cfg.state_dir)
           ();
       adm = Admission.create ~max_depth:cfg.max_queue;
+      workers;
+      retryq = Queue.create ();
       running = true;
     }
   in
@@ -462,9 +581,15 @@ let run cfg =
     [
       ("socket", Json.String cfg.socket_path);
       ("queue", Json.Int cfg.max_queue);
+      ("workers", Json.Int cfg.workers);
     ];
   Fun.protect
     ~finally:(fun () ->
+      (* belt and braces: on every exit path — including an escalated
+         second signal — no worker process outlives the daemon *)
+      (match t.workers with
+      | Some pool -> ( try Workers.shutdown pool with _ -> ())
+      | None -> ());
       List.iter (fun c -> drop_conn t c) t.conns;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (try Unix.unlink cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());

@@ -54,11 +54,21 @@ type config = {
   attempts : int;  (** supervisor attempts per job *)
   backoff_s : float;  (** retry backoff base *)
   default_engine : string;  (** engine when the request names none *)
+  workers : int;
+      (** worker processes ({!Workers}); 0 = classic in-process
+          execution, byte-identical verdicts either way *)
+  quarantine_after : int;
+      (** crashes of one fingerprint before it is refused for good *)
+  hb_timeout_s : float;  (** worker silence before it is declared wedged *)
+  chaos_kill_every_s : float option;
+      (** chaos harness: SIGKILL a random worker this often (also
+          settable via the [TM_CHAOS] environment variable) *)
 }
 
 val default_config : socket_path:string -> config
 (** queue 16, 1 MiB frames, limit 200000 zones, deadline 30 s,
-    1 domain, 3 attempts, 0.05 s backoff, engine ["auto"]. *)
+    1 domain, 3 attempts, 0.05 s backoff, engine ["auto"], 0 workers
+    (quarantine after 3, 5 s heartbeat timeout, no chaos). *)
 
 exception Already_running of string
 (** The socket path is live: another daemon answered a probe connect. *)

@@ -1,4 +1,7 @@
 let () =
+  (* tests that drive a Workers pool directly make THIS binary the
+     worker host: the guard must run before alcotest takes over *)
+  Tm_serve.Workers.maybe_worker_main ();
   Alcotest.run "timed_mappings"
     [
       ("rational", Test_rational.suite);

@@ -3,6 +3,9 @@
    domains exist) with the server config flattened to key=value args. *)
 
 let () =
+  (* this binary hosts worker re-executions when the daemon under test
+     runs with workers > 0 *)
+  Tm_serve.Workers.maybe_worker_main ();
   let cfg = ref (Tm_serve.Server.default_config ~socket_path:"serve.sock") in
   Array.iteri
     (fun i arg ->
@@ -32,6 +35,21 @@ let () =
                 cfg :=
                   { !cfg with
                     Tm_serve.Server.max_deadline_s =
+                      Some (float_of_string v /. 1000.) }
+            | "workers" ->
+                cfg := { !cfg with Tm_serve.Server.workers = int_of_string v }
+            | "quarantine" ->
+                cfg :=
+                  { !cfg with
+                    Tm_serve.Server.quarantine_after = int_of_string v }
+            | "hb_timeout_ms" ->
+                cfg :=
+                  { !cfg with
+                    Tm_serve.Server.hb_timeout_s = float_of_string v /. 1000. }
+            | "chaos_kill_ms" ->
+                cfg :=
+                  { !cfg with
+                    Tm_serve.Server.chaos_kill_every_s =
                       Some (float_of_string v /. 1000.) }
             | _ ->
                 prerr_endline ("serve_helper: unknown key " ^ key);

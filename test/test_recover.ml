@@ -128,6 +128,109 @@ let snapshot_rejects_corruption () =
   write_file path (whole ^ "x");
   expect_bad path "trailing"
 
+(* A short write the kernel never reported (power cut between write
+   and fsync completing): whatever length survives, the published file
+   must read as [Bad_snapshot] — never as a snapshot, never as a
+   payload. *)
+let snapshot_short_write_never_adopted () =
+  let dir = Filename.dirname (tmp_ck ()) in
+  let path = Filename.concat dir (Printf.sprintf "tm_short_%d.ckpt" (Unix.getpid ())) in
+  Fun.protect
+    ~finally:(fun () ->
+      Snapshot.For_testing.reset ();
+      rm_f path)
+  @@ fun () ->
+  write_sample path;
+  let full = String.length (read_file path) in
+  rm_f path;
+  for keep = 0 to full - 1 do
+    Snapshot.For_testing.truncate_write_to := Some keep;
+    write_sample path;
+    (match Snapshot.read path with
+    | _ ->
+        Alcotest.failf "short write of %d/%d bytes was adopted" keep full
+    | exception Snapshot.Bad_snapshot _ -> ());
+    rm_f path
+  done;
+  (* and a non-truncated write through the same hook still reads *)
+  Snapshot.For_testing.truncate_write_to := Some full;
+  write_sample path;
+  let fp, _, _ = Snapshot.read path in
+  Alcotest.(check string) "full write adopted" "fingerprint-string" fp
+
+(* A crash between the temp write and the publishing rename (ENOSPC at
+   fsync, media failure): the write raises, the temp file is unlinked,
+   and a pre-existing snapshot at the target is untouched. *)
+let snapshot_fail_before_rename () =
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tm_rename_%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let path = Filename.concat dir "job.ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Snapshot.For_testing.reset ();
+      Array.iter (fun f -> rm_f (Filename.concat dir f)) (Sys.readdir dir))
+  @@ fun () ->
+  write_sample path;
+  let before = read_file path in
+  Snapshot.For_testing.fail_before_rename := Some Exit;
+  (match
+     Snapshot.write ~path ~fingerprint:"other-job" ~info:"zones=99"
+       (Bytes.of_string "would-clobber")
+   with
+  | () -> Alcotest.fail "write must re-raise the injected failure"
+  | exception Exit -> ());
+  Snapshot.For_testing.reset ();
+  Alcotest.(check string) "old snapshot intact" before (read_file path);
+  let leaked =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> f <> Filename.basename path)
+  in
+  Alcotest.(check (list string)) "no temp leaked" [] leaked
+
+(* [sweep_temps] removes exactly the orphaned temp files — never the
+   snapshot itself, never unrelated files. *)
+let snapshot_sweep_temps () =
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tm_sweep_%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> rm_f (Filename.concat dir f)) (Sys.readdir dir))
+  @@ fun () ->
+  let path = Filename.concat dir "job.ckpt" in
+  write_sample path;
+  let mk name s =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc s;
+    close_out oc
+  in
+  mk ".tmckpt123abc.tmp" "orphaned half-written envelope";
+  mk ".tmckpt456def.tmp" "";
+  mk "unrelated.txt" "keep me";
+  Alcotest.(check int) "two orphans removed" 2 (Snapshot.sweep_temps dir);
+  let left = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  Alcotest.(check (list string))
+    "snapshot and unrelated files kept"
+    [ "job.ckpt"; "unrelated.txt" ]
+    left;
+  Alcotest.(check int) "idempotent" 0 (Snapshot.sweep_temps dir);
+  Alcotest.(check int) "missing dir is 0"
+    0
+    (Snapshot.sweep_temps (Filename.concat dir "no-such-subdir"))
+
 (* ------------------------------------------------------------------ *)
 (* Retry supervision.                                                  *)
 
@@ -481,6 +584,12 @@ let suite =
       snapshot_roundtrip;
     Alcotest.test_case "snapshot: corruption rejected descriptively" `Quick
       snapshot_rejects_corruption;
+    Alcotest.test_case "snapshot: short write never adopted" `Quick
+      snapshot_short_write_never_adopted;
+    Alcotest.test_case "snapshot: crash before rename leaks nothing" `Quick
+      snapshot_fail_before_rename;
+    Alcotest.test_case "snapshot: sweep removes only orphaned temps" `Quick
+      snapshot_sweep_temps;
     Alcotest.test_case "retries: exponential backoff then success" `Quick
       with_retries_backoff;
     Alcotest.test_case "retries: exhaustion keeps last reason" `Quick

@@ -160,6 +160,71 @@ let admission_unit () =
   Alcotest.(check int) "drain returns the queue" 2 (List.length drained);
   Alcotest.(check int) "drain empties" 0 (Admission.depth adm)
 
+let admission_capacity () =
+  let adm = Admission.create ~max_depth:1 in
+  Alcotest.(check int) "default capacity" 1 (Admission.capacity adm);
+  (* teach the EWMA a real job duration so prices are above the floor *)
+  (match Admission.try_admit adm ~fingerprint:"warm" ~request:Json.Null () with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "warmup admit");
+  let j = Option.get (Admission.pop adm) in
+  Admission.finished adm j ~note_wall_s:2.0;
+  (* refill the queue so further admits shed with a priced hint *)
+  (match Admission.try_admit adm ~fingerprint:"full" ~request:Json.Null () with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "refill admit");
+  let hint_at n =
+    Admission.set_capacity adm n;
+    match
+      Admission.try_admit adm ~fingerprint:(Printf.sprintf "f%d" n)
+        ~request:Json.Null ()
+    with
+    | Admission.Shed h -> h
+    | _ -> Alcotest.fail "full queue must shed"
+  in
+  let h1 = hint_at 1 in
+  let h4 = hint_at 4 in
+  let h0 = hint_at 0 in
+  let h1' = hint_at 1 in
+  Alcotest.(check bool) "live capacity prices the hint" true
+    (h4 < h1 && h1 > 0.1);
+  Alcotest.(check bool) "zero capacity floors at 1s" true (h0 >= 1.0);
+  Alcotest.(check bool)
+    "capacity recovery restores the old price" true
+    (Float.abs (h1' -. h1) < 1e-9);
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Admission.set_capacity: capacity < 0") (fun () ->
+      Admission.set_capacity adm (-1))
+
+(* ------------------------------------------------------------------ *)
+(* protocol: deadline reads *)
+
+let protocol_read_deadline () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () ->
+      (* nothing arrives: the deadline fires instead of blocking *)
+      let t0 = Unix.gettimeofday () in
+      (match
+         Protocol.read_frame_deadline (Protocol.reader ()) a
+           ~deadline:(t0 +. 0.2)
+       with
+      | exception Protocol.Timeout -> ()
+      | _ -> Alcotest.fail "expected Timeout on a silent peer");
+      let waited = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "waited about the deadline" true
+        (waited >= 0.15 && waited < 5.);
+      (* a frame arrives in time: delivered, not timed out *)
+      Protocol.write_frame b "hello";
+      Alcotest.(check (option string))
+        "frame beats deadline" (Some "hello")
+        (Protocol.read_frame_deadline (Protocol.reader ()) a
+           ~deadline:(Unix.gettimeofday () +. 5.)))
+
 (* ------------------------------------------------------------------ *)
 (* verdict cache *)
 
@@ -244,9 +309,19 @@ let spawn_server cfg =
     @ (match cfg.Server.state_dir with
       | Some d -> [ "state_dir=" ^ d ]
       | None -> [])
+    @ (match cfg.Server.max_deadline_s with
+      | Some s -> [ Printf.sprintf "deadline_ms=%g" (s *. 1000.) ]
+      | None -> [])
+    @ (if cfg.Server.workers > 0 then
+         [
+           "workers=" ^ string_of_int cfg.Server.workers;
+           "quarantine=" ^ string_of_int cfg.Server.quarantine_after;
+           Printf.sprintf "hb_timeout_ms=%g" (cfg.Server.hb_timeout_s *. 1000.);
+         ]
+       else [])
     @
-    match cfg.Server.max_deadline_s with
-    | Some s -> [ Printf.sprintf "deadline_ms=%g" (s *. 1000.) ]
+    match cfg.Server.chaos_kill_every_s with
+    | Some s -> [ Printf.sprintf "chaos_kill_ms=%g" (s *. 1000.) ]
     | None -> []
   in
   let pid =
@@ -544,6 +619,279 @@ let daemon_sigterm_drains () =
   Alcotest.(check bool) "clean exit" true (exit_status = Unix.WEXITED 0);
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock)
 
+(* ------------------------------------------------------------------ *)
+(* worker processes *)
+
+module Workers = Tm_serve.Workers
+
+let test_caps =
+  {
+    Workers.state_dir = None;
+    max_limit = Some 200_000;
+    max_deadline_s = Some 60.;
+    domains = 1;
+    attempts = 3;
+    backoff_s = 0.01;
+    default_engine = "auto";
+  }
+
+let req_json s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error m -> Alcotest.fail ("bad request literal: " ^ m)
+
+(* Drive a pool directly (this test binary re-execs itself as the
+   worker): the verdict that comes back over the socketpair must be
+   byte-identical to the shared runner executing in-process. *)
+let workers_pool_roundtrip () =
+  let requests =
+    [
+      fischer_req;
+      "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":2},\
+       \"item\":0}";
+    ]
+  in
+  let inproc =
+    List.map
+      (fun r ->
+        match Workers.execute test_caps (req_json r) with
+        | Workers.E_ok v -> Json.to_string v
+        | _ -> Alcotest.fail "in-process run must verify")
+      requests
+  in
+  let pool = Workers.create test_caps ~n:2 in
+  Fun.protect
+    ~finally:(fun () -> Workers.shutdown pool)
+    (fun () ->
+      let results = Hashtbl.create 4 in
+      let todo = ref requests in
+      let deadline = Unix.gettimeofday () +. 60. in
+      while
+        Hashtbl.length results < List.length requests
+        && Unix.gettimeofday () < deadline
+      do
+        (match !todo with
+        | r :: rest when Workers.has_idle pool ->
+            if Workers.submit pool ~fingerprint:r ~request:(req_json r) r
+            then todo := rest
+        | _ -> ());
+        let handle = function
+          | Workers.Completed (r, Workers.E_ok v, _) ->
+              Hashtbl.replace results r (Json.to_string v)
+          | Workers.Completed (r, _, _) ->
+              Alcotest.fail ("worker run must verify: " ^ r)
+          | Workers.Crash_retry r -> todo := r :: !todo
+          | Workers.Crash_quarantined (r, why) ->
+              Alcotest.fail ("unexpected quarantine of " ^ r ^ ": " ^ why)
+        in
+        (match Unix.select (Workers.fds pool) [] [] 0.02 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | ready, _, _ ->
+            List.iter
+              (fun fd -> List.iter handle (Workers.on_readable pool fd))
+              ready);
+        List.iter handle (Workers.tick pool)
+      done;
+      List.iter2
+        (fun r expect ->
+          match Hashtbl.find_opt results r with
+          | Some got ->
+              Alcotest.(check string) "pool verdict byte-identical" expect got
+          | None -> Alcotest.fail ("pool never answered " ^ r))
+        requests inproc)
+
+(* A --workers 2 daemon under a flood of pipelined jobs: every request
+   answered, verdicts byte-identical to a --workers 0 daemon on the
+   same mix. *)
+let daemon_workers_byte_identical () =
+  let mix =
+    [
+      fischer_req;
+      "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":2},\
+       \"item\":0}";
+      fischer_req (* duplicate: coalesced or cached *);
+      "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3,\
+       \"b\":3},\"item\":0}";
+    ]
+  in
+  let run_daemon cfg =
+    let pid = spawn_server cfg in
+    Fun.protect
+      ~finally:(fun () -> shutdown_server pid cfg.Server.socket_path)
+      (fun () ->
+        let cx = connect cfg.Server.socket_path in
+        List.iteri
+          (fun i r ->
+            match Json.of_string r with
+            | Ok (Json.Obj kvs) ->
+                send cx
+                  (Json.to_string (Json.Obj (("id", Json.Int i) :: kvs)))
+            | _ -> assert false)
+          mix;
+        let replies = List.init (List.length mix) (fun _ -> recv cx) in
+        close_cx cx;
+        (* responses may complete out of order across workers: key them
+           back by id *)
+        List.map
+          (fun doc ->
+            match Option.bind (Json.member "id" doc) Json.int_opt with
+            | Some id -> (id, (status doc, verdict_text doc))
+            | None -> Alcotest.fail "response lost its id")
+          replies
+        |> List.sort compare)
+  in
+  let with_workers =
+    run_daemon
+      {
+        (base_cfg (sock_path ())) with
+        Server.state_dir = Some (tmp_dir ());
+        workers = 2;
+      }
+  in
+  let in_process =
+    run_daemon
+      { (base_cfg (sock_path ())) with Server.state_dir = Some (tmp_dir ()) }
+  in
+  List.iter2
+    (fun (id_w, (st_w, v_w)) (id_i, (st_i, v_i)) ->
+      Alcotest.(check int) "same response set" id_i id_w;
+      Alcotest.(check string) "same status" st_i st_w;
+      Alcotest.(check string)
+        (Printf.sprintf "verdict %d byte-identical across modes" id_w)
+        v_i v_w)
+    with_workers in_process
+
+(* Chaos: a --workers 2 daemon whose workers are SIGKILLed every 150 ms
+   mid-flood.  Every job must still be answered OK (crashed jobs are
+   resubmitted to fresh workers) and the daemon itself must survive.
+   Quarantine is effectively disabled: random murder must not ban
+   innocent fingerprints. *)
+let daemon_chaos_no_loss () =
+  let sock = sock_path () in
+  let cfg =
+    {
+      (base_cfg sock) with
+      Server.state_dir = Some (tmp_dir ());
+      workers = 2;
+      quarantine_after = 1_000_000;
+      chaos_kill_every_s = Some 0.15;
+    }
+  in
+  let pid = spawn_server cfg in
+  Fun.protect
+    ~finally:(fun () -> shutdown_server pid sock)
+    (fun () ->
+      let cx = connect sock in
+      let jobs =
+        [
+          fischer_req;
+          "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3,\
+           \"b\":3},\"item\":0}";
+          "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":2},\
+           \"item\":0}";
+          "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":2,\
+           \"b\":3},\"item\":0}";
+        ]
+      in
+      List.iter (send cx) jobs;
+      let replies = List.init (List.length jobs) (fun _ -> recv cx) in
+      List.iter
+        (fun doc ->
+          Alcotest.(check string)
+            (Printf.sprintf "chaos victim still answered (%s)"
+               (Json.to_string doc))
+            "ok" (status doc))
+        replies;
+      send cx "{\"op\":\"ping\"}";
+      Alcotest.(check string) "daemon alive after chaos" "ok"
+        (status (recv cx));
+      close_cx cx)
+
+(* A poison job (the worker SIGKILLs itself on a marker in the payload)
+   crashes [quarantine_after] workers, then is quarantined: the pending
+   request answers a structured error naming the quarantine, later
+   requests for the same fingerprint are refused at admission, and
+   other jobs still verify. *)
+let daemon_poison_quarantine () =
+  let marker = "tm_poison_7f3a" in
+  let sock = sock_path () in
+  let cfg =
+    {
+      (base_cfg sock) with
+      Server.state_dir = Some (tmp_dir ());
+      workers = 1;
+      quarantine_after = 2;
+    }
+  in
+  Unix.putenv "TM_WORKER_POISON" marker;
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "TM_WORKER_POISON" "")
+      (fun () -> spawn_server cfg)
+  in
+  Fun.protect
+    ~finally:(fun () -> shutdown_server pid sock)
+    (fun () ->
+      let cx = connect sock in
+      let poison_req =
+        Printf.sprintf
+          "{\"id\":\"%s\",\"op\":\"verify\",\"system\":\"fischer\",\
+           \"params\":{\"n\":2},\"item\":0}"
+          marker
+      in
+      send cx poison_req;
+      let doc = recv cx in
+      Alcotest.(check string) "poison job answered as error" "error"
+        (status doc);
+      (match Option.bind (Json.member "error" doc) Json.string_opt with
+      | Some m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error names the quarantine (%s)" m)
+            true
+            (String.length m >= 11 && String.sub m 0 11 = "quarantined")
+      | None -> Alcotest.fail "quarantine error carries no message");
+      (* the fingerprint is now banned at the door *)
+      send cx poison_req;
+      Alcotest.(check string) "refused on arrival" "error" (status (recv cx));
+      (* an innocent job with a different fingerprint still verifies *)
+      send cx fischer_req;
+      Alcotest.(check string) "pool recovered for clean jobs" "ok"
+        (status (recv cx));
+      close_cx cx)
+
+(* SIGTERM with jobs on workers: in-flight jobs are answered (OK or
+   UNKNOWN), the daemon exits 0, the socket is unlinked, and no worker
+   process is left behind. *)
+let daemon_sigterm_drains_workers () =
+  let sock = sock_path () in
+  let cfg =
+    {
+      (base_cfg sock) with
+      Server.state_dir = Some (tmp_dir ());
+      workers = 2;
+    }
+  in
+  let pid = spawn_server cfg in
+  let cx = connect sock in
+  send cx fischer_req;
+  send cx
+    "{\"op\":\"verify\",\"system\":\"fischer\",\"params\":{\"n\":3,\"b\":3},\
+     \"item\":0}";
+  Unix.sleepf 0.2;
+  Unix.kill pid Sys.sigterm;
+  let docs = List.init 2 (fun _ -> recv cx) in
+  List.iter
+    (fun doc ->
+      Alcotest.(check bool)
+        (Printf.sprintf "in-flight worker job answered (%s)" (status doc))
+        true
+        (List.mem (status doc) [ "ok"; "unknown" ]))
+    docs;
+  close_cx cx;
+  let _, exit_status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "clean exit" true (exit_status = Unix.WEXITED 0);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock)
+
 let suite =
   [
     Alcotest.test_case "protocol: chunked roundtrip" `Quick reader_roundtrip;
@@ -570,4 +918,18 @@ let suite =
       daemon_kill9_restart;
     Alcotest.test_case "daemon: SIGTERM drains gracefully" `Slow
       daemon_sigterm_drains;
+    Alcotest.test_case "admission: capacity scales shed prices" `Quick
+      admission_capacity;
+    Alcotest.test_case "protocol: read_frame_deadline times out" `Quick
+      protocol_read_deadline;
+    Alcotest.test_case "workers: pool verdicts byte-identical" `Slow
+      workers_pool_roundtrip;
+    Alcotest.test_case "daemon: --workers 2 byte-identical to --workers 0"
+      `Slow daemon_workers_byte_identical;
+    Alcotest.test_case "daemon: chaos kills lose no job" `Slow
+      daemon_chaos_no_loss;
+    Alcotest.test_case "daemon: poison job quarantined" `Slow
+      daemon_poison_quarantine;
+    Alcotest.test_case "daemon: SIGTERM drains worker pool" `Slow
+      daemon_sigterm_drains_workers;
   ]
